@@ -1,0 +1,195 @@
+//! The shuffling countermeasure of §V-A: randomize the order in which the
+//! coefficients are sampled so single-trace hints can no longer be attached
+//! to coordinates.
+
+use crate::device::{Capture, Device};
+use crate::profile::{AttackError, SingleTraceAttack, TrainedAttack};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use reveal_rv32::kernel::KernelError;
+
+/// A device whose sampler processes coefficients in a fresh random order
+/// each execution (Fisher–Yates shuffle of the index sequence).
+#[derive(Debug, Clone)]
+pub struct ShuffledDevice {
+    inner: Device,
+}
+
+/// One shuffled capture: the trace windows appear in `permutation` order.
+#[derive(Debug, Clone)]
+pub struct ShuffledCapture {
+    /// The capture; `capture.values[k]` is the value sampled at trace
+    /// position `k`.
+    pub capture: Capture,
+    /// `permutation[k]` = coefficient index sampled at trace position `k`
+    /// (secret — the attacker never sees this).
+    pub permutation: Vec<usize>,
+    /// The coefficient values in *coefficient* order (ground truth).
+    pub coefficient_values: Vec<i64>,
+}
+
+impl ShuffledDevice {
+    /// Wraps a device with the shuffling countermeasure.
+    pub fn new(inner: Device) -> Self {
+        Self { inner }
+    }
+
+    /// The unprotected device.
+    pub fn inner(&self) -> &Device {
+        &self.inner
+    }
+
+    /// Captures a fresh execution with shuffled sampling order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures.
+    pub fn capture_fresh<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<ShuffledCapture, KernelError> {
+        let n = self.inner.degree();
+        let mut permutation: Vec<usize> = (0..n).collect();
+        permutation.shuffle(rng);
+        // Draw the fresh values first (in coefficient order, as the
+        // distribution does), then present them to the hardware in shuffled
+        // order.
+        let plain = self.inner.capture_fresh(rng)?;
+        let coefficient_values = plain.values.clone();
+        let shuffled_values: Vec<i64> =
+            permutation.iter().map(|&i| coefficient_values[i]).collect();
+        let capture = self.inner.capture_chosen(&shuffled_values, rng)?;
+        Ok(ShuffledCapture {
+            capture,
+            permutation,
+            coefficient_values,
+        })
+    }
+}
+
+/// Outcome of evaluating the attack against the countermeasure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenseEvaluation {
+    /// Fraction of trace positions whose value the attack still recovers
+    /// (the leakage itself is not hidden by shuffling).
+    pub positional_accuracy: f64,
+    /// Fraction of *coefficient indices* for which the attacker's
+    /// coordinate-wise guess is correct — what the hints framework needs;
+    /// shuffling drives this towards the random-assignment baseline.
+    pub coordinate_accuracy: f64,
+    /// The random-assignment baseline for comparison.
+    pub chance_level: f64,
+}
+
+/// Attacks a shuffled capture and scores both views.
+///
+/// # Errors
+///
+/// Propagates attack failures.
+pub fn evaluate_against_shuffling(
+    attack: &TrainedAttack,
+    shuffled: &ShuffledCapture,
+) -> Result<(SingleTraceAttack, DefenseEvaluation), AttackError> {
+    let n = shuffled.coefficient_values.len();
+    let result = attack.attack_trace_expecting(&shuffled.capture.run.capture.samples, n)?;
+
+    // Positional view: window k vs the value actually sampled there.
+    let positional_accuracy = result.value_accuracy(&shuffled.capture.values);
+
+    // Coordinate view: the attacker, unaware of the permutation, assigns
+    // window k's value to coefficient k.
+    let hits = result
+        .coefficients
+        .iter()
+        .zip(&shuffled.coefficient_values)
+        .filter(|(est, &truth)| est.predicted == truth)
+        .count();
+    let coordinate_accuracy = hits as f64 / n.max(1) as f64;
+
+    // Chance level: probability two random positions hold equal values
+    // under the empirical value distribution.
+    let mut counts = std::collections::BTreeMap::new();
+    for &v in &shuffled.coefficient_values {
+        *counts.entry(v).or_insert(0usize) += 1;
+    }
+    let chance_level = counts
+        .values()
+        .map(|&c| (c as f64 / n as f64).powi(2))
+        .sum::<f64>();
+
+    Ok((
+        result,
+        DefenseEvaluation {
+            positional_accuracy,
+            coordinate_accuracy,
+            chance_level,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AttackConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reveal_rv32::power::PowerModelConfig;
+
+    const Q: u64 = 132120577;
+
+    #[test]
+    fn shuffled_capture_permutes_values() {
+        let device = Device::new(32, &[Q], PowerModelConfig::noiseless()).unwrap();
+        let shuffled = ShuffledDevice::new(device);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cap = shuffled.capture_fresh(&mut rng).unwrap();
+        // The trace-order values are the permuted coefficient values.
+        for (k, &coeff_idx) in cap.permutation.iter().enumerate() {
+            assert_eq!(cap.capture.values[k], cap.coefficient_values[coeff_idx]);
+        }
+        // Same multiset.
+        let mut a = cap.capture.values.clone();
+        let mut b = cap.coefficient_values.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffling_destroys_coordinate_assignment_but_not_leakage() {
+        let device = Device::new(
+            64,
+            &[Q],
+            PowerModelConfig::default().with_noise_sigma(0.05),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let attack =
+            TrainedAttack::profile(&device, 24, &AttackConfig::default(), &mut rng).unwrap();
+        let shuffled = ShuffledDevice::new(device);
+
+        let mut positional = 0.0;
+        let mut coordinate = 0.0;
+        let mut chance = 0.0;
+        let trials = 4;
+        for _ in 0..trials {
+            let cap = shuffled.capture_fresh(&mut rng).unwrap();
+            let (_, eval) = evaluate_against_shuffling(&attack, &cap).unwrap();
+            positional += eval.positional_accuracy;
+            coordinate += eval.coordinate_accuracy;
+            chance += eval.chance_level;
+        }
+        positional /= trials as f64;
+        coordinate /= trials as f64;
+        chance /= trials as f64;
+
+        // The window-level leakage is untouched...
+        assert!(positional > 0.6, "positional accuracy {positional}");
+        // ...but the coordinate assignment collapses towards chance.
+        assert!(
+            coordinate < positional - 0.25,
+            "coordinate {coordinate} vs positional {positional}"
+        );
+        assert!(coordinate < chance + 0.25, "coordinate {coordinate} vs chance {chance}");
+    }
+}

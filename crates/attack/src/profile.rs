@@ -1,0 +1,572 @@
+//! The profiling stage: learn segmentation-aligned templates from a device
+//! the adversary controls (§II-B threat model, §III-D template construction).
+
+use crate::config::AttackConfig;
+use crate::device::Device;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use reveal_rv32::kernel::KernelError;
+use reveal_template::{CovarianceMode, ScoreTable, TemplateError, TemplateSet};
+use reveal_trace::poi::{select_pois, PoiError};
+use reveal_trace::segment::{find_bursts, SegmentError};
+use reveal_trace::{Trace, TraceSet};
+use std::fmt;
+
+/// Errors from profiling or attacking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// Segmentation failed on a trace.
+    Segment(SegmentError),
+    /// Template fitting/classification failed.
+    Template(TemplateError),
+    /// POI selection failed.
+    Poi(PoiError),
+    /// The device failed to run.
+    Kernel(KernelError),
+    /// Segmentation found the wrong number of windows during the attack.
+    WindowCountMismatch { expected: usize, got: usize },
+    /// Not enough profiling data survived for some class.
+    NotEnoughProfilingData { label: i64, count: usize },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Segment(e) => write!(f, "segmentation failed: {e}"),
+            AttackError::Template(e) => write!(f, "template stage failed: {e}"),
+            AttackError::Poi(e) => write!(f, "POI selection failed: {e}"),
+            AttackError::Kernel(e) => write!(f, "device execution failed: {e}"),
+            AttackError::WindowCountMismatch { expected, got } => {
+                write!(f, "expected {expected} windows, segmentation found {got}")
+            }
+            AttackError::NotEnoughProfilingData { label, count } => {
+                write!(f, "class {label} has only {count} profiling windows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<SegmentError> for AttackError {
+    fn from(e: SegmentError) -> Self {
+        AttackError::Segment(e)
+    }
+}
+
+impl From<TemplateError> for AttackError {
+    fn from(e: TemplateError) -> Self {
+        AttackError::Template(e)
+    }
+}
+
+impl From<PoiError> for AttackError {
+    fn from(e: PoiError) -> Self {
+        AttackError::Poi(e)
+    }
+}
+
+impl From<KernelError> for AttackError {
+    fn from(e: KernelError) -> Self {
+        AttackError::Kernel(e)
+    }
+}
+
+/// Extracts the per-coefficient *ladder windows* from a full trace: each
+/// window is the fixed-length slice starting where a distribution-call burst
+/// ends (the `if/else-if/else` region of Fig. 2).
+///
+/// # Errors
+///
+/// Propagates burst-detection failures.
+pub fn extract_ladder_windows(
+    samples: &[f64],
+    config: &AttackConfig,
+) -> Result<Vec<Vec<f64>>, SegmentError> {
+    let bursts = find_bursts(samples, &config.segment)?;
+    let bursts = reveal_trace::segment::refine_burst_ends(samples, &bursts, &config.segment);
+    let mut windows = Vec::with_capacity(bursts.len());
+    for &(_, end) in &bursts {
+        // Only full windows qualify: the device's epilogue burst (the
+        // encryption work following the sampler) guarantees one for every
+        // real coefficient, while the epilogue burst itself — with nothing
+        // after it — is dropped here.
+        if end + config.ladder_window > samples.len() {
+            continue;
+        }
+        windows.push(samples[end..end + config.ladder_window].to_vec());
+    }
+    Ok(windows)
+}
+
+/// The trained single-trace attacker: sign templates plus sign-conditional
+/// value templates (with negation/store fusion for the negative class).
+#[derive(Debug, Clone)]
+pub struct TrainedAttack {
+    config: AttackConfig,
+    sign_pois: Vec<usize>,
+    sign_templates: TemplateSet,
+    pos_pois: Vec<usize>,
+    pos_templates: TemplateSet,
+    neg_early_pois: Vec<usize>,
+    neg_early_templates: TemplateSet,
+    neg_late_pois: Vec<usize>,
+    neg_late_templates: TemplateSet,
+    profiling_windows: usize,
+}
+
+/// The per-coefficient outcome of a single-trace attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientEstimate {
+    /// The sign decision (−1, 0, +1).
+    pub sign: i64,
+    /// The most likely coefficient value.
+    pub predicted: i64,
+    /// `(value, probability)` over the sign-consistent candidates.
+    pub probabilities: Vec<(i64, f64)>,
+}
+
+impl CoefficientEstimate {
+    /// The probability assigned to a given value.
+    pub fn probability_of(&self, value: i64) -> f64 {
+        self.probabilities
+            .iter()
+            .find(|(v, _)| *v == value)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+
+    /// The confidence of the top candidate.
+    pub fn confidence(&self) -> f64 {
+        self.probabilities
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Result of attacking one full trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleTraceAttack {
+    /// One estimate per detected coefficient window, in trace order.
+    pub coefficients: Vec<CoefficientEstimate>,
+}
+
+impl SingleTraceAttack {
+    /// The predicted coefficient vector.
+    pub fn predicted_values(&self) -> Vec<i64> {
+        self.coefficients.iter().map(|c| c.predicted).collect()
+    }
+
+    /// Fraction of coefficients whose *sign* matches the given ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn sign_accuracy(&self, truth: &[i64]) -> f64 {
+        assert_eq!(truth.len(), self.coefficients.len());
+        let hits = self
+            .coefficients
+            .iter()
+            .zip(truth)
+            .filter(|(c, t)| c.sign == t.signum())
+            .count();
+        hits as f64 / truth.len().max(1) as f64
+    }
+
+    /// Fraction of coefficients whose *value* matches the ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn value_accuracy(&self, truth: &[i64]) -> f64 {
+        assert_eq!(truth.len(), self.coefficients.len());
+        let hits = self
+            .coefficients
+            .iter()
+            .zip(truth)
+            .filter(|(c, t)| c.predicted == **t)
+            .count();
+        hits as f64 / truth.len().max(1) as f64
+    }
+}
+
+impl TrainedAttack {
+    /// Profiles `device` with `runs` chosen-value captures and fits all
+    /// template sets. Each run cycles through every value class in
+    /// `[-value_range, value_range]` in shuffled positions, so classes stay
+    /// balanced and position effects decorrelate.
+    ///
+    /// # Errors
+    ///
+    /// Fails when segmentation, POI selection or template fitting fails, or
+    /// when too little per-class data survives.
+    pub fn profile<R: Rng + ?Sized>(
+        device: &Device,
+        runs: usize,
+        config: &AttackConfig,
+        rng: &mut R,
+    ) -> Result<Self, AttackError> {
+        let n = device.degree();
+        let labels = config.value_labels();
+        let mut sign_set = TraceSet::new();
+        let mut pos_set = TraceSet::new();
+        let mut neg_set = TraceSet::new();
+        let mut total_windows = 0usize;
+
+        for run in 0..runs {
+            // Balanced, shuffled chosen values; the per-run offset makes all
+            // classes appear across runs even when n < label count.
+            let mut values: Vec<i64> = (0..n)
+                .map(|i| labels[(i + run * n) % labels.len()])
+                .collect();
+            values.shuffle(rng);
+            let capture = device.capture_chosen(&values, rng)?;
+            let windows = extract_ladder_windows(&capture.run.capture.samples, config)?;
+            if windows.len() != n {
+                // Segmentation glitch: a real adversary would re-capture.
+                continue;
+            }
+            for (w, &v) in windows.into_iter().zip(&values) {
+                total_windows += 1;
+                sign_set.push(Trace::labelled(w.clone(), v.signum()));
+                if v > 0 {
+                    pos_set.push(Trace::labelled(w, v));
+                } else if v < 0 {
+                    neg_set.push(Trace::labelled(w, v));
+                }
+            }
+        }
+        Self::fit(config.clone(), sign_set, pos_set, neg_set, total_windows)
+    }
+
+    /// Fits the template sets from already-windowed profiling data (used by
+    /// `profile` and directly by tests/benches that bring their own data).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrainedAttack::profile`].
+    pub fn fit(
+        config: AttackConfig,
+        sign_set: TraceSet,
+        pos_set: TraceSet,
+        neg_set: TraceSet,
+        profiling_windows: usize,
+    ) -> Result<Self, AttackError> {
+        for (set, name) in [(&sign_set, 0i64), (&pos_set, 1), (&neg_set, -1)] {
+            if set.len() < 8 {
+                return Err(AttackError::NotEnoughProfilingData {
+                    label: name,
+                    count: set.len(),
+                });
+            }
+        }
+        let sign_pois = select_pois(
+            &sign_set,
+            config.poi_method,
+            config.poi_count,
+            config.poi_min_spacing,
+        )?;
+        let sign_templates =
+            fit_set(&sign_set, &sign_pois, config.covariance, config.ridge)?;
+
+        let pos_pois = select_pois(
+            &pos_set,
+            config.poi_method,
+            config.poi_count,
+            config.poi_min_spacing,
+        )?;
+        let pos_templates = fit_set(&pos_set, &pos_pois, config.covariance, config.ridge)?;
+
+        // Negatives: separate POI sets for the negation region (early part of
+        // the ladder) and the store region (late part), fused at attack time.
+        let split = (config.ladder_window as f64 * config.early_fraction) as usize;
+        let neg_stat = reveal_trace::poi::leakage_statistic(&neg_set, config.poi_method)?;
+        let early_stat: Vec<f64> = neg_stat
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if i < split { s } else { 0.0 })
+            .collect();
+        let late_stat: Vec<f64> = neg_stat
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if i >= split { s } else { 0.0 })
+            .collect();
+        let neg_early_pois = reveal_trace::poi::select_pois_from_statistic(
+            &early_stat,
+            config.poi_count,
+            config.poi_min_spacing,
+        );
+        let neg_late_pois = reveal_trace::poi::select_pois_from_statistic(
+            &late_stat,
+            config.poi_count,
+            config.poi_min_spacing,
+        );
+        let neg_early_templates =
+            fit_set(&neg_set, &neg_early_pois, config.covariance, config.ridge)?;
+        let neg_late_templates =
+            fit_set(&neg_set, &neg_late_pois, config.covariance, config.ridge)?;
+
+        Ok(Self {
+            config,
+            sign_pois,
+            sign_templates,
+            pos_pois,
+            pos_templates,
+            neg_early_pois,
+            neg_early_templates,
+            neg_late_pois,
+            neg_late_templates,
+            profiling_windows,
+        })
+    }
+
+    /// The configuration the attacker was trained with.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Number of profiling windows consumed.
+    pub fn profiling_windows(&self) -> usize {
+        self.profiling_windows
+    }
+
+    /// Attacks a full single trace: segmentation, per-window sign decision,
+    /// sign-conditional value recovery with negation/store fusion.
+    ///
+    /// # Errors
+    ///
+    /// Fails when segmentation or classification fails.
+    pub fn attack_trace(&self, samples: &[f64]) -> Result<SingleTraceAttack, AttackError> {
+        let windows = extract_ladder_windows(samples, &self.config)?;
+        let mut coefficients = Vec::with_capacity(windows.len());
+        for w in &windows {
+            coefficients.push(self.attack_window(w)?);
+        }
+        Ok(SingleTraceAttack { coefficients })
+    }
+
+    /// Attacks a full trace whose window count is known (a real encryption
+    /// samples exactly `n` coefficients); mismatches are reported.
+    ///
+    /// # Errors
+    ///
+    /// Additionally fails with [`AttackError::WindowCountMismatch`].
+    pub fn attack_trace_expecting(
+        &self,
+        samples: &[f64],
+        expected_windows: usize,
+    ) -> Result<SingleTraceAttack, AttackError> {
+        let result = self.attack_trace(samples)?;
+        if result.coefficients.len() != expected_windows {
+            return Err(AttackError::WindowCountMismatch {
+                expected: expected_windows,
+                got: result.coefficients.len(),
+            });
+        }
+        Ok(result)
+    }
+
+    /// Classifies one ladder window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template-classification failures.
+    pub fn attack_window(&self, window: &[f64]) -> Result<CoefficientEstimate, AttackError> {
+        let sign_obs: Vec<f64> = self.sign_pois.iter().map(|&i| window[i]).collect();
+        let sign = self.sign_templates.classify(&sign_obs)?.best_label();
+        let (predicted, probabilities) = match sign {
+            0 => (0, vec![(0, 1.0)]),
+            s if s > 0 => {
+                let obs: Vec<f64> = self.pos_pois.iter().map(|&i| window[i]).collect();
+                let scores = self.pos_templates.classify(&obs)?;
+                (scores.best_label(), scores.probabilities())
+            }
+            _ => {
+                let early: Vec<f64> =
+                    self.neg_early_pois.iter().map(|&i| window[i]).collect();
+                let late: Vec<f64> = self.neg_late_pois.iter().map(|&i| window[i]).collect();
+                let fused: ScoreTable = self
+                    .neg_early_templates
+                    .classify(&early)?
+                    .fuse(&self.neg_late_templates.classify(&late)?);
+                (fused.best_label(), fused.probabilities())
+            }
+        };
+        Ok(CoefficientEstimate {
+            sign,
+            predicted,
+            probabilities,
+        })
+    }
+}
+
+fn fit_set(
+    set: &TraceSet,
+    pois: &[usize],
+    covariance: CovarianceMode,
+    ridge: f64,
+) -> Result<TemplateSet, TemplateError> {
+    TemplateSet::fit_trace_set(set, pois, covariance, ridge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveal_rv32::power::PowerModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const Q: u64 = 132120577;
+
+    fn trained(noise: f64, runs: usize, seed: u64) -> (Device, TrainedAttack, StdRng) {
+        let device = Device::new(
+            64,
+            &[Q],
+            PowerModelConfig::default().with_noise_sigma(noise),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = AttackConfig::default();
+        let attack = TrainedAttack::profile(&device, runs, &config, &mut rng).unwrap();
+        (device, attack, rng)
+    }
+
+    #[test]
+    fn window_extraction_counts_match_ground_truth() {
+        let device = Device::new(32, &[Q], PowerModelConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cap = device.capture_fresh(&mut rng).unwrap();
+        let windows =
+            extract_ladder_windows(&cap.run.capture.samples, &AttackConfig::default()).unwrap();
+        assert_eq!(windows.len(), 32);
+        assert!(windows.iter().all(|w| w.len() == 96));
+    }
+
+    #[test]
+    fn low_noise_attack_recovers_signs_perfectly() {
+        let (device, attack, mut rng) = trained(0.05, 24, 2);
+        let cap = device.capture_fresh(&mut rng).unwrap();
+        let result = attack
+            .attack_trace_expecting(&cap.run.capture.samples, 64)
+            .unwrap();
+        let sign_acc = result.sign_accuracy(&cap.values);
+        assert_eq!(sign_acc, 1.0, "paper: 100% sign accuracy");
+    }
+
+    #[test]
+    fn low_noise_attack_matches_table_i_shape() {
+        // Table I regime: zeros recovered at 100%, negatives far better than
+        // positives (Hamming-weight collisions confuse the positive branch,
+        // the negation disambiguates the negative one).
+        let (device, attack, mut rng) = trained(0.05, 24, 3);
+        let (mut ph, mut pt, mut nh, mut nt, mut zh, mut zt) = (0, 0, 0, 0, 0, 0);
+        for _ in 0..4 {
+            let cap = device.capture_fresh(&mut rng).unwrap();
+            let result = attack
+                .attack_trace_expecting(&cap.run.capture.samples, 64)
+                .unwrap();
+            for (est, &truth) in result.coefficients.iter().zip(&cap.values) {
+                let hit = (est.predicted == truth) as usize;
+                if truth > 0 {
+                    pt += 1;
+                    ph += hit;
+                } else if truth < 0 {
+                    nt += 1;
+                    nh += hit;
+                } else {
+                    zt += 1;
+                    zh += hit;
+                }
+            }
+        }
+        assert_eq!(zh, zt, "zero coefficients must be recovered exactly");
+        let neg_acc = nh as f64 / nt.max(1) as f64;
+        let pos_acc = ph as f64 / pt.max(1) as f64;
+        assert!(neg_acc > 0.6, "negative accuracy {neg_acc:.2}");
+        assert!(neg_acc > pos_acc + 0.2, "Table I asymmetry missing: neg {neg_acc:.2} pos {pos_acc:.2}");
+    }
+
+    #[test]
+    fn negatives_beat_positives() {
+        // The paper's Table I asymmetry: the negation (3rd vulnerability)
+        // makes negative coefficients easier to recover than positive ones.
+        let (device, attack, mut rng) = trained(0.25, 30, 4);
+        let mut pos_hits = 0usize;
+        let mut pos_total = 0usize;
+        let mut neg_hits = 0usize;
+        let mut neg_total = 0usize;
+        for _ in 0..8 {
+            let cap = device.capture_fresh(&mut rng).unwrap();
+            let Ok(result) = attack.attack_trace_expecting(&cap.run.capture.samples, 64) else {
+                continue;
+            };
+            for (est, &truth) in result.coefficients.iter().zip(&cap.values) {
+                if truth > 0 {
+                    pos_total += 1;
+                    pos_hits += (est.predicted == truth) as usize;
+                } else if truth < 0 {
+                    neg_total += 1;
+                    neg_hits += (est.predicted == truth) as usize;
+                }
+            }
+        }
+        let pos_acc = pos_hits as f64 / pos_total.max(1) as f64;
+        let neg_acc = neg_hits as f64 / neg_total.max(1) as f64;
+        assert!(
+            neg_acc > pos_acc,
+            "negatives ({neg_acc:.2}) must beat positives ({pos_acc:.2})"
+        );
+    }
+
+    #[test]
+    fn estimates_expose_posteriors() {
+        let (device, attack, mut rng) = trained(0.1, 20, 5);
+        let cap = device.capture_fresh(&mut rng).unwrap();
+        let result = attack.attack_trace(&cap.run.capture.samples).unwrap();
+        for est in &result.coefficients {
+            let total: f64 = est.probabilities.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(est.confidence() > 0.0);
+            assert_eq!(est.probability_of(est.predicted), est.confidence());
+            // Sign-consistency of candidates.
+            match est.sign {
+                0 => assert_eq!(est.probabilities, vec![(0, 1.0)]),
+                s if s > 0 => assert!(est.probabilities.iter().all(|(v, _)| *v > 0)),
+                _ => assert!(est.probabilities.iter().all(|(v, _)| *v < 0)),
+            }
+        }
+    }
+
+    #[test]
+    fn window_count_mismatch_detected() {
+        let (_, attack, _) = trained(0.1, 20, 6);
+        // A synthetic flat trace with two bursts only.
+        let mut t = vec![1.0; 2000];
+        for s in [100usize, 900] {
+            for i in s..s + 200 {
+                t[i] = 4.0;
+            }
+        }
+        match attack.attack_trace_expecting(&t, 64) {
+            Err(AttackError::WindowCountMismatch { expected: 64, got }) => assert_eq!(got, 2),
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profiling_needs_data() {
+        let config = AttackConfig::default();
+        let err = TrainedAttack::fit(
+            config,
+            TraceSet::new(),
+            TraceSet::new(),
+            TraceSet::new(),
+            0,
+        );
+        assert!(matches!(
+            err,
+            Err(AttackError::NotEnoughProfilingData { .. })
+        ));
+    }
+}

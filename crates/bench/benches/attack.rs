@@ -1,0 +1,57 @@
+//! Performance of the attack pipeline: segmentation, window classification,
+//! and the full single-trace attack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{extract_ladder_windows, AttackConfig, Device, TrainedAttack};
+use reveal_rv32::power::PowerModelConfig;
+use reveal_trace::segment::find_bursts;
+use std::hint::black_box;
+
+fn bench_attack(c: &mut Criterion) {
+    let n = 64;
+    let device = Device::new(n, &[132120577], PowerModelConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = AttackConfig::default();
+    let attack = TrainedAttack::profile(&device, 24, &config, &mut rng).unwrap();
+    let capture = device.capture_fresh(&mut rng).unwrap();
+    let samples = capture.run.capture.samples.clone();
+    let windows = extract_ladder_windows(&samples, &config).unwrap();
+
+    let mut group = c.benchmark_group("attack");
+    group.bench_function("segment_find_bursts", |b| {
+        b.iter(|| black_box(find_bursts(&samples, &config.segment).unwrap().len()))
+    });
+    group.bench_function("extract_ladder_windows", |b| {
+        b.iter(|| black_box(extract_ladder_windows(&samples, &config).unwrap().len()))
+    });
+    group.bench_function("classify_one_window", |b| {
+        b.iter(|| black_box(attack.attack_window(&windows[0]).unwrap()))
+    });
+    group.bench_function("full_single_trace_attack_n64", |b| {
+        b.iter(|| black_box(attack.attack_trace(&samples).unwrap().coefficients.len()))
+    });
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let n = 32;
+    let device = Device::new(n, &[132120577], PowerModelConfig::default()).unwrap();
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    group.bench_function("profile_8_runs_n32", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(
+                TrainedAttack::profile(&device, 8, &AttackConfig::default(), &mut rng)
+                    .unwrap()
+                    .profiling_windows(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack, bench_profiling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Performance of the BFV primitives at the paper's parameters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_bfv::{
+    BfvContext, Decryptor, EncryptionParameters, Encryptor, Evaluator, KeyGenerator, Plaintext,
+};
+use std::hint::black_box;
+
+fn bench_bfv(c: &mut Criterion) {
+    let ctx = BfvContext::new(EncryptionParameters::seal_128_paper().unwrap()).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let keygen = KeyGenerator::new(&ctx);
+    let sk = keygen.secret_key(&mut rng);
+    let pk = keygen.public_key(&sk, &mut rng);
+    let encryptor = Encryptor::new(&ctx, &pk);
+    let decryptor = Decryptor::new(&ctx, &sk);
+    let evaluator = Evaluator::new(&ctx);
+    let plain = Plaintext::constant(&ctx, 42);
+    let ct_a = encryptor.encrypt(&plain, &mut rng);
+    let ct_b = encryptor.encrypt(&plain, &mut rng);
+
+    let mut group = c.benchmark_group("bfv_seal128");
+    group.bench_function("keygen_secret", |b| {
+        b.iter(|| black_box(keygen.secret_key(&mut rng)))
+    });
+    group.bench_function("keygen_public", |b| {
+        b.iter(|| black_box(keygen.public_key(&sk, &mut rng)))
+    });
+    group.bench_function("encrypt", |b| {
+        b.iter(|| black_box(encryptor.encrypt(&plain, &mut rng)))
+    });
+    group.bench_function("decrypt", |b| b.iter(|| black_box(decryptor.decrypt(&ct_a))));
+    group.bench_function("evaluate_add", |b| {
+        b.iter(|| black_box(evaluator.add(&ct_a, &ct_b)))
+    });
+    group.bench_function("evaluate_multiply_plain", |b| {
+        b.iter(|| black_box(evaluator.multiply_plain(&ct_a, &plain)))
+    });
+    group.bench_function("noise_budget", |b| {
+        b.iter(|| black_box(decryptor.invariant_noise_budget(&ct_a)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfv);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Performance of the LWE-with-hints estimator: hint integration and the
+//! β solver at the paper's scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reveal_hints::{
+    integrate_posteriors, solve_beta, DbddInstance, HintPolicy, LweParameters, Posterior,
+};
+use std::hint::black_box;
+
+fn bench_hints(c: &mut Criterion) {
+    let params = LweParameters::seal_128_paper();
+    let mut group = c.benchmark_group("hints");
+    group.bench_function("estimate_baseline_seal128", |b| {
+        let inst = DbddInstance::from_lwe(&params);
+        b.iter(|| black_box(inst.estimate().bikz))
+    });
+    group.bench_function("integrate_1024_perfect_hints", |b| {
+        b.iter(|| {
+            let mut inst = DbddInstance::from_lwe(&params);
+            for i in 0..1024 {
+                inst.integrate_perfect_hint(i).unwrap();
+            }
+            black_box(inst.dim())
+        })
+    });
+    group.bench_function("integrate_1024_posteriors", |b| {
+        let policy = HintPolicy::seal_paper();
+        let posteriors: Vec<Posterior> = (0..1024)
+            .map(|i| {
+                Posterior::new(vec![(1, 0.6 + (i % 4) as f64 * 0.09), (2, 0.2), (3, 0.1)])
+                    .unwrap()
+            })
+            .collect();
+        let coords: Vec<usize> = (0..1024).collect();
+        b.iter(|| {
+            let mut inst = DbddInstance::from_lwe(&params);
+            black_box(
+                integrate_posteriors(&mut inst, &coords, &posteriors, &policy)
+                    .unwrap()
+                    .approximate,
+            )
+        })
+    });
+    group.bench_function("solve_beta_dim2049", |b| {
+        b.iter(|| black_box(solve_beta(2049.0, 8.8 * 2049.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hints);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Performance of the lattice tooling: LLL, BKZ, and LWE solving — the
+//! "explore the remaining search space" step of the attack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reveal_lattice::embedding::{random_instance, solve_lwe, SolverConfig};
+use reveal_lattice::{bkz_reduce, lll_reduce, BkzParams, LllParams};
+use std::hint::black_box;
+
+fn random_basis(n: usize, scale: i64, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(-scale..=scale)).collect())
+        .collect()
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let basis = random_basis(n, 1000, n as u64);
+        group.bench_with_input(BenchmarkId::new("lll", n), &n, |b, _| {
+            b.iter(|| {
+                let mut basis = basis.clone();
+                lll_reduce(&mut basis, &LllParams::default());
+                black_box(basis[0][0])
+            })
+        });
+    }
+    for n in [10usize, 16] {
+        let basis = random_basis(n, 1000, 100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("bkz_beta8", n), &n, |b, _| {
+            b.iter(|| {
+                let mut basis = basis.clone();
+                bkz_reduce(&mut basis, &BkzParams::with_block_size(8));
+                black_box(basis[0][0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lwe_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lwe_solve");
+    group.sample_size(10);
+    for (n, m) in [(6usize, 12usize), (10, 20)] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (instance, _, _) = random_instance(n, m, 3329, 2, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("kannan_embed_solve", format!("n{n}m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        solve_lwe(&instance, &SolverConfig::default())
+                            .unwrap()
+                            .solved_at_beta,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction, bench_lwe_solve);
+criterion_main!(benches);

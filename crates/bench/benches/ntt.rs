@@ -1,0 +1,48 @@
+//! Performance of the number-theoretic transform and polynomial arithmetic
+//! across SEAL ring degrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reveal_math::{Modulus, NttTables, PolyContext};
+use std::hint::black_box;
+
+fn bench_ntt(c: &mut Criterion) {
+    let q = Modulus::new(132120577).unwrap();
+    let mut group = c.benchmark_group("ntt");
+    for n in [256usize, 1024, 4096] {
+        let tables = NttTables::new(n, q).unwrap();
+        let input: Vec<u64> = (0..n as u64).map(|i| i * 97 % q.value()).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = input.clone();
+                tables.forward(&mut v);
+                black_box(v)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = input.clone();
+                tables.inverse(&mut v);
+                black_box(v)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("negacyclic_multiply", n), &n, |b, _| {
+            b.iter(|| black_box(tables.negacyclic_multiply(&input, &input)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let q = Modulus::new(132120577).unwrap();
+    let ctx = PolyContext::new(1024, q).unwrap();
+    let a = ctx.polynomial_from_signed(&(0..1024).map(|i| i % 41 - 20).collect::<Vec<_>>());
+    let b2 = ctx.polynomial_from_signed(&(0..1024).map(|i| (i * 7) % 83 - 41).collect::<Vec<_>>());
+    let mut group = c.benchmark_group("poly_1024");
+    group.bench_function("add", |b| b.iter(|| black_box(a.add(&b2))));
+    group.bench_function("mul", |b| b.iter(|| black_box(a.mul(&b2))));
+    group.bench_function("inverse", |b| b.iter(|| black_box(a.inverse())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_poly);
+criterion_main!(benches);

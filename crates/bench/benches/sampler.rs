@@ -1,0 +1,56 @@
+//! Performance of the Gaussian sampler: the Rust reference path and the full
+//! RV32 simulation with power rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_bfv::sampler::{set_poly_coeffs_normal, ClippedNormalDistribution, NullProbe};
+use reveal_bfv::EncryptionParameters;
+use reveal_rv32::kernel::SamplerKernel;
+use reveal_rv32::power::PowerModelConfig;
+use std::hint::black_box;
+
+fn bench_reference_sampler(c: &mut Criterion) {
+    let parms = EncryptionParameters::seal_128_paper().unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("sampler_reference");
+    group.bench_function("clipped_normal_draw", |b| {
+        let mut dist = ClippedNormalDistribution::new(0.0, 3.19, 41.0);
+        b.iter(|| black_box(dist.sample_i64(&mut rng)))
+    });
+    group.bench_function("set_poly_coeffs_normal_1024", |b| {
+        let mut poly = vec![0u64; 1024];
+        b.iter(|| {
+            set_poly_coeffs_normal(&mut poly, &mut rng, &parms, &mut NullProbe);
+            black_box(poly[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_rv32_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_rv32");
+    group.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let kernel = SamplerKernel::new(n, &[132120577]).unwrap();
+        let values: Vec<i64> = (0..n).map(|i| (i % 29) as i64 - 14).collect();
+        let iters: Vec<u32> = (0..n).map(|i| 3 + (i % 5) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_function(format!("kernel_trace_n{n}"), |b| {
+            b.iter(|| {
+                black_box(
+                    kernel
+                        .run(&values, &iters, &PowerModelConfig::default(), &mut rng)
+                        .unwrap()
+                        .capture
+                        .samples
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reference_sampler, bench_rv32_kernel);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! **Ablation A1**: attack accuracy versus measurement noise (SNR sweep) —
+//! the knob a simulated bench has and a physical one does not. Shows where
+//! the paper's "100% sign success" regime ends.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin ablation_snr`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{AttackConfig, TrainedAttack};
+use reveal_bench::{paper_device, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (profile_runs, attack_runs, _) = scale.attack_workload();
+    let n = 64; // per-point cost matters in a sweep
+    let sigmas = [0.02f64, 0.05, 0.1, 0.2, 0.4, 0.8];
+    println!("Ablation: accuracy vs power-model noise σ ({scale:?}, n = {n})\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "sigma", "sign_acc", "value_acc", "neg_acc", "pos_acc"
+    );
+    let mut csv = String::from("sigma,sign_acc,value_acc,neg_acc,pos_acc\n");
+    for &sigma in &sigmas {
+        let device = paper_device(n, sigma);
+        let mut rng = StdRng::seed_from_u64(808);
+        let Ok(attack) =
+            TrainedAttack::profile(&device, profile_runs, &AttackConfig::default(), &mut rng)
+        else {
+            println!("{sigma:>8.2} profiling failed (segmentation breaks down)");
+            continue;
+        };
+        let (mut sh, mut st) = (0usize, 0usize);
+        let (mut vh, mut nh, mut nt, mut ph, mut pt) = (0usize, 0usize, 0usize, 0usize, 0usize);
+        for _ in 0..attack_runs.max(6) {
+            let cap = device.capture_fresh(&mut rng).expect("capture");
+            let Ok(result) = attack.attack_trace_expecting(&cap.run.capture.samples, n) else {
+                continue;
+            };
+            for (est, &truth) in result.coefficients.iter().zip(&cap.values) {
+                st += 1;
+                sh += (est.sign == truth.signum()) as usize;
+                let hit = (est.predicted == truth) as usize;
+                vh += hit;
+                if truth < 0 {
+                    nt += 1;
+                    nh += hit;
+                } else if truth > 0 {
+                    pt += 1;
+                    ph += hit;
+                }
+            }
+        }
+        if st == 0 {
+            println!("{sigma:>8.2} all traces failed segmentation");
+            continue;
+        }
+        let row = (
+            sh as f64 / st as f64,
+            vh as f64 / st as f64,
+            nh as f64 / nt.max(1) as f64,
+            ph as f64 / pt.max(1) as f64,
+        );
+        println!(
+            "{:>8.2} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            sigma,
+            100.0 * row.0,
+            100.0 * row.1,
+            100.0 * row.2,
+            100.0 * row.3
+        );
+        csv.push_str(&format!(
+            "{sigma},{:.4},{:.4},{:.4},{:.4}\n",
+            row.0, row.1, row.2, row.3
+        ));
+    }
+    write_artifact("ablation_snr.csv", &csv);
+    println!("\nreading: sign recovery stays perfect well past the value-recovery breakdown —");
+    println!("the control-flow leak (vulnerability 1) is far more robust than the data leak.");
+}

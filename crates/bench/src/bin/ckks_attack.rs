@@ -1,0 +1,135 @@
+//! **Scheme-agnosticism demo**: the RevEAL attack against a *CKKS*
+//! encryption. SEAL used the same `set_poly_coeffs_normal` routine for BFV
+//! and CKKS, so one power trace of a CKKS encryption leaks its error
+//! polynomial the same way — and with CKKS the message recovery is even
+//! more direct: `c0 − p0·u = m + e1`, and decoding absorbs the small `e1`
+//! as approximation error.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin ckks_attack`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{AttackConfig, Device, TrainedAttack};
+use reveal_bfv::NullProbe;
+use reveal_ckks::{encrypt_observed, keygen, CkksContext, Complex};
+use reveal_lattice::{solve_lwe, LweInstance, SolverConfig};
+use reveal_math::primes::ntt_primes;
+use reveal_rv32::power::PowerModelConfig;
+
+fn main() {
+    let n = 32usize;
+    // A 30-bit prime fits the RV32 device's data path.
+    let q = ntt_primes(30, 2 * n as u64, 1).expect("prime").remove(0);
+    let scale = 1u64 << 12;
+    let ctx = CkksContext::new(n, vec![q], scale).expect("context");
+    let mut rng = StdRng::seed_from_u64(808);
+    let (sk, pk) = keygen(&ctx, &mut rng);
+
+    // The clinic's readings again — now as approximate reals under CKKS.
+    let slots: Vec<Complex> = (0..n / 2)
+        .map(|i| Complex::new(0.5 + 0.125 * i as f64, 0.0))
+        .collect();
+    let (ct, witness) =
+        encrypt_observed(&ctx, &pk, &slots, &mut rng, &mut NullProbe, &mut NullProbe)
+            .expect("encrypt");
+    let reference = reveal_ckks::decrypt(&ctx, &sk, &ct).expect("decrypt");
+    println!(
+        "CKKS roundtrip OK: slot 3 = {:.4} (expected {:.4})",
+        reference[3].re, slots[3].re
+    );
+
+    // The adversary: profile the device, capture THIS encryption's sampler
+    // trace, attack.
+    let device = Device::new(
+        n,
+        &[q.value()],
+        PowerModelConfig::default().with_noise_sigma(0.02),
+    )
+    .expect("device");
+    let mut adv_rng = StdRng::seed_from_u64(909);
+    let attack = TrainedAttack::profile(&device, 60, &AttackConfig::default(), &mut adv_rng)
+        .expect("profiling");
+    let capture = device.capture_chosen(&witness.e2, &mut rng).expect("capture");
+    let result = attack
+        .attack_trace_expecting(&capture.run.capture.samples, n)
+        .expect("attack");
+    println!(
+        "single-trace attack on the CKKS encryption: sign accuracy {:.0}%, value accuracy {:.0}%",
+        100.0 * result.sign_accuracy(&witness.e2),
+        100.0 * result.value_accuracy(&witness.e2)
+    );
+
+    // Lattice finisher: exact relations from the confident coefficients.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        result.coefficients[b]
+            .confidence()
+            .partial_cmp(&result.coefficients[a].confidence())
+            .unwrap()
+    });
+    let q_i = q.value() as i64;
+    let p1 = pk.p1().residues()[0].coeffs();
+    let c1 = ct.parts()[1].residues()[0].coeffs();
+    let config = SolverConfig {
+        error_bound: 0,
+        secret_bound: 1,
+        ..SolverConfig::default()
+    };
+    let mut recovered_u: Option<Vec<i64>> = None;
+    for shrink in 0..5 {
+        let keep = n - shrink * n / 10;
+        let known: Vec<usize> = order[..keep]
+            .iter()
+            .copied()
+            .filter(|&i| result.coefficients[i].confidence() > 0.8)
+            .collect();
+        if known.len() < n / 2 {
+            break;
+        }
+        let a: Vec<Vec<i64>> = known
+            .iter()
+            .map(|&i| {
+                (0..n)
+                    .map(|j| {
+                        if j <= i {
+                            p1[i - j] as i64
+                        } else {
+                            (q_i - p1[n + i - j] as i64) % q_i
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let b: Vec<i64> = known
+            .iter()
+            .map(|&i| {
+                (c1[i] as i64 - result.coefficients[i].predicted).rem_euclid(q_i)
+            })
+            .collect();
+        if let Ok(sol) = solve_lwe(&LweInstance { q: q_i, a, b }, &config) {
+            recovered_u = Some(sol.secret);
+            println!("lattice finisher succeeded with {} trusted relations", known.len());
+            break;
+        }
+    }
+    let u = recovered_u.expect("finisher should succeed at this SNR");
+    assert_eq!(u, witness.u, "the encryption sample u is recovered");
+
+    // m + e1 = c0 − p0·u: decode directly; e1 becomes approximation error.
+    let basis = ctx.basis(0);
+    let u_rns = basis.from_signed(&u);
+    let m_plus_e1 = ct.parts()[0].sub(&pk.p0().mul(&u_rns));
+    let coeffs: Vec<i64> = m_plus_e1.residues()[0].to_signed();
+    let stolen = ctx.encoder().decode_scaled(&coeffs, scale as f64);
+    println!("\nrecovered slots vs original (first 6):");
+    let mut worst = 0.0f64;
+    for i in 0..6 {
+        println!("  slot {i}: {:.4} vs {:.4}", stolen[i].re, slots[i].re);
+    }
+    for (s, z) in stolen.iter().zip(&slots) {
+        worst = worst.max((*s - *z).abs());
+    }
+    println!("worst-case slot error: {worst:.4} (the e1 noise, absorbed by decoding)");
+    assert!(worst < 0.05, "CKKS message recovered to encoding precision");
+    println!("\n=> the attack is scheme-agnostic: CKKS encryptions leak exactly like BFV's.");
+}

@@ -1,0 +1,145 @@
+//! **§V-A sampler-variant study**: how the single-trace attack fares against
+//! the three countermeasure candidates the paper discusses —
+//!
+//! - the **vulnerable** v3.2 ladder (baseline),
+//! - a **masked** ladder (first-order arithmetic masking of the stores,
+//!   branches kept): the paper does *not* recommend masking against
+//!   single-trace attacks — the sign still leaks through control flow;
+//! - a **branchless** writer (SEAL ≥ 3.6 spirit): vulnerability 1 (control
+//!   flow) disappears, but the data-flow leakage of the residues remains —
+//!   the paper's "may have a different vulnerability, left for future work".
+//!
+//! Each variant gets its own best-case profiling (the attacker adapts).
+//!
+//! Run with `cargo run --release -p reveal-bench --bin defense_sampler_variants`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{AttackConfig, Device, TrainedAttack};
+use reveal_bench::{write_artifact, Scale, PAPER_Q};
+use reveal_rv32::kernel::KernelVariant;
+use reveal_rv32::power::PowerModelConfig;
+
+struct Row {
+    name: &'static str,
+    sign_acc: f64,
+    value_acc: f64,
+    zero_acc: f64,
+}
+
+fn evaluate(variant: KernelVariant, name: &'static str, scale: Scale) -> Option<Row> {
+    let (profile_runs, attack_runs, _) = scale.attack_workload();
+    let n = 64;
+    let device = Device::with_variant(
+        n,
+        &[PAPER_Q],
+        PowerModelConfig::default().with_noise_sigma(0.05),
+        variant,
+    )
+    .expect("device");
+    let mut rng = StdRng::seed_from_u64(2026);
+    let attack = match TrainedAttack::profile(&device, profile_runs, &AttackConfig::default(), &mut rng)
+    {
+        Ok(a) => a,
+        Err(e) => {
+            println!("{name}: profiling failed ({e})");
+            return None;
+        }
+    };
+    let (mut sh, mut vh, mut total) = (0usize, 0usize, 0usize);
+    let (mut zh, mut zt) = (0usize, 0usize);
+    for _ in 0..attack_runs.max(6) {
+        let cap = device.capture_fresh(&mut rng).expect("capture");
+        let Ok(result) = attack.attack_trace_expecting(&cap.run.capture.samples, n) else {
+            continue;
+        };
+        for (est, &truth) in result.coefficients.iter().zip(&cap.values) {
+            total += 1;
+            sh += (est.sign == truth.signum()) as usize;
+            vh += (est.predicted == truth) as usize;
+            if truth == 0 {
+                zt += 1;
+                zh += (est.predicted == 0) as usize;
+            }
+        }
+    }
+    if total == 0 {
+        println!("{name}: all traces failed segmentation");
+        return None;
+    }
+    Some(Row {
+        name,
+        sign_acc: sh as f64 / total as f64,
+        value_acc: vh as f64 / total as f64,
+        zero_acc: zh as f64 / zt.max(1) as f64,
+    })
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Sampler-variant study (§V-A), n = 64, {scale:?}\n");
+    println!(
+        "{:>24} {:>10} {:>10} {:>10}",
+        "variant", "sign_acc", "value_acc", "zero_acc"
+    );
+    println!("{}", "-".repeat(60));
+    let mut csv = String::from("variant,sign_acc,value_acc,zero_acc\n");
+    let mut rows = Vec::new();
+    for (variant, name) in [
+        (KernelVariant::Vulnerable, "vulnerable (v3.2)"),
+        (KernelVariant::MaskedLadder, "masked ladder"),
+        (KernelVariant::Branchless, "branchless (v3.6)"),
+    ] {
+        if let Some(row) = evaluate(variant, name, scale) {
+            println!(
+                "{:>24} {:>9.1}% {:>9.1}% {:>9.1}%",
+                row.name,
+                100.0 * row.sign_acc,
+                100.0 * row.value_acc,
+                100.0 * row.zero_acc
+            );
+            csv.push_str(&format!(
+                "{},{:.4},{:.4},{:.4}\n",
+                row.name, row.sign_acc, row.value_acc, row.zero_acc
+            ));
+            rows.push(row);
+        }
+    }
+    write_artifact("defense_sampler_variants.csv", &csv);
+
+    let get = |name: &str| rows.iter().find(|r| r.name.contains(name));
+    if let (Some(vuln), Some(masked), Some(branchless)) =
+        (get("vulnerable"), get("masked"), get("branchless"))
+    {
+        println!("\nreading:");
+        println!(
+            "- masking the *stores* changes almost nothing (sign {:.0}% vs {:.0}%, \
+             value {:.0}% vs {:.0}%): the sampled value still flows unmasked through \
+             the load and the negation registers, and the branches still give the \
+             sign away — masking is no defense against this single-trace attack \
+             (§V-A);",
+            100.0 * masked.sign_acc,
+            100.0 * vuln.sign_acc,
+            100.0 * masked.value_acc,
+            100.0 * vuln.value_acc
+        );
+        println!(
+            "- the branchless (v3.6-style) writer removes the control-flow leak \
+             (sign accuracy drops to {:.0}%, now inferred from data only), but the \
+             data-flow leakage persists — and its longer arithmetic chain exposes \
+             the magnitude at even more samples (value accuracy {:.0}%): the \
+             residual vulnerability the paper leaves for future work.",
+            100.0 * branchless.sign_acc,
+            100.0 * branchless.value_acc
+        );
+        assert!(masked.sign_acc > 0.95, "masking must not hide the branches");
+        assert!(
+            (masked.value_acc - vuln.value_acc).abs() < 0.2,
+            "store-only masking barely changes value recovery"
+        );
+        assert!(
+            branchless.sign_acc < vuln.sign_acc - 0.02,
+            "removing the ladder must cost the attacker control-flow information"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! **Ablation A4 / §V-A**: quantitative evaluation of the shuffling
+//! countermeasure the paper recommends — coefficient-order randomization
+//! keeps the per-window leakage but destroys the coordinate assignment the
+//! hints framework needs.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin defense_shuffling`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{evaluate_against_shuffling, ShuffledDevice};
+use reveal_bench::{paper_device, train_attacker, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (profile_runs, attack_runs, _) = scale.attack_workload();
+    let n = 64;
+    println!("Defense evaluation: shuffling countermeasure ({scale:?}, n = {n})\n");
+    let device = paper_device(n, 0.05);
+    let attack = train_attacker(&device, profile_runs, 5);
+
+    // Unprotected baseline.
+    let mut rng = StdRng::seed_from_u64(2025);
+    let mut base_acc = 0.0;
+    let mut base_trials = 0usize;
+    for _ in 0..attack_runs.max(6) {
+        let cap = device.capture_fresh(&mut rng).expect("capture");
+        if let Ok(result) = attack.attack_trace_expecting(&cap.run.capture.samples, n) {
+            base_acc += result.value_accuracy(&cap.values);
+            base_trials += 1;
+        }
+    }
+    base_acc /= base_trials.max(1) as f64;
+
+    // Shuffled device.
+    let shuffled = ShuffledDevice::new(device);
+    let (mut positional, mut coordinate, mut chance) = (0.0f64, 0.0f64, 0.0f64);
+    let mut trials = 0usize;
+    for _ in 0..attack_runs.max(6) {
+        let cap = shuffled.capture_fresh(&mut rng).expect("capture");
+        if let Ok((_, eval)) = evaluate_against_shuffling(&attack, &cap) {
+            positional += eval.positional_accuracy;
+            coordinate += eval.coordinate_accuracy;
+            chance += eval.chance_level;
+            trials += 1;
+        }
+    }
+    let t = trials.max(1) as f64;
+    positional /= t;
+    coordinate /= t;
+    chance /= t;
+
+    println!("{:>34} {:>10}", "metric", "value");
+    println!("{}", "-".repeat(46));
+    println!("{:>34} {:>9.1}%", "unprotected value accuracy", 100.0 * base_acc);
+    println!("{:>34} {:>9.1}%", "shuffled per-window accuracy", 100.0 * positional);
+    println!("{:>34} {:>9.1}%", "shuffled per-coordinate accuracy", 100.0 * coordinate);
+    println!("{:>34} {:>9.1}%", "random-assignment chance level", 100.0 * chance);
+    let csv = format!(
+        "metric,value\nunprotected_value_acc,{base_acc:.4}\nshuffled_positional_acc,{positional:.4}\nshuffled_coordinate_acc,{coordinate:.4}\nchance_level,{chance:.4}\n"
+    );
+    write_artifact("defense_shuffling.csv", &csv);
+
+    assert!(positional > 0.4, "shuffling must not hide the leakage itself");
+    assert!(
+        coordinate < chance + 0.15,
+        "shuffling must push coordinate accuracy to chance"
+    );
+    println!("\nreading: shuffling leaves the window-level leakage intact but the attacker");
+    println!("can no longer attach hints to coordinates — exactly why the paper favours");
+    println!("shuffling over masking against single-trace attacks.");
+}

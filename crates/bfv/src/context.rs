@@ -1,0 +1,328 @@
+//! The BFV context plus plaintext/ciphertext containers.
+
+use crate::params::{EncryptionParameters, ParameterError};
+use reveal_math::{BigUint, PolyContext, Polynomial, RnsBasis, RnsPolynomial};
+use std::fmt;
+use std::sync::Arc;
+
+/// Validated BFV working context: parameters plus every precomputed table.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_bfv::{BfvContext, EncryptionParameters};
+/// let ctx = BfvContext::new(EncryptionParameters::seal_128_paper()?)?;
+/// assert_eq!(ctx.delta().to_u64(), Some(132120577 / 256));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct BfvContext {
+    inner: Arc<ContextInner>,
+}
+
+struct ContextInner {
+    parms: EncryptionParameters,
+    basis: RnsBasis,
+    plain_context: PolyContext,
+    /// Δ = floor(q / t).
+    delta: BigUint,
+    /// Δ mod q_j for each coefficient modulus.
+    delta_mod: Vec<u64>,
+    /// q mod t (the rounding remainder used in noise analysis).
+    q_mod_t: u64,
+}
+
+impl fmt::Debug for BfvContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BfvContext")
+            .field("n", &self.inner.parms.poly_modulus_degree())
+            .field(
+                "coeff_modulus",
+                &self
+                    .inner
+                    .parms
+                    .coeff_modulus()
+                    .iter()
+                    .map(|m| m.value())
+                    .collect::<Vec<_>>(),
+            )
+            .field("plain_modulus", &self.inner.parms.plain_modulus().value())
+            .finish()
+    }
+}
+
+impl BfvContext {
+    /// Validates parameters and precomputes Δ and CRT tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any parameter validation failure.
+    pub fn new(parms: EncryptionParameters) -> Result<Self, ParameterError> {
+        let basis = parms.rns_basis()?;
+        let plain_context =
+            PolyContext::new(parms.poly_modulus_degree(), *parms.plain_modulus())
+                .map_err(reveal_math::RnsError::Context)
+                .map_err(ParameterError::Rns)?;
+        let t = parms.plain_modulus().value();
+        let (delta, rem) = basis.product().divmod_u64(t);
+        let delta_mod = parms
+            .coeff_modulus()
+            .iter()
+            .map(|m| delta.rem_u64(m.value()))
+            .collect();
+        Ok(Self {
+            inner: Arc::new(ContextInner {
+                parms,
+                basis,
+                plain_context,
+                delta,
+                delta_mod,
+                q_mod_t: rem,
+            }),
+        })
+    }
+
+    /// The validated parameters.
+    #[inline]
+    pub fn parms(&self) -> &EncryptionParameters {
+        &self.inner.parms
+    }
+
+    /// The RNS basis over the coefficient modulus chain.
+    #[inline]
+    pub fn basis(&self) -> &RnsBasis {
+        &self.inner.basis
+    }
+
+    /// Polynomial context for the plaintext ring `R_t`.
+    #[inline]
+    pub fn plain_context(&self) -> &PolyContext {
+        &self.inner.plain_context
+    }
+
+    /// Δ = floor(q / t).
+    #[inline]
+    pub fn delta(&self) -> &BigUint {
+        &self.inner.delta
+    }
+
+    /// Δ reduced under each coefficient modulus.
+    #[inline]
+    pub fn delta_mod(&self) -> &[u64] {
+        &self.inner.delta_mod
+    }
+
+    /// `q mod t`.
+    #[inline]
+    pub fn q_mod_t(&self) -> u64 {
+        self.inner.q_mod_t
+    }
+
+    /// Polynomial degree `n`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.inner.parms.poly_modulus_degree()
+    }
+
+    /// Lifts a plaintext to `R_q` scaled by Δ (the `Δ·m` term of encryption).
+    pub fn plain_to_delta_rns(&self, plain: &Plaintext) -> RnsPolynomial {
+        let n = self.degree();
+        let residues = self
+            .inner
+            .basis
+            .contexts()
+            .iter()
+            .zip(self.inner.delta_mod.iter())
+            .map(|(ctx, &dm)| {
+                let coeffs: Vec<u64> = (0..n)
+                    .map(|i| ctx.modulus().mul(dm, plain.poly.coeffs()[i]))
+                    .collect();
+                ctx.polynomial(&coeffs)
+            })
+            .collect();
+        self.inner.basis.from_residues(residues)
+    }
+
+    /// Lifts a plaintext to `R_q` *without* scaling (used by `multiply_plain`).
+    pub fn plain_to_rns(&self, plain: &Plaintext) -> RnsPolynomial {
+        let n = self.degree();
+        let residues = self
+            .inner
+            .basis
+            .contexts()
+            .iter()
+            .map(|ctx| {
+                let coeffs: Vec<u64> = (0..n)
+                    .map(|i| ctx.modulus().reduce(plain.poly.coeffs()[i]))
+                    .collect();
+                ctx.polynomial(&coeffs)
+            })
+            .collect();
+        self.inner.basis.from_residues(residues)
+    }
+
+    fn same_context(&self, other: &BfvContext) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.parms.poly_modulus_degree()
+                == other.inner.parms.poly_modulus_degree()
+                && self.inner.parms.coeff_modulus() == other.inner.parms.coeff_modulus()
+                && self.inner.parms.plain_modulus() == other.inner.parms.plain_modulus())
+    }
+}
+
+impl PartialEq for BfvContext {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_context(other)
+    }
+}
+
+/// A plaintext polynomial in `R_t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plaintext {
+    pub(crate) poly: Polynomial,
+}
+
+impl Plaintext {
+    /// Builds from reduced coefficients in `[0, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length or reduction violations (see [`PolyContext::polynomial`]).
+    pub fn new(ctx: &BfvContext, coeffs: &[u64]) -> Self {
+        Self {
+            poly: ctx.plain_context().polynomial(coeffs),
+        }
+    }
+
+    /// The zero plaintext.
+    pub fn zero(ctx: &BfvContext) -> Self {
+        Self {
+            poly: ctx.plain_context().zero(),
+        }
+    }
+
+    /// Builds a constant plaintext.
+    pub fn constant(ctx: &BfvContext, value: u64) -> Self {
+        Self {
+            poly: ctx.plain_context().constant(value),
+        }
+    }
+
+    /// The reduced coefficients.
+    pub fn coeffs(&self) -> &[u64] {
+        self.poly.coeffs()
+    }
+
+    /// The underlying `R_t` polynomial.
+    pub fn poly(&self) -> &Polynomial {
+        &self.poly
+    }
+}
+
+/// A BFV ciphertext: two or more `R_q` polynomials.
+///
+/// Freshly encrypted ciphertexts have size 2 `(c0, c1)`; unrelinearized
+/// products grow to size 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    pub(crate) parts: Vec<RnsPolynomial>,
+}
+
+impl Ciphertext {
+    /// Builds from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two parts are supplied.
+    pub fn from_parts(parts: Vec<RnsPolynomial>) -> Self {
+        assert!(parts.len() >= 2, "ciphertext needs at least c0 and c1");
+        Self { parts }
+    }
+
+    /// Number of polynomials (2 for fresh, 3 after multiply).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Borrow of the parts, `c0` first.
+    #[inline]
+    pub fn parts(&self) -> &[RnsPolynomial] {
+        &self.parts
+    }
+
+    /// `c0`.
+    #[inline]
+    pub fn c0(&self) -> &RnsPolynomial {
+        &self.parts[0]
+    }
+
+    /// `c1`.
+    #[inline]
+    pub fn c1(&self) -> &RnsPolynomial {
+        &self.parts[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> BfvContext {
+        BfvContext::new(EncryptionParameters::seal_128_paper().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn delta_matches_paper_parameters() {
+        let c = ctx();
+        assert_eq!(c.delta().to_u64(), Some(132120577 / 256));
+        assert_eq!(c.q_mod_t(), 132120577 % 256);
+        assert_eq!(c.delta_mod(), &[132120577 / 256]);
+    }
+
+    #[test]
+    fn plaintext_construction() {
+        let c = ctx();
+        let p = Plaintext::constant(&c, 42);
+        assert_eq!(p.coeffs()[0], 42);
+        assert!(p.coeffs()[1..].iter().all(|&x| x == 0));
+        assert_eq!(Plaintext::zero(&c).coeffs(), vec![0u64; 1024].as_slice());
+    }
+
+    #[test]
+    fn delta_lift_scales_coefficients() {
+        let c = ctx();
+        let mut coeffs = vec![0u64; 1024];
+        coeffs[0] = 3;
+        coeffs[5] = 255;
+        let p = Plaintext::new(&c, &coeffs);
+        let lifted = c.plain_to_delta_rns(&p);
+        let q = c.parms().coeff_modulus()[0];
+        let delta = c.delta().to_u64().unwrap();
+        assert_eq!(lifted.residues()[0].coeffs()[0], q.mul(delta, 3));
+        assert_eq!(lifted.residues()[0].coeffs()[5], q.mul(delta, 255));
+        assert_eq!(lifted.residues()[0].coeffs()[1], 0);
+    }
+
+    #[test]
+    fn unscaled_lift_preserves_values() {
+        let c = ctx();
+        let mut coeffs = vec![0u64; 1024];
+        coeffs[7] = 200;
+        let p = Plaintext::new(&c, &coeffs);
+        let lifted = c.plain_to_rns(&p);
+        assert_eq!(lifted.residues()[0].coeffs()[7], 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least c0 and c1")]
+    fn ciphertext_needs_two_parts() {
+        let c = ctx();
+        Ciphertext::from_parts(vec![c.basis().zero()]);
+    }
+
+    #[test]
+    fn contexts_with_same_parameters_compare_equal() {
+        assert_eq!(ctx(), ctx());
+    }
+}

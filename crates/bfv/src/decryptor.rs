@@ -1,0 +1,183 @@
+//! BFV decryption and invariant-noise-budget accounting.
+
+use crate::context::{BfvContext, Ciphertext, Plaintext};
+use crate::keys::SecretKey;
+use reveal_math::BigUint;
+
+/// Decrypts ciphertexts: `m = [round(t/q · [c(s)]_q)]_t` where
+/// `c(s) = c0 + c1·s + c2·s² + …`.
+#[derive(Debug, Clone)]
+pub struct Decryptor {
+    context: BfvContext,
+    secret_key: SecretKey,
+}
+
+impl Decryptor {
+    /// Binds a decryptor to a context and secret key.
+    pub fn new(context: &BfvContext, secret_key: &SecretKey) -> Self {
+        Self {
+            context: context.clone(),
+            secret_key: secret_key.clone(),
+        }
+    }
+
+    /// Evaluates `c(s) = c0 + c1·s + c2·s² + …` in `R_q`.
+    fn dot_with_secret(&self, ct: &Ciphertext) -> reveal_math::RnsPolynomial {
+        let mut acc = ct.parts()[0].clone();
+        let mut s_pow = self.secret_key.s.clone();
+        for part in &ct.parts()[1..] {
+            acc = acc.add(&part.mul(&s_pow));
+            s_pow = s_pow.mul(&self.secret_key.s);
+        }
+        acc
+    }
+
+    /// Decrypts a ciphertext of any size.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let scaled = self.dot_with_secret(ct);
+        let q = self.context.basis().product().clone();
+        let t = self.context.parms().plain_modulus().value();
+        let n = self.context.degree();
+        let mut coeffs = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = scaled.compose_coefficient(i);
+            // round(t·x / q) mod t
+            let rounded = x.mul_div_round(t, &q);
+            coeffs.push(rounded.rem_u64(t));
+        }
+        Plaintext::new(&self.context, &coeffs)
+    }
+
+    /// Remaining invariant noise budget in bits; zero means decryption is no
+    /// longer guaranteed to be correct.
+    ///
+    /// Computed as `log2(q / (2·max_i |[t·c(s)]_q|_centered)) `, clamped at
+    /// zero — the standard SEAL metric.
+    pub fn invariant_noise_budget(&self, ct: &Ciphertext) -> f64 {
+        let scaled = self.dot_with_secret(ct);
+        let q = self.context.basis().product().clone();
+        let t = self.context.parms().plain_modulus().value();
+        let n = self.context.degree();
+        let half_q = q.divmod_u64(2).0;
+        let mut max_noise = BigUint::zero();
+        for i in 0..n {
+            let x = scaled.compose_coefficient(i);
+            // t·x mod q, centered: this cancels Δ·m and leaves t·v - (q mod t)·m.
+            let (_, tx_mod_q) = x.mul_u64(t).divmod(&q);
+            let centered = if tx_mod_q > half_q {
+                q.checked_sub(&tx_mod_q).expect("tx_mod_q < q")
+            } else {
+                tx_mod_q
+            };
+            if centered > max_noise {
+                max_noise = centered;
+            }
+        }
+        if max_noise.is_zero() {
+            return bits_of(&q);
+        }
+        let budget = bits_of(&q) - bits_of(&max_noise) - 1.0;
+        budget.max(0.0)
+    }
+}
+
+/// log2 of a positive big integer, via the top 64 bits.
+fn bits_of(v: &BigUint) -> f64 {
+    let bits = v.bit_count();
+    if bits == 0 {
+        return 0.0;
+    }
+    if bits <= 53 {
+        return (v.to_u64().expect("fits") as f64).log2();
+    }
+    // Take the top limbs for a float mantissa.
+    let limbs = v.limbs();
+    let top = limbs[limbs.len() - 1] as f64;
+    let next = if limbs.len() >= 2 {
+        limbs[limbs.len() - 2] as f64 / 2f64.powi(64)
+    } else {
+        0.0
+    };
+    (top + next).log2() + 64.0 * (limbs.len() as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{EncryptionParameters, SecurityLevel};
+    use crate::{Encryptor, KeyGenerator};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip_on(parms: EncryptionParameters, seed: u64) {
+        let ctx = BfvContext::new(parms).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(&ctx);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        let enc = Encryptor::new(&ctx, &pk);
+        let dec = Decryptor::new(&ctx, &sk);
+        let t = ctx.parms().plain_modulus().value();
+        let n = ctx.degree();
+        for _ in 0..3 {
+            let coeffs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
+            let plain = Plaintext::new(&ctx, &coeffs);
+            let ct = enc.encrypt(&plain, &mut rng);
+            let back = dec.decrypt(&ct);
+            assert_eq!(back.coeffs(), plain.coeffs());
+        }
+    }
+
+    #[test]
+    fn roundtrip_paper_parameters() {
+        roundtrip_on(EncryptionParameters::seal_128_paper().unwrap(), 1);
+    }
+
+    #[test]
+    fn roundtrip_larger_degree_multi_prime() {
+        roundtrip_on(
+            EncryptionParameters::with_default_moduli(2048, SecurityLevel::Tc128, 256).unwrap(),
+            2,
+        );
+    }
+
+    #[test]
+    fn roundtrip_4096() {
+        roundtrip_on(
+            EncryptionParameters::with_default_moduli(4096, SecurityLevel::Tc128, 65537).unwrap(),
+            3,
+        );
+    }
+
+    #[test]
+    fn noise_budget_positive_for_fresh_ciphertext() {
+        let ctx = BfvContext::new(EncryptionParameters::seal_128_paper().unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let keygen = KeyGenerator::new(&ctx);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        let enc = Encryptor::new(&ctx, &pk);
+        let dec = Decryptor::new(&ctx, &sk);
+        let ct = enc.encrypt(&Plaintext::constant(&ctx, 5), &mut rng);
+        let budget = dec.invariant_noise_budget(&ct);
+        assert!(budget > 0.0, "fresh budget {budget} should be positive");
+        assert!(budget < 27.0, "budget cannot exceed log2(q)");
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let ctx = BfvContext::new(EncryptionParameters::seal_128_paper().unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let keygen = KeyGenerator::new(&ctx);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        let other = keygen.secret_key(&mut rng);
+        let enc = Encryptor::new(&ctx, &pk);
+        let dec = Decryptor::new(&ctx, &other);
+        let mut coeffs = vec![0u64; 1024];
+        coeffs[0] = 123;
+        let ct = enc.encrypt(&Plaintext::new(&ctx, &coeffs), &mut rng);
+        let back = dec.decrypt(&ct);
+        assert_ne!(back.coeffs(), coeffs.as_slice());
+    }
+}

@@ -1,0 +1,278 @@
+//! Plaintext encoders: integer (binary) encoding à la SEAL's
+//! `IntegerEncoder`, plus a batch encoder for NTT-friendly plain moduli.
+
+use crate::context::{BfvContext, Plaintext};
+use reveal_math::NttTables;
+use std::fmt;
+
+/// Errors produced by encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The value needs more binary digits than the polynomial degree.
+    ValueTooWide { bits: u32, degree: usize },
+    /// Batching requires a prime plain modulus `t ≡ 1 mod 2n`.
+    BatchingUnsupported { t: u64, degree: usize },
+    /// The slot vector length does not match the degree.
+    WrongSlotCount { got: usize, expected: usize },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ValueTooWide { bits, degree } => {
+                write!(f, "value needs {bits} bits but the degree is only {degree}")
+            }
+            EncodeError::BatchingUnsupported { t, degree } => {
+                write!(f, "plain modulus {t} does not support batching at degree {degree}")
+            }
+            EncodeError::WrongSlotCount { got, expected } => {
+                write!(f, "expected {expected} slots, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encodes unsigned integers as binary polynomials (`m = Σ bit_i · x^i`).
+///
+/// Decoding evaluates the polynomial at `x = 2` over the integers, matching
+/// SEAL's `IntegerEncoder` with base 2.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_bfv::{BfvContext, EncryptionParameters, IntegerEncoder};
+/// let ctx = BfvContext::new(EncryptionParameters::seal_128_paper()?)?;
+/// let encoder = IntegerEncoder::new(&ctx);
+/// let p = encoder.encode(1000)?;
+/// assert_eq!(encoder.decode(&p), 1000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntegerEncoder {
+    context: BfvContext,
+}
+
+impl IntegerEncoder {
+    /// Creates an encoder bound to a context.
+    pub fn new(context: &BfvContext) -> Self {
+        Self {
+            context: context.clone(),
+        }
+    }
+
+    /// Encodes a non-negative integer as its binary expansion.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value has more bits than the polynomial degree.
+    pub fn encode(&self, value: u64) -> Result<Plaintext, EncodeError> {
+        let n = self.context.degree();
+        let bits = 64 - value.leading_zeros();
+        if bits as usize > n {
+            return Err(EncodeError::ValueTooWide { bits, degree: n });
+        }
+        let mut coeffs = vec![0u64; n];
+        for (i, c) in coeffs.iter_mut().enumerate().take(bits as usize) {
+            *c = (value >> i) & 1;
+        }
+        Ok(Plaintext::new(&self.context, &coeffs))
+    }
+
+    /// Decodes by evaluating at `x = 2`, with coefficients interpreted
+    /// centered mod `t` (so homomorphic sums decode correctly until the
+    /// coefficients overflow `t`).
+    pub fn decode(&self, plain: &Plaintext) -> i64 {
+        let t = self.context.parms().plain_modulus();
+        let mut acc: i64 = 0;
+        for (i, &c) in plain.coeffs().iter().enumerate() {
+            let signed = t.to_signed(c);
+            if signed != 0 {
+                acc += signed << i.min(62);
+            }
+        }
+        acc
+    }
+}
+
+/// SIMD batching encoder: packs `n` slot values into one plaintext using the
+/// NTT over `Z_t` (requires `t` prime, `t ≡ 1 mod 2n`).
+#[derive(Debug, Clone)]
+pub struct BatchEncoder {
+    context: BfvContext,
+    tables: NttTables,
+}
+
+impl BatchEncoder {
+    /// Creates a batch encoder.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EncodeError::BatchingUnsupported`] when the plain modulus
+    /// lacks the required root of unity.
+    pub fn new(context: &BfvContext) -> Result<Self, EncodeError> {
+        let t = *context.parms().plain_modulus();
+        let n = context.degree();
+        let tables = NttTables::new(n, t).map_err(|_| EncodeError::BatchingUnsupported {
+            t: t.value(),
+            degree: n,
+        })?;
+        Ok(Self {
+            context: context.clone(),
+            tables,
+        })
+    }
+
+    /// Packs slot values (each reduced mod `t`) into a plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `slots.len() != n`.
+    pub fn encode(&self, slots: &[u64]) -> Result<Plaintext, EncodeError> {
+        let n = self.context.degree();
+        if slots.len() != n {
+            return Err(EncodeError::WrongSlotCount {
+                got: slots.len(),
+                expected: n,
+            });
+        }
+        let t = self.context.parms().plain_modulus();
+        let mut values: Vec<u64> = slots.iter().map(|&s| t.reduce(s)).collect();
+        self.tables.inverse(&mut values);
+        Ok(Plaintext::new(&self.context, &values))
+    }
+
+    /// Unpacks a plaintext back into slot values.
+    pub fn decode(&self, plain: &Plaintext) -> Vec<u64> {
+        let mut values = plain.coeffs().to_vec();
+        self.tables.forward(&mut values);
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EncryptionParameters;
+    use crate::{Decryptor, Encryptor, Evaluator, KeyGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reveal_math::Modulus;
+
+    fn ctx() -> BfvContext {
+        BfvContext::new(EncryptionParameters::seal_128_paper().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn integer_roundtrip() {
+        let encoder = IntegerEncoder::new(&ctx());
+        for v in [0u64, 1, 2, 255, 256, 1000, 123456789] {
+            assert_eq!(encoder.decode(&encoder.encode(v).unwrap()), v as i64);
+        }
+    }
+
+    #[test]
+    fn integer_homomorphic_add() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let keygen = KeyGenerator::new(&c);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        let enc = Encryptor::new(&c, &pk);
+        let dec = Decryptor::new(&c, &sk);
+        let eval = Evaluator::new(&c);
+        let encoder = IntegerEncoder::new(&c);
+        let ca = enc.encrypt(&encoder.encode(1234).unwrap(), &mut rng);
+        let cb = enc.encrypt(&encoder.encode(4321).unwrap(), &mut rng);
+        let sum = dec.decrypt(&eval.add(&ca, &cb));
+        assert_eq!(encoder.decode(&sum), 5555);
+    }
+
+    #[test]
+    fn batching_rejected_for_t_256() {
+        // t = 256 is not prime, so batching must fail.
+        assert!(matches!(
+            BatchEncoder::new(&ctx()),
+            Err(EncodeError::BatchingUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn batching_roundtrip_with_prime_t() {
+        // t = 12289 ≡ 1 mod 2048 supports batching at n = 1024.
+        let parms = EncryptionParameters::new(
+            1024,
+            vec![Modulus::new(132120577).unwrap()],
+            Modulus::new(12289).unwrap(),
+        )
+        .unwrap();
+        let c = BfvContext::new(parms).unwrap();
+        let encoder = BatchEncoder::new(&c).unwrap();
+        let slots: Vec<u64> = (0..1024u64).map(|i| i * 7 % 12289).collect();
+        let plain = encoder.encode(&slots).unwrap();
+        assert_eq!(encoder.decode(&plain), slots);
+    }
+
+    #[test]
+    fn batched_addition_is_slotwise() {
+        let parms = EncryptionParameters::new(
+            1024,
+            vec![Modulus::new(132120577).unwrap()],
+            Modulus::new(12289).unwrap(),
+        )
+        .unwrap();
+        let c = BfvContext::new(parms).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let keygen = KeyGenerator::new(&c);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        let enc = Encryptor::new(&c, &pk);
+        let dec = Decryptor::new(&c, &sk);
+        let eval = Evaluator::new(&c);
+        let encoder = BatchEncoder::new(&c).unwrap();
+
+        let a: Vec<u64> = (0..1024u64).collect();
+        let b: Vec<u64> = (0..1024u64).map(|i| i * 3).collect();
+        let ca = enc.encrypt(&encoder.encode(&a).unwrap(), &mut rng);
+        let cb = enc.encrypt(&encoder.encode(&b).unwrap(), &mut rng);
+        let sum = encoder.decode(&dec.decrypt(&eval.add(&ca, &cb)));
+        for i in 0..1024usize {
+            assert_eq!(sum[i], (a[i] + b[i]) % 12289);
+        }
+    }
+
+    #[test]
+    fn wrong_slot_count_rejected() {
+        let parms = EncryptionParameters::new(
+            1024,
+            vec![Modulus::new(132120577).unwrap()],
+            Modulus::new(12289).unwrap(),
+        )
+        .unwrap();
+        let c = BfvContext::new(parms).unwrap();
+        let encoder = BatchEncoder::new(&c).unwrap();
+        assert!(matches!(
+            encoder.encode(&[1, 2, 3]),
+            Err(EncodeError::WrongSlotCount { got: 3, expected: 1024 })
+        ));
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        use reveal_math::Modulus;
+        let parms = EncryptionParameters::new(
+            8,
+            vec![Modulus::new(12289).unwrap()],
+            Modulus::new(17).unwrap(),
+        )
+        .unwrap();
+        let c = BfvContext::new(parms).unwrap();
+        let encoder = IntegerEncoder::new(&c);
+        assert!(matches!(
+            encoder.encode(1 << 10),
+            Err(EncodeError::ValueTooWide { .. })
+        ));
+        assert!(encoder.encode((1 << 8) - 1).is_ok());
+    }
+}

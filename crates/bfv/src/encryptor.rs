@@ -1,0 +1,203 @@
+//! BFV encryption — the operation the RevEAL attack observes.
+
+use crate::context::{BfvContext, Ciphertext, Plaintext};
+use crate::keys::PublicKey;
+use crate::sampler::{sample_ternary, set_poly_coeffs_normal, NullProbe, SamplerProbe};
+use rand::Rng;
+use reveal_math::RnsPolynomial;
+
+/// Encrypts plaintexts with a public key:
+/// `(c0, c1) = ([Δ·m + p0·u + e1]_q, [p1·u + e2]_q)`.
+///
+/// Both error polynomials `e1` and `e2` are drawn by the vulnerable
+/// [`set_poly_coeffs_normal`] routine; pass a [`SamplerProbe`] to
+/// [`Encryptor::encrypt_observed`] to watch that sampling the way a
+/// side-channel adversary would.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_bfv::{BfvContext, EncryptionParameters, Encryptor, KeyGenerator, Plaintext};
+/// use rand::SeedableRng;
+/// let ctx = BfvContext::new(EncryptionParameters::seal_128_paper()?)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let keygen = KeyGenerator::new(&ctx);
+/// let sk = keygen.secret_key(&mut rng);
+/// let pk = keygen.public_key(&sk, &mut rng);
+/// let encryptor = Encryptor::new(&ctx, &pk);
+/// let ct = encryptor.encrypt(&Plaintext::constant(&ctx, 7), &mut rng);
+/// assert_eq!(ct.size(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encryptor {
+    context: BfvContext,
+    public_key: PublicKey,
+}
+
+/// The ephemeral randomness of one encryption, exposed for ground-truth
+/// checks in attack experiments (a real adversary never sees this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncryptionWitness {
+    /// The ternary encryption sample `u`.
+    pub u: Vec<i64>,
+    /// First error polynomial `e1` (signed coefficients).
+    pub e1: Vec<i64>,
+    /// Second error polynomial `e2` (signed coefficients).
+    pub e2: Vec<i64>,
+}
+
+impl Encryptor {
+    /// Binds an encryptor to a context and public key.
+    pub fn new(context: &BfvContext, public_key: &PublicKey) -> Self {
+        Self {
+            context: context.clone(),
+            public_key: public_key.clone(),
+        }
+    }
+
+    /// Encrypts `plain`, discarding all side-channel observations.
+    pub fn encrypt<R: Rng + ?Sized>(&self, plain: &Plaintext, rng: &mut R) -> Ciphertext {
+        self.encrypt_observed(plain, rng, &mut NullProbe, &mut NullProbe).0
+    }
+
+    /// Encrypts `plain` while reporting the sampling of `e1` to `probe_e1`
+    /// and of `e2` to `probe_e2`, and returns the ground-truth witness.
+    ///
+    /// The two probes correspond to the two `set_poly_coeffs_normal` calls a
+    /// single power trace of SEAL's encryption covers.
+    pub fn encrypt_observed<R, P1, P2>(
+        &self,
+        plain: &Plaintext,
+        rng: &mut R,
+        probe_e1: &mut P1,
+        probe_e2: &mut P2,
+    ) -> (Ciphertext, EncryptionWitness)
+    where
+        R: Rng + ?Sized,
+        P1: SamplerProbe,
+        P2: SamplerProbe,
+    {
+        let basis = self.context.basis();
+        let parms = self.context.parms();
+        let n = self.context.degree();
+        let k = parms.coeff_modulus().len();
+
+        // Sample u <- R_2.
+        let u_signed = sample_ternary(n, rng);
+        let u = basis.from_signed(&u_signed);
+
+        // Sample e1, e2 <- χ via the vulnerable routine.
+        let mut e1_flat = vec![0u64; n * k];
+        set_poly_coeffs_normal(&mut e1_flat, rng, parms, probe_e1);
+        let e1 = RnsPolynomial::from_flat(basis, &e1_flat);
+
+        let mut e2_flat = vec![0u64; n * k];
+        set_poly_coeffs_normal(&mut e2_flat, rng, parms, probe_e2);
+        let e2 = RnsPolynomial::from_flat(basis, &e2_flat);
+
+        // c0 = Δ·m + p0·u + e1 ; c1 = p1·u + e2.
+        let delta_m = self.context.plain_to_delta_rns(plain);
+        let c0 = delta_m.add(&self.public_key.p0().mul(&u)).add(&e1);
+        let c1 = self.public_key.p1().mul(&u).add(&e2);
+
+        let witness = EncryptionWitness {
+            u: u_signed,
+            e1: signed_of(&e1),
+            e2: signed_of(&e2),
+        };
+        (Ciphertext::from_parts(vec![c0, c1]), witness)
+    }
+}
+
+/// Recovers the signed coefficients of a small-norm RNS polynomial from its
+/// first residue (valid because |coeff| << q_0 / 2 for noise polynomials).
+fn signed_of(p: &RnsPolynomial) -> Vec<i64> {
+    p.residues()[0].to_signed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EncryptionParameters;
+    use crate::sampler::RecordingProbe;
+    use crate::KeyGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (BfvContext, crate::keys::SecretKey, PublicKey) {
+        let ctx = BfvContext::new(EncryptionParameters::seal_128_paper().unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let keygen = KeyGenerator::new(&ctx);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        (ctx, sk, pk)
+    }
+
+    #[test]
+    fn witness_matches_ciphertext_algebra() {
+        // c1 - p1·u - e2 must be exactly zero.
+        let (ctx, _sk, pk) = setup();
+        let enc = Encryptor::new(&ctx, &pk);
+        let mut rng = StdRng::seed_from_u64(7);
+        let plain = Plaintext::constant(&ctx, 9);
+        let (ct, wit) = enc.encrypt_observed(&plain, &mut rng, &mut NullProbe, &mut NullProbe);
+        let basis = ctx.basis();
+        let u = basis.from_signed(&wit.u);
+        let e2 = basis.from_signed(&wit.e2);
+        let residual = ct.c1().sub(&pk.p1().mul(&u)).sub(&e2);
+        assert!(residual.residues()[0].is_zero());
+
+        let e1 = basis.from_signed(&wit.e1);
+        let delta_m = ctx.plain_to_delta_rns(&plain);
+        let residual0 = ct.c0().sub(&delta_m).sub(&pk.p0().mul(&u)).sub(&e1);
+        assert!(residual0.residues()[0].is_zero());
+    }
+
+    #[test]
+    fn fresh_errors_every_encryption() {
+        let (ctx, _sk, pk) = setup();
+        let enc = Encryptor::new(&ctx, &pk);
+        let mut rng = StdRng::seed_from_u64(8);
+        let plain = Plaintext::constant(&ctx, 1);
+        let (_, w1) = enc.encrypt_observed(&plain, &mut rng, &mut NullProbe, &mut NullProbe);
+        let (_, w2) = enc.encrypt_observed(&plain, &mut rng, &mut NullProbe, &mut NullProbe);
+        assert_ne!(w1.e1, w2.e1);
+        assert_ne!(w1.e2, w2.e2);
+        assert_ne!(w1.u, w2.u);
+    }
+
+    #[test]
+    fn probes_observe_both_error_polynomials() {
+        let (ctx, _sk, pk) = setup();
+        let enc = Encryptor::new(&ctx, &pk);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut probe1 = RecordingProbe::new();
+        let mut probe2 = RecordingProbe::new();
+        let (_, wit) = enc.encrypt_observed(
+            &Plaintext::constant(&ctx, 2),
+            &mut rng,
+            &mut probe1,
+            &mut probe2,
+        );
+        // Each probe saw 1024 coefficient windows.
+        let count = |p: &RecordingProbe| {
+            p.events()
+                .iter()
+                .filter(|e| matches!(e, crate::sampler::SamplerEvent::CoefficientStart { .. }))
+                .count()
+        };
+        assert_eq!(count(&probe1), 1024);
+        assert_eq!(count(&probe2), 1024);
+        // Probe values match the witness.
+        let values: Vec<i64> = probe2
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                crate::sampler::SamplerEvent::DistributionSample { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, wit.e2);
+    }
+}

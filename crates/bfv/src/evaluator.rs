@@ -1,0 +1,426 @@
+//! Homomorphic evaluation: the `Evaluate` box of Fig. 1 in the paper.
+
+use crate::context::{BfvContext, Ciphertext, Plaintext};
+use crate::keys::RelinKeys;
+use reveal_math::RnsPolynomial;
+use std::fmt;
+
+/// Errors produced by homomorphic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvaluateError {
+    /// Ciphertext–ciphertext multiplication currently requires a single
+    /// coefficient modulus (the paper's parameter regime).
+    MultiPrimeMultiplyUnsupported { modulus_count: usize },
+    /// Relinearization was asked to shrink a ciphertext that is already size 2.
+    NothingToRelinearize,
+}
+
+impl fmt::Display for EvaluateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaluateError::MultiPrimeMultiplyUnsupported { modulus_count } => write!(
+                f,
+                "ciphertext multiplication supports a single coefficient modulus, got {modulus_count}"
+            ),
+            EvaluateError::NothingToRelinearize => {
+                write!(f, "ciphertext is already size 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvaluateError {}
+
+/// Performs homomorphic operations on ciphertexts.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_bfv::{BfvContext, EncryptionParameters, Encryptor, Decryptor,
+///                  Evaluator, KeyGenerator, Plaintext};
+/// use rand::SeedableRng;
+/// let ctx = BfvContext::new(EncryptionParameters::seal_128_paper()?)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let keygen = KeyGenerator::new(&ctx);
+/// let sk = keygen.secret_key(&mut rng);
+/// let pk = keygen.public_key(&sk, &mut rng);
+/// let enc = Encryptor::new(&ctx, &pk);
+/// let dec = Decryptor::new(&ctx, &sk);
+/// let eval = Evaluator::new(&ctx);
+///
+/// let a = enc.encrypt(&Plaintext::constant(&ctx, 3), &mut rng);
+/// let b = enc.encrypt(&Plaintext::constant(&ctx, 4), &mut rng);
+/// let sum = eval.add(&a, &b);
+/// assert_eq!(dec.decrypt(&sum).coeffs()[0], 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    context: BfvContext,
+}
+
+impl Evaluator {
+    /// Binds an evaluator to a context.
+    pub fn new(context: &BfvContext) -> Self {
+        Self {
+            context: context.clone(),
+        }
+    }
+
+    /// Homomorphic addition.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let size = a.size().max(b.size());
+        let zero = self.context.basis().zero();
+        let parts = (0..size)
+            .map(|i| {
+                let pa = a.parts().get(i).unwrap_or(&zero);
+                let pb = b.parts().get(i).unwrap_or(&zero);
+                pa.add(pb)
+            })
+            .collect();
+        Ciphertext::from_parts(parts)
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let size = a.size().max(b.size());
+        let zero = self.context.basis().zero();
+        let parts = (0..size)
+            .map(|i| {
+                let pa = a.parts().get(i).unwrap_or(&zero);
+                let pb = b.parts().get(i).unwrap_or(&zero);
+                pa.sub(pb)
+            })
+            .collect();
+        Ciphertext::from_parts(parts)
+    }
+
+    /// Homomorphic negation.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext::from_parts(a.parts().iter().map(RnsPolynomial::neg).collect())
+    }
+
+    /// Adds a plaintext to a ciphertext (`c0 += Δ·m`).
+    pub fn add_plain(&self, a: &Ciphertext, plain: &Plaintext) -> Ciphertext {
+        let mut parts = a.parts().to_vec();
+        parts[0] = parts[0].add(&self.context.plain_to_delta_rns(plain));
+        Ciphertext::from_parts(parts)
+    }
+
+    /// Subtracts a plaintext from a ciphertext.
+    pub fn sub_plain(&self, a: &Ciphertext, plain: &Plaintext) -> Ciphertext {
+        let mut parts = a.parts().to_vec();
+        parts[0] = parts[0].sub(&self.context.plain_to_delta_rns(plain));
+        Ciphertext::from_parts(parts)
+    }
+
+    /// Multiplies a ciphertext by a plaintext polynomial.
+    pub fn multiply_plain(&self, a: &Ciphertext, plain: &Plaintext) -> Ciphertext {
+        let lifted = self.context.plain_to_rns(plain);
+        Ciphertext::from_parts(a.parts().iter().map(|p| p.mul(&lifted)).collect())
+    }
+
+    /// Ciphertext–ciphertext multiplication (textbook BFV): computes the
+    /// size-3 ciphertext `round(t/q · (a ⊗ b))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluateError::MultiPrimeMultiplyUnsupported`] when the
+    /// coefficient modulus chain has more than one prime — the paper's
+    /// parameter set (n = 1024) uses exactly one.
+    pub fn multiply(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, EvaluateError> {
+        let moduli = self.context.parms().coeff_modulus();
+        if moduli.len() != 1 {
+            return Err(EvaluateError::MultiPrimeMultiplyUnsupported {
+                modulus_count: moduli.len(),
+            });
+        }
+        assert_eq!(a.size(), 2, "multiply expects size-2 inputs");
+        assert_eq!(b.size(), 2, "multiply expects size-2 inputs");
+        let q = moduli[0].value();
+        let t = self.context.parms().plain_modulus().value();
+        let n = self.context.degree();
+
+        // Centered integer lifts of the four input polynomials.
+        let lift = |p: &RnsPolynomial| -> Vec<i128> {
+            p.residues()[0]
+                .to_signed()
+                .into_iter()
+                .map(|v| v as i128)
+                .collect()
+        };
+        let (a0, a1) = (lift(a.c0()), lift(a.c1()));
+        let (b0, b1) = (lift(b.c0()), lift(b.c1()));
+
+        // d0 = a0·b0, d1 = a0·b1 + a1·b0, d2 = a1·b1 over Z[x]/(x^n + 1).
+        let d0 = negacyclic_mul_i128(&a0, &b0, n);
+        let mut d1 = negacyclic_mul_i128(&a0, &b1, n);
+        let d1b = negacyclic_mul_i128(&a1, &b0, n);
+        for (x, y) in d1.iter_mut().zip(d1b) {
+            *x += y;
+        }
+        let d2 = negacyclic_mul_i128(&a1, &b1, n);
+
+        // Scale each coefficient by t/q with rounding, then reduce mod q.
+        let scale = |d: Vec<i128>| -> Vec<i64> {
+            d.into_iter()
+                .map(|c| {
+                    let num = c * t as i128;
+                    let q_i = q as i128;
+                    // Round to nearest (ties away from zero).
+                    let rounded = if num >= 0 {
+                        (num + q_i / 2) / q_i
+                    } else {
+                        (num - q_i / 2) / q_i
+                    };
+                    let reduced = rounded.rem_euclid(q_i);
+                    // Keep as centered i64 for from_signed.
+                    let centered = if reduced > q_i / 2 {
+                        reduced - q_i
+                    } else {
+                        reduced
+                    };
+                    centered as i64
+                })
+                .collect()
+        };
+        let basis = self.context.basis();
+        let parts = vec![
+            basis.from_signed(&scale(d0)),
+            basis.from_signed(&scale(d1)),
+            basis.from_signed(&scale(d2)),
+        ];
+        Ok(Ciphertext::from_parts(parts))
+    }
+
+    /// Relinearizes a size-3 ciphertext back to size 2 using digit
+    /// decomposition against the provided keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluateError::NothingToRelinearize`] for size-2 inputs.
+    pub fn relinearize(
+        &self,
+        a: &Ciphertext,
+        keys: &RelinKeys,
+    ) -> Result<Ciphertext, EvaluateError> {
+        if a.size() == 2 {
+            return Err(EvaluateError::NothingToRelinearize);
+        }
+        assert_eq!(a.size(), 3, "only size-3 relinearization is implemented");
+        let basis = self.context.basis();
+        let n = self.context.degree();
+        let w_bits = keys.decomposition_bits;
+        let mask = (1u64 << w_bits) - 1;
+
+        // Decompose c2 into digits base 2^w (per residue; valid because the
+        // chain has a single modulus in the supported regime, and for
+        // multi-prime chains digits are taken per-residue which matches the
+        // per-residue key relation).
+        let c2 = &a.parts()[2];
+        let mut c0 = a.parts()[0].clone();
+        let mut c1 = a.parts()[1].clone();
+        for (digit_index, (k0, k1)) in keys.keys.iter().enumerate() {
+            let shift = w_bits * digit_index as u32;
+            // Build the digit polynomial.
+            let digit_residues: Vec<_> = c2
+                .residues()
+                .iter()
+                .zip(basis.contexts())
+                .map(|(r, ctx)| {
+                    let coeffs: Vec<u64> = (0..n)
+                        .map(|i| (r.coeffs()[i] >> shift) & mask)
+                        .collect();
+                    ctx.polynomial(&coeffs)
+                })
+                .collect();
+            let digit = basis.from_residues(digit_residues);
+            c0 = c0.add(&digit.mul(k0));
+            c1 = c1.add(&digit.mul(k1));
+        }
+        Ok(Ciphertext::from_parts(vec![c0, c1]))
+    }
+}
+
+/// Exact negacyclic convolution over `Z[x]/(x^n + 1)` with i128 coefficients.
+fn negacyclic_mul_i128(a: &[i128], b: &[i128], n: usize) -> Vec<i128> {
+    let mut out = vec![0i128; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = a[i] * b[j];
+            let k = i + j;
+            if k < n {
+                out[k] += prod;
+            } else {
+                out[k - n] -= prod;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EncryptionParameters;
+    use crate::{Decryptor, Encryptor, KeyGenerator};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    struct Fixture {
+        ctx: BfvContext,
+        enc: Encryptor,
+        dec: Decryptor,
+        eval: Evaluator,
+        keygen: KeyGenerator,
+        sk: crate::keys::SecretKey,
+        rng: StdRng,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        fixture_on(EncryptionParameters::seal_128_paper().unwrap(), seed)
+    }
+
+    /// The paper's n = 1024 / 27-bit q set has no multiplicative depth (the
+    /// multiply noise t·n·B exceeds q/2t), so ct–ct multiplication tests use
+    /// a functional toy set with a single 50-bit prime instead.
+    fn mult_fixture(seed: u64) -> Fixture {
+        use reveal_math::primes::ntt_primes;
+        use reveal_math::Modulus;
+        let q = ntt_primes(50, 2048, 1).unwrap().remove(0);
+        let parms =
+            EncryptionParameters::new(1024, vec![q], Modulus::new(256).unwrap()).unwrap();
+        fixture_on(parms, seed)
+    }
+
+    fn fixture_on(parms: EncryptionParameters, seed: u64) -> Fixture {
+        let ctx = BfvContext::new(parms).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(&ctx);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        Fixture {
+            enc: Encryptor::new(&ctx, &pk),
+            dec: Decryptor::new(&ctx, &sk),
+            eval: Evaluator::new(&ctx),
+            keygen,
+            sk,
+            ctx,
+            rng,
+        }
+    }
+
+    #[test]
+    fn add_sub_negate_homomorphism() {
+        let mut f = fixture(1);
+        let t = f.ctx.parms().plain_modulus().value();
+        let a = f.rng.gen_range(0..t);
+        let b = f.rng.gen_range(0..t);
+        let ca = f.enc.encrypt(&Plaintext::constant(&f.ctx, a), &mut f.rng);
+        let cb = f.enc.encrypt(&Plaintext::constant(&f.ctx, b), &mut f.rng);
+        assert_eq!(f.dec.decrypt(&f.eval.add(&ca, &cb)).coeffs()[0], (a + b) % t);
+        assert_eq!(
+            f.dec.decrypt(&f.eval.sub(&ca, &cb)).coeffs()[0],
+            (a + t - b) % t
+        );
+        assert_eq!(
+            f.dec.decrypt(&f.eval.negate(&ca)).coeffs()[0],
+            (t - a) % t
+        );
+    }
+
+    #[test]
+    fn plain_operations() {
+        let mut f = fixture(2);
+        let ca = f.enc.encrypt(&Plaintext::constant(&f.ctx, 10), &mut f.rng);
+        let p = Plaintext::constant(&f.ctx, 7);
+        assert_eq!(f.dec.decrypt(&f.eval.add_plain(&ca, &p)).coeffs()[0], 17);
+        assert_eq!(f.dec.decrypt(&f.eval.sub_plain(&ca, &p)).coeffs()[0], 3);
+        assert_eq!(
+            f.dec.decrypt(&f.eval.multiply_plain(&ca, &p)).coeffs()[0],
+            70
+        );
+    }
+
+    #[test]
+    fn multiply_plain_by_monomial_shifts() {
+        let mut f = fixture(3);
+        let mut m = vec![0u64; 1024];
+        m[2] = 5;
+        let ca = f
+            .enc
+            .encrypt(&Plaintext::new(&f.ctx, &m), &mut f.rng);
+        // Multiply by x^3.
+        let mut x3 = vec![0u64; 1024];
+        x3[3] = 1;
+        let shifted = f.eval.multiply_plain(&ca, &Plaintext::new(&f.ctx, &x3));
+        let out = f.dec.decrypt(&shifted);
+        assert_eq!(out.coeffs()[5], 5);
+        assert_eq!(out.coeffs().iter().filter(|&&c| c != 0).count(), 1);
+    }
+
+    #[test]
+    fn ciphertext_multiply_and_decrypt_size3() {
+        let mut f = mult_fixture(4);
+        let ca = f.enc.encrypt(&Plaintext::constant(&f.ctx, 11), &mut f.rng);
+        let cb = f.enc.encrypt(&Plaintext::constant(&f.ctx, 13), &mut f.rng);
+        let prod = f.eval.multiply(&ca, &cb).unwrap();
+        assert_eq!(prod.size(), 3);
+        assert_eq!(f.dec.decrypt(&prod).coeffs()[0], (11 * 13));
+    }
+
+    #[test]
+    fn multiply_then_relinearize() {
+        let mut f = mult_fixture(5);
+        let ca = f.enc.encrypt(&Plaintext::constant(&f.ctx, 9), &mut f.rng);
+        let cb = f.enc.encrypt(&Plaintext::constant(&f.ctx, 8), &mut f.rng);
+        let prod = f.eval.multiply(&ca, &cb).unwrap();
+        let rk = f.keygen.relin_keys(&f.sk, 8, &mut f.rng);
+        let lin = f.eval.relinearize(&prod, &rk).unwrap();
+        assert_eq!(lin.size(), 2);
+        assert_eq!(f.dec.decrypt(&lin).coeffs()[0], 72);
+    }
+
+    #[test]
+    fn relinearize_rejects_fresh() {
+        let mut f = fixture(6);
+        let ca = f.enc.encrypt(&Plaintext::constant(&f.ctx, 1), &mut f.rng);
+        let rk = f.keygen.relin_keys(&f.sk, 8, &mut f.rng);
+        assert_eq!(
+            f.eval.relinearize(&ca, &rk),
+            Err(EvaluateError::NothingToRelinearize)
+        );
+    }
+
+    #[test]
+    fn multiply_polynomial_semantics() {
+        // (1 + x)·(1 + x) = 1 + 2x + x² in R_t.
+        let mut f = mult_fixture(7);
+        let mut m = vec![0u64; 1024];
+        m[0] = 1;
+        m[1] = 1;
+        let p = Plaintext::new(&f.ctx, &m);
+        let ca = f.enc.encrypt(&p, &mut f.rng);
+        let cb = f.enc.encrypt(&p, &mut f.rng);
+        let prod = f.eval.multiply(&ca, &cb).unwrap();
+        let out = f.dec.decrypt(&prod);
+        assert_eq!(out.coeffs()[0], 1);
+        assert_eq!(out.coeffs()[1], 2);
+        assert_eq!(out.coeffs()[2], 1);
+        assert!(out.coeffs()[3..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn noise_grows_with_multiplication() {
+        let mut f = mult_fixture(8);
+        let ca = f.enc.encrypt(&Plaintext::constant(&f.ctx, 2), &mut f.rng);
+        let cb = f.enc.encrypt(&Plaintext::constant(&f.ctx, 3), &mut f.rng);
+        let fresh = f.dec.invariant_noise_budget(&ca);
+        let prod = f.eval.multiply(&ca, &cb).unwrap();
+        let after = f.dec.invariant_noise_budget(&prod);
+        assert!(after < fresh, "budget should shrink: {fresh} -> {after}");
+    }
+}

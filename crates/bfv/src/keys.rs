@@ -1,0 +1,276 @@
+//! Key material and key generation for the BFV scheme.
+
+use crate::context::BfvContext;
+use crate::sampler::{sample_ternary, sample_uniform, set_poly_coeffs_normal, NullProbe};
+use rand::Rng;
+use reveal_math::RnsPolynomial;
+
+/// The secret key `s ∈ R_2` (ternary coefficients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecretKey {
+    /// `s` lifted into `R_q`.
+    pub(crate) s: RnsPolynomial,
+    /// The raw ternary coefficients (kept for noise analysis and tests).
+    pub(crate) s_signed: Vec<i64>,
+}
+
+impl SecretKey {
+    /// Rebuilds a secret key from its ternary coefficients (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient count differs from the ring degree.
+    pub fn from_coefficients(ctx: &crate::context::BfvContext, s_signed: Vec<i64>) -> Self {
+        assert_eq!(s_signed.len(), ctx.degree(), "coefficient count must equal n");
+        let s = ctx.basis().from_signed(&s_signed);
+        Self { s, s_signed }
+    }
+
+    /// The ternary coefficients of the secret key.
+    pub fn coefficients(&self) -> &[i64] {
+        &self.s_signed
+    }
+
+    /// The secret key as an `R_q` element.
+    pub fn as_rns(&self) -> &RnsPolynomial {
+        &self.s
+    }
+}
+
+/// The public key `pk = (p0, p1) = ([-(a·s + e)]_q, a)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublicKey {
+    pub(crate) p0: RnsPolynomial,
+    pub(crate) p1: RnsPolynomial,
+}
+
+impl PublicKey {
+    /// Rebuilds a public key from its two polynomials (deserialization).
+    pub fn from_parts(p0: RnsPolynomial, p1: RnsPolynomial) -> Self {
+        Self { p0, p1 }
+    }
+
+    /// `p0 = -(a·s + e)`.
+    pub fn p0(&self) -> &RnsPolynomial {
+        &self.p0
+    }
+
+    /// `p1 = a` (the uniform component).
+    pub fn p1(&self) -> &RnsPolynomial {
+        &self.p1
+    }
+}
+
+/// Relinearization keys: for each decomposition digit `i`,
+/// `evk_i = (-(a_i·s + e_i) + w^i·s², a_i)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelinKeys {
+    pub(crate) keys: Vec<(RnsPolynomial, RnsPolynomial)>,
+    /// Decomposition base `w` as a bit shift.
+    pub(crate) decomposition_bits: u32,
+}
+
+impl RelinKeys {
+    /// The decomposition base exponent (digits are `decomposition_bits` wide).
+    pub fn decomposition_bits(&self) -> u32 {
+        self.decomposition_bits
+    }
+
+    /// Number of decomposition digits.
+    pub fn digit_count(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Generates secret, public, and relinearization keys.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_bfv::{BfvContext, EncryptionParameters, KeyGenerator};
+/// use rand::SeedableRng;
+/// let ctx = BfvContext::new(EncryptionParameters::seal_128_paper()?)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let keygen = KeyGenerator::new(&ctx);
+/// let sk = keygen.secret_key(&mut rng);
+/// let pk = keygen.public_key(&sk, &mut rng);
+/// assert_eq!(sk.coefficients().len(), 1024);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyGenerator {
+    context: BfvContext,
+}
+
+impl KeyGenerator {
+    /// Creates a key generator bound to a context.
+    pub fn new(context: &BfvContext) -> Self {
+        Self {
+            context: context.clone(),
+        }
+    }
+
+    /// Samples a fresh ternary secret key.
+    pub fn secret_key<R: Rng + ?Sized>(&self, rng: &mut R) -> SecretKey {
+        let s_signed = sample_ternary(self.context.degree(), rng);
+        let s = self.context.basis().from_signed(&s_signed);
+        SecretKey { s, s_signed }
+    }
+
+    /// Derives the public key `([-(a·s + e)]_q, a)` from a secret key.
+    pub fn public_key<R: Rng + ?Sized>(&self, sk: &SecretKey, rng: &mut R) -> PublicKey {
+        let basis = self.context.basis();
+        let a = RnsPolynomial::from_flat(basis, &sample_uniform(self.context.parms(), rng));
+        let mut e_flat =
+            vec![0u64; self.context.degree() * self.context.parms().coeff_modulus().len()];
+        set_poly_coeffs_normal(&mut e_flat, rng, self.context.parms(), &mut NullProbe);
+        let e = RnsPolynomial::from_flat(basis, &e_flat);
+        let p0 = a.mul(&sk.s).add(&e).neg();
+        PublicKey { p0, p1: a }
+    }
+
+    /// Generates relinearization keys for digit decomposition with the given
+    /// digit width (e.g. 16 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decomposition_bits` is zero or at least the bit width of the
+    /// largest coefficient modulus.
+    pub fn relin_keys<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        decomposition_bits: u32,
+        rng: &mut R,
+    ) -> RelinKeys {
+        assert!(decomposition_bits > 0, "digit width must be positive");
+        let max_bits = self
+            .context
+            .parms()
+            .coeff_modulus()
+            .iter()
+            .map(|m| m.bit_count())
+            .max()
+            .expect("at least one modulus");
+        assert!(
+            decomposition_bits < max_bits,
+            "digit width must be below the modulus width"
+        );
+        let digits = max_bits.div_ceil(decomposition_bits) as usize;
+        let basis = self.context.basis();
+        let s_sq = sk.s.mul(&sk.s);
+        let mut keys = Vec::with_capacity(digits);
+        for i in 0..digits {
+            let a_i = RnsPolynomial::from_flat(basis, &sample_uniform(self.context.parms(), rng));
+            let mut e_flat =
+                vec![0u64; self.context.degree() * self.context.parms().coeff_modulus().len()];
+            set_poly_coeffs_normal(&mut e_flat, rng, self.context.parms(), &mut NullProbe);
+            let e_i = RnsPolynomial::from_flat(basis, &e_flat);
+            // w^i mod q_j, folded per-residue via scalar multiplication.
+            let shift = (decomposition_bits as u64) * i as u64;
+            let scaled = scale_by_power_of_two(&s_sq, shift);
+            let k0 = a_i.mul(&sk.s).add(&e_i).neg().add(&scaled);
+            keys.push((k0, a_i));
+        }
+        RelinKeys {
+            keys,
+            decomposition_bits,
+        }
+    }
+}
+
+/// Multiplies an RNS polynomial by `2^shift` (reduced per modulus).
+fn scale_by_power_of_two(p: &RnsPolynomial, shift: u64) -> RnsPolynomial {
+    let mut out = p.clone();
+    let mut remaining = shift;
+    // Apply in <= 62-bit chunks so the scalar stays reduced.
+    while remaining > 0 {
+        let step = remaining.min(32);
+        out = out.scalar_mul(1u64 << step);
+        remaining -= step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EncryptionParameters;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> BfvContext {
+        BfvContext::new(EncryptionParameters::seal_128_paper().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn secret_key_is_ternary() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sk = KeyGenerator::new(&c).secret_key(&mut rng);
+        assert_eq!(sk.coefficients().len(), 1024);
+        assert!(sk.coefficients().iter().all(|&x| (-1..=1).contains(&x)));
+        // RNS lift must agree with signed coefficients.
+        let q = c.parms().coeff_modulus()[0];
+        for (i, &s) in sk.coefficients().iter().enumerate() {
+            assert_eq!(sk.as_rns().residues()[0].coeffs()[i], q.from_signed(s));
+        }
+    }
+
+    #[test]
+    fn public_key_satisfies_rlwe_relation() {
+        // p0 + a·s = -e must have small coefficients.
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let keygen = KeyGenerator::new(&c);
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&sk, &mut rng);
+        let neg_e = pk.p0().add(&pk.p1().mul(&sk.s));
+        let q = c.parms().coeff_modulus()[0];
+        for &r in neg_e.residues()[0].coeffs() {
+            let centered = q.to_signed(r);
+            assert!(centered.abs() <= 41, "noise coefficient {centered} too large");
+        }
+    }
+
+    #[test]
+    fn relin_keys_shape() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let keygen = KeyGenerator::new(&c);
+        let sk = keygen.secret_key(&mut rng);
+        let rk = keygen.relin_keys(&sk, 16, &mut rng);
+        // 27-bit modulus with 16-bit digits → 2 digits.
+        assert_eq!(rk.digit_count(), 2);
+        assert_eq!(rk.decomposition_bits(), 16);
+    }
+
+    #[test]
+    fn relin_keys_satisfy_key_relation() {
+        // k0 + a·s = w^i·s² - e (small noise around the scaled s²).
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(4);
+        let keygen = KeyGenerator::new(&c);
+        let sk = keygen.secret_key(&mut rng);
+        let rk = keygen.relin_keys(&sk, 16, &mut rng);
+        let s_sq = sk.s.mul(&sk.s);
+        let q = c.parms().coeff_modulus()[0];
+        for (i, (k0, a_i)) in rk.keys.iter().enumerate() {
+            let lhs = k0.add(&a_i.mul(&sk.s));
+            let scaled = super::scale_by_power_of_two(&s_sq, 16 * i as u64);
+            let diff = lhs.sub(&scaled);
+            for &r in diff.residues()[0].coeffs() {
+                assert!(q.to_signed(r).abs() <= 41, "digit {i} noise too large");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "digit width")]
+    fn relin_rejects_oversized_digits() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        let keygen = KeyGenerator::new(&c);
+        let sk = keygen.secret_key(&mut rng);
+        keygen.relin_keys(&sk, 27, &mut rng);
+    }
+}

@@ -1,0 +1,521 @@
+//! The noise and key samplers of SEAL v3.2, including the vulnerable
+//! `set_poly_coeffs_normal` routine the RevEAL attack targets.
+//!
+//! The structure of [`set_poly_coeffs_normal`] is a line-by-line port of the
+//! C++ in Fig. 2 of the paper: a [`ClippedNormalDistribution`] draw followed
+//! by an `if (noise > 0) … else if (noise < 0) … else …` ladder that writes
+//! the residue under every coefficient modulus. The three paths execute
+//! *different* instructions — that control-flow variation is the first
+//! vulnerability, the value-dependent store is the second, and the negation
+//! on the negative path is the third.
+//!
+//! Every sensitive step reports a [`SamplerEvent`] to a [`SamplerProbe`],
+//! which is how the leakage simulators observe the execution without
+//! perturbing it.
+
+use crate::params::EncryptionParameters;
+use rand::Rng;
+
+/// Which arm of the sign ladder executed for a coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignBranch {
+    /// `noise > 0`: direct store of the sampled value.
+    Positive,
+    /// `noise < 0`: negate, then store `q_j - noise`.
+    Negative,
+    /// `noise == 0`: store zero.
+    Zero,
+}
+
+/// One observable step of the sampler, as seen by a probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplerEvent {
+    /// The outer loop advanced to coefficient `index`.
+    CoefficientStart {
+        /// Coefficient index in `[0, n)`.
+        index: usize,
+    },
+    /// One `dist(engine)` call completed.
+    DistributionSample {
+        /// Marsaglia-polar candidate loops executed (0 when the cached spare
+        /// was consumed).
+        polar_iterations: u32,
+        /// Resamples forced by the clipping bound.
+        clip_rejections: u32,
+        /// The rounded sample.
+        value: i64,
+    },
+    /// The sign ladder resolved to a branch.
+    BranchTaken {
+        /// Which arm executed.
+        branch: SignBranch,
+    },
+    /// The negative arm executed `noise = -noise`.
+    Negation {
+        /// Value before negation (negative).
+        operand: i64,
+        /// Value after negation (positive).
+        result: i64,
+    },
+    /// A residue was written to `poly[i + j * n]`.
+    CoefficientStore {
+        /// Modulus index `j`.
+        modulus_index: usize,
+        /// The stored residue.
+        residue: u64,
+    },
+    /// The outer loop finished coefficient `index`.
+    CoefficientEnd {
+        /// Coefficient index in `[0, n)`.
+        index: usize,
+    },
+}
+
+/// Observer of sampler execution; implemented by the leakage simulators.
+pub trait SamplerProbe {
+    /// Receives one event, in program order.
+    fn record(&mut self, event: &SamplerEvent);
+}
+
+/// A probe that discards every event (the "no attacker" configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl SamplerProbe for NullProbe {
+    fn record(&mut self, _event: &SamplerEvent) {}
+}
+
+/// A probe that stores every event for later inspection.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingProbe {
+    events: Vec<SamplerEvent>,
+}
+
+impl RecordingProbe {
+    /// Creates an empty recording probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events in program order.
+    pub fn events(&self) -> &[SamplerEvent] {
+        &self.events
+    }
+
+    /// Consumes the probe, returning the events.
+    pub fn into_events(self) -> Vec<SamplerEvent> {
+        self.events
+    }
+}
+
+impl SamplerProbe for RecordingProbe {
+    fn record(&mut self, event: &SamplerEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// SEAL's `ClippedNormalDistribution`: a Gaussian with the tails rejected.
+///
+/// Internally uses the Marsaglia polar method (the algorithm behind
+/// libstdc++'s `std::normal_distribution`), which caches one spare variate —
+/// so successive calls have *different* durations, the time-variant
+/// behaviour §III-C of the paper works around.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_bfv::sampler::ClippedNormalDistribution;
+/// use rand::SeedableRng;
+/// let mut dist = ClippedNormalDistribution::new(0.0, 3.19, 41.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (value, _stats) = dist.sample(&mut rng);
+/// assert!(value.abs() <= 41.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClippedNormalDistribution {
+    mean: f64,
+    standard_deviation: f64,
+    max_deviation: f64,
+    spare: Option<f64>,
+}
+
+/// Timing-relevant statistics of one distribution call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleStats {
+    /// Candidate loops inside the polar method (0 if the spare was used).
+    pub polar_iterations: u32,
+    /// Rejections caused by the clipping bound.
+    pub clip_rejections: u32,
+}
+
+impl ClippedNormalDistribution {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `standard_deviation <= 0` or `max_deviation < standard_deviation`.
+    pub fn new(mean: f64, standard_deviation: f64, max_deviation: f64) -> Self {
+        assert!(standard_deviation > 0.0, "standard deviation must be positive");
+        assert!(
+            max_deviation >= standard_deviation,
+            "max deviation must be at least one standard deviation"
+        );
+        Self {
+            mean,
+            standard_deviation,
+            max_deviation,
+            spare: None,
+        }
+    }
+
+    /// Draws one clipped sample, reporting timing statistics.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (f64, SampleStats) {
+        let mut stats = SampleStats::default();
+        loop {
+            let raw = self.standard_normal(rng, &mut stats);
+            let value = self.mean + self.standard_deviation * raw;
+            if (value - self.mean).abs() <= self.max_deviation {
+                return (value, stats);
+            }
+            stats.clip_rejections += 1;
+        }
+    }
+
+    /// Draws one clipped sample rounded to the nearest integer, as the
+    /// encryptor consumes it.
+    pub fn sample_i64<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (i64, SampleStats) {
+        let (v, stats) = self.sample(rng);
+        (v.round() as i64, stats)
+    }
+
+    /// Marsaglia polar method with a cached spare variate.
+    fn standard_normal<R: Rng + ?Sized>(&mut self, rng: &mut R, stats: &mut SampleStats) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            stats.polar_iterations += 1;
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let m = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * m);
+                return u * m;
+            }
+        }
+    }
+}
+
+/// SEAL v3.2's `Encryptor::set_poly_coeffs_normal` — the attacked routine.
+///
+/// Writes one freshly sampled error polynomial into `poly` using the flat
+/// layout `poly[i + j * n]` (coefficient `i`, modulus `j`), reporting every
+/// sensitive step to `probe`.
+///
+/// The branch ladder is kept structurally identical to Fig. 2 of the paper:
+///
+/// ```text
+/// if noise > 0      { store noise under every modulus }
+/// else if noise < 0 { noise = -noise; store q_j - noise }
+/// else              { store 0 }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `poly.len() != n * coeff_mod_count`.
+pub fn set_poly_coeffs_normal<R: Rng + ?Sized, P: SamplerProbe>(
+    poly: &mut [u64],
+    rng: &mut R,
+    parms: &EncryptionParameters,
+    probe: &mut P,
+) {
+    let coeff_count = parms.poly_modulus_degree();
+    let coeff_modulus = parms.coeff_modulus();
+    let coeff_mod_count = coeff_modulus.len();
+    assert_eq!(
+        poly.len(),
+        coeff_count * coeff_mod_count,
+        "poly buffer must hold n * k residues"
+    );
+    let mut dist = ClippedNormalDistribution::new(
+        0.0,
+        parms.noise_standard_deviation(),
+        parms.noise_max_deviation(),
+    );
+    for i in 0..coeff_count {
+        probe.record(&SamplerEvent::CoefficientStart { index: i });
+        let (mut noise, stats) = dist.sample_i64(rng);
+        probe.record(&SamplerEvent::DistributionSample {
+            polar_iterations: stats.polar_iterations,
+            clip_rejections: stats.clip_rejections,
+            value: noise,
+        });
+        if noise > 0 {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Positive,
+            });
+            for j in 0..coeff_mod_count {
+                let residue = noise as u64;
+                poly[i + j * coeff_count] = residue;
+                probe.record(&SamplerEvent::CoefficientStore {
+                    modulus_index: j,
+                    residue,
+                });
+            }
+        } else if noise < 0 {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Negative,
+            });
+            let operand = noise;
+            noise = -noise;
+            probe.record(&SamplerEvent::Negation {
+                operand,
+                result: noise,
+            });
+            for j in 0..coeff_mod_count {
+                let residue = coeff_modulus[j].value() - noise as u64;
+                poly[i + j * coeff_count] = residue;
+                probe.record(&SamplerEvent::CoefficientStore {
+                    modulus_index: j,
+                    residue,
+                });
+            }
+        } else {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Zero,
+            });
+            for j in 0..coeff_mod_count {
+                poly[i + j * coeff_count] = 0;
+                probe.record(&SamplerEvent::CoefficientStore {
+                    modulus_index: j,
+                    residue: 0,
+                });
+            }
+        }
+        probe.record(&SamplerEvent::CoefficientEnd { index: i });
+    }
+}
+
+/// Samples a ternary polynomial (SEAL's `R_2` distribution for secrets and
+/// the encryption sample `u`): each coefficient uniform in `{-1, 0, 1}`.
+pub fn sample_ternary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+}
+
+/// Samples a polynomial with uniform residues under each coefficient modulus,
+/// in the flat `poly[i + j * n]` layout.
+pub fn sample_uniform<R: Rng + ?Sized>(
+    parms: &EncryptionParameters,
+    rng: &mut R,
+) -> Vec<u64> {
+    let n = parms.poly_modulus_degree();
+    let mut out = Vec::with_capacity(n * parms.coeff_modulus().len());
+    for m in parms.coeff_modulus() {
+        let q = m.value();
+        for _ in 0..n {
+            out.push(rng.gen_range(0..q));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EncryptionParameters;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_parms() -> EncryptionParameters {
+        use reveal_math::Modulus;
+        EncryptionParameters::new(
+            8,
+            vec![Modulus::new(12289).unwrap(), Modulus::new(40961).unwrap()],
+            Modulus::new(17).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clipped_samples_respect_bound() {
+        let mut dist = ClippedNormalDistribution::new(0.0, 3.19, 41.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let (v, _) = dist.sample_i64(&mut rng);
+            assert!(v.abs() <= 41);
+        }
+    }
+
+    #[test]
+    fn clipped_distribution_moments() {
+        let mut dist = ClippedNormalDistribution::new(0.0, 3.19, 41.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let samples: Vec<i64> = (0..n).map(|_| dist.sample_i64(&mut rng).0).collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        // Var of round(N(0, σ²)) ≈ σ² + 1/12.
+        let expected = 3.19f64 * 3.19 + 1.0 / 12.0;
+        assert!((var - expected).abs() < 0.15, "var {var} vs {expected}");
+        // The paper observed |coeff| <= 14 over 220k draws; allow a bit more.
+        assert!(samples.iter().all(|&s| s.abs() <= 18));
+    }
+
+    #[test]
+    fn tight_clip_forces_rejections() {
+        let mut dist = ClippedNormalDistribution::new(0.0, 3.19, 3.19);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rejected = 0u32;
+        for _ in 0..2_000 {
+            let (v, stats) = dist.sample(&mut rng);
+            assert!(v.abs() <= 3.19);
+            rejected += stats.clip_rejections;
+        }
+        assert!(rejected > 100, "expected many clip rejections, got {rejected}");
+    }
+
+    #[test]
+    fn polar_method_uses_cached_spare() {
+        let mut dist = ClippedNormalDistribution::new(0.0, 1.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, s1) = dist.sample(&mut rng);
+        let (_, s2) = dist.sample(&mut rng);
+        assert!(s1.polar_iterations >= 1);
+        assert_eq!(s2.polar_iterations, 0, "second draw should use the spare");
+    }
+
+    #[test]
+    fn sampler_layout_matches_seal() {
+        let parms = small_parms();
+        let mut poly = vec![0u64; 16];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut probe = RecordingProbe::new();
+        set_poly_coeffs_normal(&mut poly, &mut rng, &parms, &mut probe);
+        let q0 = parms.coeff_modulus()[0].value();
+        let q1 = parms.coeff_modulus()[1].value();
+        for i in 0..8 {
+            let r0 = poly[i];
+            let r1 = poly[i + 8];
+            // Residues must encode the same signed value under both moduli.
+            let v0 = if r0 > q0 / 2 { r0 as i64 - q0 as i64 } else { r0 as i64 };
+            let v1 = if r1 > q1 / 2 { r1 as i64 - q1 as i64 } else { r1 as i64 };
+            assert_eq!(v0, v1, "coefficient {i} differs across moduli");
+            assert!(v0.abs() <= 41);
+        }
+    }
+
+    #[test]
+    fn probe_sees_branch_structure() {
+        let parms = small_parms();
+        let mut poly = vec![0u64; 16];
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut probe = RecordingProbe::new();
+        set_poly_coeffs_normal(&mut poly, &mut rng, &parms, &mut probe);
+        let events = probe.events();
+
+        // Per coefficient: Start, DistributionSample, BranchTaken,
+        // [Negation], 2 stores, End.
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, SamplerEvent::CoefficientStart { .. }))
+            .count();
+        assert_eq!(starts, 8);
+
+        let mut idx = 0usize;
+        while idx < events.len() {
+            assert!(matches!(events[idx], SamplerEvent::CoefficientStart { .. }));
+            let value = match &events[idx + 1] {
+                SamplerEvent::DistributionSample { value, .. } => *value,
+                other => panic!("expected DistributionSample, got {other:?}"),
+            };
+            let branch = match &events[idx + 2] {
+                SamplerEvent::BranchTaken { branch } => *branch,
+                other => panic!("expected BranchTaken, got {other:?}"),
+            };
+            match branch {
+                SignBranch::Positive => assert!(value > 0),
+                SignBranch::Negative => assert!(value < 0),
+                SignBranch::Zero => assert_eq!(value, 0),
+            }
+            let mut j = idx + 3;
+            if branch == SignBranch::Negative {
+                match &events[j] {
+                    SamplerEvent::Negation { operand, result } => {
+                        assert_eq!(*operand, value);
+                        assert_eq!(*result, -value);
+                    }
+                    other => panic!("expected Negation, got {other:?}"),
+                }
+                j += 1;
+            }
+            for m in 0..2 {
+                match &events[j + m] {
+                    SamplerEvent::CoefficientStore { modulus_index, .. } => {
+                        assert_eq!(*modulus_index, m);
+                    }
+                    other => panic!("expected CoefficientStore, got {other:?}"),
+                }
+            }
+            j += 2;
+            assert!(matches!(events[j], SamplerEvent::CoefficientEnd { .. }));
+            idx = j + 1;
+        }
+    }
+
+    #[test]
+    fn ternary_sampler_support() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = sample_ternary(10_000, &mut rng);
+        assert!(v.iter().all(|&x| (-1..=1).contains(&x)));
+        // All three values should appear with roughly equal frequency.
+        for target in [-1i64, 0, 1] {
+            let count = v.iter().filter(|&&x| x == target).count();
+            assert!((2800..=3900).contains(&count), "count of {target} = {count}");
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_in_range() {
+        let parms = small_parms();
+        let mut rng = StdRng::seed_from_u64(8);
+        let poly = sample_uniform(&parms, &mut rng);
+        assert_eq!(poly.len(), 16);
+        for (j, m) in parms.coeff_modulus().iter().enumerate() {
+            for i in 0..8 {
+                assert!(poly[i + j * 8] < m.value());
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_residues_consistent(seed in any::<u64>()) {
+            let parms = small_parms();
+            let mut poly = vec![0u64; 16];
+            let mut rng = StdRng::seed_from_u64(seed);
+            set_poly_coeffs_normal(&mut poly, &mut rng, &parms, &mut NullProbe);
+            let q0 = parms.coeff_modulus()[0].value();
+            let q1 = parms.coeff_modulus()[1].value();
+            for i in 0..8 {
+                let v0 = if poly[i] > q0 / 2 { poly[i] as i64 - q0 as i64 } else { poly[i] as i64 };
+                let v1 = if poly[i + 8] > q1 / 2 { poly[i + 8] as i64 - q1 as i64 } else { poly[i + 8] as i64 };
+                prop_assert_eq!(v0, v1);
+                prop_assert!(v0.abs() <= 41);
+            }
+        }
+
+        #[test]
+        fn prop_clipped_respects_custom_bound(sigma in 0.5f64..5.0, factor in 1.0f64..4.0, seed in any::<u64>()) {
+            let bound = sigma * factor;
+            let mut dist = ClippedNormalDistribution::new(0.0, sigma, bound);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..200 {
+                let (v, _) = dist.sample(&mut rng);
+                prop_assert!(v.abs() <= bound + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Sampler *variants* for the countermeasure discussion of §V-A:
+//!
+//! - [`set_poly_coeffs_normal_branchless`]: the post-v3.6 style — SEAL 3.6
+//!   replaced the if/else-if/else ladder with an iterator formulation whose
+//!   per-coefficient work is sign-independent; modelled here as a fully
+//!   branchless (constant-control-flow) writer.
+//! - [`set_poly_coeffs_normal_masked`]: a first-order arithmetically masked
+//!   writer. The paper argues masking does **not** stop the attack because
+//!   the *branches* still depend on the sign; this variant keeps the ladder
+//!   (masking the stored value only), exactly the half-measure the paper
+//!   warns about.
+//! - [`set_poly_coeffs_normal_shuffled`]: the recommended direction —
+//!   Fisher–Yates shuffling of the sampling order.
+
+use crate::params::EncryptionParameters;
+use crate::sampler::{ClippedNormalDistribution, SamplerEvent, SamplerProbe, SignBranch};
+use rand::Rng;
+
+/// Branchless noise writer (SEAL ≥ 3.6 spirit): every coefficient executes
+/// the identical instruction sequence; the residue is selected
+/// arithmetically from the sign bits rather than by control flow.
+///
+/// # Panics
+///
+/// Panics if `poly.len() != n * k`.
+pub fn set_poly_coeffs_normal_branchless<R: Rng + ?Sized, P: SamplerProbe>(
+    poly: &mut [u64],
+    rng: &mut R,
+    parms: &EncryptionParameters,
+    probe: &mut P,
+) {
+    let coeff_count = parms.poly_modulus_degree();
+    let coeff_modulus = parms.coeff_modulus();
+    assert_eq!(poly.len(), coeff_count * coeff_modulus.len());
+    let mut dist = ClippedNormalDistribution::new(
+        0.0,
+        parms.noise_standard_deviation(),
+        parms.noise_max_deviation(),
+    );
+    for i in 0..coeff_count {
+        probe.record(&SamplerEvent::CoefficientStart { index: i });
+        let (noise, stats) = dist.sample_i64(rng);
+        probe.record(&SamplerEvent::DistributionSample {
+            polar_iterations: stats.polar_iterations,
+            clip_rejections: stats.clip_rejections,
+            value: noise,
+        });
+        // Branchless selection: flag = sign bit replicated; the same three
+        // arithmetic operations run for every coefficient.
+        let is_negative = (noise >> 63) as u64; // 0 or u64::MAX-as-1? -> 0/!0 via wrapping
+        let mask = is_negative.wrapping_neg() | is_negative; // 0 or all-ones
+        let magnitude = noise.unsigned_abs();
+        // No BranchTaken / Negation events: control flow is constant. The
+        // probe still sees one uniform event per coefficient so leakage
+        // simulators can model the (value-dependent but sign-independent)
+        // data flow.
+        probe.record(&SamplerEvent::BranchTaken {
+            branch: SignBranch::Positive, // constant label: no CF variation
+        });
+        for (j, modulus) in coeff_modulus.iter().enumerate() {
+            let q = modulus.value();
+            // residue = magnitude            when noise >= 0 (and 0 -> 0)
+            //         = q - magnitude        when noise < 0
+            let neg_residue = (q - magnitude) & mask;
+            let pos_residue = magnitude & !mask;
+            let residue = (neg_residue | pos_residue) % q;
+            poly[i + j * coeff_count] = residue;
+            probe.record(&SamplerEvent::CoefficientStore {
+                modulus_index: j,
+                residue,
+            });
+        }
+        probe.record(&SamplerEvent::CoefficientEnd { index: i });
+    }
+}
+
+/// First-order *arithmetically masked* writer that **keeps the sign ladder**:
+/// the stored residue is split into two shares, but the control flow still
+/// branches on the sign — the half-measure §V-A warns against. Returns the
+/// two share polynomials (their per-modulus sum reconstructs the residues).
+///
+/// # Panics
+///
+/// Panics if the share buffers are not `n * k` long.
+pub fn set_poly_coeffs_normal_masked<R: Rng + ?Sized, P: SamplerProbe>(
+    share0: &mut [u64],
+    share1: &mut [u64],
+    rng: &mut R,
+    parms: &EncryptionParameters,
+    probe: &mut P,
+) {
+    let coeff_count = parms.poly_modulus_degree();
+    let coeff_modulus = parms.coeff_modulus();
+    assert_eq!(share0.len(), coeff_count * coeff_modulus.len());
+    assert_eq!(share1.len(), share0.len());
+    let mut dist = ClippedNormalDistribution::new(
+        0.0,
+        parms.noise_standard_deviation(),
+        parms.noise_max_deviation(),
+    );
+    for i in 0..coeff_count {
+        probe.record(&SamplerEvent::CoefficientStart { index: i });
+        let (mut noise, stats) = dist.sample_i64(rng);
+        probe.record(&SamplerEvent::DistributionSample {
+            polar_iterations: stats.polar_iterations,
+            clip_rejections: stats.clip_rejections,
+            value: noise,
+        });
+        // The ladder survives — this is exactly the leak.
+        if noise > 0 {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Positive,
+            });
+            for (j, modulus) in coeff_modulus.iter().enumerate() {
+                write_masked(share0, share1, i + j * coeff_count, noise as u64, modulus, rng, probe, j);
+            }
+        } else if noise < 0 {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Negative,
+            });
+            let operand = noise;
+            noise = -noise;
+            probe.record(&SamplerEvent::Negation {
+                operand,
+                result: noise,
+            });
+            for (j, modulus) in coeff_modulus.iter().enumerate() {
+                let residue = modulus.value() - noise as u64;
+                write_masked(share0, share1, i + j * coeff_count, residue, modulus, rng, probe, j);
+            }
+        } else {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Zero,
+            });
+            for (j, modulus) in coeff_modulus.iter().enumerate() {
+                write_masked(share0, share1, i + j * coeff_count, 0, modulus, rng, probe, j);
+            }
+        }
+        probe.record(&SamplerEvent::CoefficientEnd { index: i });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_masked<R: Rng + ?Sized, P: SamplerProbe>(
+    share0: &mut [u64],
+    share1: &mut [u64],
+    idx: usize,
+    residue: u64,
+    modulus: &reveal_math::Modulus,
+    rng: &mut R,
+    probe: &mut P,
+    modulus_index: usize,
+) {
+    let q = modulus.value();
+    let r = rng.gen_range(0..q);
+    share0[idx] = r;
+    share1[idx] = modulus.sub(residue, r);
+    // The probe sees the (randomized) share, not the residue: the *data*
+    // leak is indeed masked — but the branch above already gave the sign
+    // away.
+    probe.record(&SamplerEvent::CoefficientStore {
+        modulus_index,
+        residue: r,
+    });
+}
+
+/// Shuffled sampling order (the recommended §V-A countermeasure): samples
+/// the coefficients through the *vulnerable* ladder but in a fresh random
+/// order, so observations cannot be attached to coefficient indices.
+/// Returns the permutation actually used (trace position → coefficient).
+///
+/// # Panics
+///
+/// Panics if `poly.len() != n * k`.
+pub fn set_poly_coeffs_normal_shuffled<R: Rng + ?Sized, P: SamplerProbe>(
+    poly: &mut [u64],
+    rng: &mut R,
+    parms: &EncryptionParameters,
+    probe: &mut P,
+) -> Vec<usize> {
+    let coeff_count = parms.poly_modulus_degree();
+    let coeff_modulus = parms.coeff_modulus();
+    assert_eq!(poly.len(), coeff_count * coeff_modulus.len());
+    // Fisher–Yates.
+    let mut order: Vec<usize> = (0..coeff_count).collect();
+    for i in (1..coeff_count).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut dist = ClippedNormalDistribution::new(
+        0.0,
+        parms.noise_standard_deviation(),
+        parms.noise_max_deviation(),
+    );
+    for &i in &order {
+        probe.record(&SamplerEvent::CoefficientStart { index: i });
+        let (mut noise, stats) = dist.sample_i64(rng);
+        probe.record(&SamplerEvent::DistributionSample {
+            polar_iterations: stats.polar_iterations,
+            clip_rejections: stats.clip_rejections,
+            value: noise,
+        });
+        if noise > 0 {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Positive,
+            });
+            for (j, _) in coeff_modulus.iter().enumerate() {
+                poly[i + j * coeff_count] = noise as u64;
+                probe.record(&SamplerEvent::CoefficientStore {
+                    modulus_index: j,
+                    residue: noise as u64,
+                });
+            }
+        } else if noise < 0 {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Negative,
+            });
+            let operand = noise;
+            noise = -noise;
+            probe.record(&SamplerEvent::Negation {
+                operand,
+                result: noise,
+            });
+            for (j, modulus) in coeff_modulus.iter().enumerate() {
+                let residue = modulus.value() - noise as u64;
+                poly[i + j * coeff_count] = residue;
+                probe.record(&SamplerEvent::CoefficientStore {
+                    modulus_index: j,
+                    residue,
+                });
+            }
+        } else {
+            probe.record(&SamplerEvent::BranchTaken {
+                branch: SignBranch::Zero,
+            });
+            for (j, _) in coeff_modulus.iter().enumerate() {
+                poly[i + j * coeff_count] = 0;
+                probe.record(&SamplerEvent::CoefficientStore {
+                    modulus_index: j,
+                    residue: 0,
+                });
+            }
+        }
+        probe.record(&SamplerEvent::CoefficientEnd { index: i });
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{NullProbe, RecordingProbe};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reveal_math::Modulus;
+
+    fn parms() -> EncryptionParameters {
+        EncryptionParameters::new(
+            32,
+            vec![Modulus::new(12289).unwrap(), Modulus::new(40961).unwrap()],
+            Modulus::new(17).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn branchless_writes_valid_residues() {
+        let p = parms();
+        let mut poly = vec![0u64; 64];
+        let mut rng = StdRng::seed_from_u64(1);
+        set_poly_coeffs_normal_branchless(&mut poly, &mut rng, &p, &mut NullProbe);
+        for j in 0..2 {
+            let q = p.coeff_modulus()[j].value();
+            for i in 0..32 {
+                let r = poly[i + j * 32];
+                assert!(r < q);
+                let centered = if r > q / 2 { r as i64 - q as i64 } else { r as i64 };
+                assert!(centered.abs() <= 41);
+            }
+        }
+        // Cross-modulus consistency.
+        let q0 = p.coeff_modulus()[0].value();
+        let q1 = p.coeff_modulus()[1].value();
+        for i in 0..32 {
+            let v0 = if poly[i] > q0 / 2 { poly[i] as i64 - q0 as i64 } else { poly[i] as i64 };
+            let v1 = if poly[i + 32] > q1 / 2 { poly[i + 32] as i64 - q1 as i64 } else { poly[i + 32] as i64 };
+            assert_eq!(v0, v1);
+        }
+    }
+
+    #[test]
+    fn branchless_emits_no_sign_dependent_events() {
+        let p = parms();
+        let mut poly = vec![0u64; 64];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut probe = RecordingProbe::new();
+        set_poly_coeffs_normal_branchless(&mut poly, &mut rng, &p, &mut probe);
+        // No Negation events, and every BranchTaken carries the constant tag.
+        for e in probe.events() {
+            match e {
+                SamplerEvent::Negation { .. } => panic!("branchless variant must not negate"),
+                SamplerEvent::BranchTaken { branch } => {
+                    assert_eq!(*branch, SignBranch::Positive, "constant label expected");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_matches_reference_distribution() {
+        // Same RNG stream → same sampled values as the vulnerable writer.
+        let p = parms();
+        let mut a = vec![0u64; 64];
+        let mut b = vec![0u64; 64];
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        crate::sampler::set_poly_coeffs_normal(&mut a, &mut rng_a, &p, &mut NullProbe);
+        set_poly_coeffs_normal_branchless(&mut b, &mut rng_b, &p, &mut NullProbe);
+        assert_eq!(a, b, "functional equivalence");
+    }
+
+    #[test]
+    fn masked_shares_reconstruct() {
+        let p = parms();
+        let mut s0 = vec![0u64; 64];
+        let mut s1 = vec![0u64; 64];
+        let mut rng = StdRng::seed_from_u64(4);
+        set_poly_coeffs_normal_masked(&mut s0, &mut s1, &mut rng, &p, &mut NullProbe);
+        for j in 0..2 {
+            let m = p.coeff_modulus()[j];
+            for i in 0..32 {
+                let r = m.add(s0[i + j * 32], s1[i + j * 32]);
+                let centered = m.to_signed(r);
+                assert!(centered.abs() <= 41, "reconstructed {centered}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_still_branches_on_sign() {
+        // The vulnerability the paper warns about: the probe still sees the
+        // sign-dependent branches (and negations) despite the masking.
+        let p = parms();
+        let mut s0 = vec![0u64; 64];
+        let mut s1 = vec![0u64; 64];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut probe = RecordingProbe::new();
+        set_poly_coeffs_normal_masked(&mut s0, &mut s1, &mut rng, &p, &mut probe);
+        let branches: Vec<SignBranch> = probe
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SamplerEvent::BranchTaken { branch } => Some(*branch),
+                _ => None,
+            })
+            .collect();
+        assert!(branches.contains(&SignBranch::Negative));
+        assert!(branches.contains(&SignBranch::Positive));
+        // Stored shares are uniform, i.e. the data leak IS masked.
+        let negations = probe
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SamplerEvent::Negation { .. }))
+            .count();
+        assert!(negations > 0, "negation still executes");
+    }
+
+    #[test]
+    fn shuffled_covers_all_coefficients() {
+        let p = parms();
+        let mut poly = vec![0u64; 64];
+        let mut rng = StdRng::seed_from_u64(6);
+        let order = set_poly_coeffs_normal_shuffled(&mut poly, &mut rng, &p, &mut NullProbe);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "a permutation");
+        // All residues valid.
+        for j in 0..2 {
+            let q = p.coeff_modulus()[j].value();
+            assert!((0..32).all(|i| poly[i + j * 32] < q));
+        }
+    }
+
+    #[test]
+    fn shuffled_orders_differ_between_runs() {
+        let p = parms();
+        let mut poly = vec![0u64; 64];
+        let mut rng = StdRng::seed_from_u64(7);
+        let o1 = set_poly_coeffs_normal_shuffled(&mut poly, &mut rng, &p, &mut NullProbe);
+        let o2 = set_poly_coeffs_normal_shuffled(&mut poly, &mut rng, &p, &mut NullProbe);
+        assert_ne!(o1, o2);
+    }
+}

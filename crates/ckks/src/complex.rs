@@ -1,0 +1,131 @@
+//! A minimal complex-number type for the canonical embedding (kept local so
+//! the workspace needs no external numerics crate).
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex::new(1.0, 0.0);
+
+    /// `e^{iθ}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.re * rhs.re + rhs.im * rhs.im;
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - a, Complex::ZERO);
+        let prod = a * b;
+        assert!((prod.re - (1.0 * -3.0 - 2.0 * 0.5)).abs() < 1e-15);
+        assert!((prod.im - (1.0 * 0.5 + 2.0 * -3.0)).abs() < 1e-15);
+        let q = prod / b;
+        assert!((q.re - a.re).abs() < 1e-12 && (q.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let w = Complex::from_angle(std::f64::consts::PI / 4.0);
+        let mut acc = Complex::ONE;
+        for _ in 0..8 {
+            acc = acc * w;
+        }
+        assert!((acc - Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_and_abs() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.conj(), Complex::new(3.0, -4.0));
+        let sq = a * a.conj();
+        assert!((sq.re - 25.0).abs() < 1e-12 && sq.im.abs() < 1e-12);
+    }
+}

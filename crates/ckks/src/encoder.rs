@@ -1,0 +1,299 @@
+//! The CKKS encoder: canonical embedding between complex slot vectors and
+//! integer polynomials.
+//!
+//! A real polynomial `m ∈ R = Z[X]/(X^n + 1)` is evaluated at the primitive
+//! `2n`-th roots of unity `ζ^{2j+1}`; conjugate symmetry leaves `n/2`
+//! independent complex *slots*. Encoding inverts that map, scales by Δ and
+//! rounds; decoding evaluates and divides by Δ. The reference `O(n²)`
+//! transform keeps the numerics obvious (n ≤ 4096 in our experiments).
+
+use crate::complex::Complex;
+use std::fmt;
+
+/// Errors from encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodeError {
+    /// Slot count must be `n / 2`.
+    WrongSlotCount { got: usize, expected: usize },
+    /// A coefficient overflowed the representable range after scaling.
+    CoefficientOverflow { coefficient: usize, value: f64 },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::WrongSlotCount { got, expected } => {
+                write!(f, "expected {expected} slots, got {got}")
+            }
+            EncodeError::CoefficientOverflow { coefficient, value } => {
+                write!(f, "scaled coefficient {coefficient} = {value} overflows i64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Canonical-embedding encoder for ring degree `n` and scale Δ.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_ckks::CkksEncoder;
+/// let encoder = CkksEncoder::new(16, 1u64 << 20);
+/// let slots: Vec<f64> = (0..8).map(|i| i as f64 * 0.25).collect();
+/// let coeffs = encoder.encode_real(&slots)?;
+/// let back = encoder.decode_real(&coeffs);
+/// for (a, b) in slots.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-4);
+/// }
+/// # Ok::<(), reveal_ckks::EncodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CkksEncoder {
+    n: usize,
+    scale: f64,
+    /// ζ^{(2j+1)k} for the evaluation points, row j, column k.
+    roots: Vec<Vec<Complex>>,
+}
+
+impl CkksEncoder {
+    /// Creates an encoder for power-of-two degree `n ≥ 4` and scale Δ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 4 or the scale is zero.
+    pub fn new(n: usize, scale: u64) -> Self {
+        assert!(n >= 4 && n.is_power_of_two(), "degree must be a power of two >= 4");
+        assert!(scale > 0, "scale must be positive");
+        let half = n / 2;
+        // Evaluation points: ζ^{2j+1}, j in [0, n/2): pairwise non-conjugate.
+        let base = std::f64::consts::PI / n as f64; // angle of ζ = e^{iπ/n}
+        let roots = (0..half)
+            .map(|j| {
+                let angle = base * (2 * j + 1) as f64;
+                (0..n)
+                    .map(|k| Complex::from_angle(angle * k as f64))
+                    .collect()
+            })
+            .collect();
+        Self {
+            n,
+            scale: scale as f64,
+            roots,
+        }
+    }
+
+    /// Ring degree.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Number of complex slots (`n / 2`).
+    pub fn slot_count(&self) -> usize {
+        self.n / 2
+    }
+
+    /// The scale Δ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Encodes complex slots into integer (centered) coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wrong slot count or coefficient overflow.
+    pub fn encode(&self, slots: &[Complex]) -> Result<Vec<i64>, EncodeError> {
+        let half = self.slot_count();
+        if slots.len() != half {
+            return Err(EncodeError::WrongSlotCount {
+                got: slots.len(),
+                expected: half,
+            });
+        }
+        // σ^{-1}: m_k = (1/n) Σ_j [ z_j · conj(ζ^{(2j+1)k}) + conj(z_j) · ζ^{(2j+1)k} ]
+        //             = (2/n) Σ_j Re( z_j · conj(ζ^{(2j+1)k}) ).
+        let mut coeffs = Vec::with_capacity(self.n);
+        for k in 0..self.n {
+            let mut acc = 0.0;
+            for (j, z) in slots.iter().enumerate() {
+                let w = self.roots[j][k];
+                acc += z.re * w.re + z.im * w.im; // Re(z · conj(w))
+            }
+            let value = acc * 2.0 / self.n as f64 * self.scale;
+            if !value.is_finite() || value.abs() >= i64::MAX as f64 / 4.0 {
+                return Err(EncodeError::CoefficientOverflow {
+                    coefficient: k,
+                    value,
+                });
+            }
+            coeffs.push(value.round() as i64);
+        }
+        Ok(coeffs)
+    }
+
+    /// Decodes centered coefficients back into complex slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n`.
+    pub fn decode(&self, coeffs: &[i64]) -> Vec<Complex> {
+        self.decode_scaled(coeffs, self.scale)
+    }
+
+    /// Decodes with an explicit scale (needed after multiplications, where
+    /// the effective scale is Δ² or a rescaled value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n`.
+    pub fn decode_scaled(&self, coeffs: &[i64], scale: f64) -> Vec<Complex> {
+        assert_eq!(coeffs.len(), self.n, "coefficient count must equal n");
+        (0..self.slot_count())
+            .map(|j| {
+                let mut acc = Complex::ZERO;
+                for (k, &c) in coeffs.iter().enumerate() {
+                    acc = acc + self.roots[j][k].scale(c as f64);
+                }
+                acc.scale(1.0 / scale)
+            })
+            .collect()
+    }
+
+    /// Convenience: encodes real slots.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CkksEncoder::encode`].
+    pub fn encode_real(&self, slots: &[f64]) -> Result<Vec<i64>, EncodeError> {
+        let complex: Vec<Complex> = slots.iter().map(|&x| Complex::from(x)).collect();
+        self.encode(&complex)
+    }
+
+    /// Convenience: decodes to the real parts of the slots.
+    pub fn decode_real(&self, coeffs: &[i64]) -> Vec<f64> {
+        self.decode(coeffs).into_iter().map(|z| z.re).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn encoder(n: usize) -> CkksEncoder {
+        CkksEncoder::new(n, 1u64 << 24)
+    }
+
+    #[test]
+    fn roundtrip_real_slots() {
+        let e = encoder(32);
+        let slots: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) * 0.37).collect();
+        let coeffs = e.encode_real(&slots).unwrap();
+        let back = e.decode_real(&coeffs);
+        for (a, b) in slots.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_complex_slots() {
+        let e = encoder(16);
+        let slots: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(i as f64 * 0.5, -(i as f64) * 0.25 + 1.0))
+            .collect();
+        let coeffs = e.encode(&slots).unwrap();
+        let back = e.decode(&coeffs);
+        for (a, b) in slots.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn encoding_is_additively_homomorphic() {
+        let e = encoder(16);
+        let a: Vec<f64> = (0..8).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..8).map(|i| 2.0 - i as f64 * 0.2).collect();
+        let ca = e.encode_real(&a).unwrap();
+        let cb = e.encode_real(&b).unwrap();
+        let sum: Vec<i64> = ca.iter().zip(&cb).map(|(x, y)| x + y).collect();
+        let decoded = e.decode_real(&sum);
+        for i in 0..8 {
+            assert!((decoded[i] - (a[i] + b[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn negacyclic_product_multiplies_slots() {
+        // The whole point of the embedding: polynomial multiplication in R
+        // is slotwise multiplication (at scale Δ²).
+        let e = encoder(16);
+        let a: Vec<f64> = (0..8).map(|i| 0.5 + i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..8).map(|i| 1.5 - i as f64 * 0.1).collect();
+        let ca = e.encode_real(&a).unwrap();
+        let cb = e.encode_real(&b).unwrap();
+        // Integer negacyclic convolution.
+        let n = 16usize;
+        let mut prod = vec![0i128; n];
+        for i in 0..n {
+            for j in 0..n {
+                let p = ca[i] as i128 * cb[j] as i128;
+                if i + j < n {
+                    prod[i + j] += p;
+                } else {
+                    prod[i + j - n] -= p;
+                }
+            }
+        }
+        let prod64: Vec<i64> = prod.iter().map(|&x| x as i64).collect();
+        let decoded = e.decode_scaled(&prod64, e.scale() * e.scale());
+        for i in 0..8 {
+            assert!(
+                (decoded[i].re - a[i] * b[i]).abs() < 1e-3,
+                "slot {i}: {} vs {}",
+                decoded[i].re,
+                a[i] * b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_slot_count() {
+        let e = encoder(16);
+        assert!(matches!(
+            e.encode_real(&[1.0, 2.0]),
+            Err(EncodeError::WrongSlotCount { got: 2, expected: 8 })
+        ));
+    }
+
+    #[test]
+    fn bigger_scale_means_more_precision() {
+        let slots: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let err_at = |bits: u32| -> f64 {
+            let e = CkksEncoder::new(16, 1u64 << bits);
+            let coeffs = e.encode_real(&slots).unwrap();
+            let back = e.decode_real(&coeffs);
+            slots
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(err_at(30) < err_at(12) / 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_bounded_error(
+            slots in proptest::collection::vec(-10.0f64..10.0, 8),
+        ) {
+            let e = CkksEncoder::new(16, 1u64 << 28);
+            let coeffs = e.encode_real(&slots).unwrap();
+            let back = e.decode_real(&coeffs);
+            for (a, b) in slots.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

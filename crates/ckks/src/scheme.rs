@@ -1,0 +1,575 @@
+//! The CKKS scheme proper: keys, encryption (through the *same vulnerable
+//! sampler* as BFV), decryption, and levelled evaluation with rescaling.
+
+use crate::complex::Complex;
+use crate::encoder::{CkksEncoder, EncodeError};
+use rand::Rng;
+use reveal_bfv::sampler::{sample_ternary, sample_uniform, set_poly_coeffs_normal, SamplerProbe};
+use reveal_bfv::{EncryptionParameters, NullProbe};
+use reveal_math::{Modulus, RnsBasis, RnsPolynomial};
+use std::fmt;
+
+/// Errors from CKKS operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CkksError {
+    /// Parameter validation failed.
+    Parameters(String),
+    /// Encoding failed.
+    Encode(EncodeError),
+    /// Operands live at different levels.
+    LevelMismatch { a: usize, b: usize },
+    /// Operand scales diverge too far for addition.
+    ScaleMismatch { a: f64, b: f64 },
+    /// No modulus left to drop.
+    CannotRescale,
+    /// A decrypted coefficient exceeded the representable range (the
+    /// ciphertext is too noisy or corrupt).
+    DecryptOverflow { coefficient: usize },
+}
+
+impl fmt::Display for CkksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkksError::Parameters(m) => write!(f, "invalid parameters: {m}"),
+            CkksError::Encode(e) => write!(f, "encoding failed: {e}"),
+            CkksError::LevelMismatch { a, b } => {
+                write!(f, "ciphertexts at different levels ({a} vs {b})")
+            }
+            CkksError::ScaleMismatch { a, b } => {
+                write!(f, "ciphertext scales diverge ({a} vs {b})")
+            }
+            CkksError::CannotRescale => write!(f, "already at the lowest level"),
+            CkksError::DecryptOverflow { coefficient } => {
+                write!(f, "decrypted coefficient {coefficient} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkksError {}
+
+impl From<EncodeError> for CkksError {
+    fn from(e: EncodeError) -> Self {
+        CkksError::Encode(e)
+    }
+}
+
+/// A validated CKKS context: modulus chain, per-level bases, encoder.
+#[derive(Debug, Clone)]
+pub struct CkksContext {
+    n: usize,
+    moduli: Vec<Modulus>,
+    /// `bases[l]` covers `moduli[0..=l]`.
+    bases: Vec<RnsBasis>,
+    encoder: CkksEncoder,
+    /// Dummy BFV parameter blocks per level, reused to drive the shared
+    /// noise sampler (the attack surface!).
+    sampler_parms: Vec<EncryptionParameters>,
+}
+
+impl CkksContext {
+    /// Builds a context from a modulus chain (top level uses all moduli) and
+    /// the encoding scale Δ.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the chain is empty/invalid or the degree unsupported.
+    pub fn new(n: usize, moduli: Vec<Modulus>, scale: u64) -> Result<Self, CkksError> {
+        if moduli.is_empty() {
+            return Err(CkksError::Parameters("empty modulus chain".into()));
+        }
+        if !n.is_power_of_two() || n < 8 {
+            return Err(CkksError::Parameters(format!(
+                "degree {n} must be a power of two >= 8"
+            )));
+        }
+        let mut bases = Vec::with_capacity(moduli.len());
+        let mut sampler_parms = Vec::with_capacity(moduli.len());
+        for l in 0..moduli.len() {
+            let chain = moduli[..=l].to_vec();
+            bases.push(
+                RnsBasis::new(n, chain.clone())
+                    .map_err(|e| CkksError::Parameters(e.to_string()))?,
+            );
+            sampler_parms.push(
+                EncryptionParameters::new(
+                    n,
+                    chain,
+                    Modulus::new(2).expect("2 is a valid modulus"),
+                )
+                .map_err(|e| CkksError::Parameters(e.to_string()))?,
+            );
+        }
+        Ok(Self {
+            n,
+            moduli,
+            bases,
+            encoder: CkksEncoder::new(n, scale),
+            sampler_parms,
+        })
+    }
+
+    /// Ring degree.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The top level index (`modulus count − 1`).
+    pub fn top_level(&self) -> usize {
+        self.moduli.len() - 1
+    }
+
+    /// The encoder.
+    pub fn encoder(&self) -> &CkksEncoder {
+        &self.encoder
+    }
+
+    /// The RNS basis at a level.
+    pub fn basis(&self, level: usize) -> &RnsBasis {
+        &self.bases[level]
+    }
+
+    /// The modulus chain.
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+}
+
+/// A CKKS secret key (ternary), usable at every level.
+#[derive(Debug, Clone)]
+pub struct CkksSecretKey {
+    s_signed: Vec<i64>,
+}
+
+impl CkksSecretKey {
+    /// The ternary coefficients.
+    pub fn coefficients(&self) -> &[i64] {
+        &self.s_signed
+    }
+}
+
+/// A CKKS public key at the top level.
+#[derive(Debug, Clone)]
+pub struct CkksPublicKey {
+    p0: RnsPolynomial,
+    p1: RnsPolynomial,
+}
+
+impl CkksPublicKey {
+    /// `p0 = -(a·s + e)`.
+    pub fn p0(&self) -> &RnsPolynomial {
+        &self.p0
+    }
+
+    /// `p1 = a`.
+    pub fn p1(&self) -> &RnsPolynomial {
+        &self.p1
+    }
+}
+
+/// A CKKS ciphertext: polynomials at some level, carrying its scale.
+#[derive(Debug, Clone)]
+pub struct CkksCiphertext {
+    parts: Vec<RnsPolynomial>,
+    level: usize,
+    scale: f64,
+}
+
+impl CkksCiphertext {
+    /// Current level (index into the modulus chain).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The ciphertext scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of polynomial parts (2 fresh, 3 after multiplication).
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Borrow of the parts, `c0` first.
+    pub fn parts(&self) -> &[RnsPolynomial] {
+        &self.parts
+    }
+}
+
+/// Generates CKKS keys.
+pub fn keygen<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    rng: &mut R,
+) -> (CkksSecretKey, CkksPublicKey) {
+    let top = ctx.top_level();
+    let basis = ctx.basis(top);
+    let s_signed = sample_ternary(ctx.degree(), rng);
+    let s = basis.from_signed(&s_signed);
+    let a = RnsPolynomial::from_flat(basis, &sample_uniform(&ctx.sampler_parms[top], rng));
+    let mut e_flat = vec![0u64; ctx.degree() * basis.len()];
+    set_poly_coeffs_normal(&mut e_flat, rng, &ctx.sampler_parms[top], &mut NullProbe);
+    let e = RnsPolynomial::from_flat(basis, &e_flat);
+    let p0 = a.mul(&s).add(&e).neg();
+    (CkksSecretKey { s_signed }, CkksPublicKey { p0, p1: a })
+}
+
+/// Encrypts complex slots, reporting the two error-polynomial samplings to
+/// the probes — the identical attack surface as BFV encryption.
+///
+/// # Errors
+///
+/// Propagates encoding failures.
+pub fn encrypt_observed<R, P1, P2>(
+    ctx: &CkksContext,
+    pk: &CkksPublicKey,
+    slots: &[Complex],
+    rng: &mut R,
+    probe_e1: &mut P1,
+    probe_e2: &mut P2,
+) -> Result<(CkksCiphertext, CkksWitness), CkksError>
+where
+    R: Rng + ?Sized,
+    P1: SamplerProbe,
+    P2: SamplerProbe,
+{
+    let top = ctx.top_level();
+    let basis = ctx.basis(top);
+    let m_coeffs = ctx.encoder.encode(slots)?;
+    let m = basis.from_signed(&m_coeffs);
+
+    let u = basis.from_signed(&sample_ternary(ctx.degree(), rng));
+    let mut e1_flat = vec![0u64; ctx.degree() * basis.len()];
+    set_poly_coeffs_normal(&mut e1_flat, rng, &ctx.sampler_parms[top], probe_e1);
+    let e1 = RnsPolynomial::from_flat(basis, &e1_flat);
+    let mut e2_flat = vec![0u64; ctx.degree() * basis.len()];
+    set_poly_coeffs_normal(&mut e2_flat, rng, &ctx.sampler_parms[top], probe_e2);
+    let e2 = RnsPolynomial::from_flat(basis, &e2_flat);
+
+    // (c0, c1) = (p0·u + e1 + m, p1·u + e2) — no Δ·m: the scale lives in
+    // the encoding.
+    let c0 = pk.p0.mul(&u).add(&e1).add(&m);
+    let c1 = pk.p1.mul(&u).add(&e2);
+    let witness = CkksWitness {
+        u: u.residues()[0].to_signed(),
+        e1: e1.residues()[0].to_signed(),
+        e2: e2.residues()[0].to_signed(),
+    };
+    Ok((
+        CkksCiphertext {
+            parts: vec![c0, c1],
+            level: top,
+            scale: ctx.encoder.scale(),
+        },
+        witness,
+    ))
+}
+
+/// Encrypts without observation.
+///
+/// # Errors
+///
+/// Propagates encoding failures.
+pub fn encrypt<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    pk: &CkksPublicKey,
+    slots: &[Complex],
+    rng: &mut R,
+) -> Result<CkksCiphertext, CkksError> {
+    Ok(encrypt_observed(ctx, pk, slots, rng, &mut NullProbe, &mut NullProbe)?.0)
+}
+
+/// Decrypts to complex slots.
+///
+/// # Errors
+///
+/// Fails when a decrypted coefficient leaves the representable range.
+pub fn decrypt(
+    ctx: &CkksContext,
+    sk: &CkksSecretKey,
+    ct: &CkksCiphertext,
+) -> Result<Vec<Complex>, CkksError> {
+    let basis = ctx.basis(ct.level);
+    let s = basis.from_signed(&sk.s_signed);
+    let mut acc = ct.parts[0].clone();
+    let mut s_pow = s.clone();
+    for part in &ct.parts[1..] {
+        acc = acc.add(&part.mul(&s_pow));
+        s_pow = s_pow.mul(&s);
+    }
+    let q = basis.product().clone();
+    let half = q.divmod_u64(2).0;
+    let mut coeffs = Vec::with_capacity(ctx.degree());
+    for i in 0..ctx.degree() {
+        let x = acc.compose_coefficient(i);
+        let centered: i64 = if x > half {
+            let mag = q.checked_sub(&x).expect("x < q");
+            match mag.to_u64() {
+                Some(v) if v <= i64::MAX as u64 => -(v as i64),
+                _ => return Err(CkksError::DecryptOverflow { coefficient: i }),
+            }
+        } else {
+            match x.to_u64() {
+                Some(v) if v <= i64::MAX as u64 => v as i64,
+                _ => return Err(CkksError::DecryptOverflow { coefficient: i }),
+            }
+        };
+        coeffs.push(centered);
+    }
+    Ok(ctx.encoder.decode_scaled(&coeffs, ct.scale))
+}
+
+/// Homomorphic addition (same level, compatible scales).
+///
+/// # Errors
+///
+/// Fails on level or scale mismatch.
+pub fn add(a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, CkksError> {
+    if a.level != b.level {
+        return Err(CkksError::LevelMismatch { a: a.level, b: b.level });
+    }
+    let ratio = a.scale / b.scale;
+    if !(0.999..1.001).contains(&ratio) {
+        return Err(CkksError::ScaleMismatch { a: a.scale, b: b.scale });
+    }
+    let size = a.parts.len().max(b.parts.len());
+    let zero = a.parts[0].basis().zero();
+    let parts = (0..size)
+        .map(|i| {
+            let pa = a.parts.get(i).unwrap_or(&zero);
+            let pb = b.parts.get(i).unwrap_or(&zero);
+            pa.add(pb)
+        })
+        .collect();
+    Ok(CkksCiphertext {
+        parts,
+        level: a.level,
+        scale: a.scale,
+    })
+}
+
+/// Homomorphic multiplication: produces a size-3 ciphertext at scale Δ².
+///
+/// # Errors
+///
+/// Fails on level mismatch.
+pub fn multiply(a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, CkksError> {
+    if a.level != b.level {
+        return Err(CkksError::LevelMismatch { a: a.level, b: b.level });
+    }
+    assert_eq!(a.parts.len(), 2, "multiply expects fresh ciphertexts");
+    assert_eq!(b.parts.len(), 2, "multiply expects fresh ciphertexts");
+    let d0 = a.parts[0].mul(&b.parts[0]);
+    let d1 = a.parts[0].mul(&b.parts[1]).add(&a.parts[1].mul(&b.parts[0]));
+    let d2 = a.parts[1].mul(&b.parts[1]);
+    Ok(CkksCiphertext {
+        parts: vec![d0, d1, d2],
+        level: a.level,
+        scale: a.scale * b.scale,
+    })
+}
+
+/// Rescales: drops the last modulus of the chain, dividing the plaintext
+/// scale by (approximately) that prime.
+///
+/// # Errors
+///
+/// Fails at level 0.
+pub fn rescale(ctx: &CkksContext, ct: &CkksCiphertext) -> Result<CkksCiphertext, CkksError> {
+    if ct.level == 0 {
+        return Err(CkksError::CannotRescale);
+    }
+    let new_level = ct.level - 1;
+    let old_basis = ctx.basis(ct.level);
+    let new_basis = ctx.basis(new_level);
+    let q_last = ctx.moduli()[ct.level];
+    let parts = ct
+        .parts
+        .iter()
+        .map(|p| rescale_poly(p, old_basis, new_basis, &q_last))
+        .collect();
+    Ok(CkksCiphertext {
+        parts,
+        level: new_level,
+        scale: ct.scale / q_last.value() as f64,
+    })
+}
+
+/// `(c − [c]_{q_last}) / q_last` per remaining residue, with the centered
+/// lift of the last residue.
+fn rescale_poly(
+    p: &RnsPolynomial,
+    old_basis: &RnsBasis,
+    new_basis: &RnsBasis,
+    q_last: &Modulus,
+) -> RnsPolynomial {
+    let n = old_basis.degree();
+    let last = old_basis.len() - 1;
+    let last_coeffs = p.residues()[last].coeffs();
+    let residues = (0..new_basis.len())
+        .map(|j| {
+            let m = &old_basis.moduli()[j];
+            let inv_qlast = m
+                .inv(q_last.value() % m.value())
+                .expect("chain moduli coprime");
+            let coeffs: Vec<u64> = (0..n)
+                .map(|i| {
+                    // Centered lift of the last residue.
+                    let centered = q_last.to_signed(last_coeffs[i]);
+                    let c_j = p.residues()[j].coeffs()[i];
+                    let adjusted = m.sub(c_j, m.from_signed(centered));
+                    m.mul(adjusted, inv_qlast)
+                })
+                .collect();
+            new_basis.contexts()[j].polynomial(&coeffs)
+        })
+        .collect();
+    new_basis.from_residues(residues)
+}
+
+/// Ground-truth witness of one observed encryption (for attack experiments;
+/// a real adversary never sees this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkksWitness {
+    /// The ternary encryption sample `u`.
+    pub u: Vec<i64>,
+    /// The first error polynomial (the `c0` equation's noise).
+    pub e1: Vec<i64>,
+    /// The second error polynomial (the `c1` equation's noise).
+    pub e2: Vec<i64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reveal_bfv::RecordingProbe;
+    use reveal_math::primes::ntt_primes;
+
+    fn toy_context() -> CkksContext {
+        // Chain: one 50-bit prime + one ~30-bit prime ≈ Δ.
+        let n = 32usize;
+        let q0 = ntt_primes(50, 2 * n as u64, 1).unwrap().remove(0);
+        let q1 = ntt_primes(30, 2 * n as u64, 1).unwrap().remove(0);
+        CkksContext::new(n, vec![q0, q1], 1u64 << 30).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let ctx = toy_context();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let slots: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64 * 0.25 - 2.0, (i as f64 * 0.1).sin()))
+            .collect();
+        let ct = encrypt(&ctx, &pk, &slots, &mut rng).unwrap();
+        let back = decrypt(&ctx, &sk, &ct).unwrap();
+        for (a, b) in slots.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-3, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let ctx = toy_context();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let a: Vec<Complex> = (0..16).map(|i| Complex::from(i as f64 * 0.1)).collect();
+        let b: Vec<Complex> = (0..16).map(|i| Complex::from(3.0 - i as f64 * 0.2)).collect();
+        let ca = encrypt(&ctx, &pk, &a, &mut rng).unwrap();
+        let cb = encrypt(&ctx, &pk, &b, &mut rng).unwrap();
+        let sum = decrypt(&ctx, &sk, &add(&ca, &cb).unwrap()).unwrap();
+        for i in 0..16 {
+            assert!((sum[i].re - (a[i].re + b[i].re)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn multiply_then_rescale() {
+        let ctx = toy_context();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (sk, pk) = keygen(&ctx, &mut rng);
+        let a: Vec<Complex> = (0..16).map(|i| Complex::from(0.3 + i as f64 * 0.05)).collect();
+        let b: Vec<Complex> = (0..16).map(|i| Complex::from(1.2 - i as f64 * 0.05)).collect();
+        let ca = encrypt(&ctx, &pk, &a, &mut rng).unwrap();
+        let cb = encrypt(&ctx, &pk, &b, &mut rng).unwrap();
+        let prod = multiply(&ca, &cb).unwrap();
+        assert_eq!(prod.size(), 3);
+        let rescaled = rescale(&ctx, &prod).unwrap();
+        assert_eq!(rescaled.level(), 0);
+        let out = decrypt(&ctx, &sk, &rescaled).unwrap();
+        for i in 0..16 {
+            let expected = a[i].re * b[i].re;
+            assert!(
+                (out[i].re - expected).abs() < 2e-2,
+                "slot {i}: {} vs {expected}",
+                out[i].re
+            );
+        }
+    }
+
+    #[test]
+    fn level_and_scale_guards() {
+        let ctx = toy_context();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_sk, pk) = keygen(&ctx, &mut rng);
+        let slots: Vec<Complex> = (0..16).map(|_| Complex::from(0.5)).collect();
+        let a = encrypt(&ctx, &pk, &slots, &mut rng).unwrap();
+        let b = encrypt(&ctx, &pk, &slots, &mut rng).unwrap();
+        let low = rescale(&ctx, &a).unwrap();
+        assert!(matches!(
+            add(&low, &b),
+            Err(CkksError::LevelMismatch { .. })
+        ));
+        assert!(matches!(rescale(&ctx, &low), Err(CkksError::CannotRescale)));
+        let prod = multiply(&b, &encrypt(&ctx, &pk, &slots, &mut rng).unwrap()).unwrap();
+        assert!(matches!(
+            add(&prod, &b),
+            Err(CkksError::ScaleMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn encryption_exposes_the_same_vulnerable_sampler() {
+        // The attack surface: the probes see the identical event stream BFV
+        // encryption produces — same branches, same negations.
+        let ctx = toy_context();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_sk, pk) = keygen(&ctx, &mut rng);
+        let slots: Vec<Complex> = (0..16).map(|i| Complex::from(i as f64)).collect();
+        let mut probe1 = RecordingProbe::new();
+        let mut probe2 = RecordingProbe::new();
+        let (_ct, witness) =
+            encrypt_observed(&ctx, &pk, &slots, &mut rng, &mut probe1, &mut probe2).unwrap();
+        assert_eq!(witness.e2.len(), 32);
+        assert!(witness.u.iter().all(|&x| (-1..=1).contains(&x)));
+        use reveal_bfv::SamplerEvent;
+        let starts = |p: &RecordingProbe| {
+            p.events()
+                .iter()
+                .filter(|e| matches!(e, SamplerEvent::CoefficientStart { .. }))
+                .count()
+        };
+        assert_eq!(starts(&probe1), 32);
+        assert_eq!(starts(&probe2), 32);
+        let has_negation = probe2
+            .events()
+            .iter()
+            .any(|e| matches!(e, SamplerEvent::Negation { .. }));
+        assert!(has_negation, "the vulnerable negation path executes in CKKS too");
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(matches!(
+            CkksContext::new(32, vec![], 1 << 30),
+            Err(CkksError::Parameters(_))
+        ));
+        let q = ntt_primes(30, 64, 1).unwrap().remove(0);
+        assert!(matches!(
+            CkksContext::new(33, vec![q], 1 << 30),
+            Err(CkksError::Parameters(_))
+        ));
+    }
+}

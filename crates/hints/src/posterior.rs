@@ -1,0 +1,270 @@
+//! Per-coefficient posterior tables (Table II of the paper) and their
+//! conversion into DBDD hints.
+//!
+//! The framework "takes the scores of each measurement and creates
+//! probabilities for each output"; coefficients guessed with probability
+//! ≈ 1 become **perfect** hints, the rest become **approximate** hints with
+//! the posterior's variance.
+
+use crate::dbdd::{DbddInstance, HintError};
+use std::fmt;
+
+/// A discrete posterior over candidate coefficient values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posterior {
+    /// `(value, probability)`, probabilities normalized to 1.
+    entries: Vec<(i64, f64)>,
+}
+
+/// Errors from posterior construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PosteriorError {
+    /// Probabilities were empty or all zero.
+    Degenerate,
+    /// A probability was negative or non-finite.
+    BadProbability(f64),
+}
+
+impl fmt::Display for PosteriorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosteriorError::Degenerate => write!(f, "posterior has no probability mass"),
+            PosteriorError::BadProbability(p) => write!(f, "bad probability {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PosteriorError {}
+
+impl Posterior {
+    /// Builds a posterior from raw scores, normalizing to total mass 1.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the mass is zero or a probability is invalid.
+    pub fn new(entries: Vec<(i64, f64)>) -> Result<Self, PosteriorError> {
+        if let Some(&(_, p)) = entries.iter().find(|(_, p)| !p.is_finite() || *p < 0.0) {
+            return Err(PosteriorError::BadProbability(p));
+        }
+        let total: f64 = entries.iter().map(|(_, p)| p).sum();
+        if total <= 0.0 {
+            return Err(PosteriorError::Degenerate);
+        }
+        let mut entries: Vec<(i64, f64)> = entries
+            .into_iter()
+            .map(|(v, p)| (v, p / total))
+            .collect();
+        entries.sort_by_key(|(v, _)| *v);
+        Ok(Self { entries })
+    }
+
+    /// A point-mass posterior (the coefficient is known).
+    pub fn certain(value: i64) -> Self {
+        Self {
+            entries: vec![(value, 1.0)],
+        }
+    }
+
+    /// The `(value, probability)` pairs, ascending by value.
+    pub fn entries(&self) -> &[(i64, f64)] {
+        &self.entries
+    }
+
+    /// The most likely value.
+    pub fn mode(&self) -> i64 {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty posterior")
+            .0
+    }
+
+    /// The probability of the mode.
+    pub fn confidence(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max)
+    }
+
+    /// The mean ("centered" column of Table II).
+    pub fn mean(&self) -> f64 {
+        self.entries.iter().map(|(v, p)| *v as f64 * p).sum()
+    }
+
+    /// The variance ("variance" column of Table II).
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.entries
+            .iter()
+            .map(|(v, p)| p * (*v as f64 - mean).powi(2))
+            .sum()
+    }
+
+    /// Whether the framework should treat this as a perfect hint: variance
+    /// numerically indistinguishable from zero (the "≈ 1 because of
+    /// floating-point precision" cases of Table II).
+    pub fn is_perfect(&self, variance_threshold: f64) -> bool {
+        self.variance() <= variance_threshold
+    }
+}
+
+/// How posteriors are converted into hints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HintPolicy {
+    /// Posteriors with variance at or below this become perfect hints.
+    pub perfect_variance_threshold: f64,
+    /// Approximate hints are skipped when the posterior is no sharper than
+    /// the prior (variance ratio above this).
+    pub max_useful_variance_ratio: f64,
+    /// The prior variance of a coefficient (σ² of the sampler).
+    pub prior_variance: f64,
+}
+
+impl HintPolicy {
+    /// The paper's setting: σ = 3.2 prior, perfect below 1e-9 variance.
+    pub fn seal_paper() -> Self {
+        Self {
+            perfect_variance_threshold: 1e-9,
+            max_useful_variance_ratio: 0.999,
+            prior_variance: 3.2 * 3.2,
+        }
+    }
+}
+
+/// Summary of one hint-integration pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HintSummary {
+    /// Coordinates integrated as perfect hints.
+    pub perfect: usize,
+    /// Coordinates integrated as approximate hints.
+    pub approximate: usize,
+    /// Coordinates skipped (posterior no sharper than the prior).
+    pub skipped: usize,
+}
+
+/// Integrates one posterior per coordinate into a DBDD instance, following
+/// the framework's perfect/approximate dichotomy.
+///
+/// `coordinates[i]` is the DBDD coordinate index of `posteriors[i]`.
+///
+/// # Errors
+///
+/// Propagates hint-integration failures.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn integrate_posteriors(
+    instance: &mut DbddInstance,
+    coordinates: &[usize],
+    posteriors: &[Posterior],
+    policy: &HintPolicy,
+) -> Result<HintSummary, HintError> {
+    assert_eq!(coordinates.len(), posteriors.len(), "one coordinate per posterior");
+    let mut summary = HintSummary::default();
+    for (&coord, post) in coordinates.iter().zip(posteriors) {
+        let variance = post.variance();
+        if variance <= policy.perfect_variance_threshold {
+            instance.integrate_perfect_hint(coord)?;
+            summary.perfect += 1;
+        } else if variance < policy.prior_variance * policy.max_useful_variance_ratio {
+            // Find the hint variance ε² whose Bayesian posterior equals the
+            // measured posterior variance: ε² = vσ² / (σ² − v).
+            let prior = policy.prior_variance;
+            let eps = variance * prior / (prior - variance);
+            instance.integrate_approximate_hint(coord, eps)?;
+            summary.approximate += 1;
+        } else {
+            summary.skipped += 1;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbdd::LweParameters;
+
+    #[test]
+    fn normalization_and_moments() {
+        let p = Posterior::new(vec![(1, 2.0), (2, 2.0)]).unwrap();
+        assert_eq!(p.entries(), &[(1, 0.5), (2, 0.5)]);
+        assert!((p.mean() - 1.5).abs() < 1e-12);
+        assert!((p.variance() - 0.25).abs() < 1e-12);
+        assert_eq!(p.confidence(), 0.5);
+    }
+
+    #[test]
+    fn table_ii_style_rows() {
+        // Row "1" of Table II: P(1) ≈ 1, P(2) = 2.7e-10 → centered 1,
+        // variance ≈ 2.7e-10.
+        let p = Posterior::new(vec![(1, 1.0 - 2.7e-10), (2, 2.7e-10)]).unwrap();
+        assert_eq!(p.mode(), 1);
+        assert!((p.mean() - 1.0).abs() < 1e-9);
+        assert!((p.variance() - 2.7e-10).abs() < 1e-11);
+        assert!(p.is_perfect(1e-9));
+        // Row "0": exact point mass.
+        let zero = Posterior::certain(0);
+        assert_eq!(zero.variance(), 0.0);
+        assert!(zero.is_perfect(0.0));
+    }
+
+    #[test]
+    fn rejects_bad_posteriors() {
+        assert!(matches!(
+            Posterior::new(vec![]),
+            Err(PosteriorError::Degenerate)
+        ));
+        assert!(matches!(
+            Posterior::new(vec![(0, 0.0)]),
+            Err(PosteriorError::Degenerate)
+        ));
+        assert!(matches!(
+            Posterior::new(vec![(0, -1.0)]),
+            Err(PosteriorError::BadProbability(_))
+        ));
+        assert!(matches!(
+            Posterior::new(vec![(0, f64::NAN)]),
+            Err(PosteriorError::BadProbability(_))
+        ));
+    }
+
+    #[test]
+    fn integration_dichotomy() {
+        let mut inst = DbddInstance::from_lwe(&LweParameters::seal_128_paper());
+        let policy = HintPolicy::seal_paper();
+        let posteriors = vec![
+            Posterior::certain(-2),                                  // perfect
+            Posterior::new(vec![(1, 0.7), (2, 0.3)]).unwrap(),       // approximate
+            Posterior::new(vec![(-14, 1.0), (14, 1.0)]).unwrap(),    // worse than prior? var=196 → skipped
+        ];
+        let summary =
+            integrate_posteriors(&mut inst, &[0, 1, 2], &posteriors, &policy).unwrap();
+        assert_eq!(summary.perfect, 1);
+        assert_eq!(summary.approximate, 1);
+        assert_eq!(summary.skipped, 1);
+        let (p, a, _, _) = inst.hint_counts();
+        assert_eq!((p, a), (1, 1));
+    }
+
+    #[test]
+    fn sharper_posterior_means_lower_bikz() {
+        let policy = HintPolicy::seal_paper();
+        let run = |confidence: f64| {
+            let mut inst = DbddInstance::from_lwe(&LweParameters::seal_128_paper());
+            let posts: Vec<Posterior> = (0..1024)
+                .map(|_| {
+                    Posterior::new(vec![(1, confidence), (5, 1.0 - confidence)]).unwrap()
+                })
+                .collect();
+            let coords: Vec<usize> = (0..1024).collect();
+            integrate_posteriors(&mut inst, &coords, &posts, &policy).unwrap();
+            inst.estimate().bikz
+        };
+        let sharp = run(0.9999);
+        let fuzzy = run(0.7);
+        assert!(sharp < fuzzy, "sharp {sharp} vs fuzzy {fuzzy}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Blockwise Korkine–Zolotarev (BKZ) reduction: LLL plus exact SVP
+//! enumeration on sliding blocks of size β.
+
+use crate::enumeration::enumerate_shortest;
+use crate::gso::Gso;
+use crate::lll::{mlll_reduce, LllParams};
+
+/// BKZ parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BkzParams {
+    /// Block size β ≥ 2.
+    pub block_size: usize,
+    /// Maximum number of full tours.
+    pub max_tours: usize,
+    /// Underlying LLL parameters.
+    pub lll: LllParams,
+}
+
+impl BkzParams {
+    /// Standard parameters for a given block size.
+    pub fn with_block_size(block_size: usize) -> Self {
+        Self {
+            block_size,
+            max_tours: 8,
+            lll: LllParams::default(),
+        }
+    }
+}
+
+/// Statistics of a BKZ run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BkzStats {
+    /// Tours executed.
+    pub tours: u32,
+    /// Enumeration calls that found an improving vector.
+    pub insertions: u32,
+}
+
+/// In-place BKZ reduction.
+///
+/// Each tour slides a β-block over the basis, enumerates the exact shortest
+/// vector of the projected block, and when that beats the current `b*_k`
+/// inserts the combination and re-reduces with MLLL. Stops after a tour with
+/// no insertions or after `max_tours`.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_lattice::bkz::{bkz_reduce, BkzParams};
+/// let mut basis = vec![
+///     vec![45, 12, -7, 3],
+///     vec![-9, 38, 14, -5],
+///     vec![6, -11, 51, 8],
+///     vec![2, 4, -3, 47],
+/// ];
+/// let stats = bkz_reduce(&mut basis, &BkzParams::with_block_size(3));
+/// assert!(stats.tours >= 1);
+/// ```
+pub fn bkz_reduce(basis: &mut Vec<Vec<i64>>, params: &BkzParams) -> BkzStats {
+    assert!(params.block_size >= 2, "block size must be at least 2");
+    let mut stats = BkzStats::default();
+    lll_reduce(basis, &params.lll);
+    for _ in 0..params.max_tours {
+        stats.tours += 1;
+        let mut improved = false;
+        let n = basis.len();
+        for k in 0..n.saturating_sub(1) {
+            let end = (k + params.block_size).min(n);
+            let gso = Gso::new(basis.clone());
+            let current = gso.b_star_sq[k];
+            if current <= 0.0 {
+                continue;
+            }
+            let Some(result) = enumerate_shortest(&gso, k, end, current * 0.9999) else {
+                continue;
+            };
+            // Build the improving lattice vector from the block combination.
+            let dim = gso.dim();
+            let mut v = vec![0i64; dim];
+            for (offset, &xi) in result.coefficients.iter().enumerate() {
+                if xi != 0 {
+                    for (vj, bj) in v.iter_mut().zip(&basis[k + offset]) {
+                        *vj += xi * bj;
+                    }
+                }
+            }
+            if v.iter().all(|&x| x == 0) {
+                continue;
+            }
+            // Insert at position k and remove the introduced dependency.
+            let mut gens = basis.clone();
+            gens.insert(k, v);
+            mlll_reduce(&mut gens, &params.lll);
+            debug_assert_eq!(gens.len(), n, "MLLL must restore a basis");
+            *basis = gens;
+            improved = true;
+            stats.insertions += 1;
+        }
+        if !improved {
+            break;
+        }
+    }
+    stats
+}
+
+/// Re-export of plain LLL for callers that escalate β progressively.
+pub use crate::lll::lll_reduce;
+
+/// The norm of the shortest basis vector after reduction (helper for tests
+/// and the uSVP solver).
+pub fn shortest_row_norm_sq(basis: &[Vec<i64>]) -> i64 {
+    basis
+        .iter()
+        .map(|r| r.iter().map(|&x| x * x).sum::<i64>())
+        .filter(|&n| n > 0)
+        .min()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumeration::shortest_vector;
+    use crate::gso::dot_ii;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_basis(n: usize, scale: i64, seed: u64) -> Vec<Vec<i64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let basis: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(-scale..=scale)).collect())
+                .collect();
+            let gso = Gso::new(basis.clone());
+            if gso.b_star_sq.iter().all(|&b| b > 1e-6) {
+                return basis;
+            }
+        }
+    }
+
+    #[test]
+    fn bkz_never_worse_than_lll() {
+        for seed in 0..5 {
+            let basis = random_basis(6, 40, seed);
+            let mut lll_basis = basis.clone();
+            lll_reduce(&mut lll_basis, &LllParams::default());
+            let mut bkz_basis = basis;
+            bkz_reduce(&mut bkz_basis, &BkzParams::with_block_size(4));
+            assert!(
+                shortest_row_norm_sq(&bkz_basis) <= shortest_row_norm_sq(&lll_basis),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_block_bkz_finds_exact_shortest() {
+        // β = n makes BKZ solve exact SVP on the whole lattice.
+        for seed in 10..14 {
+            let basis = random_basis(5, 25, seed);
+            let exact = shortest_vector(&{
+                let mut b = basis.clone();
+                lll_reduce(&mut b, &LllParams::default());
+                b
+            })
+            .unwrap();
+            let exact_norm = dot_ii(&exact, &exact);
+            let mut bkz_basis = basis;
+            bkz_reduce(&mut bkz_basis, &BkzParams::with_block_size(5));
+            assert_eq!(
+                shortest_row_norm_sq(&bkz_basis),
+                exact_norm,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_lattice_volume() {
+        let basis = random_basis(5, 30, 42);
+        let vol_before = Gso::new(basis.clone()).log_volume();
+        let mut reduced = basis;
+        bkz_reduce(&mut reduced, &BkzParams::with_block_size(3));
+        let vol_after = Gso::new(reduced.clone()).log_volume();
+        assert!((vol_before - vol_after).abs() < 1e-6);
+        assert_eq!(reduced.len(), 5);
+    }
+
+    #[test]
+    fn stats_report_work() {
+        let basis = random_basis(6, 60, 7);
+        let mut b = basis;
+        let stats = bkz_reduce(&mut b, &BkzParams::with_block_size(4));
+        assert!(stats.tours >= 1);
+        // A second run on reduced input should fix nothing.
+        let stats2 = bkz_reduce(&mut b, &BkzParams::with_block_size(4));
+        assert_eq!(stats2.insertions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn rejects_block_size_one() {
+        let mut basis = vec![vec![1, 0], vec![0, 1]];
+        bkz_reduce(&mut basis, &BkzParams::with_block_size(1));
+    }
+}

@@ -1,0 +1,338 @@
+//! LWE → uSVP embedding (Kannan) and the concrete solver used to *finish*
+//! the RevEAL attack on reduced-dimension instances.
+//!
+//! After the single-trace analysis pins most error coefficients, the residual
+//! problem is a small LWE instance; this module embeds it into a lattice
+//! whose unique shortest vector reveals the remaining secret, and solves it
+//! with LLL/BKZ.
+
+use crate::bkz::{bkz_reduce, BkzParams};
+use crate::gso::dot_ii;
+use crate::lll::{lll_reduce, LllParams};
+use std::fmt;
+
+/// A small LWE instance `b = A·s + e (mod q)` with centered entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LweInstance {
+    /// Modulus.
+    pub q: i64,
+    /// `m × n` matrix, row-major.
+    pub a: Vec<Vec<i64>>,
+    /// Length-`m` right-hand side.
+    pub b: Vec<i64>,
+}
+
+/// Errors from embedding/solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// Instance dimensions disagree.
+    ShapeMismatch,
+    /// The reduced basis contained no candidate of the expected shape.
+    NoCandidateFound,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::ShapeMismatch => write!(f, "instance dimensions disagree"),
+            SolveError::NoCandidateFound => {
+                write!(f, "no short vector of the expected shape was found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl LweInstance {
+    /// Number of samples `m`.
+    pub fn samples(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Secret dimension `n`.
+    pub fn secret_dim(&self) -> usize {
+        self.a.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Validates shape consistency.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        let n = self.secret_dim();
+        if self.a.len() != self.b.len() || self.a.iter().any(|r| r.len() != n) || self.q <= 1 {
+            return Err(SolveError::ShapeMismatch);
+        }
+        Ok(())
+    }
+
+    /// Builds the Kannan embedding basis of dimension `m + n + 1`:
+    ///
+    /// ```text
+    /// rows:  [ q·I_m   0     0 ]   (modulus relations)
+    ///        [ A_col_j e_j   0 ]   (secret columns)
+    ///        [ b       0     M ]   (embedding row)
+    /// ```
+    ///
+    /// The target `(e, -s, -M)`-shaped vector (up to sign) is unusually
+    /// short when `e` and `s` are small.
+    pub fn embed(&self, embedding_factor: i64) -> Result<Vec<Vec<i64>>, SolveError> {
+        self.validate()?;
+        let m = self.samples();
+        let n = self.secret_dim();
+        let dim = m + n + 1;
+        let mut basis = Vec::with_capacity(dim);
+        for i in 0..m {
+            let mut row = vec![0i64; dim];
+            row[i] = self.q;
+            basis.push(row);
+        }
+        for j in 0..n {
+            let mut row = vec![0i64; dim];
+            for i in 0..m {
+                row[i] = self.a[i][j].rem_euclid(self.q);
+            }
+            row[m + j] = 1;
+            basis.push(row);
+        }
+        let mut last = vec![0i64; dim];
+        for i in 0..m {
+            last[i] = self.b[i].rem_euclid(self.q);
+        }
+        last[dim - 1] = embedding_factor;
+        basis.push(last);
+        Ok(basis)
+    }
+
+    /// Evaluates `b - A·s mod q` centered — the error this secret implies.
+    pub fn error_for_secret(&self, s: &[i64]) -> Vec<i64> {
+        let half = self.q / 2;
+        self.a
+            .iter()
+            .zip(&self.b)
+            .map(|(row, &bi)| {
+                let dot: i64 = row.iter().zip(s).map(|(a, si)| a * si).sum();
+                let mut r = (bi - dot).rem_euclid(self.q);
+                if r > half {
+                    r -= self.q;
+                }
+                r
+            })
+            .collect()
+    }
+}
+
+/// Result of a successful uSVP solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LweSolution {
+    /// The recovered secret `s`.
+    pub secret: Vec<i64>,
+    /// The implied error `e = b - A·s mod q` (centered).
+    pub error: Vec<i64>,
+    /// The block size at which the solver succeeded (2 means LLL sufficed).
+    pub solved_at_beta: usize,
+}
+
+/// Configuration of the progressive solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Kannan embedding factor `M` (≈ expected ‖e‖∞; 1 is standard).
+    pub embedding_factor: i64,
+    /// Block sizes tried in order (2 means plain LLL).
+    pub beta_schedule: Vec<usize>,
+    /// Accept a candidate only if every error entry fits this bound.
+    pub error_bound: i64,
+    /// Accept a candidate only if every secret entry fits this bound
+    /// (ternary secrets → 1).
+    pub secret_bound: i64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            embedding_factor: 1,
+            beta_schedule: vec![2, 4, 8, 12, 16, 20],
+            error_bound: 48,
+            secret_bound: 1,
+        }
+    }
+}
+
+/// Progressive uSVP solver: LLL first, then BKZ with growing β, extracting
+/// the `(e, -s, ±M)` vector from the reduced basis.
+///
+/// # Errors
+///
+/// Fails on malformed instances or when no candidate passes the bounds at
+/// any scheduled β.
+pub fn solve_lwe(instance: &LweInstance, config: &SolverConfig) -> Result<LweSolution, SolveError> {
+    instance.validate()?;
+    let m = instance.samples();
+    let n = instance.secret_dim();
+    let mut basis = instance.embed(config.embedding_factor)?;
+    for &beta in &config.beta_schedule {
+        if beta <= 2 {
+            lll_reduce(&mut basis, &LllParams::default());
+        } else {
+            bkz_reduce(&mut basis, &BkzParams::with_block_size(beta));
+        }
+        if let Some(solution) = extract_candidate(instance, &basis, m, n, config, beta) {
+            return Ok(solution);
+        }
+    }
+    Err(SolveError::NoCandidateFound)
+}
+
+fn extract_candidate(
+    instance: &LweInstance,
+    basis: &[Vec<i64>],
+    m: usize,
+    n: usize,
+    config: &SolverConfig,
+    beta: usize,
+) -> Option<LweSolution> {
+    // Search the reduced rows (shortest first) for the embedded shape.
+    let mut rows: Vec<&Vec<i64>> = basis.iter().collect();
+    rows.sort_by_key(|r| dot_ii(r, r));
+    for row in rows {
+        let tail = row[m + n];
+        if tail.abs() != config.embedding_factor.abs() {
+            continue;
+        }
+        let sign = if tail == config.embedding_factor { 1 } else { -1 };
+        // row = sign * (e, -s, M)
+        let secret: Vec<i64> = (0..n).map(|j| -sign * row[m + j]).collect();
+        if secret.iter().any(|&s| s.abs() > config.secret_bound) {
+            continue;
+        }
+        let error = instance.error_for_secret(&secret);
+        if error.iter().any(|&e| e.abs() > config.error_bound) {
+            continue;
+        }
+        // Consistency: the row's first m coordinates must equal sign*e.
+        let consistent = (0..m).all(|i| row[i] == sign * error[i]);
+        if !consistent {
+            continue;
+        }
+        return Some(LweSolution {
+            secret,
+            error,
+            solved_at_beta: beta,
+        });
+    }
+    None
+}
+
+/// Generates a random LWE instance with ternary secret and small Gaussian-ish
+/// error (for tests/benches).
+pub fn random_instance<R: rand::Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    q: i64,
+    error_bound: i64,
+    rng: &mut R,
+) -> (LweInstance, Vec<i64>, Vec<i64>) {
+    let secret: Vec<i64> = (0..n).map(|_| rng.gen_range(-1i64..=1)).collect();
+    let error: Vec<i64> = (0..m).map(|_| rng.gen_range(-error_bound..=error_bound)).collect();
+    let a: Vec<Vec<i64>> = (0..m)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..q)).collect())
+        .collect();
+    let b: Vec<i64> = a
+        .iter()
+        .zip(&error)
+        .map(|(row, &e)| {
+            let dot: i64 = row.iter().zip(&secret).map(|(x, s)| x * s).sum();
+            (dot + e).rem_euclid(q)
+        })
+        .collect();
+    (LweInstance { q, a, b }, secret, error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn embedding_contains_target_vector() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (inst, secret, error) = random_instance(4, 6, 3329, 2, &mut rng);
+        let basis = inst.embed(1).unwrap();
+        // The vector (e, -s, 1) must lie in the lattice: build it from rows
+        // q-rows * k + secret-rows * (-s) + last row.
+        // Verified indirectly: (e, -s, 1) satisfies the congruences.
+        let m = inst.samples();
+        for i in 0..m {
+            let dot: i64 = inst.a[i].iter().zip(&secret).map(|(a, s)| a * s).sum();
+            assert_eq!((inst.b[i] - dot - error[i]).rem_euclid(inst.q), 0);
+        }
+        assert_eq!(basis.len(), 4 + 6 + 1);
+        assert!(basis.iter().all(|r| r.len() == 11));
+    }
+
+    #[test]
+    fn solves_small_instances_with_lll_only() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (inst, secret, error) = random_instance(6, 12, 3329, 2, &mut rng);
+            let sol = solve_lwe(&inst, &SolverConfig::default()).unwrap();
+            assert_eq!(sol.secret, secret, "seed {seed}");
+            assert_eq!(sol.error, error, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn solves_medium_instance() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let (inst, secret, _) = random_instance(10, 20, 12289, 3, &mut rng);
+        let sol = solve_lwe(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(sol.secret, secret);
+    }
+
+    #[test]
+    fn error_for_secret_is_centered() {
+        let inst = LweInstance {
+            q: 17,
+            a: vec![vec![3], vec![5]],
+            b: vec![16, 2],
+        };
+        // s = 1: e = (16-3, 2-5) mod 17 centered = (-4, -3).
+        assert_eq!(inst.error_for_secret(&[1]), vec![-4, -3]);
+    }
+
+    #[test]
+    fn rejects_malformed_instances() {
+        let bad = LweInstance {
+            q: 17,
+            a: vec![vec![1, 2], vec![3]],
+            b: vec![1, 2],
+        };
+        assert_eq!(bad.validate(), Err(SolveError::ShapeMismatch));
+        let bad2 = LweInstance {
+            q: 17,
+            a: vec![vec![1]],
+            b: vec![1, 2],
+        };
+        assert_eq!(bad2.validate(), Err(SolveError::ShapeMismatch));
+    }
+
+    #[test]
+    fn unsolvable_when_error_huge() {
+        // With error ~ q/2 the instance is statistically unsolvable; the
+        // solver must report failure, not a wrong answer.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 8;
+        let m = 10;
+        let q = 257i64;
+        let a: Vec<Vec<i64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..q)).collect())
+            .collect();
+        let b: Vec<i64> = (0..m).map(|_| rng.gen_range(0..q)).collect();
+        let inst = LweInstance { q, a, b };
+        let config = SolverConfig {
+            error_bound: 3,
+            beta_schedule: vec![2, 4],
+            ..SolverConfig::default()
+        };
+        assert!(solve_lwe(&inst, &config).is_err());
+    }
+}

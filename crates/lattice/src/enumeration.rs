@@ -1,0 +1,246 @@
+//! Schnorr–Euchner enumeration: exact shortest-vector search on the
+//! Gram–Schmidt representation of a (projected) basis block.
+
+use crate::gso::Gso;
+
+/// Result of an enumeration: coefficient vector (w.r.t. the block basis) and
+/// the squared norm of the corresponding lattice vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumerationResult {
+    /// Integer coefficients `x` such that `v = Σ x_i b_i`.
+    pub coefficients: Vec<i64>,
+    /// `‖v‖²`.
+    pub norm_sq: f64,
+}
+
+/// Enumerates the shortest nonzero vector of the sub-lattice spanned by the
+/// GSO block `[start, end)` with squared radius bound `radius_sq`.
+///
+/// Returns `None` when no vector beats the bound. Uses the classic
+/// depth-first Schnorr–Euchner traversal with the zig-zag child ordering and
+/// radius updates on every improvement.
+///
+/// # Panics
+///
+/// Panics if the block range is invalid.
+pub fn enumerate_shortest(
+    gso: &Gso,
+    start: usize,
+    end: usize,
+    radius_sq: f64,
+) -> Option<EnumerationResult> {
+    assert!(start < end && end <= gso.rows(), "bad enumeration block");
+    let d = end - start;
+    let b: Vec<f64> = (start..end).map(|i| gso.b_star_sq[i]).collect();
+    if b.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    // mu restricted to the block: mu[i][j] for start <= j < i < end.
+    let mu = |i: usize, j: usize| gso.mu[start + i][start + j];
+
+    let mut best: Option<(Vec<i64>, f64)> = None;
+    let mut radius = radius_sq;
+
+    // State per level (levels indexed from the last block row down to 0).
+    let mut x = vec![0i64; d];
+    let mut centers = vec![0.0f64; d];
+    let mut partial = vec![0.0f64; d + 1]; // partial[k] = cost of levels k..d
+    let mut deltas = vec![0i64; d];
+    let mut delta_signs = vec![1i64; d];
+
+    let mut k = d - 1;
+    // Center of the top level is 0 (no outer coordinates fixed yet).
+    centers[k] = 0.0;
+    x[k] = 0;
+    deltas[k] = 0;
+    delta_signs[k] = 1;
+
+    loop {
+        // Cost of the current partial assignment at level k.
+        let diff = x[k] as f64 - centers[k];
+        let cost = partial[k + 1] + diff * diff * b[k];
+        if cost < radius {
+            if k == 0 {
+                // Full assignment: a candidate vector (skip the zero vector).
+                if x.iter().any(|&xi| xi != 0) {
+                    radius = cost * 0.9999; // shrink to prefer strictly shorter
+                    best = Some((x.clone(), cost));
+                }
+                // Continue scanning siblings at level 0.
+                next_sibling(&mut x, &mut deltas, &mut delta_signs, &centers, 0);
+            } else {
+                // Descend.
+                partial[k] = cost;
+                k -= 1;
+                let mut c = 0.0;
+                for j in k + 1..d {
+                    c -= mu(j, k) * x[j] as f64;
+                }
+                centers[k] = c;
+                x[k] = c.round() as i64;
+                deltas[k] = 0;
+                delta_signs[k] = if c - c.round() >= 0.0 { 1 } else { -1 };
+            }
+        } else {
+            // The zig-zag visits siblings in non-decreasing |x - center|
+            // order, so a failed bound kills the whole level: ascend. At the
+            // top level (center 0, symmetric) that ends the search.
+            if k == d - 1 {
+                break;
+            }
+            k += 1;
+            next_sibling(&mut x, &mut deltas, &mut delta_signs, &centers, k);
+        }
+    }
+    best.map(|(coefficients, norm_sq)| EnumerationResult {
+        coefficients,
+        norm_sq,
+    })
+}
+
+/// Zig-zag sibling step of Schnorr–Euchner: x, x+1, x-1, x+2, … around the
+/// level's center.
+fn next_sibling(
+    x: &mut [i64],
+    deltas: &mut [i64],
+    delta_signs: &mut [i64],
+    _centers: &[f64],
+    k: usize,
+) {
+    deltas[k] += 1;
+    x[k] += delta_signs[k] * deltas[k];
+    delta_signs[k] = -delta_signs[k];
+}
+
+/// Convenience: exact shortest vector of a full small basis, as coordinates.
+///
+/// Returns `None` for empty/degenerate bases.
+pub fn shortest_vector(basis: &[Vec<i64>]) -> Option<Vec<i64>> {
+    if basis.is_empty() {
+        return None;
+    }
+    let gso = Gso::new(basis.to_vec());
+    let radius = (0..gso.rows())
+        .map(|i| gso.row_norm_sq(i))
+        .fold(f64::INFINITY, f64::min)
+        * 1.0001;
+    let result = enumerate_shortest(&gso, 0, gso.rows(), radius)?;
+    let dim = gso.dim();
+    let mut v = vec![0i64; dim];
+    for (xi, row) in result.coefficients.iter().zip(basis) {
+        for (vj, rj) in v.iter_mut().zip(row) {
+            *vj += xi * rj;
+        }
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gso::dot_ii;
+    use crate::lll::{lll_reduce, LllParams};
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_unit_vector_in_identity() {
+        let basis = vec![vec![1, 0], vec![0, 1]];
+        let v = shortest_vector(&basis).unwrap();
+        assert_eq!(dot_ii(&v, &v), 1);
+    }
+
+    #[test]
+    fn finds_shorter_than_basis_vectors() {
+        // Basis (5, 3), (4, 2): difference (1, 1) has norm² 2 < 20, 29.
+        let basis = vec![vec![5, 3], vec![4, 2]];
+        let v = shortest_vector(&basis).unwrap();
+        assert_eq!(dot_ii(&v, &v), 2, "shortest is ±(1,1), got {v:?}");
+    }
+
+    #[test]
+    fn shortest_in_scaled_lattice() {
+        let basis = vec![vec![7, 0, 0], vec![0, 11, 0], vec![0, 0, 13]];
+        let v = shortest_vector(&basis).unwrap();
+        assert_eq!(dot_ii(&v, &v), 49);
+    }
+
+    #[test]
+    fn radius_bound_respected() {
+        let gso = Gso::new(vec![vec![3, 0], vec![0, 4]]);
+        // Radius² below the shortest (9): nothing found.
+        assert!(enumerate_shortest(&gso, 0, 2, 8.9).is_none());
+        // Radius² just above: finds (1, 0) * 3.
+        let r = enumerate_shortest(&gso, 0, 2, 9.1).unwrap();
+        assert!((r.norm_sq - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_enumeration_projects() {
+        // In a reduced 3-dim basis, enumerate only the tail block [1, 3):
+        // coefficients are w.r.t. b1, b2 projected away from b0.
+        let mut basis = vec![vec![9, 0, 0], vec![1, 7, 0], vec![2, 1, 5]];
+        lll_reduce(&mut basis, &LllParams::default());
+        let gso = Gso::new(basis);
+        let bound = gso.b_star_sq[1] * 1.0001;
+        let r = enumerate_shortest(&gso, 1, 3, bound);
+        assert!(r.is_some());
+        assert!(r.unwrap().norm_sq <= bound);
+    }
+
+    fn brute_force_shortest(basis: &[Vec<i64>], range: i64) -> i64 {
+        let dim = basis[0].len();
+        let mut best = i64::MAX;
+        let n = basis.len();
+        let mut counters = vec![-range; n];
+        'outer: loop {
+            let mut v = vec![0i64; dim];
+            for (c, row) in counters.iter().zip(basis) {
+                for (vj, rj) in v.iter_mut().zip(row) {
+                    *vj += c * rj;
+                }
+            }
+            let norm = dot_ii(&v, &v);
+            if norm > 0 && norm < best {
+                best = norm;
+            }
+            for i in 0..n {
+                counters[i] += 1;
+                if counters[i] <= range {
+                    continue 'outer;
+                }
+                counters[i] = -range;
+            }
+            break;
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_brute_force_2d(
+            a in -12i64..12, b in -12i64..12, c in -12i64..12, d in -12i64..12,
+        ) {
+            prop_assume!(a * d - b * c != 0);
+            let mut basis = vec![vec![a, b], vec![c, d]];
+            lll_reduce(&mut basis, &LllParams::default());
+            let v = shortest_vector(&basis).unwrap();
+            let expected = brute_force_shortest(&basis, 4);
+            prop_assert_eq!(dot_ii(&v, &v), expected);
+        }
+
+        #[test]
+        fn prop_matches_brute_force_3d(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-8i64..8, 3), 3),
+        ) {
+            let gso = Gso::new(rows.clone());
+            prop_assume!(gso.b_star_sq.iter().all(|&x| x > 1e-6));
+            let mut basis = rows;
+            lll_reduce(&mut basis, &LllParams::default());
+            let v = shortest_vector(&basis).unwrap();
+            let expected = brute_force_shortest(&basis, 3);
+            prop_assert_eq!(dot_ii(&v, &v), expected);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Gram–Schmidt orthogonalization over `f64` for integer lattice bases.
+
+/// An integer lattice basis (row vectors) with its floating-point
+/// Gram–Schmidt data: coefficients `μ[i][j]` (j < i) and squared norms
+/// `‖b*_i‖²`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gso {
+    /// Basis rows (integer coordinates).
+    pub basis: Vec<Vec<i64>>,
+    /// μ coefficients, row-major lower triangle (`mu[i][j]` valid for j < i).
+    pub mu: Vec<Vec<f64>>,
+    /// Squared Gram–Schmidt norms `‖b*_i‖²`.
+    pub b_star_sq: Vec<f64>,
+    /// The orthogonalized vectors themselves (needed for recomputation).
+    b_star: Vec<Vec<f64>>,
+}
+
+impl Gso {
+    /// Builds GSO data for a basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent dimensions.
+    pub fn new(basis: Vec<Vec<i64>>) -> Self {
+        let rows = basis.len();
+        if rows > 0 {
+            let d = basis[0].len();
+            assert!(basis.iter().all(|r| r.len() == d), "ragged basis");
+        }
+        let mut gso = Self {
+            mu: vec![vec![0.0; rows]; rows],
+            b_star_sq: vec![0.0; rows],
+            b_star: vec![Vec::new(); rows],
+            basis,
+        };
+        gso.recompute_from(0);
+        gso
+    }
+
+    /// Number of basis rows.
+    pub fn rows(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.basis.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Recomputes GSO data for rows `start..` (rows before `start` must be
+    /// unchanged since the last computation).
+    pub fn recompute_from(&mut self, start: usize) {
+        let rows = self.basis.len();
+        for i in start..rows {
+            let mut v: Vec<f64> = self.basis[i].iter().map(|&x| x as f64).collect();
+            for j in 0..i {
+                let denom = self.b_star_sq[j];
+                let mu_ij = if denom > 0.0 {
+                    dot_if(&self.basis[i], &self.b_star[j]) / denom
+                } else {
+                    0.0
+                };
+                self.mu[i][j] = mu_ij;
+                for (vk, bj) in v.iter_mut().zip(&self.b_star[j]) {
+                    *vk -= mu_ij * bj;
+                }
+            }
+            self.b_star_sq[i] = v.iter().map(|x| x * x).sum();
+            self.b_star[i] = v;
+        }
+    }
+
+    /// Squared Euclidean norm of basis row `i`.
+    pub fn row_norm_sq(&self, i: usize) -> f64 {
+        self.basis[i].iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+
+    /// The log-volume of the lattice: `Σ ln ‖b*_i‖` (half the log Gram
+    /// determinant).
+    pub fn log_volume(&self) -> f64 {
+        self.b_star_sq.iter().map(|&b| 0.5 * b.max(f64::MIN_POSITIVE).ln()).sum()
+    }
+
+    /// Removes basis row `i` and recomputes downstream data.
+    pub fn remove_row(&mut self, i: usize) {
+        self.basis.remove(i);
+        self.mu.remove(i);
+        self.b_star.remove(i);
+        self.b_star_sq.remove(i);
+        for row in &mut self.mu {
+            if row.len() > i {
+                row.remove(i);
+            }
+        }
+        // mu rows must keep width == rows; rebuild widths then recompute.
+        let rows = self.basis.len();
+        for row in &mut self.mu {
+            row.resize(rows, 0.0);
+        }
+        self.recompute_from(i);
+    }
+
+    /// Inserts `vector` as row `i` and recomputes downstream data.
+    pub fn insert_row(&mut self, i: usize, vector: Vec<i64>) {
+        assert_eq!(vector.len(), self.dim().max(vector.len()), "dimension mismatch");
+        self.basis.insert(i, vector);
+        let rows = self.basis.len();
+        self.mu.insert(i, vec![0.0; rows]);
+        for row in &mut self.mu {
+            row.resize(rows, 0.0);
+        }
+        self.b_star.insert(i, Vec::new());
+        self.b_star_sq.insert(i, 0.0);
+        self.recompute_from(i);
+    }
+
+    /// Swaps rows `i` and `i + 1`, recomputing from `i`.
+    pub fn swap_rows(&mut self, i: usize) {
+        self.basis.swap(i, i + 1);
+        self.recompute_from(i);
+    }
+}
+
+fn dot_if(a: &[i64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, y)| x as f64 * y).sum()
+}
+
+/// Integer dot product.
+pub fn dot_ii(a: &[i64], b: &[i64]) -> i64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orthogonal_basis_is_fixed_point() {
+        let gso = Gso::new(vec![vec![2, 0, 0], vec![0, 3, 0], vec![0, 0, 5]]);
+        assert_eq!(gso.b_star_sq, vec![4.0, 9.0, 25.0]);
+        assert_eq!(gso.mu[1][0], 0.0);
+        assert_eq!(gso.mu[2][1], 0.0);
+        assert!((gso.log_volume() - (30.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_mu_values() {
+        // b0 = (1, 1), b1 = (1, 0): mu10 = 1/2, b1* = (1/2, -1/2).
+        let gso = Gso::new(vec![vec![1, 1], vec![1, 0]]);
+        assert!((gso.mu[1][0] - 0.5).abs() < 1e-12);
+        assert!((gso.b_star_sq[0] - 2.0).abs() < 1e-12);
+        assert!((gso.b_star_sq[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_invariant_under_swap() {
+        let mut gso = Gso::new(vec![vec![3, 1, 4], vec![1, 5, 9], vec![2, 6, 5]]);
+        let vol = gso.log_volume();
+        gso.swap_rows(0);
+        assert!((gso.log_volume() - vol).abs() < 1e-9);
+        gso.swap_rows(1);
+        assert!((gso.log_volume() - vol).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependent_row_has_zero_norm() {
+        let gso = Gso::new(vec![vec![1, 2], vec![2, 4]]);
+        assert!(gso.b_star_sq[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let original = vec![vec![5, 0], vec![0, 7]];
+        let mut gso = Gso::new(original.clone());
+        gso.insert_row(1, vec![1, 1]);
+        assert_eq!(gso.rows(), 3);
+        assert_eq!(gso.basis[1], vec![1, 1]);
+        gso.remove_row(1);
+        assert_eq!(gso.basis, original);
+        assert_eq!(gso.b_star_sq, vec![25.0, 49.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bstar_orthogonal(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-50i64..50, 4), 2..5),
+        ) {
+            let gso = Gso::new(rows);
+            for i in 0..gso.rows() {
+                for j in 0..i {
+                    if gso.b_star_sq[i] > 1e-6 && gso.b_star_sq[j] > 1e-6 {
+                        let d: f64 = gso.b_star[i].iter().zip(&gso.b_star[j]).map(|(a, b)| a * b).sum();
+                        let scale = (gso.b_star_sq[i] * gso.b_star_sq[j]).sqrt();
+                        prop_assert!((d / scale).abs() < 1e-6);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_incremental_matches_full(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-20i64..20, 3), 3..5),
+        ) {
+            let mut inc = Gso::new(rows.clone());
+            // Mutate the last row and recompute incrementally.
+            let last = inc.rows() - 1;
+            inc.basis[last][0] += 1;
+            inc.recompute_from(last);
+            let full = Gso::new(inc.basis.clone());
+            for i in 0..full.rows() {
+                prop_assert!((inc.b_star_sq[i] - full.b_star_sq[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Scalar modular-arithmetic helpers shared by the rest of the crate.
+//!
+//! Everything here operates on `u64` residues with moduli below 2^62 so that
+//! sums of two residues never overflow. The widening primitives go through
+//! `u128`, which the compiler lowers to a single `mul` on x86-64/aarch64.
+
+/// Multiplies two residues modulo `modulus` using a widening 128-bit product.
+///
+/// # Panics
+///
+/// Panics in debug builds if `modulus` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::arith::mul_mod;
+/// assert_eq!(mul_mod(3, 4, 5), 2);
+/// ```
+#[inline]
+pub fn mul_mod(a: u64, b: u64, modulus: u64) -> u64 {
+    debug_assert!(modulus != 0);
+    ((a as u128 * b as u128) % modulus as u128) as u64
+}
+
+/// Adds two residues modulo `modulus`.
+///
+/// Both inputs must already be reduced; the sum is computed without overflow
+/// for moduli below 2^63.
+#[inline]
+pub fn add_mod(a: u64, b: u64, modulus: u64) -> u64 {
+    debug_assert!(a < modulus && b < modulus);
+    let s = a + b;
+    if s >= modulus {
+        s - modulus
+    } else {
+        s
+    }
+}
+
+/// Subtracts `b` from `a` modulo `modulus`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, modulus: u64) -> u64 {
+    debug_assert!(a < modulus && b < modulus);
+    if a >= b {
+        a - b
+    } else {
+        a + modulus - b
+    }
+}
+
+/// Negates a residue modulo `modulus`.
+#[inline]
+pub fn neg_mod(a: u64, modulus: u64) -> u64 {
+    debug_assert!(a < modulus);
+    if a == 0 {
+        0
+    } else {
+        modulus - a
+    }
+}
+
+/// Raises `base` to `exp` modulo `modulus` by square-and-multiply.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::arith::pow_mod;
+/// assert_eq!(pow_mod(2, 10, 1000), 24);
+/// ```
+pub fn pow_mod(base: u64, mut exp: u64, modulus: u64) -> u64 {
+    debug_assert!(modulus != 0);
+    let mut result = 1 % modulus;
+    let mut base = base % modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = mul_mod(result, base, modulus);
+        }
+        base = mul_mod(base, base, modulus);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Computes the greatest common divisor of `a` and `b`.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Extended Euclidean algorithm over signed 128-bit integers.
+///
+/// Returns `(g, x, y)` with `a*x + b*y = g = gcd(a, b)`.
+pub fn extended_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = extended_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Computes the multiplicative inverse of `a` modulo `modulus`.
+///
+/// Returns `None` when `gcd(a, modulus) != 1`.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::arith::inv_mod;
+/// assert_eq!(inv_mod(3, 7), Some(5));
+/// assert_eq!(inv_mod(2, 4), None);
+/// ```
+pub fn inv_mod(a: u64, modulus: u64) -> Option<u64> {
+    if modulus == 0 {
+        return None;
+    }
+    let (g, x, _) = extended_gcd(a as i128, modulus as i128);
+    if g != 1 {
+        return None;
+    }
+    let m = modulus as i128;
+    Some(((x % m + m) % m) as u64)
+}
+
+/// Reduces a signed integer into `[0, modulus)`.
+///
+/// This is the conversion SEAL performs when writing a sampled (possibly
+/// negative) noise coefficient into an `R_q` polynomial.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::arith::signed_to_residue;
+/// assert_eq!(signed_to_residue(-3, 17), 14);
+/// assert_eq!(signed_to_residue(5, 17), 5);
+/// ```
+#[inline]
+pub fn signed_to_residue(value: i64, modulus: u64) -> u64 {
+    let m = modulus as i128;
+    let v = (value as i128 % m + m) % m;
+    v as u64
+}
+
+/// Lifts a residue in `[0, modulus)` to the centered representative in
+/// `(-modulus/2, modulus/2]`.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::arith::residue_to_signed;
+/// assert_eq!(residue_to_signed(14, 17), -3);
+/// assert_eq!(residue_to_signed(5, 17), 5);
+/// ```
+#[inline]
+pub fn residue_to_signed(value: u64, modulus: u64) -> i64 {
+    debug_assert!(value < modulus);
+    if value > modulus / 2 {
+        -((modulus - value) as i64)
+    } else {
+        value as i64
+    }
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs.
+///
+/// Uses the standard small witness set that is known to be complete below
+/// 2^64.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Rounds `numerator / denominator` to the nearest integer (ties away from
+/// zero), operating on non-negative 128-bit values.
+#[inline]
+pub fn div_round(numerator: u128, denominator: u128) -> u128 {
+    debug_assert!(denominator != 0);
+    (numerator + denominator / 2) / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mul_mod_basics() {
+        assert_eq!(mul_mod(0, 123, 97), 0);
+        assert_eq!(mul_mod(96, 96, 97), 1);
+        assert_eq!(mul_mod(u64::MAX % 97, 2, 97), (u64::MAX % 97) * 2 % 97);
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let q = 132120577u64;
+        for a in [0u64, 1, 2, q / 2, q - 1] {
+            assert_eq!(sub_mod(add_mod(a, 5 % q, q), 5 % q, q), a);
+            assert_eq!(add_mod(a, neg_mod(a, q), q), 0);
+        }
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        let q = 132120577u64; // prime
+        for a in [2u64, 3, 12345, q - 1] {
+            assert_eq!(pow_mod(a, q - 1, q), 1);
+        }
+    }
+
+    #[test]
+    fn inv_mod_matches_pow() {
+        let q = 132120577u64;
+        for a in [1u64, 2, 3, 65537, q - 2] {
+            let inv = inv_mod(a, q).expect("invertible");
+            assert_eq!(mul_mod(a, inv, q), 1);
+            assert_eq!(inv, pow_mod(a, q - 2, q));
+        }
+    }
+
+    #[test]
+    fn inv_mod_noninvertible() {
+        assert_eq!(inv_mod(6, 9), None);
+        assert_eq!(inv_mod(0, 7), None);
+        assert_eq!(inv_mod(5, 0), None);
+    }
+
+    #[test]
+    fn signed_residue_roundtrip_examples() {
+        let q = 132120577u64;
+        for v in [-41i64, -1, 0, 1, 41] {
+            assert_eq!(residue_to_signed(signed_to_residue(v, q), q), v);
+        }
+    }
+
+    #[test]
+    fn primality_known_values() {
+        assert!(is_prime(2));
+        assert!(is_prime(132120577));
+        assert!(is_prime(0xffff_ffff_0000_0001)); // Goldilocks prime
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+        assert!(!is_prime(132120575));
+        assert!(!is_prime((1u64 << 32) + 1)); // 641 * 6700417
+    }
+
+    #[test]
+    fn div_round_ties() {
+        assert_eq!(div_round(5, 2), 3);
+        assert_eq!(div_round(4, 2), 2);
+        assert_eq!(div_round(0, 7), 0);
+        assert_eq!(div_round(20, 7), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_mod_commutative(a in 0u64..u64::MAX, b in 0u64..u64::MAX, q in 2u64..(1u64<<62)) {
+            prop_assert_eq!(mul_mod(a % q, b % q, q), mul_mod(b % q, a % q, q));
+        }
+
+        #[test]
+        fn prop_add_mod_associative(a in 0u64..(1u64<<61), b in 0u64..(1u64<<61), c in 0u64..(1u64<<61), q in 2u64..(1u64<<61)) {
+            let (a, b, c) = (a % q, b % q, c % q);
+            prop_assert_eq!(add_mod(add_mod(a, b, q), c, q), add_mod(a, add_mod(b, c, q), q));
+        }
+
+        #[test]
+        fn prop_signed_roundtrip(v in -(1i64<<40)..(1i64<<40), q in 3u64..(1u64<<62)) {
+            prop_assume!((v.unsigned_abs()) < q / 2);
+            prop_assert_eq!(residue_to_signed(signed_to_residue(v, q), q), v);
+        }
+
+        #[test]
+        fn prop_inv_mod_is_inverse(a in 1u64..(1u64<<61), q in 2u64..(1u64<<61)) {
+            let a = a % q;
+            prop_assume!(a != 0);
+            if let Some(inv) = inv_mod(a, q) {
+                prop_assert_eq!(mul_mod(a, inv, q), 1);
+            } else {
+                prop_assert!(gcd(a, q) != 1);
+            }
+        }
+
+        #[test]
+        fn prop_pow_mod_add_law(a in 1u64..(1u64<<61), e1 in 0u64..1000, e2 in 0u64..1000, q in 2u64..(1u64<<61)) {
+            let a = a % q;
+            let lhs = mul_mod(pow_mod(a, e1, q), pow_mod(a, e2, q), q);
+            let rhs = pow_mod(a, e1 + e2, q);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

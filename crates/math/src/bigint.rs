@@ -1,0 +1,401 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! BFV decryption computes `round(t * |c(s)|_q / q)` where `q` is the product
+//! of all RNS primes — up to a few hundred bits for large parameter sets.
+//! This module provides exactly the operations that computation needs
+//! (add, sub, compare, mul by u64, divmod by u64, full divmod) on a
+//! little-endian `Vec<u64>` limb representation, with no external
+//! dependencies.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An unsigned big integer stored as little-endian 64-bit limbs.
+///
+/// The representation is normalized: no trailing zero limbs (zero is the
+/// empty limb vector).
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::BigUint;
+/// let a = BigUint::from(u64::MAX);
+/// let b = a.mul_u64(2).add(&BigUint::from(2u64));
+/// assert_eq!(b, BigUint::from(1u64).shl_limbs(1).mul_u64(2)); // 2^65
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The zero value.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Builds from little-endian limbs (normalizing trailing zeros).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// Borrow of the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bit_count(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Shifts left by whole 64-bit limbs (multiply by 2^(64k)).
+    pub fn shl_limbs(&self, k: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let mut limbs = vec![0u64; k];
+        limbs.extend_from_slice(&self.limbs);
+        Self { limbs }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Subtraction; returns `None` when `other > self`.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Self::from_limbs(out))
+    }
+
+    /// Multiplication by a single limb.
+    pub fn mul_u64(&self, m: u64) -> Self {
+        if m == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let wide = l as u128 * m as u128 + carry as u128;
+            out.push(wide as u64);
+            carry = (wide >> 64) as u64;
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Full multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let wide = a as u128 * b as u128 + out[i + j] as u128 + carry as u128;
+                out[i + j] = wide as u64;
+                carry = (wide >> 64) as u64;
+            }
+            out[i + other.limbs.len()] = out[i + other.limbs.len()].wrapping_add(carry);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Divides by a single limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn divmod_u64(&self, d: u64) -> (Self, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = ((rem as u128) << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = (cur % d as u128) as u64;
+        }
+        (Self::from_limbs(out), rem)
+    }
+
+    /// Long division, returning `(quotient, remainder)`.
+    ///
+    /// Uses simple bitwise long division — adequate for the few-hundred-bit
+    /// values BFV decryption produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divmod(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.divmod_u64(divisor.limbs[0]);
+            return (q, Self::from(r));
+        }
+        if self < divisor {
+            return (Self::zero(), self.clone());
+        }
+        let bits = self.bit_count();
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = Self::zero();
+        for bit in (0..bits).rev() {
+            // rem = rem * 2 + bit(self, bit)
+            rem = rem.add(&rem);
+            let limb = (bit / 64) as usize;
+            if (self.limbs[limb] >> (bit % 64)) & 1 == 1 {
+                rem = rem.add(&Self::one());
+            }
+            if rem >= *divisor {
+                rem = rem.checked_sub(divisor).expect("rem >= divisor");
+                quotient[(bit / 64) as usize] |= 1u64 << (bit % 64);
+            }
+        }
+        (Self::from_limbs(quotient), rem)
+    }
+
+    /// Reduces modulo a `u64` value.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        self.divmod_u64(m).1
+    }
+
+    /// Converts to `u64`, if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// `round(self * numerator / denominator)` with ties rounding up.
+    pub fn mul_div_round(&self, numerator: u64, denominator: &Self) -> Self {
+        let scaled = self.mul_u64(numerator);
+        let (half, _) = denominator.divmod_u64(2);
+        let (q, _) = scaled.add(&half).divmod(denominator);
+        q
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_limbs(vec![v])
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        Self::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Decimal conversion by repeated division; values are small.
+        let mut digits = Vec::new();
+        let mut v = self.clone();
+        while !v.is_zero() {
+            let (q, r) = v.divmod_u64(10);
+            digits.push(char::from(b'0' + r as u8));
+            v = q;
+        }
+        let s: String = digits.into_iter().rev().collect();
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_normalization() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::from_limbs(vec![5, 0, 0]), BigUint::from(5u64));
+        assert_eq!(BigUint::from(0u64), BigUint::zero());
+        assert_eq!(BigUint::one().bit_count(), 1);
+        assert_eq!(BigUint::from(u64::MAX).bit_count(), 64);
+        assert_eq!(BigUint::from(1u128 << 64).bit_count(), 65);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = BigUint::from(0xffff_ffff_ffff_ffffu64);
+        let b = BigUint::from(1u64);
+        let s = a.add(&b);
+        assert_eq!(s.to_u128(), Some(1u128 << 64));
+        assert_eq!(s.checked_sub(&b), Some(a.clone()));
+        assert_eq!(b.checked_sub(&a), None);
+    }
+
+    #[test]
+    fn mul_and_divmod() {
+        let a = BigUint::from(132120577u64);
+        let sq = a.mul(&a);
+        assert_eq!(sq.to_u128(), Some(132120577u128 * 132120577));
+        let (q, r) = sq.divmod(&a);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn divmod_u64_matches() {
+        let a = BigUint::from(u128::MAX);
+        let (q, r) = a.divmod_u64(97);
+        assert_eq!(r as u128, u128::MAX % 97);
+        assert_eq!(q.to_u128(), Some(u128::MAX / 97));
+    }
+
+    #[test]
+    fn long_division_multi_limb_divisor() {
+        // (2^130 + 12345) / (2^70 + 3)
+        let dividend = BigUint::from(1u64).shl_limbs(2).mul_u64(4).add(&BigUint::from(12345u64));
+        let divisor = BigUint::from(1u128 << 70).add(&BigUint::from(3u64));
+        let (q, r) = dividend.divmod(&divisor);
+        assert_eq!(q.mul(&divisor).add(&r), dividend);
+        assert!(r < divisor);
+    }
+
+    #[test]
+    fn mul_div_round_rounds_to_nearest() {
+        // round(7 * 3 / 4) = round(5.25) = 5
+        let v = BigUint::from(7u64);
+        assert_eq!(v.mul_div_round(3, &BigUint::from(4u64)).to_u64(), Some(5));
+        // round(5 * 1 / 2) = round(2.5) = 3 (ties up)
+        let v = BigUint::from(5u64);
+        assert_eq!(v.mul_div_round(1, &BigUint::from(2u64)).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from(1234567890123456789u64).to_string(), "1234567890123456789");
+        let big = BigUint::from(u64::MAX).add(&BigUint::one());
+        assert_eq!(big.to_string(), "18446744073709551616");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let ba = BigUint::from(a);
+            let bb = BigUint::from(b);
+            let s = ba.add(&bb);
+            prop_assert_eq!(s.checked_sub(&bb), Some(ba));
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let prod = BigUint::from(a).mul(&BigUint::from(b));
+            prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_divmod_identity(a in any::<u128>(), d in 1u128..u128::MAX) {
+            let ba = BigUint::from(a);
+            let bd = BigUint::from(d);
+            let (q, r) = ba.divmod(&bd);
+            prop_assert_eq!(q.mul(&bd).add(&r), ba);
+            prop_assert!(r < bd);
+        }
+
+        #[test]
+        fn prop_rem_u64(a in any::<u128>(), d in 1u64..u64::MAX) {
+            prop_assert_eq!(BigUint::from(a).rem_u64(d) as u128, a % d as u128);
+        }
+
+        #[test]
+        fn prop_ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(BigUint::from(a).cmp(&BigUint::from(b)), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! A prime (or at least odd) modulus with precomputed Barrett constants,
+//! mirroring SEAL's `SmallModulus` type.
+
+use crate::arith::{self, is_prime};
+use std::fmt;
+
+/// Errors produced when constructing a [`Modulus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModulusError {
+    /// The value was zero or one.
+    TooSmall(u64),
+    /// The value exceeded the 62-bit bound required by the Barrett routines.
+    TooLarge(u64),
+}
+
+impl fmt::Display for ModulusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModulusError::TooSmall(v) => write!(f, "modulus {v} must be at least 2"),
+            ModulusError::TooLarge(v) => write!(f, "modulus {v} exceeds 62 bits"),
+        }
+    }
+}
+
+impl std::error::Error for ModulusError {}
+
+/// An integer modulus `q < 2^62` with precomputed Barrett reduction data.
+///
+/// The Barrett constant is `floor(2^128 / q)` stored as two 64-bit limbs,
+/// which is exactly SEAL's `const_ratio` layout. All arithmetic methods keep
+/// operands reduced.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::Modulus;
+/// let q = Modulus::new(132120577)?;
+/// assert_eq!(q.mul(2, q.value() - 1), q.value() - 2);
+/// # Ok::<(), reveal_math::ModulusError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    value: u64,
+    /// floor(2^128 / value), low limb then high limb.
+    const_ratio: [u64; 2],
+    bit_count: u32,
+    is_prime: bool,
+}
+
+impl Modulus {
+    /// Creates a modulus with precomputed Barrett data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModulusError::TooSmall`] for values below 2 and
+    /// [`ModulusError::TooLarge`] for values needing more than 62 bits.
+    pub fn new(value: u64) -> Result<Self, ModulusError> {
+        if value < 2 {
+            return Err(ModulusError::TooSmall(value));
+        }
+        if value >> 62 != 0 {
+            return Err(ModulusError::TooLarge(value));
+        }
+        // floor(2^128 / value) via long division of 2^128 by value.
+        let high = u128::MAX / value as u128; // floor((2^128 - 1)/value)
+        // 2^128 = (u128::MAX) + 1; floor(2^128/v) differs from
+        // floor((2^128-1)/v) only when v divides 2^128, i.e. v is a power of
+        // two.
+        let ratio = if value.is_power_of_two() {
+            high + 1
+        } else {
+            high
+        };
+        Ok(Self {
+            value,
+            const_ratio: [ratio as u64, (ratio >> 64) as u64],
+            bit_count: 64 - value.leading_zeros(),
+            is_prime: is_prime(value),
+        })
+    }
+
+    /// The raw modulus value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of significant bits in the modulus.
+    #[inline]
+    pub fn bit_count(&self) -> u32 {
+        self.bit_count
+    }
+
+    /// Whether the modulus is prime (checked at construction).
+    #[inline]
+    pub fn is_prime(&self) -> bool {
+        self.is_prime
+    }
+
+    /// Barrett constant `floor(2^128 / q)` as `[low, high]` limbs.
+    #[inline]
+    pub fn const_ratio(&self) -> [u64; 2] {
+        self.const_ratio
+    }
+
+    /// Reduces an arbitrary `u64` modulo `q` using Barrett reduction.
+    #[inline]
+    pub fn reduce(&self, input: u64) -> u64 {
+        // tmp = floor(input * const_ratio / 2^128) approximates input / q.
+        let tmp = ((input as u128 * self.const_ratio[1] as u128) >> 64) as u64;
+        let r = input.wrapping_sub(tmp.wrapping_mul(self.value));
+        if r >= self.value {
+            r - self.value
+        } else {
+            r
+        }
+    }
+
+    /// Reduces an arbitrary `u128` modulo `q`.
+    #[inline]
+    pub fn reduce_u128(&self, input: u128) -> u64 {
+        (input % self.value as u128) as u64
+    }
+
+    /// Modular addition of two reduced residues.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        arith::add_mod(a, b, self.value)
+    }
+
+    /// Modular subtraction of two reduced residues.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        arith::sub_mod(a, b, self.value)
+    }
+
+    /// Modular negation of a reduced residue.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        arith::neg_mod(a, self.value)
+    }
+
+    /// Modular multiplication of two reduced residues.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Modular exponentiation.
+    #[inline]
+    pub fn pow(&self, base: u64, exp: u64) -> u64 {
+        arith::pow_mod(base, exp, self.value)
+    }
+
+    /// Multiplicative inverse, if it exists.
+    #[inline]
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        arith::inv_mod(a, self.value)
+    }
+
+    /// Maps a signed integer to its residue in `[0, q)`.
+    #[inline]
+    pub fn from_signed(&self, value: i64) -> u64 {
+        arith::signed_to_residue(value, self.value)
+    }
+
+    /// Lifts a residue to its centered signed representative.
+    #[inline]
+    pub fn to_signed(&self, value: u64) -> i64 {
+        arith::residue_to_signed(value, self.value)
+    }
+
+    /// Finds a generator of the multiplicative group when `q` is prime.
+    ///
+    /// Returns `None` when the modulus is not prime.
+    pub fn primitive_generator(&self) -> Option<u64> {
+        if !self.is_prime {
+            return None;
+        }
+        let order = self.value - 1;
+        let factors = distinct_prime_factors(order);
+        'candidate: for g in 2..self.value {
+            for &f in &factors {
+                if self.pow(g, order / f) == 1 {
+                    continue 'candidate;
+                }
+            }
+            return Some(g);
+        }
+        None
+    }
+
+    /// Finds a primitive `2n`-th root of unity ψ modulo prime `q`
+    /// (requires `q ≡ 1 mod 2n`). Used to build negacyclic NTT tables.
+    ///
+    /// Returns `None` when the modulus is not prime or no such root exists.
+    pub fn primitive_root_of_unity(&self, two_n: u64) -> Option<u64> {
+        if !self.is_prime || !(self.value - 1).is_multiple_of(two_n) {
+            return None;
+        }
+        let g = self.primitive_generator()?;
+        let root = self.pow(g, (self.value - 1) / two_n);
+        // root has order dividing 2n; verify it is exactly 2n.
+        if self.pow(root, two_n / 2) == self.value - 1 {
+            Some(root)
+        } else {
+            // Try successive powers of the generator (cannot happen for a true
+            // generator, but keep the check defensive).
+            None
+        }
+    }
+}
+
+impl fmt::Display for Modulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// Returns the distinct prime factors of `n` by trial division with a
+/// Pollard-rho fallback for large cofactors.
+fn distinct_prime_factors(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+        if n.is_multiple_of(p) {
+            factors.push(p);
+            while n.is_multiple_of(p) {
+                n /= p;
+            }
+        }
+    }
+    let mut stack = vec![n];
+    while let Some(m) = stack.pop() {
+        if m < 2 {
+            continue;
+        }
+        if is_prime(m) {
+            if !factors.contains(&m) {
+                factors.push(m);
+            }
+            continue;
+        }
+        let d = pollard_rho(m);
+        stack.push(d);
+        stack.push(m / d);
+    }
+    factors.sort_unstable();
+    factors
+}
+
+/// Pollard's rho with Brent cycle detection; `n` must be composite and odd.
+fn pollard_rho(n: u64) -> u64 {
+    debug_assert!(!is_prime(n) && n > 3);
+    let mut c = 1u64;
+    loop {
+        let f = |x: u64| (arith::mul_mod(x, x, n) + c) % n;
+        let (mut x, mut y, mut d) = (2u64, 2u64, 1u64);
+        while d == 1 {
+            x = f(x);
+            y = f(f(y));
+            d = arith::gcd(x.abs_diff(y), n);
+        }
+        if d != n {
+            return d;
+        }
+        c += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_values() {
+        assert_eq!(Modulus::new(0), Err(ModulusError::TooSmall(0)));
+        assert_eq!(Modulus::new(1), Err(ModulusError::TooSmall(1)));
+        assert!(Modulus::new(1u64 << 62).is_err());
+        assert!(Modulus::new((1u64 << 62) - 1).is_ok());
+    }
+
+    #[test]
+    fn barrett_reduce_matches_rem() {
+        let q = Modulus::new(132120577).unwrap();
+        for x in [0u64, 1, 132120576, 132120577, 132120578, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(q.reduce(x), x % q.value());
+        }
+    }
+
+    #[test]
+    fn seal_128_modulus_properties() {
+        let q = Modulus::new(132120577).unwrap();
+        assert!(q.is_prime());
+        assert_eq!(q.bit_count(), 27);
+        // NTT-friendly for n = 1024: q ≡ 1 (mod 2048).
+        assert_eq!((q.value() - 1) % 2048, 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let q = Modulus::new(132120577).unwrap();
+        let g = q.primitive_generator().unwrap();
+        let order = q.value() - 1;
+        for &f in &[2u64, 3, 7, 11] {
+            if order.is_multiple_of(f) {
+                assert_ne!(q.pow(g, order / f), 1);
+            }
+        }
+        assert_eq!(q.pow(g, order), 1);
+    }
+
+    #[test]
+    fn root_of_unity_order_is_exact() {
+        let q = Modulus::new(132120577).unwrap();
+        let psi = q.primitive_root_of_unity(2048).unwrap();
+        assert_eq!(q.pow(psi, 2048), 1);
+        assert_eq!(q.pow(psi, 1024), q.value() - 1);
+    }
+
+    #[test]
+    fn root_of_unity_missing_for_nonfriendly_modulus() {
+        let q = Modulus::new(97).unwrap(); // 96 not divisible by 2048
+        assert_eq!(q.primitive_root_of_unity(2048), None);
+    }
+
+    #[test]
+    fn power_of_two_modulus_reduces() {
+        let q = Modulus::new(1u64 << 32).unwrap();
+        assert!(!q.is_prime());
+        assert_eq!(q.reduce(u64::MAX), u64::MAX % (1u64 << 32));
+    }
+
+    #[test]
+    fn distinct_factors_of_composites() {
+        assert_eq!(distinct_prime_factors(2 * 2 * 3 * 53), vec![2, 3, 53]);
+        assert_eq!(distinct_prime_factors(132120576), vec![2, 3, 7]);
+        // 132120576 = 2^21 * 63 = 2^21 * 9 * 7 = 2^21 * 3^2 * 7
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reduce_matches_rem(x in any::<u64>(), q in 2u64..(1u64<<62)) {
+            let m = Modulus::new(q).unwrap();
+            prop_assert_eq!(m.reduce(x), x % q);
+        }
+
+        #[test]
+        fn prop_mul_matches_naive(a in any::<u64>(), b in any::<u64>(), q in 2u64..(1u64<<62)) {
+            let m = Modulus::new(q).unwrap();
+            let (a, b) = (a % q, b % q);
+            prop_assert_eq!(m.mul(a, b), ((a as u128 * b as u128) % q as u128) as u64);
+        }
+
+        #[test]
+        fn prop_signed_center_bounds(x in any::<u64>(), q in 3u64..(1u64<<62)) {
+            let m = Modulus::new(q).unwrap();
+            let s = m.to_signed(x % q);
+            prop_assert!(s.unsigned_abs() <= q / 2 + 1);
+            prop_assert_eq!(m.from_signed(s), x % q);
+        }
+    }
+}

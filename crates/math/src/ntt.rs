@@ -1,0 +1,347 @@
+//! Negacyclic number-theoretic transform over a prime modulus.
+//!
+//! The tables follow the classic Longa–Naehrig/SEAL layout: powers of the
+//! primitive `2n`-th root ψ stored in bit-reversed order, a decimation-in-time
+//! forward transform (Cooley–Tukey butterflies) and a decimation-in-frequency
+//! inverse transform (Gentleman–Sande butterflies) with the final scaling by
+//! `n^{-1}` folded into the last pass.
+//!
+//! With these tables, multiplication in `Z_q[x]/(x^n + 1)` is a pointwise
+//! product in the transform domain — the convolution theorem the tests pin
+//! down.
+
+use crate::modulus::Modulus;
+use std::fmt;
+
+/// Errors produced when building [`NttTables`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NttError {
+    /// `n` was not a power of two (or was smaller than 2).
+    DegreeNotPowerOfTwo(usize),
+    /// The modulus does not support a primitive `2n`-th root of unity.
+    NoRootOfUnity { modulus: u64, two_n: u64 },
+}
+
+impl fmt::Display for NttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NttError::DegreeNotPowerOfTwo(n) => {
+                write!(f, "transform size {n} is not a power of two >= 2")
+            }
+            NttError::NoRootOfUnity { modulus, two_n } => {
+                write!(f, "modulus {modulus} has no primitive {two_n}-th root of unity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NttError {}
+
+/// Precomputed twiddle factors for a fixed `(n, q)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::{Modulus, NttTables};
+/// let q = Modulus::new(132120577)?;
+/// let tables = NttTables::new(8, q)?;
+/// let mut a = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+/// let original = a.clone();
+/// tables.forward(&mut a);
+/// tables.inverse(&mut a);
+/// assert_eq!(a, original);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTables {
+    n: usize,
+    modulus: Modulus,
+    /// ψ^i in bit-reversed order, i in [0, n).
+    root_powers: Vec<u64>,
+    /// ψ^{-i} in bit-reversed order.
+    inv_root_powers: Vec<u64>,
+    /// n^{-1} mod q.
+    inv_degree: u64,
+}
+
+impl NttTables {
+    /// Builds NTT tables for transform size `n` over prime modulus `q`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `n` is not a power of two, or `q` is not prime with
+    /// `q ≡ 1 (mod 2n)`.
+    pub fn new(n: usize, modulus: Modulus) -> Result<Self, NttError> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(NttError::DegreeNotPowerOfTwo(n));
+        }
+        let two_n = 2 * n as u64;
+        let psi = modulus
+            .primitive_root_of_unity(two_n)
+            .ok_or(NttError::NoRootOfUnity {
+                modulus: modulus.value(),
+                two_n,
+            })?;
+        let psi_inv = modulus.inv(psi).expect("root is invertible mod prime");
+        let log_n = n.trailing_zeros();
+
+        let mut root_powers = vec![0u64; n];
+        let mut inv_root_powers = vec![0u64; n];
+        let mut power = 1u64;
+        let mut inv_power = 1u64;
+        for i in 0..n {
+            let rev = (i as u64).reverse_bits() >> (64 - log_n);
+            root_powers[rev as usize] = power;
+            inv_root_powers[rev as usize] = inv_power;
+            power = modulus.mul(power, psi);
+            inv_power = modulus.mul(inv_power, psi_inv);
+        }
+        let inv_degree = modulus
+            .inv(n as u64)
+            .expect("n invertible mod prime > n");
+        Ok(Self {
+            n,
+            modulus,
+            root_powers,
+            inv_root_powers,
+            inv_degree,
+        })
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the transform size is zero (never true for a built table).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The modulus the tables were built for.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the transform size.
+    pub fn forward(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.n, "input length must match transform size");
+        let q = &self.modulus;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let w = self.root_powers[m + i];
+                for j in j1..j2 {
+                    let u = values[j];
+                    let v = q.mul(values[j + t], w);
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain),
+    /// including the `n^{-1}` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the transform size.
+    pub fn inverse(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.n, "input length must match transform size");
+        let q = &self.modulus;
+        let n = self.n;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let w = self.inv_root_powers[h + i];
+                for j in j1..j2 {
+                    let u = values[j];
+                    let v = values[j + t];
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.mul(q.sub(u, v), w);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for v in values.iter_mut() {
+            *v = q.mul(*v, self.inv_degree);
+        }
+    }
+
+    /// Negacyclic convolution of two coefficient vectors via the transform.
+    ///
+    /// Returns `a * b mod (x^n + 1, q)` without mutating the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input length differs from the transform size.
+    pub fn negacyclic_multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(fb.iter()) {
+            *x = self.modulus.mul(*x, *y);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Schoolbook negacyclic multiplication, used as a test oracle and for
+/// moduli without NTT support.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+pub fn negacyclic_multiply_naive(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec<u64> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = modulus.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                out[k] = modulus.add(out[k], prod);
+            } else {
+                out[k - n] = modulus.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tables(n: usize) -> NttTables {
+        NttTables::new(n, Modulus::new(132120577).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_sizes_and_moduli() {
+        let q = Modulus::new(132120577).unwrap();
+        assert!(matches!(NttTables::new(3, q), Err(NttError::DegreeNotPowerOfTwo(3))));
+        assert!(matches!(NttTables::new(0, q), Err(NttError::DegreeNotPowerOfTwo(0))));
+        let bad = Modulus::new(97).unwrap();
+        assert!(matches!(
+            NttTables::new(1024, bad),
+            Err(NttError::NoRootOfUnity { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [2usize, 4, 8, 64, 1024] {
+            let t = tables(n);
+            let mut v: Vec<u64> = (0..n as u64).map(|i| i * 17 % 132120577).collect();
+            let orig = v.clone();
+            t.forward(&mut v);
+            assert_ne!(v, orig, "transform should not be identity for n={n}");
+            t.inverse(&mut v);
+            assert_eq!(v, orig, "roundtrip failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn multiply_by_x_rotates_with_sign() {
+        // (x^(n-1)) * x = x^n = -1 in the negacyclic ring.
+        let n = 8;
+        let t = tables(n);
+        let q = t.modulus().value();
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        let prod = t.negacyclic_multiply(&a, &x);
+        let mut expected = vec![0u64; n];
+        expected[0] = q - 1;
+        assert_eq!(prod, expected);
+    }
+
+    #[test]
+    fn matches_schoolbook_small() {
+        let n = 16;
+        let t = tables(n);
+        let q = *t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i * 31 + 7) % q.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 1009 + 3) % q.value()).collect();
+        assert_eq!(t.negacyclic_multiply(&a, &b), negacyclic_multiply_naive(&a, &b, &q));
+    }
+
+    #[test]
+    fn forward_is_linear() {
+        let n = 32;
+        let t = tables(n);
+        let q = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| i * 999 % q.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i + 5) * 12345 % q.value()).collect();
+        let mut sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(x, y)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut sum);
+        let fsum: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.add(x, y)).collect();
+        assert_eq!(sum, fsum);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(coeffs in proptest::collection::vec(0u64..132120577, 64)) {
+            let t = tables(64);
+            let mut v = coeffs.clone();
+            t.forward(&mut v);
+            t.inverse(&mut v);
+            prop_assert_eq!(v, coeffs);
+        }
+
+        #[test]
+        fn prop_convolution_theorem(
+            a in proptest::collection::vec(0u64..132120577, 32),
+            b in proptest::collection::vec(0u64..132120577, 32),
+        ) {
+            let t = tables(32);
+            let fast = t.negacyclic_multiply(&a, &b);
+            let slow = negacyclic_multiply_naive(&a, &b, t.modulus());
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_multiplication_commutes(
+            a in proptest::collection::vec(0u64..132120577, 16),
+            b in proptest::collection::vec(0u64..132120577, 16),
+        ) {
+            let t = tables(16);
+            prop_assert_eq!(t.negacyclic_multiply(&a, &b), t.negacyclic_multiply(&b, &a));
+        }
+    }
+}

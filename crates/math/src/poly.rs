@@ -1,0 +1,449 @@
+//! Dense polynomials over `Z_q[x]/(x^n + 1)` for a single modulus.
+
+use crate::modulus::Modulus;
+use crate::ntt::{negacyclic_multiply_naive, NttTables};
+use std::fmt;
+use std::sync::Arc;
+
+/// A polynomial in `Z_q[x]/(x^n + 1)` with coefficients stored low-to-high.
+///
+/// The NTT tables are shared behind an [`Arc`] so cloning a polynomial is a
+/// coefficient copy only. All ring operations panic when the operands come
+/// from different `(n, q)` contexts — mixing contexts is a programming error,
+/// not a runtime condition.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::{Modulus, PolyContext};
+/// let ctx = PolyContext::new(8, Modulus::new(132120577)?)?;
+/// let a = ctx.polynomial_from_signed(&[1, -2, 3, 0, 0, 0, 0, 0]);
+/// let b = ctx.polynomial_from_signed(&[0, 1, 0, 0, 0, 0, 0, 0]); // x
+/// let c = a.mul(&b);
+/// assert_eq!(c.to_signed()[1], 1);
+/// assert_eq!(c.to_signed()[2], -2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct Polynomial {
+    context: Arc<PolyContextInner>,
+    coeffs: Vec<u64>,
+}
+
+/// Shared `(n, q, NTT)` context from which polynomials are minted.
+#[derive(Clone)]
+pub struct PolyContext {
+    inner: Arc<PolyContextInner>,
+}
+
+struct PolyContextInner {
+    n: usize,
+    modulus: Modulus,
+    ntt: Option<NttTables>,
+}
+
+impl fmt::Debug for PolyContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolyContext")
+            .field("n", &self.inner.n)
+            .field("q", &self.inner.modulus.value())
+            .field("ntt", &self.inner.ntt.is_some())
+            .finish()
+    }
+}
+
+impl PolyContext {
+    /// Creates a context for degree `n` (power of two) and modulus `q`.
+    ///
+    /// NTT tables are built when the modulus supports them; otherwise
+    /// multiplication falls back to the schoolbook algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n` is not a power of two ≥ 2.
+    pub fn new(n: usize, modulus: Modulus) -> Result<Self, crate::ntt::NttError> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(crate::ntt::NttError::DegreeNotPowerOfTwo(n));
+        }
+        let ntt = NttTables::new(n, modulus).ok();
+        Ok(Self {
+            inner: Arc::new(PolyContextInner { n, modulus, ntt }),
+        })
+    }
+
+    /// Polynomial degree bound `n`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.inner.n
+    }
+
+    /// The coefficient modulus.
+    #[inline]
+    pub fn modulus(&self) -> &Modulus {
+        &self.inner.modulus
+    }
+
+    /// Whether fast NTT multiplication is available.
+    #[inline]
+    pub fn has_ntt(&self) -> bool {
+        self.inner.ntt.is_some()
+    }
+
+    /// The zero polynomial.
+    pub fn zero(&self) -> Polynomial {
+        Polynomial {
+            context: Arc::clone(&self.inner),
+            coeffs: vec![0; self.inner.n],
+        }
+    }
+
+    /// Builds a polynomial from already-reduced residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n` or any coefficient is not reduced.
+    pub fn polynomial(&self, coeffs: &[u64]) -> Polynomial {
+        assert_eq!(coeffs.len(), self.inner.n, "coefficient count must equal n");
+        let q = self.inner.modulus.value();
+        assert!(
+            coeffs.iter().all(|&c| c < q),
+            "coefficients must be reduced mod q"
+        );
+        Polynomial {
+            context: Arc::clone(&self.inner),
+            coeffs: coeffs.to_vec(),
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients (centered representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n`.
+    pub fn polynomial_from_signed(&self, coeffs: &[i64]) -> Polynomial {
+        assert_eq!(coeffs.len(), self.inner.n, "coefficient count must equal n");
+        let m = &self.inner.modulus;
+        Polynomial {
+            context: Arc::clone(&self.inner),
+            coeffs: coeffs.iter().map(|&c| m.from_signed(c)).collect(),
+        }
+    }
+
+    /// The constant polynomial `value`.
+    pub fn constant(&self, value: u64) -> Polynomial {
+        let mut p = self.zero();
+        p.coeffs[0] = self.inner.modulus.reduce(value);
+        p
+    }
+
+    fn same_context(&self, other: &PolyContext) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.n == other.inner.n && self.inner.modulus == other.inner.modulus)
+    }
+}
+
+impl PartialEq for PolyContext {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_context(other)
+    }
+}
+
+impl Polynomial {
+    /// The owning context.
+    pub fn context(&self) -> PolyContext {
+        PolyContext {
+            inner: Arc::clone(&self.context),
+        }
+    }
+
+    /// Borrow of the reduced coefficients, low-to-high.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable borrow of the coefficients.
+    ///
+    /// Callers must keep values reduced; the debug assertions in ring
+    /// operations will catch violations.
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// Centered signed representation of every coefficient.
+    pub fn to_signed(&self) -> Vec<i64> {
+        let m = &self.context.modulus;
+        self.coeffs.iter().map(|&c| m.to_signed(c)).collect()
+    }
+
+    /// Whether all coefficients are zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Infinity norm of the centered representation.
+    pub fn infinity_norm(&self) -> u64 {
+        let m = &self.context.modulus;
+        self.coeffs
+            .iter()
+            .map(|&c| m.to_signed(c).unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn check_same(&self, other: &Polynomial) {
+        assert!(
+            self.context.n == other.context.n
+                && self.context.modulus == other.context.modulus,
+            "polynomials come from different contexts"
+        );
+    }
+
+    /// Pointwise ring addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operands come from different contexts.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        self.check_same(other);
+        let m = &self.context.modulus;
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| m.add(a, b))
+            .collect();
+        Polynomial {
+            context: Arc::clone(&self.context),
+            coeffs,
+        }
+    }
+
+    /// Pointwise ring subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operands come from different contexts.
+    pub fn sub(&self, other: &Polynomial) -> Polynomial {
+        self.check_same(other);
+        let m = &self.context.modulus;
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| m.sub(a, b))
+            .collect();
+        Polynomial {
+            context: Arc::clone(&self.context),
+            coeffs,
+        }
+    }
+
+    /// Coefficient-wise negation.
+    pub fn neg(&self) -> Polynomial {
+        let m = &self.context.modulus;
+        Polynomial {
+            context: Arc::clone(&self.context),
+            coeffs: self.coeffs.iter().map(|&a| m.neg(a)).collect(),
+        }
+    }
+
+    /// Negacyclic product, via NTT when available.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operands come from different contexts.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        self.check_same(other);
+        let coeffs = match &self.context.ntt {
+            Some(t) => t.negacyclic_multiply(&self.coeffs, &other.coeffs),
+            None => negacyclic_multiply_naive(&self.coeffs, &other.coeffs, &self.context.modulus),
+        };
+        Polynomial {
+            context: Arc::clone(&self.context),
+            coeffs,
+        }
+    }
+
+    /// Multiplicative inverse in `Z_q[x]/(x^n + 1)`, when it exists.
+    ///
+    /// Requires NTT support (prime `q ≡ 1 mod 2n`); the inverse exists iff
+    /// no NTT evaluation is zero. Used by the attack's message-recovery step
+    /// (`u = (c1 - e2) / p1`, Eq. 2 of the paper).
+    pub fn inverse(&self) -> Option<Polynomial> {
+        let ntt = self.context.ntt.as_ref()?;
+        let m = &self.context.modulus;
+        let mut evals = self.coeffs.clone();
+        ntt.forward(&mut evals);
+        for e in &mut evals {
+            *e = m.inv(*e)?;
+        }
+        ntt.inverse(&mut evals);
+        Some(Polynomial {
+            context: Arc::clone(&self.context),
+            coeffs: evals,
+        })
+    }
+
+    /// Multiplies every coefficient by a scalar.
+    pub fn scalar_mul(&self, scalar: u64) -> Polynomial {
+        let m = &self.context.modulus;
+        let s = m.reduce(scalar);
+        Polynomial {
+            context: Arc::clone(&self.context),
+            coeffs: self.coeffs.iter().map(|&a| m.mul(a, s)).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shown: Vec<u64> = self.coeffs.iter().copied().take(8).collect();
+        write!(
+            f,
+            "Polynomial(n={}, q={}, coeffs[..8]={:?}{})",
+            self.context.n,
+            self.context.modulus.value(),
+            shown,
+            if self.coeffs.len() > 8 { ", …" } else { "" }
+        )
+    }
+}
+
+impl PartialEq for Polynomial {
+    fn eq(&self, other: &Self) -> bool {
+        self.context.n == other.context.n
+            && self.context.modulus == other.context.modulus
+            && self.coeffs == other.coeffs
+    }
+}
+
+impl Eq for Polynomial {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ctx(n: usize) -> PolyContext {
+        PolyContext::new(n, Modulus::new(132120577).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = ctx(8);
+        assert_eq!(c.degree(), 8);
+        assert!(c.has_ntt());
+        let p = c.polynomial_from_signed(&[1, -1, 2, -2, 0, 0, 0, 41]);
+        assert_eq!(p.to_signed(), vec![1, -1, 2, -2, 0, 0, 0, 41]);
+        assert_eq!(p.infinity_norm(), 41);
+        assert!(!p.is_zero());
+        assert!(c.zero().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient count")]
+    fn wrong_length_panics() {
+        ctx(8).polynomial(&[0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced")]
+    fn unreduced_panics() {
+        ctx(8).polynomial(&[u64::MAX; 8]);
+    }
+
+    #[test]
+    fn add_sub_neg_laws() {
+        let c = ctx(16);
+        let a = c.polynomial_from_signed(&(0..16).map(|i| i - 8).collect::<Vec<_>>());
+        let b = c.polynomial_from_signed(&(0..16).map(|i| 3 * i + 1).collect::<Vec<_>>());
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.add(&a.neg()), c.zero());
+        assert_eq!(a.sub(&b), b.sub(&a).neg());
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let c = ctx(32);
+        let a = c.polynomial_from_signed(&(0..32).map(|i| i * 7 - 100).collect::<Vec<_>>());
+        let b = c.polynomial_from_signed(&(0..32).map(|i| i * i - 50).collect::<Vec<_>>());
+        let d = c.polynomial_from_signed(&(0..32).map(|i| -i * 3 + 9).collect::<Vec<_>>());
+        assert_eq!(a.mul(&b.add(&d)), a.mul(&b).add(&a.mul(&d)));
+    }
+
+    #[test]
+    fn inverse_multiplies_to_one() {
+        let c = ctx(16);
+        let p = c.polynomial_from_signed(&(0..16).map(|i| i * 13 + 5).collect::<Vec<_>>());
+        let inv = p.inverse().expect("generic polynomial is invertible");
+        assert_eq!(p.mul(&inv), c.constant(1));
+    }
+
+    #[test]
+    fn zero_and_noninvertible_have_no_inverse() {
+        let c = ctx(8);
+        assert!(c.zero().inverse().is_none());
+        // Without NTT support there is no inversion path.
+        let no_ntt = PolyContext::new(8, Modulus::new(101).unwrap()).unwrap();
+        let p = no_ntt.polynomial_from_signed(&[1, 2, 0, 0, 0, 0, 0, 0]);
+        assert!(p.inverse().is_none());
+    }
+
+    #[test]
+    fn constant_is_multiplicative_identity() {
+        let c = ctx(8);
+        let one = c.constant(1);
+        let p = c.polynomial_from_signed(&[5, -4, 3, -2, 1, 0, -1, 2]);
+        assert_eq!(p.mul(&one), p);
+        assert_eq!(p.scalar_mul(1), p);
+    }
+
+    #[test]
+    fn no_ntt_fallback_matches() {
+        // A prime that is not ≡ 1 mod 2n still supports schoolbook multiply
+        // (101 ≡ 5 mod 16, so no 16th root of unity exists).
+        let q = Modulus::new(101).unwrap();
+        let c = PolyContext::new(8, q).unwrap();
+        assert!(!c.has_ntt());
+        let a = c.polynomial_from_signed(&[1, 2, 3, 4, 0, 0, 0, 0]);
+        let b = c.polynomial_from_signed(&[0, 0, 0, 0, 0, 0, 0, 1]);
+        // a * x^7 = x^7 + 2x^8 + 3x^9 + 4x^10 ≡ -2 - 3x - 4x^2 + x^7.
+        assert_eq!(a.mul(&b).to_signed(), vec![-2, -3, -4, 0, 0, 0, 0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ring_commutative(
+            a in proptest::collection::vec(-1000i64..1000, 16),
+            b in proptest::collection::vec(-1000i64..1000, 16),
+        ) {
+            let c = ctx(16);
+            let pa = c.polynomial_from_signed(&a);
+            let pb = c.polynomial_from_signed(&b);
+            prop_assert_eq!(pa.mul(&pb), pb.mul(&pa));
+            prop_assert_eq!(pa.add(&pb), pb.add(&pa));
+        }
+
+        #[test]
+        fn prop_mul_associative(
+            a in proptest::collection::vec(-100i64..100, 8),
+            b in proptest::collection::vec(-100i64..100, 8),
+            d in proptest::collection::vec(-100i64..100, 8),
+        ) {
+            let c = ctx(8);
+            let pa = c.polynomial_from_signed(&a);
+            let pb = c.polynomial_from_signed(&b);
+            let pd = c.polynomial_from_signed(&d);
+            prop_assert_eq!(pa.mul(&pb).mul(&pd), pa.mul(&pb.mul(&pd)));
+        }
+
+        #[test]
+        fn prop_signed_roundtrip(a in proptest::collection::vec(-(66060288i64)..66060288, 8)) {
+            let c = ctx(8);
+            let p = c.polynomial_from_signed(&a);
+            prop_assert_eq!(p.to_signed(), a);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Generation of NTT-friendly primes, mirroring SEAL's default
+//! `coeff_modulus` construction.
+
+use crate::arith::is_prime;
+use crate::modulus::{Modulus, ModulusError};
+use std::fmt;
+
+/// Errors produced by prime generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimeError {
+    /// The requested bit size was outside `[2, 62]`.
+    BadBitSize(u32),
+    /// No prime of the requested shape exists below the bit bound.
+    Exhausted { bit_size: u32, factor: u64 },
+    /// Constructing the [`Modulus`] failed (should not happen for valid input).
+    Modulus(ModulusError),
+}
+
+impl fmt::Display for PrimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimeError::BadBitSize(b) => write!(f, "prime bit size {b} out of range [2, 62]"),
+            PrimeError::Exhausted { bit_size, factor } => write!(
+                f,
+                "no {bit_size}-bit prime congruent to 1 mod {factor} remains"
+            ),
+            PrimeError::Modulus(e) => write!(f, "modulus construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrimeError {}
+
+impl From<ModulusError> for PrimeError {
+    fn from(e: ModulusError) -> Self {
+        PrimeError::Modulus(e)
+    }
+}
+
+/// Returns the largest `count` primes with exactly `bit_size` bits that are
+/// congruent to `1 (mod factor)`, in descending order.
+///
+/// This is the shape SEAL requires of `coeff_modulus` primes so that the
+/// negacyclic NTT of size `n` exists (`factor = 2n`).
+///
+/// # Errors
+///
+/// Returns [`PrimeError::BadBitSize`] for bit sizes outside `[2, 62]` and
+/// [`PrimeError::Exhausted`] when fewer than `count` such primes exist.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_math::primes::ntt_primes;
+/// let ps = ntt_primes(30, 2048, 2)?;
+/// assert_eq!(ps.len(), 2);
+/// for p in &ps {
+///     assert!(p.is_prime());
+///     assert_eq!((p.value() - 1) % 2048, 0);
+///     assert_eq!(p.bit_count(), 30);
+/// }
+/// # Ok::<(), reveal_math::primes::PrimeError>(())
+/// ```
+pub fn ntt_primes(bit_size: u32, factor: u64, count: usize) -> Result<Vec<Modulus>, PrimeError> {
+    if !(2..=62).contains(&bit_size) {
+        return Err(PrimeError::BadBitSize(bit_size));
+    }
+    let upper = if bit_size == 62 {
+        (1u64 << 62) - 1
+    } else {
+        (1u64 << bit_size) - 1
+    };
+    let lower = 1u64 << (bit_size - 1);
+    // Largest candidate ≡ 1 (mod factor) not exceeding `upper`.
+    let mut candidate = upper - ((upper - 1) % factor);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        if candidate < lower || candidate < factor {
+            return Err(PrimeError::Exhausted { bit_size, factor });
+        }
+        if is_prime(candidate) {
+            out.push(Modulus::new(candidate)?);
+        }
+        if candidate < factor {
+            return Err(PrimeError::Exhausted { bit_size, factor });
+        }
+        candidate -= factor;
+    }
+    Ok(out)
+}
+
+/// Finds a plaintext modulus `t` that supports batching for degree `n`
+/// (`t` prime, `t ≡ 1 mod 2n`), at the given bit size.
+///
+/// # Errors
+///
+/// Same as [`ntt_primes`].
+pub fn batching_plain_modulus(bit_size: u32, n: u64) -> Result<Modulus, PrimeError> {
+    Ok(ntt_primes(bit_size, 2 * n, 1)?.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_descending_distinct_primes() {
+        let ps = ntt_primes(40, 4096, 3).unwrap();
+        assert_eq!(ps.len(), 3);
+        for w in ps.windows(2) {
+            assert!(w[0].value() > w[1].value());
+        }
+        for p in &ps {
+            assert!(p.is_prime());
+            assert_eq!((p.value() - 1) % 4096, 0);
+            assert_eq!(p.bit_count(), 40);
+        }
+    }
+
+    #[test]
+    fn seal_128_q_is_reachable() {
+        // The paper's q = 132120577 is a 27-bit NTT prime for n = 1024; it is
+        // the 111th in the descending enumeration of 27-bit primes ≡ 1 mod 2048.
+        let ps = ntt_primes(27, 2048, 111).unwrap();
+        assert_eq!(ps.last().unwrap().value(), 132120577);
+    }
+
+    #[test]
+    fn rejects_bad_bit_size() {
+        assert!(matches!(ntt_primes(1, 2048, 1), Err(PrimeError::BadBitSize(1))));
+        assert!(matches!(ntt_primes(63, 2048, 1), Err(PrimeError::BadBitSize(63))));
+    }
+
+    #[test]
+    fn exhausts_small_ranges() {
+        // Only finitely many 4-bit primes ≡ 1 mod 4 exist (13 only).
+        assert!(matches!(
+            ntt_primes(4, 4, 3),
+            Err(PrimeError::Exhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn batching_modulus_shape() {
+        let t = batching_plain_modulus(17, 1024).unwrap();
+        assert!(t.is_prime());
+        assert_eq!((t.value() - 1) % 2048, 0);
+    }
+}

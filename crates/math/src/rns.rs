@@ -1,0 +1,472 @@
+//! Residue-number-system (RNS) polynomials over a chain of coprime moduli.
+//!
+//! SEAL stores an `R_q` polynomial with `q = q_1 · … · q_k` as `k`
+//! concatenated residue polynomials, indexed `poly[i + j * n]` for
+//! coefficient `i` under modulus `j`. This module reproduces that layout and
+//! the CRT composition needed by decryption.
+
+use crate::bigint::BigUint;
+use crate::modulus::Modulus;
+use crate::poly::{PolyContext, Polynomial};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced when building an [`RnsBasis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RnsError {
+    /// The basis was empty.
+    Empty,
+    /// Two moduli share a common factor.
+    NotCoprime { a: u64, b: u64 },
+    /// Context construction failed for one modulus.
+    Context(crate::ntt::NttError),
+}
+
+impl fmt::Display for RnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnsError::Empty => write!(f, "RNS basis must contain at least one modulus"),
+            RnsError::NotCoprime { a, b } => write!(f, "moduli {a} and {b} are not coprime"),
+            RnsError::Context(e) => write!(f, "context construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RnsError {}
+
+impl From<crate::ntt::NttError> for RnsError {
+    fn from(e: crate::ntt::NttError) -> Self {
+        RnsError::Context(e)
+    }
+}
+
+/// A chain of pairwise-coprime moduli with precomputed CRT data.
+#[derive(Clone)]
+pub struct RnsBasis {
+    inner: Arc<RnsBasisInner>,
+}
+
+struct RnsBasisInner {
+    n: usize,
+    moduli: Vec<Modulus>,
+    contexts: Vec<PolyContext>,
+    /// q = product of all moduli.
+    product: BigUint,
+    /// punctured[j] = q / q_j.
+    punctured: Vec<BigUint>,
+    /// gamma[j] = (q / q_j)^{-1} mod q_j.
+    inv_punctured: Vec<u64>,
+}
+
+impl fmt::Debug for RnsBasis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RnsBasis")
+            .field("n", &self.inner.n)
+            .field(
+                "moduli",
+                &self.inner.moduli.iter().map(Modulus::value).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl RnsBasis {
+    /// Builds a basis for degree `n` from pairwise-coprime moduli.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the list is empty, moduli are not pairwise coprime, or a
+    /// polynomial context cannot be built.
+    pub fn new(n: usize, moduli: Vec<Modulus>) -> Result<Self, RnsError> {
+        if moduli.is_empty() {
+            return Err(RnsError::Empty);
+        }
+        for i in 0..moduli.len() {
+            for j in i + 1..moduli.len() {
+                if crate::arith::gcd(moduli[i].value(), moduli[j].value()) != 1 {
+                    return Err(RnsError::NotCoprime {
+                        a: moduli[i].value(),
+                        b: moduli[j].value(),
+                    });
+                }
+            }
+        }
+        let contexts = moduli
+            .iter()
+            .map(|&m| PolyContext::new(n, m))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut product = BigUint::one();
+        for m in &moduli {
+            product = product.mul_u64(m.value());
+        }
+        let punctured: Vec<BigUint> = moduli
+            .iter()
+            .map(|m| product.divmod_u64(m.value()).0)
+            .collect();
+        let inv_punctured = moduli
+            .iter()
+            .zip(&punctured)
+            .map(|(m, p)| {
+                let p_mod = p.rem_u64(m.value());
+                m.inv(p_mod).expect("punctured product invertible (coprime basis)")
+            })
+            .collect();
+        Ok(Self {
+            inner: Arc::new(RnsBasisInner {
+                n,
+                moduli,
+                contexts,
+                product,
+                punctured,
+                inv_punctured,
+            }),
+        })
+    }
+
+    /// Degree bound `n`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Number of moduli in the chain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.moduli.len()
+    }
+
+    /// Whether the chain is empty (never true for a built basis).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.moduli.is_empty()
+    }
+
+    /// The moduli in chain order.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.inner.moduli
+    }
+
+    /// Per-modulus polynomial contexts.
+    #[inline]
+    pub fn contexts(&self) -> &[PolyContext] {
+        &self.inner.contexts
+    }
+
+    /// The full modulus `q` as a big integer.
+    #[inline]
+    pub fn product(&self) -> &BigUint {
+        &self.inner.product
+    }
+
+    /// An all-zero RNS polynomial.
+    pub fn zero(&self) -> RnsPolynomial {
+        RnsPolynomial {
+            basis: self.clone(),
+            residues: self.inner.contexts.iter().map(PolyContext::zero).collect(),
+        }
+    }
+
+    /// Builds an RNS polynomial from signed coefficients, reducing under every
+    /// modulus — exactly what SEAL's noise writer does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n`.
+    pub fn from_signed(&self, coeffs: &[i64]) -> RnsPolynomial {
+        assert_eq!(coeffs.len(), self.inner.n);
+        RnsPolynomial {
+            basis: self.clone(),
+            residues: self
+                .inner
+                .contexts
+                .iter()
+                .map(|c| c.polynomial_from_signed(coeffs))
+                .collect(),
+        }
+    }
+
+    /// Builds an RNS polynomial from per-modulus residue polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residue count or any context mismatches the basis.
+    pub fn from_residues(&self, residues: Vec<Polynomial>) -> RnsPolynomial {
+        assert_eq!(residues.len(), self.len(), "one residue per modulus");
+        for (r, c) in residues.iter().zip(&self.inner.contexts) {
+            assert!(r.context() == *c, "residue context mismatch");
+        }
+        RnsPolynomial {
+            basis: self.clone(),
+            residues,
+        }
+    }
+
+    /// CRT-composes per-modulus residues of a single coefficient into the
+    /// value modulo `q`.
+    pub fn compose_coefficient(&self, residues: &[u64]) -> BigUint {
+        assert_eq!(residues.len(), self.len());
+        let mut acc = BigUint::zero();
+        for j in 0..self.len() {
+            let m = &self.inner.moduli[j];
+            let term = m.mul(residues[j] % m.value(), self.inner.inv_punctured[j]);
+            acc = acc.add(&self.inner.punctured[j].mul_u64(term));
+        }
+        let (_, rem) = acc.divmod(&self.inner.product);
+        rem
+    }
+
+    fn same_basis(&self, other: &RnsBasis) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.n == other.inner.n && self.inner.moduli == other.inner.moduli)
+    }
+}
+
+impl PartialEq for RnsBasis {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_basis(other)
+    }
+}
+
+/// A polynomial in `R_q` stored as one residue polynomial per modulus.
+#[derive(Clone, PartialEq)]
+pub struct RnsPolynomial {
+    basis: RnsBasis,
+    residues: Vec<Polynomial>,
+}
+
+impl fmt::Debug for RnsPolynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RnsPolynomial")
+            .field("basis", &self.basis)
+            .field("residues", &self.residues.len())
+            .finish()
+    }
+}
+
+impl RnsPolynomial {
+    /// The owning basis.
+    #[inline]
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// Residue polynomials in basis order.
+    #[inline]
+    pub fn residues(&self) -> &[Polynomial] {
+        &self.residues
+    }
+
+    /// Mutable residue polynomials.
+    #[inline]
+    pub fn residues_mut(&mut self) -> &mut [Polynomial] {
+        &mut self.residues
+    }
+
+    /// Flattens into SEAL's `poly[i + j * n]` memory layout.
+    pub fn to_flat(&self) -> Vec<u64> {
+        let n = self.basis.degree();
+        let mut out = Vec::with_capacity(n * self.residues.len());
+        for r in &self.residues {
+            out.extend_from_slice(r.coeffs());
+        }
+        out
+    }
+
+    /// Rebuilds from SEAL's flat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != n * k`.
+    pub fn from_flat(basis: &RnsBasis, flat: &[u64]) -> Self {
+        let n = basis.degree();
+        assert_eq!(flat.len(), n * basis.len(), "flat length must be n * k");
+        let residues = basis
+            .contexts()
+            .iter()
+            .enumerate()
+            .map(|(j, c)| c.polynomial(&flat[j * n..(j + 1) * n]))
+            .collect();
+        Self {
+            basis: basis.clone(),
+            residues,
+        }
+    }
+
+    fn check_same(&self, other: &RnsPolynomial) {
+        assert!(self.basis.same_basis(&other.basis), "RNS basis mismatch");
+    }
+
+    /// Ring addition.
+    pub fn add(&self, other: &RnsPolynomial) -> RnsPolynomial {
+        self.check_same(other);
+        RnsPolynomial {
+            basis: self.basis.clone(),
+            residues: self
+                .residues
+                .iter()
+                .zip(&other.residues)
+                .map(|(a, b)| a.add(b))
+                .collect(),
+        }
+    }
+
+    /// Ring subtraction.
+    pub fn sub(&self, other: &RnsPolynomial) -> RnsPolynomial {
+        self.check_same(other);
+        RnsPolynomial {
+            basis: self.basis.clone(),
+            residues: self
+                .residues
+                .iter()
+                .zip(&other.residues)
+                .map(|(a, b)| a.sub(b))
+                .collect(),
+        }
+    }
+
+    /// Ring negation.
+    pub fn neg(&self) -> RnsPolynomial {
+        RnsPolynomial {
+            basis: self.basis.clone(),
+            residues: self.residues.iter().map(Polynomial::neg).collect(),
+        }
+    }
+
+    /// Ring multiplication (negacyclic, per-modulus NTT).
+    pub fn mul(&self, other: &RnsPolynomial) -> RnsPolynomial {
+        self.check_same(other);
+        RnsPolynomial {
+            basis: self.basis.clone(),
+            residues: self
+                .residues
+                .iter()
+                .zip(&other.residues)
+                .map(|(a, b)| a.mul(b))
+                .collect(),
+        }
+    }
+
+    /// Multiplies every coefficient by a scalar (reduced per modulus).
+    pub fn scalar_mul(&self, scalar: u64) -> RnsPolynomial {
+        RnsPolynomial {
+            basis: self.basis.clone(),
+            residues: self.residues.iter().map(|r| r.scalar_mul(scalar)).collect(),
+        }
+    }
+
+    /// CRT-composes coefficient `i` to its value in `[0, q)`.
+    pub fn compose_coefficient(&self, i: usize) -> BigUint {
+        let residues: Vec<u64> = self.residues.iter().map(|r| r.coeffs()[i]).collect();
+        self.basis.compose_coefficient(&residues)
+    }
+
+    /// CRT-composes every coefficient.
+    pub fn compose(&self) -> Vec<BigUint> {
+        (0..self.basis.degree())
+            .map(|i| self.compose_coefficient(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::ntt_primes;
+    use proptest::prelude::*;
+
+    fn basis2(n: usize) -> RnsBasis {
+        let moduli = ntt_primes(30, 2 * n as u64, 2).unwrap();
+        RnsBasis::new(n, moduli).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_noncoprime() {
+        assert!(matches!(RnsBasis::new(8, vec![]), Err(RnsError::Empty)));
+        let m = Modulus::new(15).unwrap();
+        let m2 = Modulus::new(21).unwrap(); // gcd 3
+        assert!(matches!(
+            RnsBasis::new(8, vec![m, m2]),
+            Err(RnsError::NotCoprime { .. })
+        ));
+    }
+
+    #[test]
+    fn product_and_compose_roundtrip() {
+        let b = basis2(8);
+        let q0 = b.moduli()[0].value();
+        let q1 = b.moduli()[1].value();
+        assert_eq!(b.product().to_u128(), Some(q0 as u128 * q1 as u128));
+
+        // value -> residues -> compose must be the identity
+        for value in [0u128, 1, 41, q0 as u128, q0 as u128 * q1 as u128 - 1] {
+            let residues = vec![(value % q0 as u128) as u64, (value % q1 as u128) as u64];
+            assert_eq!(b.compose_coefficient(&residues).to_u128(), Some(value));
+        }
+    }
+
+    #[test]
+    fn from_signed_negative_wraps_per_modulus() {
+        let b = basis2(8);
+        let p = b.from_signed(&[-3, 0, 0, 0, 0, 0, 0, 0]);
+        for (r, m) in p.residues().iter().zip(b.moduli()) {
+            assert_eq!(r.coeffs()[0], m.value() - 3);
+        }
+        // Composed value equals q - 3.
+        let composed = p.compose_coefficient(0);
+        let qm3 = b.product().checked_sub(&BigUint::from(3u64)).unwrap();
+        assert_eq!(composed, qm3);
+    }
+
+    #[test]
+    fn flat_layout_roundtrip() {
+        let b = basis2(8);
+        let p = b.from_signed(&[1, -2, 3, -4, 5, -6, 7, -8]);
+        let flat = p.to_flat();
+        assert_eq!(flat.len(), 16);
+        // SEAL layout: second modulus block starts at n.
+        assert_eq!(flat[0], p.residues()[0].coeffs()[0]);
+        assert_eq!(flat[8], p.residues()[1].coeffs()[0]);
+        assert_eq!(RnsPolynomial::from_flat(&b, &flat), p);
+    }
+
+    #[test]
+    fn ring_ops_match_composed_arithmetic() {
+        let b = basis2(8);
+        let x = b.from_signed(&[5, 4, 3, 2, 1, 0, -1, -2]);
+        let y = b.from_signed(&[-1, 2, -3, 4, -5, 6, -7, 8]);
+        let sum = x.add(&y);
+        for i in 0..8 {
+            let xi = x.compose_coefficient(i);
+            let yi = y.compose_coefficient(i);
+            let si = sum.compose_coefficient(i);
+            let (_, expected) = xi.add(&yi).divmod(b.product());
+            assert_eq!(si, expected, "coefficient {i}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_compose_split_roundtrip(v in 0u64..(1u64 << 58)) {
+            // 30-bit primes: q0 * q1 > 2^58, so v is always representable.
+            let b = basis2(4);
+            let q0 = b.moduli()[0].value();
+            let q1 = b.moduli()[1].value();
+            prop_assert!((v as u128) < q0 as u128 * q1 as u128);
+            let residues = vec![v % q0, v % q1];
+            prop_assert_eq!(b.compose_coefficient(&residues).to_u64(), Some(v));
+        }
+
+        #[test]
+        fn prop_add_commutes(
+            a in proptest::collection::vec(-1000i64..1000, 4),
+            c in proptest::collection::vec(-1000i64..1000, 4),
+        ) {
+            let b = basis2(4);
+            let x = b.from_signed(&a);
+            let y = b.from_signed(&c);
+            prop_assert_eq!(x.add(&y), y.add(&x));
+            prop_assert_eq!(x.mul(&y), y.mul(&x));
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! RV32IM instruction set: typed instructions, binary encoding and decoding.
+//!
+//! The executor simulates a PicoRV32-class core in its RV32IM configuration
+//! (base integer ISA plus the standard M extension for multiply/divide),
+//! which is exactly the setup of the paper's FPGA target.
+
+use std::fmt;
+
+/// A register index `x0..x31` (x0 is hard-wired to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register, panicking for indices above 31.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parses an ABI or numeric register name (`x5`, `t0`, `a1`, `sp`, …).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let idx = match name {
+            "zero" => 0,
+            "ra" => 1,
+            "sp" => 2,
+            "gp" => 3,
+            "tp" => 4,
+            "t0" => 5,
+            "t1" => 6,
+            "t2" => 7,
+            "s0" | "fp" => 8,
+            "s1" => 9,
+            "a0" => 10,
+            "a1" => 11,
+            "a2" => 12,
+            "a3" => 13,
+            "a4" => 14,
+            "a5" => 15,
+            "a6" => 16,
+            "a7" => 17,
+            "s2" => 18,
+            "s3" => 19,
+            "s4" => 20,
+            "s5" => 21,
+            "s6" => 22,
+            "s7" => 23,
+            "s8" => 24,
+            "s9" => 25,
+            "s10" => 26,
+            "s11" => 27,
+            "t3" => 28,
+            "t4" => 29,
+            "t5" => 30,
+            "t6" => 31,
+            _ => {
+                let rest = name.strip_prefix('x')?;
+                let idx: u8 = rest.parse().ok()?;
+                if idx < 32 {
+                    idx
+                } else {
+                    return None;
+                }
+            }
+        };
+        Some(Reg(idx))
+    }
+
+    /// The canonical ABI name.
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+/// ALU operations of the OP/OP-IMM formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (SUB in register form via the `sub` flag).
+    Add,
+    /// Subtraction (register form only).
+    Sub,
+    /// Set-less-than (signed).
+    Slt,
+    /// Set-less-than (unsigned).
+    Sltu,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+    /// Logical shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+}
+
+/// M-extension operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulOp {
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits, signed × signed.
+    Mulh,
+    /// High 32 bits, signed × unsigned.
+    Mulhsu,
+    /// High 32 bits, unsigned × unsigned.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// Branch comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less-than, signed.
+    Lt,
+    /// Greater-or-equal, signed.
+    Ge,
+    /// Less-than, unsigned.
+    Ltu,
+    /// Greater-or-equal, unsigned.
+    Geu,
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// Byte.
+    Byte,
+    /// Half-word (16 bits).
+    Half,
+    /// Word (32 bits).
+    Word,
+}
+
+/// A decoded RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `lui rd, imm` — load upper immediate.
+    Lui { rd: Reg, imm: i32 },
+    /// `auipc rd, imm` — add upper immediate to PC.
+    Auipc { rd: Reg, imm: i32 },
+    /// `jal rd, offset` — jump and link.
+    Jal { rd: Reg, offset: i32 },
+    /// `jalr rd, rs1, offset` — indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, offset: i32 },
+    /// Load (`signed` selects sign extension for sub-word widths).
+    Load { rd: Reg, rs1: Reg, offset: i32, width: MemWidth, signed: bool },
+    /// Store.
+    Store { rs1: Reg, rs2: Reg, offset: i32, width: MemWidth },
+    /// Register–immediate ALU operation.
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Register–register ALU operation.
+    AluReg { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// M-extension multiply/divide.
+    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `ecall` — environment call (halts the simulator).
+    Ecall,
+    /// `ebreak` — breakpoint (halts the simulator).
+    Ebreak,
+}
+
+/// Errors from instruction decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeInstructionError {
+    /// The raw word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeInstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeInstructionError {}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit machine form.
+    pub fn encode(self) -> u32 {
+        match self {
+            Instruction::Lui { rd, imm } => (imm as u32) & 0xFFFF_F000 | rd_bits(rd) | 0b0110111,
+            Instruction::Auipc { rd, imm } => {
+                (imm as u32) & 0xFFFF_F000 | rd_bits(rd) | 0b0010111
+            }
+            Instruction::Jal { rd, offset } => encode_j(offset) | rd_bits(rd) | 0b1101111,
+            Instruction::Jalr { rd, rs1, offset } => {
+                encode_i(offset) | rs1_bits(rs1) | rd_bits(rd) | 0b1100111
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                let funct3 = match cond {
+                    BranchCond::Eq => 0b000,
+                    BranchCond::Ne => 0b001,
+                    BranchCond::Lt => 0b100,
+                    BranchCond::Ge => 0b101,
+                    BranchCond::Ltu => 0b110,
+                    BranchCond::Geu => 0b111,
+                };
+                encode_b(offset) | rs2_bits(rs2) | rs1_bits(rs1) | funct3 << 12 | 0b1100011
+            }
+            Instruction::Load { rd, rs1, offset, width, signed } => {
+                let funct3 = match (width, signed) {
+                    (MemWidth::Byte, true) => 0b000,
+                    (MemWidth::Half, true) => 0b001,
+                    (MemWidth::Word, _) => 0b010,
+                    (MemWidth::Byte, false) => 0b100,
+                    (MemWidth::Half, false) => 0b101,
+                };
+                encode_i(offset) | rs1_bits(rs1) | funct3 << 12 | rd_bits(rd) | 0b0000011
+            }
+            Instruction::Store { rs1, rs2, offset, width } => {
+                let funct3 = match width {
+                    MemWidth::Byte => 0b000,
+                    MemWidth::Half => 0b001,
+                    MemWidth::Word => 0b010,
+                };
+                encode_s(offset) | rs2_bits(rs2) | rs1_bits(rs1) | funct3 << 12 | 0b0100011
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let (funct3, funct7) = match op {
+                    AluOp::Add => (0b000, 0),
+                    AluOp::Slt => (0b010, 0),
+                    AluOp::Sltu => (0b011, 0),
+                    AluOp::Xor => (0b100, 0),
+                    AluOp::Or => (0b110, 0),
+                    AluOp::And => (0b111, 0),
+                    AluOp::Sll => (0b001, 0),
+                    AluOp::Srl => (0b101, 0),
+                    AluOp::Sra => (0b101, 0b0100000),
+                    AluOp::Sub => panic!("subi does not exist; use addi with negated immediate"),
+                };
+                let imm_field = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    ((imm as u32) & 0x1F) << 20 | (funct7 as u32) << 25
+                } else {
+                    encode_i(imm)
+                };
+                imm_field | rs1_bits(rs1) | funct3 << 12 | rd_bits(rd) | 0b0010011
+            }
+            Instruction::AluReg { op, rd, rs1, rs2 } => {
+                let (funct3, funct7) = match op {
+                    AluOp::Add => (0b000, 0b0000000),
+                    AluOp::Sub => (0b000, 0b0100000),
+                    AluOp::Sll => (0b001, 0b0000000),
+                    AluOp::Slt => (0b010, 0b0000000),
+                    AluOp::Sltu => (0b011, 0b0000000),
+                    AluOp::Xor => (0b100, 0b0000000),
+                    AluOp::Srl => (0b101, 0b0000000),
+                    AluOp::Sra => (0b101, 0b0100000),
+                    AluOp::Or => (0b110, 0b0000000),
+                    AluOp::And => (0b111, 0b0000000),
+                };
+                (funct7 as u32) << 25
+                    | rs2_bits(rs2)
+                    | rs1_bits(rs1)
+                    | funct3 << 12
+                    | rd_bits(rd)
+                    | 0b0110011
+            }
+            Instruction::MulDiv { op, rd, rs1, rs2 } => {
+                let funct3 = match op {
+                    MulOp::Mul => 0b000,
+                    MulOp::Mulh => 0b001,
+                    MulOp::Mulhsu => 0b010,
+                    MulOp::Mulhu => 0b011,
+                    MulOp::Div => 0b100,
+                    MulOp::Divu => 0b101,
+                    MulOp::Rem => 0b110,
+                    MulOp::Remu => 0b111,
+                };
+                1u32 << 25 | rs2_bits(rs2) | rs1_bits(rs1) | funct3 << 12 | rd_bits(rd) | 0b0110011
+            }
+            Instruction::Ecall => 0x0000_0073,
+            Instruction::Ebreak => 0x0010_0073,
+        }
+    }
+
+    /// Decodes a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeInstructionError`] for unknown encodings.
+    pub fn decode(word: u32) -> Result<Self, DecodeInstructionError> {
+        let opcode = word & 0x7F;
+        let rd = Reg::new(((word >> 7) & 0x1F) as u8);
+        let rs1 = Reg::new(((word >> 15) & 0x1F) as u8);
+        let rs2 = Reg::new(((word >> 20) & 0x1F) as u8);
+        let funct3 = (word >> 12) & 0x7;
+        let funct7 = (word >> 25) & 0x7F;
+        let err = || DecodeInstructionError { word };
+        Ok(match opcode {
+            0b0110111 => Instruction::Lui { rd, imm: (word & 0xFFFF_F000) as i32 },
+            0b0010111 => Instruction::Auipc { rd, imm: (word & 0xFFFF_F000) as i32 },
+            0b1101111 => Instruction::Jal { rd, offset: decode_j(word) },
+            0b1100111 => {
+                if funct3 != 0 {
+                    return Err(err());
+                }
+                Instruction::Jalr { rd, rs1, offset: decode_i(word) }
+            }
+            0b1100011 => {
+                let cond = match funct3 {
+                    0b000 => BranchCond::Eq,
+                    0b001 => BranchCond::Ne,
+                    0b100 => BranchCond::Lt,
+                    0b101 => BranchCond::Ge,
+                    0b110 => BranchCond::Ltu,
+                    0b111 => BranchCond::Geu,
+                    _ => return Err(err()),
+                };
+                Instruction::Branch { cond, rs1, rs2, offset: decode_b(word) }
+            }
+            0b0000011 => {
+                let (width, signed) = match funct3 {
+                    0b000 => (MemWidth::Byte, true),
+                    0b001 => (MemWidth::Half, true),
+                    0b010 => (MemWidth::Word, true),
+                    0b100 => (MemWidth::Byte, false),
+                    0b101 => (MemWidth::Half, false),
+                    _ => return Err(err()),
+                };
+                Instruction::Load { rd, rs1, offset: decode_i(word), width, signed }
+            }
+            0b0100011 => {
+                let width = match funct3 {
+                    0b000 => MemWidth::Byte,
+                    0b001 => MemWidth::Half,
+                    0b010 => MemWidth::Word,
+                    _ => return Err(err()),
+                };
+                Instruction::Store { rs1, rs2, offset: decode_s(word), width }
+            }
+            0b0010011 => {
+                let op = match funct3 {
+                    0b000 => AluOp::Add,
+                    0b010 => AluOp::Slt,
+                    0b011 => AluOp::Sltu,
+                    0b100 => AluOp::Xor,
+                    0b110 => AluOp::Or,
+                    0b111 => AluOp::And,
+                    0b001 => AluOp::Sll,
+                    0b101 => {
+                        if funct7 == 0b0100000 {
+                            AluOp::Sra
+                        } else if funct7 == 0 {
+                            AluOp::Srl
+                        } else {
+                            return Err(err());
+                        }
+                    }
+                    _ => return Err(err()),
+                };
+                let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    ((word >> 20) & 0x1F) as i32
+                } else {
+                    decode_i(word)
+                };
+                Instruction::AluImm { op, rd, rs1, imm }
+            }
+            0b0110011 => {
+                if funct7 == 1 {
+                    let op = match funct3 {
+                        0b000 => MulOp::Mul,
+                        0b001 => MulOp::Mulh,
+                        0b010 => MulOp::Mulhsu,
+                        0b011 => MulOp::Mulhu,
+                        0b100 => MulOp::Div,
+                        0b101 => MulOp::Divu,
+                        0b110 => MulOp::Rem,
+                        0b111 => MulOp::Remu,
+                        _ => return Err(err()),
+                    };
+                    Instruction::MulDiv { op, rd, rs1, rs2 }
+                } else {
+                    let op = match (funct3, funct7) {
+                        (0b000, 0b0000000) => AluOp::Add,
+                        (0b000, 0b0100000) => AluOp::Sub,
+                        (0b001, 0b0000000) => AluOp::Sll,
+                        (0b010, 0b0000000) => AluOp::Slt,
+                        (0b011, 0b0000000) => AluOp::Sltu,
+                        (0b100, 0b0000000) => AluOp::Xor,
+                        (0b101, 0b0000000) => AluOp::Srl,
+                        (0b101, 0b0100000) => AluOp::Sra,
+                        (0b110, 0b0000000) => AluOp::Or,
+                        (0b111, 0b0000000) => AluOp::And,
+                        _ => return Err(err()),
+                    };
+                    Instruction::AluReg { op, rd, rs1, rs2 }
+                }
+            }
+            0b1110011 => match word {
+                0x0000_0073 => Instruction::Ecall,
+                0x0010_0073 => Instruction::Ebreak,
+                _ => return Err(err()),
+            },
+            _ => return Err(err()),
+        })
+    }
+}
+
+#[inline]
+fn rd_bits(r: Reg) -> u32 {
+    (r.0 as u32) << 7
+}
+
+#[inline]
+fn rs1_bits(r: Reg) -> u32 {
+    (r.0 as u32) << 15
+}
+
+#[inline]
+fn rs2_bits(r: Reg) -> u32 {
+    (r.0 as u32) << 20
+}
+
+fn encode_i(imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-immediate {imm} out of range");
+    ((imm as u32) & 0xFFF) << 20
+}
+
+fn decode_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn encode_s(imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-immediate {imm} out of range");
+    let v = imm as u32;
+    ((v >> 5) & 0x7F) << 25 | (v & 0x1F) << 7
+}
+
+fn decode_s(word: u32) -> i32 {
+    let hi = ((word as i32) >> 25) << 5;
+    let lo = ((word >> 7) & 0x1F) as i32;
+    hi | lo
+}
+
+fn encode_b(imm: i32) -> u32 {
+    debug_assert!(imm % 2 == 0 && (-4096..=4094).contains(&imm), "B-immediate {imm} invalid");
+    let v = imm as u32;
+    ((v >> 12) & 1) << 31 | ((v >> 5) & 0x3F) << 25 | ((v >> 1) & 0xF) << 8 | ((v >> 11) & 1) << 7
+}
+
+fn decode_b(word: u32) -> i32 {
+    let imm12 = ((word >> 31) & 1) as i32;
+    let imm10_5 = ((word >> 25) & 0x3F) as i32;
+    let imm4_1 = ((word >> 8) & 0xF) as i32;
+    let imm11 = ((word >> 7) & 1) as i32;
+    let v = imm12 << 12 | imm11 << 11 | imm10_5 << 5 | imm4_1 << 1;
+    (v << 19) >> 19
+}
+
+fn encode_j(imm: i32) -> u32 {
+    debug_assert!(
+        imm % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&imm),
+        "J-immediate {imm} invalid"
+    );
+    let v = imm as u32;
+    ((v >> 20) & 1) << 31 | ((v >> 1) & 0x3FF) << 21 | ((v >> 11) & 1) << 20 | ((v >> 12) & 0xFF) << 12
+}
+
+fn decode_j(word: u32) -> i32 {
+    let imm20 = ((word >> 31) & 1) as i32;
+    let imm10_1 = ((word >> 21) & 0x3FF) as i32;
+    let imm11 = ((word >> 20) & 1) as i32;
+    let imm19_12 = ((word >> 12) & 0xFF) as i32;
+    let v = imm20 << 20 | imm19_12 << 12 | imm11 << 11 | imm10_1 << 1;
+    (v << 11) >> 11
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn register_parsing() {
+        assert_eq!(Reg::parse("zero"), Some(Reg(0)));
+        assert_eq!(Reg::parse("x31"), Some(Reg(31)));
+        assert_eq!(Reg::parse("a0"), Some(Reg(10)));
+        assert_eq!(Reg::parse("t6"), Some(Reg(31)));
+        assert_eq!(Reg::parse("fp"), Some(Reg(8)));
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("q1"), None);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against the RISC-V spec examples.
+        // addi x1, x0, 5  =>  0x00500093
+        let addi = Instruction::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 5 };
+        assert_eq!(addi.encode(), 0x0050_0093);
+        // add x3, x1, x2  =>  0x002081B3
+        let add = Instruction::AluReg { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) };
+        assert_eq!(add.encode(), 0x0020_81B3);
+        // mul x5, x6, x7 => funct7=1: 0x027302B3
+        let mul = Instruction::MulDiv { op: MulOp::Mul, rd: Reg(5), rs1: Reg(6), rs2: Reg(7) };
+        assert_eq!(mul.encode(), 0x0273_02B3);
+        // lw x4, 8(x2) => 0x00812203
+        let lw = Instruction::Load { rd: Reg(4), rs1: Reg(2), offset: 8, width: MemWidth::Word, signed: true };
+        assert_eq!(lw.encode(), 0x0081_2203);
+        // sw x4, 12(x2) => 0x00412623
+        let sw = Instruction::Store { rs1: Reg(2), rs2: Reg(4), offset: 12, width: MemWidth::Word };
+        assert_eq!(sw.encode(), 0x0041_2623);
+        assert_eq!(Instruction::Ecall.encode(), 0x0000_0073);
+        assert_eq!(Instruction::Ebreak.encode(), 0x0010_0073);
+    }
+
+    #[test]
+    fn branch_offset_roundtrip() {
+        for offset in [-4096, -2048, -2, 0, 2, 100, 4094] {
+            let b = Instruction::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg(5),
+                rs2: Reg(6),
+                offset,
+            };
+            assert_eq!(Instruction::decode(b.encode()), Ok(b), "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn jal_offset_roundtrip() {
+        for offset in [-(1 << 20), -2, 0, 2, 4096, (1 << 20) - 2] {
+            let j = Instruction::Jal { rd: Reg(1), offset };
+            assert_eq!(Instruction::decode(j.encode()), Ok(j), "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Instruction::decode(0xFFFF_FFFF).is_err());
+        assert!(Instruction::decode(0).is_err());
+        assert!(Instruction::decode(0x0000_007F).is_err());
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_alu_imm_roundtrip(rd in arb_reg(), rs1 in arb_reg(), imm in -2048i32..2048) {
+            for op in [AluOp::Add, AluOp::Slt, AluOp::Sltu, AluOp::Xor, AluOp::Or, AluOp::And] {
+                let i = Instruction::AluImm { op, rd, rs1, imm };
+                prop_assert_eq!(Instruction::decode(i.encode()), Ok(i));
+            }
+        }
+
+        #[test]
+        fn prop_shift_imm_roundtrip(rd in arb_reg(), rs1 in arb_reg(), sh in 0i32..32) {
+            for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+                let i = Instruction::AluImm { op, rd, rs1, imm: sh };
+                prop_assert_eq!(Instruction::decode(i.encode()), Ok(i));
+            }
+        }
+
+        #[test]
+        fn prop_alu_reg_roundtrip(rd in arb_reg(), rs1 in arb_reg(), rs2 in arb_reg()) {
+            for op in [AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Slt, AluOp::Sltu,
+                       AluOp::Xor, AluOp::Srl, AluOp::Sra, AluOp::Or, AluOp::And] {
+                let i = Instruction::AluReg { op, rd, rs1, rs2 };
+                prop_assert_eq!(Instruction::decode(i.encode()), Ok(i));
+            }
+        }
+
+        #[test]
+        fn prop_muldiv_roundtrip(rd in arb_reg(), rs1 in arb_reg(), rs2 in arb_reg()) {
+            for op in [MulOp::Mul, MulOp::Mulh, MulOp::Mulhsu, MulOp::Mulhu,
+                       MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu] {
+                let i = Instruction::MulDiv { op, rd, rs1, rs2 };
+                prop_assert_eq!(Instruction::decode(i.encode()), Ok(i));
+            }
+        }
+
+        #[test]
+        fn prop_load_store_roundtrip(rd in arb_reg(), rs1 in arb_reg(), offset in -2048i32..2048) {
+            let l = Instruction::Load { rd, rs1, offset, width: MemWidth::Word, signed: true };
+            prop_assert_eq!(Instruction::decode(l.encode()), Ok(l));
+            let s = Instruction::Store { rs1, rs2: rd, offset, width: MemWidth::Word };
+            prop_assert_eq!(Instruction::decode(s.encode()), Ok(s));
+        }
+
+        #[test]
+        fn prop_lui_roundtrip(rd in arb_reg(), imm in any::<i32>()) {
+            let masked = imm & !0xFFFi32;
+            let i = Instruction::Lui { rd, imm: masked };
+            prop_assert_eq!(Instruction::decode(i.encode()), Ok(i));
+        }
+    }
+}

@@ -1,0 +1,733 @@
+//! The Gaussian-sampler kernel: SEAL's `set_poly_coeffs_normal` inner loop
+//! compiled by hand to RV32IM assembly, plus the capture harness.
+//!
+//! The program mirrors the shape a C++ compiler produces for Fig. 2 of the
+//! paper:
+//!
+//! 1. a *distribution call* of data-dependent duration (the Marsaglia-polar
+//!    loop plus clipping rejections of `ClippedNormalDistribution`), rendered
+//!    as a burst of `mul` instructions — this is the visible peak that lets
+//!    the attacker segment the trace per coefficient (Fig. 3a);
+//! 2. the **if / else-if / else** sign ladder with three *different*
+//!    instruction sequences (vulnerability 1, Fig. 3b);
+//! 3. the value-dependent store `poly[i + j·n] = …` (vulnerability 2);
+//! 4. the negation `noise = -noise` on the negative path (vulnerability 3).
+//!
+//! The noise values and per-call durations stream in through memory-mapped
+//! ports, serviced by the harness from the same `ClippedNormalDistribution`
+//! the `reveal-bfv` crate uses — so the kernel consumes exactly the values a
+//! SEAL encryption would.
+
+use crate::asm::{assemble, AssembleError, Program};
+use crate::cpu::{Bus, Cpu, ExecRecord, Halt, QueueMmio};
+use crate::power::{render_power, PowerCapture, PowerModelConfig};
+use rand::Rng;
+use std::fmt;
+
+/// MMIO port delivering the next sampled noise value (two's complement).
+pub const NOISE_PORT: u32 = 0xF000_0000;
+/// MMIO port delivering the duration (inner iterations) of the next
+/// distribution call.
+pub const ITER_PORT: u32 = 0xF000_0004;
+/// MMIO port delivering fresh uniform masks (masked variant only).
+pub const RAND_PORT: u32 = 0xF000_0008;
+/// Base address of the coefficient-modulus table.
+pub const Q_TABLE_BASE: u32 = 0x1000;
+/// Base address of the output polynomial buffer.
+pub const POLY_BASE: u32 = 0x2000;
+/// Base address of the second share buffer (masked variant only).
+pub const SHARE1_BASE: u32 = 0x0010_0000;
+
+/// Which noise-writer implementation the kernel models (§V-A variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelVariant {
+    /// SEAL v3.2's vulnerable if/else-if/else ladder (Fig. 2).
+    #[default]
+    Vulnerable,
+    /// Post-v3.6 spirit: branchless, constant control flow — the sign is
+    /// folded in arithmetically (`srai`/`xor`/`and`/`or`), so vulnerability 1
+    /// disappears (data-flow leakage remains).
+    Branchless,
+    /// First-order arithmetic masking of the *stored value only*, keeping
+    /// the sign ladder — the half-measure the paper warns about.
+    MaskedLadder,
+}
+
+/// Errors from building or running the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Assembly of the generated program failed (a bug in the generator).
+    Assemble(AssembleError),
+    /// The program did not halt via `ebreak`.
+    BadHalt(Halt),
+    /// Input lengths disagreed.
+    InputMismatch { expected: usize, got: usize },
+    /// Degree must be a power of two (the address computation uses shifts).
+    DegreeNotPowerOfTwo(usize),
+    /// Moduli must fit in 32 bits for the RV32 data path.
+    ModulusTooWide(u64),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Assemble(e) => write!(f, "kernel assembly failed: {e}"),
+            KernelError::BadHalt(h) => write!(f, "kernel halted abnormally: {h}"),
+            KernelError::InputMismatch { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            KernelError::DegreeNotPowerOfTwo(n) => {
+                write!(f, "degree {n} is not a power of two")
+            }
+            KernelError::ModulusTooWide(q) => {
+                write!(f, "modulus {q} does not fit the 32-bit data path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<AssembleError> for KernelError {
+    fn from(e: AssembleError) -> Self {
+        KernelError::Assemble(e)
+    }
+}
+
+/// The result of one kernel execution: power trace, architectural output,
+/// and ground-truth annotations for profiling experiments.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// The simulated power capture.
+    pub capture: PowerCapture,
+    /// The polynomial the kernel wrote, in SEAL's `poly[i + j·n]` layout
+    /// (reconstructed from the shares for the masked variant).
+    pub poly: Vec<u32>,
+    /// The two share polynomials (masked variant only).
+    pub shares: Option<(Vec<u32>, Vec<u32>)>,
+    /// Ground truth: per-coefficient sample windows `[start, end)` — used by
+    /// the *profiling* stage (the attacker controls the device then) and by
+    /// tests; the attack stage re-derives windows from the trace itself.
+    pub coefficient_windows: Vec<(usize, usize)>,
+    /// Executed instruction count.
+    pub instruction_count: usize,
+}
+
+/// Builds and runs the sampler kernel for a fixed `(n, q_1..q_k)` geometry.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_rv32::kernel::SamplerKernel;
+/// use reveal_rv32::power::PowerModelConfig;
+/// use rand::SeedableRng;
+///
+/// let kernel = SamplerKernel::new(8, &[132120577])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let run = kernel.run(
+///     &[3, -2, 0, 1, -1, 5, 0, -4],
+///     &[4, 6, 3, 5, 4, 7, 3, 5],
+///     &PowerModelConfig::default(),
+///     &mut rng,
+/// )?;
+/// assert_eq!(run.poly[0], 3);
+/// assert_eq!(run.poly[1], 132120577 - 2);
+/// assert_eq!(run.poly[2], 0);
+/// # Ok::<(), reveal_rv32::kernel::KernelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SamplerKernel {
+    n: usize,
+    moduli: Vec<u32>,
+    variant: KernelVariant,
+    program: Program,
+    outer_pc: u32,
+}
+
+/// Fig. 2's vulnerable if/else-if/else ladder.
+const VULNERABLE_LADDER: &str = "
+                # ---- Fig. 2 lines 13-29: the vulnerable sign ladder ----
+                blez t2, not_positive
+                li   t3, 0               # j = 0
+            pos_loop:
+                slli t4, t3, {log_n}     # j * n
+                add  t4, t4, a0          # i + j*n
+                slli t4, t4, 2
+                add  t4, t4, s4
+                sw   t2, 0(t4)           # poly[i + j*n] = noise
+                addi t3, t3, 1
+                blt  t3, s2, pos_loop
+                j    coeff_done
+            not_positive:
+                bgez t2, zero_case
+                sub  t2, zero, t2        # noise = -noise (vulnerability 3)
+                li   t3, 0
+            neg_loop:
+                slli t5, t3, 2
+                add  t5, t5, s3
+                lw   t5, 0(t5)           # coeff_modulus[j]
+                sub  t5, t5, t2          # q_j - noise
+                slli t4, t3, {log_n}
+                add  t4, t4, a0
+                slli t4, t4, 2
+                add  t4, t4, s4
+                sw   t5, 0(t4)           # poly[i + j*n] = q_j - noise
+                addi t3, t3, 1
+                blt  t3, s2, neg_loop
+                j    coeff_done
+            zero_case:
+                li   t3, 0
+            zero_loop:
+                slli t4, t3, {log_n}
+                add  t4, t4, a0
+                slli t4, t4, 2
+                add  t4, t4, s4
+                sw   zero, 0(t4)         # poly[i + j*n] = 0
+                addi t3, t3, 1
+                blt  t3, s2, zero_loop
+";
+
+/// Post-v3.6 spirit: constant control flow, sign folded in arithmetically.
+const BRANCHLESS_LADDER: &str = "
+                # ---- branchless writer (SEAL >= 3.6 spirit) ----
+                srai t3, t2, 31          # mask = noise < 0 ? -1 : 0
+                xor  t5, t2, t3
+                sub  t5, t5, t3          # |noise|
+                li   t6, 0               # j = 0
+            bl_loop:
+                slli a2, t6, 2
+                add  a2, a2, s3
+                lw   a2, 0(a2)           # q_j
+                sub  a2, a2, t5          # q_j - |noise|
+                and  a2, a2, t3          # selected when negative
+                xori a3, t3, -1
+                and  a3, t5, a3          # |noise| when non-negative
+                or   a2, a2, a3          # residue
+                slli a4, t6, {log_n}
+                add  a4, a4, a0
+                slli a4, a4, 2
+                add  a4, a4, s4
+                sw   a2, 0(a4)           # poly[i + j*n] = residue
+                addi t6, t6, 1
+                blt  t6, s2, bl_loop
+";
+
+/// First-order masked stores behind the *unchanged* sign ladder — the
+/// half-measure §V-A argues is insufficient against single-trace attacks.
+const MASKED_LADDER: &str = "
+                # ---- masked stores, vulnerable ladder kept ----
+                blez t2, m_not_pos
+                li   t3, 0
+            m_pos_loop:
+                mv   a2, t2              # residue = noise
+                jal  ra, m_store
+                addi t3, t3, 1
+                blt  t3, s2, m_pos_loop
+                j    coeff_done
+            m_not_pos:
+                bgez t2, m_zero
+                sub  t2, zero, t2        # negation still executes
+                li   t3, 0
+            m_neg_loop:
+                slli a3, t3, 2
+                add  a3, a3, s3
+                lw   a3, 0(a3)           # q_j
+                sub  a2, a3, t2          # residue = q_j - noise
+                jal  ra, m_store
+                addi t3, t3, 1
+                blt  t3, s2, m_neg_loop
+                j    coeff_done
+            m_zero:
+                li   t3, 0
+            m_zero_loop:
+                li   a2, 0
+                jal  ra, m_store
+                addi t3, t3, 1
+                blt  t3, s2, m_zero_loop
+                j    coeff_done
+            m_store:                     # a2 = residue, t3 = j, a0 = i
+                slli a3, t3, 2
+                add  a3, a3, s3
+                lw   a3, 0(a3)           # q_j
+                lw   a4, 8(s0)           # fresh mask r from RAND_PORT
+                sub  a5, a2, a4          # residue - r
+                srai t4, a5, 31
+                and  t4, t4, a3
+                add  a5, a5, t4          # mod q_j
+                slli t4, t3, {log_n}
+                add  t4, t4, a0
+                slli t4, t4, 2
+                add  a6, t4, s4
+                sw   a4, 0(a6)           # share0 = r
+                li   a7, {share1_base}
+                add  a6, t4, a7
+                sw   a5, 0(a6)           # share1 = residue - r
+                ret
+";
+
+impl SamplerKernel {
+    /// Generates and assembles the kernel program.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `n` is not a power of two or a modulus exceeds 32 bits.
+    pub fn new(n: usize, moduli: &[u64]) -> Result<Self, KernelError> {
+        Self::with_variant(n, moduli, KernelVariant::Vulnerable)
+    }
+
+    /// Generates the kernel for a specific sampler variant (§V-A study).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SamplerKernel::new`].
+    pub fn with_variant(
+        n: usize,
+        moduli: &[u64],
+        variant: KernelVariant,
+    ) -> Result<Self, KernelError> {
+        if !n.is_power_of_two() {
+            return Err(KernelError::DegreeNotPowerOfTwo(n));
+        }
+        let mut moduli32 = Vec::with_capacity(moduli.len());
+        for &q in moduli {
+            let q32 = u32::try_from(q).map_err(|_| KernelError::ModulusTooWide(q))?;
+            moduli32.push(q32);
+        }
+        let log_n = n.trailing_zeros();
+        let k = moduli32.len();
+        let ladder = match variant {
+            KernelVariant::Vulnerable => VULNERABLE_LADDER,
+            KernelVariant::Branchless => BRANCHLESS_LADDER,
+            KernelVariant::MaskedLadder => MASKED_LADDER,
+        };
+        let body = format!(
+            "
+            start:
+                li   s0, 0xF0000000      # MMIO base
+                li   s1, {n}             # coeff_count
+                li   s2, {k}             # coeff_mod_count
+                li   s3, {q_base}        # q table
+                li   s4, {poly_base}     # poly buffer
+                li   a0, 0               # i = 0
+            outer:
+                # ---- ClippedNormalDistribution call (time-variant) ----
+                lw   t0, 4(s0)           # polar/clip iteration count
+                li   t1, 0x3039          # working value for the burst
+            dist_loop:
+                beqz t0, dist_done
+                mul  t1, t1, t1          # power-hungry: the Fig. 3 peak
+                addi t0, t0, -1
+                j    dist_loop
+            dist_done:
+                lw   t2, 0(s0)           # int64_t noise = dist(engine)
+                beq  a0, s1, end         # dummy (n+1)-th iteration: stop here
+{ladder}
+            coeff_done:
+                addi a0, a0, 1
+                # `<=` so a dummy (n+1)-th iteration runs its distribution
+                # burst: on the real device the encryption continues after the
+                # sampler, so the last coefficient's window is followed by
+                # more activity just like every other window. The dummy exits
+                # at the `beq` above, before touching the polynomial.
+                ble  a0, s1, outer
+            end:
+                ebreak
+            ",
+            n = n,
+            k = k,
+            q_base = Q_TABLE_BASE,
+            poly_base = POLY_BASE,
+            ladder = "@LADDER@",
+        );
+        // Two-stage formatting keeps the per-variant ladder templates small.
+        let source = body
+            .replace("@LADDER@", ladder)
+            .replace("{log_n}", &log_n.to_string())
+            .replace("{share1_base}", &SHARE1_BASE.to_string());
+        let program = assemble(&source, 0)?;
+        let outer_pc = program.symbol("outer").expect("outer label");
+        Ok(Self {
+            n,
+            moduli: moduli32,
+            variant,
+            program,
+            outer_pc,
+        })
+    }
+
+    /// The sampler variant this kernel models.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The coefficient moduli.
+    pub fn moduli(&self) -> &[u32] {
+        &self.moduli
+    }
+
+    /// The assembled program (for inspection/disassembly).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Executes the kernel over `noise_values`, with `dist_iterations[i]`
+    /// burst iterations before coefficient `i`, rendering power with
+    /// `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on input-length mismatch or abnormal halt.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        noise_values: &[i64],
+        dist_iterations: &[u32],
+        config: &PowerModelConfig,
+        rng: &mut R,
+    ) -> Result<KernelRun, KernelError> {
+        if noise_values.len() != self.n {
+            return Err(KernelError::InputMismatch {
+                expected: self.n,
+                got: noise_values.len(),
+            });
+        }
+        if dist_iterations.len() != self.n {
+            return Err(KernelError::InputMismatch {
+                expected: self.n,
+                got: dist_iterations.len(),
+            });
+        }
+        let mut mmio = QueueMmio::new();
+        // One extra (dummy) entry each: the kernel runs an (n+1)-th
+        // distribution burst so the last real window has a successor peak.
+        mmio.push_reads(
+            NOISE_PORT,
+            noise_values
+                .iter()
+                .map(|&v| v as i32 as u32)
+                .chain(std::iter::once(0)),
+        );
+        let median_iters = {
+            let mut sorted = dist_iterations.to_vec();
+            sorted.sort_unstable();
+            sorted.get(sorted.len() / 2).copied().unwrap_or(4)
+        };
+        mmio.push_reads(
+            ITER_PORT,
+            dist_iterations.iter().copied().chain(std::iter::once(median_iters)),
+        );
+        let k = self.moduli.len();
+        if self.variant == KernelVariant::MaskedLadder {
+            // Fresh uniform masks, in consumption order (per coefficient,
+            // per modulus).
+            let mut masks = Vec::with_capacity(self.n * k);
+            for _ in 0..self.n {
+                for &q in &self.moduli {
+                    masks.push(rng.gen_range(0..q));
+                }
+            }
+            mmio.push_reads(RAND_PORT, masks);
+        }
+
+        let ram_bytes = match self.variant {
+            KernelVariant::MaskedLadder => {
+                (SHARE1_BASE as usize + 4 * self.n * k + 4096).next_power_of_two()
+            }
+            _ => (POLY_BASE as usize + 4 * self.n * k + 4096).next_power_of_two(),
+        };
+        let mut bus = Bus::new(ram_bytes, mmio);
+        bus.load_words(0, &self.program.words);
+        for (j, &q) in self.moduli.iter().enumerate() {
+            bus.write_u32(Q_TABLE_BASE + 4 * j as u32, q);
+        }
+        let mut cpu = Cpu::new(bus);
+        // Generous fuel: ~n · (burst + ladder) instructions.
+        let fuel = 64 * self.n * (k + 8) + 1024;
+        let (records, halt) = cpu.run(fuel);
+        if halt != Halt::Ebreak {
+            return Err(KernelError::BadHalt(halt));
+        }
+
+        let capture = render_power(&records, config, rng);
+        let windows = self.ground_truth_windows(&records, &capture);
+        let mut poly = Vec::with_capacity(self.n * k);
+        let mut shares = None;
+        match self.variant {
+            KernelVariant::MaskedLadder => {
+                let mut share0 = Vec::with_capacity(self.n * k);
+                let mut share1 = Vec::with_capacity(self.n * k);
+                for idx in 0..self.n * k {
+                    share0.push(cpu.bus.read_u32(POLY_BASE + 4 * idx as u32));
+                    share1.push(cpu.bus.read_u32(SHARE1_BASE + 4 * idx as u32));
+                }
+                for (idx, (&s0, &s1)) in share0.iter().zip(&share1).enumerate() {
+                    let q = self.moduli[idx / self.n] as u64;
+                    poly.push(((s0 as u64 + s1 as u64) % q) as u32);
+                }
+                shares = Some((share0, share1));
+            }
+            _ => {
+                for idx in 0..self.n * k {
+                    poly.push(cpu.bus.read_u32(POLY_BASE + 4 * idx as u32));
+                }
+            }
+        }
+        Ok(KernelRun {
+            capture,
+            poly,
+            shares,
+            coefficient_windows: windows,
+            instruction_count: records.len(),
+        })
+    }
+
+    /// Derives per-coefficient sample windows from the retirement of the
+    /// first instruction of `outer` (the `lw` fetching the iteration count).
+    fn ground_truth_windows(
+        &self,
+        records: &[ExecRecord],
+        capture: &PowerCapture,
+    ) -> Vec<(usize, usize)> {
+        // n real iterations plus the dummy (n+1)-th burst.
+        let mut starts = Vec::with_capacity(self.n + 1);
+        for (i, r) in records.iter().enumerate() {
+            if r.pc == self.outer_pc {
+                starts.push(capture.spans[i].start);
+            }
+        }
+        let dummy_start = starts.get(self.n).copied();
+        starts.truncate(self.n);
+        let mut windows = Vec::with_capacity(starts.len());
+        for (idx, &s) in starts.iter().enumerate() {
+            let end = if idx + 1 < starts.len() {
+                starts[idx + 1]
+            } else {
+                dummy_start.unwrap_or(capture.samples.len())
+            };
+            windows.push((s, end));
+        }
+        windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const Q: u64 = 132120577;
+
+    fn run_small(values: &[i64], seed: u64) -> KernelRun {
+        let kernel = SamplerKernel::new(values.len(), &[Q]).unwrap();
+        let iters: Vec<u32> = values.iter().map(|_| 5).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        kernel
+            .run(values, &iters, &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn kernel_computes_seal_residues() {
+        let values = [3i64, -2, 0, 1, -1, 41, -41, 0];
+        let run = run_small(&values, 1);
+        for (i, &v) in values.iter().enumerate() {
+            let expected = if v >= 0 { v as u32 } else { (Q as i64 + v) as u32 };
+            assert_eq!(run.poly[i], expected, "coefficient {i}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_bfv_sampler_semantics() {
+        // Same residues as reveal-bfv's set_poly_coeffs_normal would write.
+        let values = [7i64, -7, 0, 14, -14, 1, -1, 2];
+        let run = run_small(&values, 2);
+        for (i, &v) in values.iter().enumerate() {
+            let expected = v.rem_euclid(Q as i64) as u32;
+            assert_eq!(run.poly[i], expected);
+        }
+    }
+
+    #[test]
+    fn multi_modulus_layout() {
+        let q2 = 12289u64;
+        let kernel = SamplerKernel::new(4, &[Q, q2]).unwrap();
+        let values = [-3i64, 2, 0, -1];
+        let mut rng = StdRng::seed_from_u64(3);
+        let run = kernel
+            .run(&values, &[4, 4, 4, 4], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        // poly[i + j*n]
+        assert_eq!(run.poly[0], (Q as i64 - 3) as u32);
+        assert_eq!(run.poly[4], (q2 as i64 - 3) as u32);
+        assert_eq!(run.poly[1], 2);
+        assert_eq!(run.poly[5], 2);
+        assert_eq!(run.poly[2], 0);
+        assert_eq!(run.poly[6], 0);
+    }
+
+    #[test]
+    fn windows_cover_trace_in_order() {
+        let values = [1i64, -2, 0, 3, -4, 5, 0, -1];
+        let run = run_small(&values, 4);
+        assert_eq!(run.coefficient_windows.len(), 8);
+        for w in run.coefficient_windows.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "windows must tile the trace");
+            assert!(w[0].0 < w[0].1);
+        }
+        // The prologue (li setup) precedes the first window.
+        assert!(run.coefficient_windows[0].0 > 0);
+    }
+
+    #[test]
+    fn dist_iterations_change_window_length() {
+        let kernel = SamplerKernel::new(4, &[Q]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let short = kernel
+            .run(&[1, 1, 1, 1], &[2, 2, 2, 2], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        let long = kernel
+            .run(&[1, 1, 1, 1], &[12, 12, 12, 12], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        let w_short = short.coefficient_windows[1].1 - short.coefficient_windows[1].0;
+        let w_long = long.coefficient_windows[1].1 - long.coefficient_windows[1].0;
+        assert!(w_long > w_short + 300, "10 extra muls ≈ 380 extra cycles");
+    }
+
+    #[test]
+    fn branch_shapes_differ_per_sign() {
+        // The three ladder arms must produce windows whose *instruction mix*
+        // differs: the negative arm contains an lw+sub pair absent elsewhere.
+        let run = run_small(&[5, -5, 0, 5, -5, 0, 5, -5], 6);
+        let (ps, pe) = run.coefficient_windows[0];
+        let (ns, ne) = run.coefficient_windows[1];
+        let (zs, ze) = run.coefficient_windows[2];
+        // Negative windows are longer (negation + q load + subtract).
+        assert!(ne - ns > pe - ps);
+        assert!(ne - ns > ze - zs);
+        // Equal-sign windows with equal dist length have identical length.
+        let (ps2, pe2) = run.coefficient_windows[3];
+        assert_eq!(pe - ps, pe2 - ps2);
+    }
+
+    #[test]
+    fn input_validation() {
+        let kernel = SamplerKernel::new(8, &[Q]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(matches!(
+            kernel.run(&[0; 4], &[1; 8], &PowerModelConfig::noiseless(), &mut rng),
+            Err(KernelError::InputMismatch { expected: 8, got: 4 })
+        ));
+        assert!(matches!(
+            SamplerKernel::new(12, &[Q]),
+            Err(KernelError::DegreeNotPowerOfTwo(12))
+        ));
+        assert!(matches!(
+            SamplerKernel::new(8, &[1u64 << 33]),
+            Err(KernelError::ModulusTooWide(_))
+        ));
+    }
+
+    #[test]
+    fn branchless_variant_matches_vulnerable_output() {
+        let values = [3i64, -2, 0, 1, -1, 41, -41, 14];
+        let vulnerable = SamplerKernel::new(8, &[Q]).unwrap();
+        let branchless = SamplerKernel::with_variant(8, &[Q], KernelVariant::Branchless).unwrap();
+        let iters = [4u32; 8];
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = vulnerable
+            .run(&values, &iters, &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        let b = branchless
+            .run(&values, &iters, &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        assert_eq!(a.poly, b.poly, "functional equivalence");
+        assert!(b.shares.is_none());
+    }
+
+    #[test]
+    fn branchless_windows_have_sign_independent_length() {
+        // Constant control flow: equal dist-iteration counts give equal
+        // window lengths regardless of the coefficient's sign.
+        let kernel = SamplerKernel::with_variant(8, &[Q], KernelVariant::Branchless).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let run = kernel
+            .run(
+                &[5, -5, 0, 3, -3, 0, 7, -7],
+                &[6; 8],
+                &PowerModelConfig::noiseless(),
+                &mut rng,
+            )
+            .unwrap();
+        let lengths: Vec<usize> = run
+            .coefficient_windows
+            .iter()
+            .map(|&(s, e)| e - s)
+            .collect();
+        assert!(
+            lengths.windows(2).all(|w| w[0] == w[1]),
+            "branchless windows must all have the same length: {lengths:?}"
+        );
+    }
+
+    #[test]
+    fn masked_variant_reconstructs_and_randomizes() {
+        let values = [3i64, -2, 0, 7, -14, 1, -1, 0];
+        let kernel = SamplerKernel::with_variant(8, &[Q], KernelVariant::MaskedLadder).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let run = kernel
+            .run(&values, &[4; 8], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        // Reconstruction matches the reference semantics.
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(run.poly[i], v.rem_euclid(Q as i64) as u32, "coefficient {i}");
+        }
+        // Shares individually are not the residues.
+        let (s0, s1) = run.shares.clone().unwrap();
+        assert_eq!(s0.len(), 8);
+        assert_ne!(s0, run.poly, "share0 must be masked");
+        assert_ne!(s1, run.poly, "share1 must be masked");
+        // A second run with the same values produces different shares.
+        let run2 = kernel
+            .run(&values, &[4; 8], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        assert_eq!(run2.poly, run.poly);
+        assert_ne!(run2.shares.unwrap().0, s0);
+    }
+
+    #[test]
+    fn masked_variant_multi_modulus() {
+        let q2 = 12289u64;
+        let kernel =
+            SamplerKernel::with_variant(4, &[Q, q2], KernelVariant::MaskedLadder).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let run = kernel
+            .run(&[-3, 2, 0, -1], &[4; 4], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        assert_eq!(run.poly[0], (Q as i64 - 3) as u32);
+        assert_eq!(run.poly[4], (q2 as i64 - 3) as u32);
+        assert_eq!(run.poly[1], 2);
+        assert_eq!(run.poly[5], 2);
+    }
+
+    #[test]
+    fn paper_sized_run_completes() {
+        let kernel = SamplerKernel::new(1024, &[Q]).unwrap();
+        let values: Vec<i64> = (0..1024).map(|i| ((i % 29) as i64) - 14).collect();
+        let iters: Vec<u32> = (0..1024).map(|i| 3 + (i % 5) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let run = kernel
+            .run(&values, &iters, &PowerModelConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(run.coefficient_windows.len(), 1024);
+        assert_eq!(run.poly.len(), 1024);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(run.poly[i], v.rem_euclid(Q as i64) as u32);
+        }
+        assert!(run.capture.len() > 100_000, "trace should be long");
+    }
+}

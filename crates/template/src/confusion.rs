@@ -1,0 +1,243 @@
+//! Confusion matrices in the layout of Table I of the paper: rows are
+//! predicted labels, columns are actual labels, entries are percentages of
+//! that column.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An accumulating confusion matrix over `i64` labels.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_template::ConfusionMatrix;
+/// let mut cm = ConfusionMatrix::new();
+/// cm.record(1, 1);
+/// cm.record(1, 2);
+/// cm.record(-1, -1);
+/// assert_eq!(cm.total(), 3);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((cm.column_percentage(1, 1) - 50.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// `(actual, predicted) -> count`.
+    counts: BTreeMap<(i64, i64), u64>,
+    /// Per-actual totals.
+    column_totals: BTreeMap<i64, u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classification outcome.
+    pub fn record(&mut self, actual: i64, predicted: i64) {
+        *self.counts.entry((actual, predicted)).or_insert(0) += 1;
+        *self.column_totals.entry(actual).or_insert(0) += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.column_totals.values().sum()
+    }
+
+    /// Overall accuracy in `[0, 1]` (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = self
+            .counts
+            .iter()
+            .filter(|((a, p), _)| a == p)
+            .map(|(_, c)| *c)
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// All labels that appear as actual or predicted, ascending.
+    pub fn labels(&self) -> Vec<i64> {
+        let mut labels: Vec<i64> = self
+            .counts
+            .keys()
+            .flat_map(|&(a, p)| [a, p])
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
+    /// Raw count for `(actual, predicted)`.
+    pub fn count(&self, actual: i64, predicted: i64) -> u64 {
+        self.counts.get(&(actual, predicted)).copied().unwrap_or(0)
+    }
+
+    /// Percentage of column `actual` classified as `predicted`
+    /// (the Table I cell value).
+    pub fn column_percentage(&self, actual: i64, predicted: i64) -> f64 {
+        let total = self.column_totals.get(&actual).copied().unwrap_or(0);
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.count(actual, predicted) as f64 / total as f64
+    }
+
+    /// Per-class recall: fraction of column `actual` predicted correctly.
+    pub fn recall(&self, actual: i64) -> f64 {
+        self.column_percentage(actual, actual) / 100.0
+    }
+
+    /// Accuracy of the *sign* (and zero) decision implied by the matrix:
+    /// a prediction counts as sign-correct when `signum(pred) == signum(act)`.
+    pub fn sign_accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = self
+            .counts
+            .iter()
+            .filter(|((a, p), _)| a.signum() == p.signum())
+            .map(|(_, c)| *c)
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// Renders the percentage table for labels in `[lo, hi]`, in the
+    /// paper's Table I format (rows = predicted, columns = actual).
+    pub fn render(&self, lo: i64, hi: i64) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{:>5} |", "");
+        for actual in lo..=hi {
+            let _ = write!(out, "{actual:>6}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "{}", "-".repeat(7 + 6 * (hi - lo + 1) as usize));
+        let preds: Vec<i64> = self
+            .labels()
+            .into_iter()
+            .filter(|&l| l >= lo && l <= hi)
+            .collect();
+        for predicted in preds {
+            let _ = write!(out, "{predicted:>5} |");
+            for actual in lo..=hi {
+                let pct = self.column_percentage(actual, predicted);
+                if pct == 0.0 {
+                    let _ = write!(out, "{:>6}", "0");
+                } else {
+                    let _ = write!(out, "{pct:>6.1}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the full matrix as CSV (`predicted\actual` header).
+    pub fn to_csv(&self) -> String {
+        let labels = self.labels();
+        let mut out = String::from("predicted\\actual");
+        for a in &labels {
+            let _ = write!(out, ",{a}");
+        }
+        out.push('\n');
+        for p in &labels {
+            let _ = write!(out, "{p}");
+            for a in &labels {
+                let _ = write!(out, ",{:.2}", self.column_percentage(*a, *p));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new();
+        // Column -2: 3 correct, 1 predicted as -3.
+        for _ in 0..3 {
+            cm.record(-2, -2);
+        }
+        cm.record(-2, -3);
+        // Column 0: always correct.
+        for _ in 0..5 {
+            cm.record(0, 0);
+        }
+        // Column 2: 1 correct, 1 as 3 (same HW confusion).
+        cm.record(2, 2);
+        cm.record(2, 3);
+        cm
+    }
+
+    #[test]
+    fn counts_and_percentages() {
+        let cm = sample_matrix();
+        assert_eq!(cm.total(), 11);
+        assert_eq!(cm.count(-2, -2), 3);
+        assert!((cm.column_percentage(-2, -2) - 75.0).abs() < 1e-12);
+        assert!((cm.column_percentage(0, 0) - 100.0).abs() < 1e-12);
+        assert!((cm.column_percentage(2, 3) - 50.0).abs() < 1e-12);
+        assert_eq!(cm.column_percentage(7, 7), 0.0);
+    }
+
+    #[test]
+    fn accuracy_and_recall() {
+        let cm = sample_matrix();
+        assert!((cm.accuracy() - 9.0 / 11.0).abs() < 1e-12);
+        assert!((cm.recall(-2) - 0.75).abs() < 1e-12);
+        assert_eq!(cm.recall(0), 1.0);
+    }
+
+    #[test]
+    fn sign_accuracy_is_full_here() {
+        // Every misclassification above stays within the same sign.
+        let cm = sample_matrix();
+        assert_eq!(cm.sign_accuracy(), 1.0);
+        let mut bad = ConfusionMatrix::new();
+        bad.record(1, -1);
+        bad.record(1, 1);
+        assert!((bad.sign_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_union() {
+        let cm = sample_matrix();
+        assert_eq!(cm.labels(), vec![-3, -2, 0, 2, 3]);
+    }
+
+    #[test]
+    fn render_contains_headers_and_rows() {
+        let cm = sample_matrix();
+        let s = cm.render(-3, 3);
+        assert!(s.contains("-3"));
+        assert!(s.contains("100.0"));
+        // Rows only for predicted labels that occur.
+        assert_eq!(s.lines().count(), 2 + 5);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let cm = sample_matrix();
+        let csv = cm.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + cm.labels().len());
+        assert!(lines[0].starts_with("predicted\\actual"));
+    }
+
+    #[test]
+    fn empty_matrix_is_sane() {
+        let cm = ConfusionMatrix::new();
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.sign_accuracy(), 0.0);
+        assert!(cm.labels().is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Static trace alignment by cross-correlation: shifting each trace so a
+//! chosen reference pattern lines up — the classic pre-processing step when
+//! trigger jitter (or, here, burst-edge jitter) smears sample-exact leakage.
+
+use std::fmt;
+
+/// Errors from alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// The reference pattern is empty or longer than the trace.
+    BadReference { reference: usize, trace: usize },
+    /// The allowed shift window is empty.
+    EmptyWindow,
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::BadReference { reference, trace } => {
+                write!(f, "reference of {reference} samples cannot slide in a {trace}-sample trace")
+            }
+            AlignError::EmptyWindow => write!(f, "empty shift window"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// Finds the shift (within `[-max_shift, max_shift]`) that maximizes the
+/// normalized cross-correlation between `reference` and the trace segment
+/// starting at `at + shift`.
+///
+/// Returns `(best_shift, best_correlation)`.
+///
+/// # Errors
+///
+/// Fails when the reference does not fit or no shift is admissible.
+pub fn best_shift(
+    trace: &[f64],
+    reference: &[f64],
+    at: usize,
+    max_shift: usize,
+) -> Result<(isize, f64), AlignError> {
+    if reference.is_empty() || reference.len() > trace.len() {
+        return Err(AlignError::BadReference {
+            reference: reference.len(),
+            trace: trace.len(),
+        });
+    }
+    let ref_mean = reference.iter().sum::<f64>() / reference.len() as f64;
+    let ref_centered: Vec<f64> = reference.iter().map(|r| r - ref_mean).collect();
+    let ref_norm = ref_centered.iter().map(|r| r * r).sum::<f64>().sqrt();
+
+    let mut best: Option<(isize, f64)> = None;
+    let lo = -(max_shift as isize);
+    for shift in lo..=(max_shift as isize) {
+        let start = at as isize + shift;
+        if start < 0 {
+            continue;
+        }
+        let start = start as usize;
+        if start + reference.len() > trace.len() {
+            continue;
+        }
+        let window = &trace[start..start + reference.len()];
+        let w_mean = window.iter().sum::<f64>() / window.len() as f64;
+        let mut dot = 0.0;
+        let mut w_norm = 0.0;
+        for (w, r) in window.iter().zip(&ref_centered) {
+            let wc = w - w_mean;
+            dot += wc * r;
+            w_norm += wc * wc;
+        }
+        let denom = (w_norm.sqrt() * ref_norm).max(1e-30);
+        let corr = dot / denom;
+        if best.map(|(_, c)| corr > c).unwrap_or(true) {
+            best = Some((shift, corr));
+        }
+    }
+    best.ok_or(AlignError::EmptyWindow)
+}
+
+/// Aligns a batch of equal-purpose windows to their mean pattern: iterates
+/// once (mean → per-window best shift → re-cut), returning the aligned
+/// windows and the applied shifts.
+///
+/// `windows` must all have the same length; the aligned output keeps that
+/// length, dropping `max_shift` samples of slack from both ends.
+///
+/// # Errors
+///
+/// Propagates [`best_shift`] failures.
+///
+/// # Panics
+///
+/// Panics if windows are ragged or shorter than `2·max_shift + 2`.
+pub fn align_to_mean(
+    windows: &[Vec<f64>],
+    max_shift: usize,
+) -> Result<(Vec<Vec<f64>>, Vec<isize>), AlignError> {
+    if windows.is_empty() {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    let len = windows[0].len();
+    assert!(windows.iter().all(|w| w.len() == len), "ragged windows");
+    assert!(len > 2 * max_shift + 1, "windows too short for the shift budget");
+    let core = len - 2 * max_shift;
+    // Reference: the mean of the central cores.
+    let mut reference = vec![0.0; core];
+    for w in windows {
+        for (r, v) in reference.iter_mut().zip(&w[max_shift..max_shift + core]) {
+            *r += v;
+        }
+    }
+    for r in &mut reference {
+        *r /= windows.len() as f64;
+    }
+    let mut aligned = Vec::with_capacity(windows.len());
+    let mut shifts = Vec::with_capacity(windows.len());
+    for w in windows {
+        let (shift, _) = best_shift(w, &reference, max_shift, max_shift)?;
+        let start = (max_shift as isize + shift) as usize;
+        aligned.push(w[start..start + core].to_vec());
+        shifts.push(shift);
+    }
+    Ok((aligned, shifts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_at(offset: usize, len: usize) -> Vec<f64> {
+        let mut t = vec![1.0; len];
+        for i in 0..6 {
+            t[offset + i] = 3.0 + i as f64 * 0.5;
+        }
+        t
+    }
+
+    #[test]
+    fn finds_known_shift() {
+        let reference: Vec<f64> = pattern_at(10, 40)[8..24].to_vec();
+        let shifted = pattern_at(13, 40); // pattern moved +3
+        let (shift, corr) = best_shift(&shifted, &reference, 8, 6).unwrap();
+        assert_eq!(shift, 3);
+        assert!(corr > 0.99);
+    }
+
+    #[test]
+    fn zero_shift_for_identical() {
+        let t = pattern_at(10, 40);
+        let reference = t[8..24].to_vec();
+        let (shift, corr) = best_shift(&t, &reference, 8, 6).unwrap();
+        assert_eq!(shift, 0);
+        assert!(corr > 0.999);
+    }
+
+    #[test]
+    fn batch_alignment_removes_jitter() {
+        // Windows with the pattern jittered by -2..=2; after alignment the
+        // per-sample variance at the pattern collapses.
+        let windows: Vec<Vec<f64>> = (0..40)
+            .map(|i| pattern_at(10 + (i % 5), 48))
+            .collect();
+        let (aligned, shifts) = align_to_mean(&windows, 4).unwrap();
+        assert_eq!(aligned.len(), 40);
+        assert!(shifts.iter().any(|&s| s != 0));
+        // All aligned windows identical (noiseless synthetic data).
+        for w in &aligned[1..] {
+            for (a, b) in w.iter().zip(&aligned[0]) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(
+            best_shift(&[1.0, 2.0], &[], 0, 1),
+            Err(AlignError::BadReference { .. })
+        ));
+        assert!(matches!(
+            best_shift(&[1.0], &[1.0, 2.0], 0, 1),
+            Err(AlignError::BadReference { .. })
+        ));
+        // Shift window entirely out of range.
+        assert!(matches!(
+            best_shift(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 2, 0),
+            Err(AlignError::EmptyWindow)
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (a, s) = align_to_mean(&[], 4).unwrap();
+        assert!(a.is_empty() && s.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Trace export: CSV series and terminal ASCII plots (used by the figure
+//! generators).
+
+use std::fmt::Write as _;
+
+/// Renders samples as CSV rows `index,value` with an optional header.
+pub fn to_csv(samples: &[f64], header: Option<&str>) -> String {
+    let mut out = String::new();
+    if let Some(h) = header {
+        out.push_str(h);
+        out.push('\n');
+    }
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(out, "{i},{s:.6}");
+    }
+    out
+}
+
+/// Renders several aligned series as CSV columns.
+///
+/// # Panics
+///
+/// Panics if series lengths differ or names/series counts mismatch.
+pub fn to_csv_multi(series: &[(&str, &[f64])]) -> String {
+    assert!(!series.is_empty());
+    let len = series[0].1.len();
+    for (_, s) in series {
+        assert_eq!(s.len(), len, "series lengths must match");
+    }
+    let mut out = String::from("index");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for i in 0..len {
+        let _ = write!(out, "{i}");
+        for (_, s) in series {
+            let _ = write!(out, ",{:.6}", s[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a down-sampled ASCII plot of a trace: `height` rows by `width`
+/// columns, `#` marking filled area under the curve.
+pub fn ascii_plot(samples: &[f64], width: usize, height: usize) -> String {
+    if samples.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    // Down-sample by max-pooling so peaks stay visible.
+    let bucket = (samples.len() as f64 / width as f64).max(1.0);
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo = (c as f64 * bucket) as usize;
+            let hi = (((c + 1) as f64 * bucket) as usize).min(samples.len()).max(lo + 1);
+            samples[lo..hi.min(samples.len())]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    let lo = cols.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = cols.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    let mut rows = vec![vec![b' '; width]; height];
+    for (c, &v) in cols.iter().enumerate() {
+        let level = (((v - lo) / range) * height as f64).round() as usize;
+        let level = level.min(height);
+        for r in 0..level {
+            rows[height - 1 - r][c] = b'#';
+        }
+    }
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in rows {
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_single_series() {
+        let csv = to_csv(&[1.0, 2.5], Some("index,power"));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["index,power", "0,1.000000", "1,2.500000"]);
+    }
+
+    #[test]
+    fn csv_multi_series() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let csv = to_csv_multi(&[("pos", &a), ("neg", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "index,pos,neg");
+        assert_eq!(lines[1], "0,1.000000,3.000000");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn csv_multi_rejects_ragged() {
+        to_csv_multi(&[("a", &[1.0][..]), ("b", &[1.0, 2.0][..])]);
+    }
+
+    #[test]
+    fn ascii_plot_shape_and_peak() {
+        let mut samples = vec![0.0; 100];
+        for s in samples.iter_mut().skip(40).take(10) {
+            *s = 5.0;
+        }
+        let plot = ascii_plot(&samples, 50, 8);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.len() == 50));
+        // The top row has marks only near the peak region (columns ~20-25).
+        let top = lines[0];
+        assert!(top[18..28].contains('#'));
+        assert!(!top[..10].contains('#'));
+    }
+
+    #[test]
+    fn ascii_plot_degenerate() {
+        assert_eq!(ascii_plot(&[], 10, 5), "");
+        assert_eq!(ascii_plot(&[1.0], 0, 5), "");
+        let flat = ascii_plot(&[2.0; 10], 10, 3);
+        assert_eq!(flat.lines().count(), 3);
+    }
+}

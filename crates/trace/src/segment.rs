@@ -1,0 +1,351 @@
+//! Trace segmentation: locating each coefficient's sampling window inside a
+//! full encryption trace.
+//!
+//! §III-C of the paper: the distribution-function calls produce
+//! "distinguishable and visible peaks" in the power trace, one per outer-loop
+//! iteration, and those peaks are the start/end indicators for each
+//! coefficient window. Because the distribution call is time-variant, a fixed
+//! stride cannot work — the windows must be found from the trace itself.
+//!
+//! The detector smooths the trace with a moving average, thresholds it at
+//! `μ + k·σ`, merges the resulting bursts, and emits one window per burst
+//! (from the start of a burst to the start of the next).
+
+use std::fmt;
+
+/// Configuration of the peak-based segmenter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentConfig {
+    /// Moving-average smoothing width in samples.
+    pub smooth_window: usize,
+    /// Threshold position between the robust low and high levels of the
+    /// smoothed trace (0 = low level, 1 = high level). A mid-level
+    /// threshold keeps working whatever fraction of the trace the bursts
+    /// occupy — a mean+kσ rule does not.
+    pub threshold_fraction: f64,
+    /// Minimum burst length (samples) to count as a distribution-call peak.
+    pub min_burst_len: usize,
+    /// Bursts closer than this many samples are merged into one.
+    pub merge_gap: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self {
+            smooth_window: 16,
+            threshold_fraction: 0.55,
+            min_burst_len: 24,
+            merge_gap: 16,
+        }
+    }
+}
+
+/// Errors from segmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The trace was empty.
+    EmptyTrace,
+    /// No burst exceeded the threshold.
+    NoPeaksFound,
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::EmptyTrace => write!(f, "cannot segment an empty trace"),
+            SegmentError::NoPeaksFound => write!(f, "no distribution-call peaks found"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Moving-average smoothing (centered, edge-clamped).
+pub fn smooth(samples: &[f64], window: usize) -> Vec<f64> {
+    if samples.is_empty() || window <= 1 {
+        return samples.to_vec();
+    }
+    let half = window / 2;
+    let n = samples.len();
+    // Prefix sums for O(n) averaging.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &s in samples {
+        prefix.push(prefix.last().unwrap() + s);
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Finds the high-power bursts (distribution-call peaks).
+pub fn find_bursts(samples: &[f64], config: &SegmentConfig) -> Result<Vec<(usize, usize)>, SegmentError> {
+    if samples.is_empty() {
+        return Err(SegmentError::EmptyTrace);
+    }
+    let smoothed = smooth(samples, config.smooth_window);
+    // Robust low/high levels: 5th and 95th percentiles of the smoothed trace.
+    let mut sorted = smoothed.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let lo = sorted[(sorted.len() - 1) * 5 / 100];
+    let hi = sorted[(sorted.len() - 1) * 95 / 100];
+    if hi - lo < 1e-12 {
+        return Err(SegmentError::NoPeaksFound);
+    }
+    let threshold = lo + config.threshold_fraction * (hi - lo);
+
+    // Raw above-threshold runs.
+    let mut bursts: Vec<(usize, usize)> = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, &s) in smoothed.iter().enumerate() {
+        if s > threshold {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(b) = start.take() {
+            bursts.push((b, i));
+        }
+    }
+    if let Some(b) = start {
+        bursts.push((b, smoothed.len()));
+    }
+
+    // Merge nearby bursts.
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in bursts {
+        if let Some(last) = merged.last_mut() {
+            if s <= last.1 + config.merge_gap {
+                last.1 = e;
+                continue;
+            }
+        }
+        merged.push((s, e));
+    }
+    merged.retain(|(s, e)| e - s >= config.min_burst_len);
+    if merged.is_empty() {
+        return Err(SegmentError::NoPeaksFound);
+    }
+    Ok(merged)
+}
+
+/// Refines burst boundaries to cycle accuracy using the *raw* trace: the
+/// moving-average edges of [`find_bursts`] jitter by a few samples with the
+/// noise, which smears sample-exact leakage across template dimensions. A
+/// burst's true end is the last run of `run_len` consecutive raw samples
+/// above a high threshold (single data-dependent spikes outside the burst
+/// cannot form such a run).
+pub fn refine_burst_ends(
+    samples: &[f64],
+    bursts: &[(usize, usize)],
+    config: &SegmentConfig,
+) -> Vec<(usize, usize)> {
+    const RUN_LEN: usize = 6;
+    const HIGH_FRACTION: f64 = 0.7;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if sorted.is_empty() {
+        return bursts.to_vec();
+    }
+    let lo = sorted[(sorted.len() - 1) * 5 / 100];
+    let hi = sorted[(sorted.len() - 1) * 95 / 100];
+    let threshold = lo + HIGH_FRACTION * (hi - lo);
+    let span = config.smooth_window.max(4);
+    bursts
+        .iter()
+        .map(|&(s, e)| {
+            let win_lo = e.saturating_sub(span);
+            let win_hi = (e + span).min(samples.len());
+            let mut refined = None;
+            let mut run = 0usize;
+            for i in win_lo..win_hi {
+                if samples[i] > threshold {
+                    run += 1;
+                    if run >= RUN_LEN {
+                        refined = Some(i + 1);
+                    }
+                } else {
+                    run = 0;
+                }
+            }
+            (s, refined.unwrap_or(e))
+        })
+        .collect()
+}
+
+/// Segments a full trace into per-coefficient windows: each window runs from
+/// the start of one distribution-call burst to the start of the next (the
+/// last window extends to the end of the trace).
+///
+/// # Errors
+///
+/// Propagates burst-detection failures.
+///
+/// # Examples
+///
+/// ```
+/// use reveal_trace::segment::{segment_windows, SegmentConfig};
+/// // Three synthetic bursts of height 3 over a noise floor of 1.
+/// let mut samples = vec![1.0; 600];
+/// for start in [50usize, 250, 450] {
+///     for i in start..start + 60 {
+///         samples[i] = 3.0;
+///     }
+/// }
+/// let windows = segment_windows(&samples, &SegmentConfig::default())?;
+/// assert_eq!(windows.len(), 3);
+/// # Ok::<(), reveal_trace::segment::SegmentError>(())
+/// ```
+pub fn segment_windows(
+    samples: &[f64],
+    config: &SegmentConfig,
+) -> Result<Vec<(usize, usize)>, SegmentError> {
+    let bursts = find_bursts(samples, config)?;
+    let mut windows = Vec::with_capacity(bursts.len());
+    for (i, &(s, _)) in bursts.iter().enumerate() {
+        let end = if i + 1 < bursts.len() {
+            bursts[i + 1].0
+        } else {
+            samples.len()
+        };
+        windows.push((s, end));
+    }
+    Ok(windows)
+}
+
+/// Compares detected windows with ground truth: the fraction of true windows
+/// whose detected counterpart starts within `tolerance` samples.
+pub fn window_alignment_score(
+    detected: &[(usize, usize)],
+    truth: &[(usize, usize)],
+    tolerance: usize,
+) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for &(ts, _) in truth {
+        if detected
+            .iter()
+            .any(|&(ds, _)| ds.abs_diff(ts) <= tolerance)
+        {
+            hits += 1;
+        }
+    }
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn synthetic_trace(bursts: &[(usize, usize)], len: usize, floor: f64, peak: f64) -> Vec<f64> {
+        let mut t = vec![floor; len];
+        for &(s, e) in bursts {
+            for v in t.iter_mut().take(e).skip(s) {
+                *v = peak;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let noisy: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s = smooth(&noisy, 16);
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&s) < var(&noisy) / 10.0);
+        assert_eq!(s.len(), noisy.len());
+    }
+
+    #[test]
+    fn smooth_degenerate_inputs() {
+        assert_eq!(smooth(&[], 8), Vec::<f64>::new());
+        assert_eq!(smooth(&[5.0], 8), vec![5.0]);
+        assert_eq!(smooth(&[1.0, 2.0], 1), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn finds_three_clean_bursts() {
+        let truth = [(100, 180), (400, 470), (700, 790)];
+        let t = synthetic_trace(&truth, 1000, 1.0, 4.0);
+        let bursts = find_bursts(&t, &SegmentConfig::default()).unwrap();
+        assert_eq!(bursts.len(), 3);
+        for (found, expected) in bursts.iter().zip(&truth) {
+            assert!(found.0.abs_diff(expected.0) <= 16, "{found:?} vs {expected:?}");
+        }
+    }
+
+    #[test]
+    fn windows_tile_from_burst_starts() {
+        let truth = [(100, 180), (400, 470), (700, 790)];
+        let t = synthetic_trace(&truth, 1000, 1.0, 4.0);
+        let windows = segment_windows(&t, &SegmentConfig::default()).unwrap();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].1, windows[1].0);
+        assert_eq!(windows[1].1, windows[2].0);
+        assert_eq!(windows[2].1, 1000);
+    }
+
+    #[test]
+    fn merges_chattering_bursts() {
+        // One burst with a short dropout in the middle.
+        let mut t = synthetic_trace(&[(100, 140), (150, 200)], 600, 1.0, 4.0);
+        // A clearly separate second burst.
+        for v in t.iter_mut().take(460).skip(400) {
+            *v = 4.0;
+        }
+        let bursts = find_bursts(&t, &SegmentConfig::default()).unwrap();
+        assert_eq!(bursts.len(), 2, "dropout should be merged: {bursts:?}");
+    }
+
+    #[test]
+    fn rejects_flat_and_empty() {
+        assert_eq!(
+            find_bursts(&[], &SegmentConfig::default()),
+            Err(SegmentError::EmptyTrace)
+        );
+        let flat = vec![1.0; 500];
+        assert_eq!(
+            find_bursts(&flat, &SegmentConfig::default()),
+            Err(SegmentError::NoPeaksFound)
+        );
+    }
+
+    #[test]
+    fn alignment_score() {
+        let truth = [(100, 200), (300, 400)];
+        assert_eq!(window_alignment_score(&[(102, 200), (299, 400)], &truth, 5), 1.0);
+        assert_eq!(window_alignment_score(&[(102, 200)], &truth, 5), 0.5);
+        assert_eq!(window_alignment_score(&[], &truth, 5), 0.0);
+        assert_eq!(window_alignment_score(&[(0, 1)], &[], 5), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segmentation_recovers_planted_bursts(
+            gaps in proptest::collection::vec(120usize..400, 2..8),
+            burst_len in 40usize..100,
+        ) {
+            // Plant bursts separated by the given gaps.
+            let mut truth = Vec::new();
+            let mut pos = 60usize;
+            for g in &gaps {
+                truth.push((pos, pos + burst_len));
+                pos += burst_len + g;
+            }
+            let len = pos + 100;
+            let t = synthetic_trace(&truth, len, 1.0, 5.0);
+            let windows = segment_windows(&t, &SegmentConfig::default()).unwrap();
+            prop_assert_eq!(windows.len(), truth.len());
+            prop_assert!(window_alignment_score(&windows, &truth, 20) == 1.0);
+        }
+    }
+}
