@@ -157,12 +157,8 @@ mod tests {
 
     #[test]
     fn shuffling_destroys_coordinate_assignment_but_not_leakage() {
-        let device = Device::new(
-            64,
-            &[Q],
-            PowerModelConfig::default().with_noise_sigma(0.05),
-        )
-        .unwrap();
+        let device =
+            Device::new(64, &[Q], PowerModelConfig::default().with_noise_sigma(0.05)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let attack =
             TrainedAttack::profile(&device, 24, &AttackConfig::default(), &mut rng).unwrap();
@@ -190,6 +186,9 @@ mod tests {
             coordinate < positional - 0.25,
             "coordinate {coordinate} vs positional {positional}"
         );
-        assert!(coordinate < chance + 0.25, "coordinate {coordinate} vs chance {chance}");
+        assert!(
+            coordinate < chance + 0.25,
+            "coordinate {coordinate} vs chance {chance}"
+        );
     }
 }

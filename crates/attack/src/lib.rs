@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 // Indexed loops are the clearest notation for the dense numeric kernels
 // in this workspace (convolutions, scatter matrices, lattice bases).
 #![allow(clippy::needless_range_loop)]
@@ -47,6 +48,6 @@ pub use recover::{
     recover_secret_key, recover_secret_key_adaptive, recover_u, residual_instance, RecoverError,
 };
 pub use report::{
-    report_full_attack, report_posteriors, report_sign_only, rounded_gaussian_prior,
-    AttackReport, ReportError,
+    report_full_attack, report_posteriors, report_sign_only, rounded_gaussian_prior, AttackReport,
+    ReportError,
 };

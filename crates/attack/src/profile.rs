@@ -267,8 +267,7 @@ impl TrainedAttack {
             config.poi_count,
             config.poi_min_spacing,
         )?;
-        let sign_templates =
-            fit_set(&sign_set, &sign_pois, config.covariance, config.ridge)?;
+        let sign_templates = fit_set(&sign_set, &sign_pois, config.covariance, config.ridge)?;
 
         let pos_pois = select_pois(
             &pos_set,
@@ -383,8 +382,7 @@ impl TrainedAttack {
                 (scores.best_label(), scores.probabilities())
             }
             _ => {
-                let early: Vec<f64> =
-                    self.neg_early_pois.iter().map(|&i| window[i]).collect();
+                let early: Vec<f64> = self.neg_early_pois.iter().map(|&i| window[i]).collect();
                 let late: Vec<f64> = self.neg_late_pois.iter().map(|&i| window[i]).collect();
                 let fused: ScoreTable = self
                     .neg_early_templates
@@ -413,9 +411,9 @@ fn fit_set(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reveal_rv32::power::PowerModelConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use reveal_rv32::power::PowerModelConfig;
 
     const Q: u64 = 132120577;
 
@@ -484,7 +482,10 @@ mod tests {
         let neg_acc = nh as f64 / nt.max(1) as f64;
         let pos_acc = ph as f64 / pt.max(1) as f64;
         assert!(neg_acc > 0.6, "negative accuracy {neg_acc:.2}");
-        assert!(neg_acc > pos_acc + 0.2, "Table I asymmetry missing: neg {neg_acc:.2} pos {pos_acc:.2}");
+        assert!(
+            neg_acc > pos_acc + 0.2,
+            "Table I asymmetry missing: neg {neg_acc:.2} pos {pos_acc:.2}"
+        );
     }
 
     #[test]
@@ -557,13 +558,7 @@ mod tests {
     #[test]
     fn profiling_needs_data() {
         let config = AttackConfig::default();
-        let err = TrainedAttack::fit(
-            config,
-            TraceSet::new(),
-            TraceSet::new(),
-            TraceSet::new(),
-            0,
-        );
+        let err = TrainedAttack::fit(config, TraceSet::new(), TraceSet::new(), TraceSet::new(), 0);
         assert!(matches!(
             err,
             Err(AttackError::NotEnoughProfilingData { .. })

@@ -29,14 +29,20 @@ impl fmt::Display for RecoverError {
         match self {
             RecoverError::P1NotInvertible => write!(f, "p1 is not invertible in R_q"),
             RecoverError::InconsistentErrors { coefficient } => {
-                write!(f, "errors inconsistent with ciphertext at coefficient {coefficient}")
+                write!(
+                    f,
+                    "errors inconsistent with ciphertext at coefficient {coefficient}"
+                )
             }
             RecoverError::LengthMismatch { expected, got } => {
                 write!(f, "expected {expected} coefficients, got {got}")
             }
             RecoverError::Lattice(e) => write!(f, "residual lattice solve failed: {e}"),
             RecoverError::UnsupportedParameters => {
-                write!(f, "residual solving requires a single small coefficient modulus")
+                write!(
+                    f,
+                    "residual solving requires a single small coefficient modulus"
+                )
             }
         }
     }
@@ -348,8 +354,7 @@ pub fn recover_secret_key_adaptive(
     if moduli.len() != 1 {
         return Err(RecoverError::UnsupportedParameters);
     }
-    let q_i = i64::try_from(moduli[0].value())
-        .map_err(|_| RecoverError::UnsupportedParameters)?;
+    let q_i = i64::try_from(moduli[0].value()).map_err(|_| RecoverError::UnsupportedParameters)?;
     let a_coeffs = pk.p1().residues()[0].coeffs();
     let neg_p0 = pk.p0().neg();
     let rhs_full = neg_p0.residues()[0].coeffs();
@@ -418,18 +423,10 @@ mod tests {
     use reveal_bfv::{EncryptionParameters, Encryptor, KeyGenerator};
     use reveal_math::Modulus;
 
-    fn setup(
-        n: usize,
-        q: u64,
-        t: u64,
-        seed: u64,
-    ) -> (BfvContext, PublicKey, Encryptor, StdRng) {
-        let parms = EncryptionParameters::new(
-            n,
-            vec![Modulus::new(q).unwrap()],
-            Modulus::new(t).unwrap(),
-        )
-        .unwrap();
+    fn setup(n: usize, q: u64, t: u64, seed: u64) -> (BfvContext, PublicKey, Encryptor, StdRng) {
+        let parms =
+            EncryptionParameters::new(n, vec![Modulus::new(q).unwrap()], Modulus::new(t).unwrap())
+                .unwrap();
         let ctx = BfvContext::new(parms).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let keygen = KeyGenerator::new(&ctx);
@@ -563,16 +560,9 @@ mod tests {
             .e2
             .iter()
             .enumerate()
-            .map(|(i, &v)| {
-                if i < 12 {
-                    (v, 0.999)
-                } else {
-                    (v + 3, 0.2)
-                }
-            })
+            .map(|(i, &v)| if i < 12 { (v, 0.999) } else { (v + 3, 0.2) })
             .collect();
-        let (recovered, u, trusted) =
-            recover_adaptive(&ctx, &pk, &ct, &estimates, 0.9).unwrap();
+        let (recovered, u, trusted) = recover_adaptive(&ctx, &pk, &ct, &estimates, 0.9).unwrap();
         assert_eq!(recovered.coeffs(), plain.coeffs());
         assert_eq!(u, wit.u);
         assert_eq!(trusted, 12);
@@ -590,11 +580,9 @@ mod tests {
         );
         // 15 correct estimates; one wrong one whose confidence is *lowest
         // among the trusted* — a shrink round must discard it.
-        let mut estimates: Vec<(i64, f64)> =
-            wit.e2.iter().map(|&v| (v, 0.99)).collect();
+        let mut estimates: Vec<(i64, f64)> = wit.e2.iter().map(|&v| (v, 0.99)).collect();
         estimates[5] = (wit.e2[5] + 2, 0.91);
-        let (recovered, u, trusted) =
-            recover_adaptive(&ctx, &pk, &ct, &estimates, 0.9).unwrap();
+        let (recovered, u, trusted) = recover_adaptive(&ctx, &pk, &ct, &estimates, 0.9).unwrap();
         assert_eq!(recovered.coeffs(), plain.coeffs());
         assert_eq!(u, wit.u);
         assert!(trusted < 16, "the wrong estimate must have been dropped");
@@ -622,7 +610,11 @@ mod tests {
         let sk2 = keygen.secret_key(&mut rng);
         let pk2 = keygen.public_key(&sk2, &mut rng);
         let neg_e = pk2.p0().add(&pk2.p1().mul(sk2.as_rns()));
-        let e: Vec<i64> = neg_e.residues()[0].to_signed().iter().map(|&x| -x).collect();
+        let e: Vec<i64> = neg_e.residues()[0]
+            .to_signed()
+            .iter()
+            .map(|&x| -x)
+            .collect();
         let recovered = recover_secret_key(&ctx, &pk2, &e).unwrap();
         assert_eq!(recovered, sk2.coefficients());
         let _ = pk;

@@ -225,7 +225,10 @@ mod tests {
         let total: f64 = prior.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-12);
         let mean: f64 = prior.iter().map(|(v, p)| *v as f64 * p).sum();
-        let var: f64 = prior.iter().map(|(v, p)| p * (*v as f64 - mean).powi(2)).sum();
+        let var: f64 = prior
+            .iter()
+            .map(|(v, p)| p * (*v as f64 - mean).powi(2))
+            .sum();
         assert!(mean.abs() < 1e-9);
         // Var of round(N(0, 3.19²)) ≈ 3.19² + 1/12.
         assert!((var - (3.19f64 * 3.19 + 1.0 / 12.0)).abs() < 0.02);
@@ -273,7 +276,10 @@ mod tests {
         );
         assert!(matches!(
             err,
-            Err(ReportError::TooManyCoefficients { estimates: 2000, coords: 1024 })
+            Err(ReportError::TooManyCoefficients {
+                estimates: 2000,
+                coords: 1024
+            })
         ));
     }
 

@@ -31,7 +31,9 @@ fn bench_bfv(c: &mut Criterion) {
     group.bench_function("encrypt", |b| {
         b.iter(|| black_box(encryptor.encrypt(&plain, &mut rng)))
     });
-    group.bench_function("decrypt", |b| b.iter(|| black_box(decryptor.decrypt(&ct_a))));
+    group.bench_function("decrypt", |b| {
+        b.iter(|| black_box(decryptor.decrypt(&ct_a)))
+    });
     group.bench_function("evaluate_add", |b| {
         b.iter(|| black_box(evaluator.add(&ct_a, &ct_b)))
     });

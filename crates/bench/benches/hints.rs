@@ -27,8 +27,7 @@ fn bench_hints(c: &mut Criterion) {
         let policy = HintPolicy::seal_paper();
         let posteriors: Vec<Posterior> = (0..1024)
             .map(|i| {
-                Posterior::new(vec![(1, 0.6 + (i % 4) as f64 * 0.09), (2, 0.2), (3, 0.1)])
-                    .unwrap()
+                Posterior::new(vec![(1, 0.6 + (i % 4) as f64 * 0.09), (2, 0.2), (3, 0.1)]).unwrap()
             })
             .collect();
         let coords: Vec<usize> = (0..1024).collect();

@@ -24,9 +24,13 @@ fn gather(
     let labels: Vec<i64> = (-14..=14).collect();
     let mut out = Vec::new();
     for run in 0..runs {
-        let mut values: Vec<i64> = (0..n).map(|i| labels[(i + run * n) % labels.len()]).collect();
+        let mut values: Vec<i64> = (0..n)
+            .map(|i| labels[(i + run * n) % labels.len()])
+            .collect();
         values.shuffle(rng);
-        let Ok(cap) = device.capture_chosen(&values, rng) else { continue };
+        let Ok(cap) = device.capture_chosen(&values, rng) else {
+            continue;
+        };
         let Ok(windows) = extract_ladder_windows(&cap.run.capture.samples, config) else {
             continue;
         };
@@ -66,10 +70,7 @@ fn accuracy_lda(train: &[(i64, Vec<f64>)], test: &[(i64, Vec<f64>)], components:
     let Ok(lda) = LdaProjection::fit(train, components, 1e-3) else {
         return 0.0;
     };
-    let projected: Vec<(i64, Vec<f64>)> = train
-        .iter()
-        .map(|(l, w)| (*l, lda.project(w)))
-        .collect();
+    let projected: Vec<(i64, Vec<f64>)> = train.iter().map(|(l, w)| (*l, lda.project(w))).collect();
     let Ok(templates) = TemplateSet::fit(&projected, CovarianceMode::Pooled, 1e-9) else {
         return 0.0;
     };
@@ -84,15 +85,23 @@ fn main() {
     let scale = Scale::from_env();
     let (profile_runs, attack_runs, _) = scale.attack_workload();
     let n = 64;
-    let device = Device::new(n, &[PAPER_Q], PowerModelConfig::default().with_noise_sigma(0.05))
-        .expect("device");
+    let device = Device::new(
+        n,
+        &[PAPER_Q],
+        PowerModelConfig::default().with_noise_sigma(0.05),
+    )
+    .expect("device");
     let config = AttackConfig::default();
     let mut rng = StdRng::seed_from_u64(616);
     println!("Ablation: SOSD-POI templates vs Fisher-LDA templates ({scale:?}, n = {n})\n");
 
     let train = gather(&device, profile_runs, &config, &mut rng);
     let test = gather(&device, attack_runs.max(6), &config, &mut rng);
-    println!("{} training windows, {} test windows", train.len(), test.len());
+    println!(
+        "{} training windows, {} test windows",
+        train.len(),
+        test.len()
+    );
 
     println!("\n{:>22} {:>12}", "feature extraction", "value_acc");
     println!("{}", "-".repeat(38));
@@ -104,7 +113,11 @@ fn main() {
     }
     for comps in [4usize, 8, 16] {
         let acc = accuracy_lda(&train, &test, comps);
-        println!("{:>22} {:>11.1}%", format!("LDA-{comps} comps"), 100.0 * acc);
+        println!(
+            "{:>22} {:>11.1}%",
+            format!("LDA-{comps} comps"),
+            100.0 * acc
+        );
         csv.push_str(&format!("lda_{comps},{acc:.4}\n"));
     }
     write_artifact("ablation_lda.csv", &csv);

@@ -37,8 +37,7 @@ fn main() {
             let (mut sh, mut vh, mut total) = (0usize, 0usize, 0usize);
             for _ in 0..attack_runs.max(5) {
                 let cap = device.capture_fresh(&mut rng).expect("capture");
-                let Ok(result) = attack.attack_trace_expecting(&cap.run.capture.samples, n)
-                else {
+                let Ok(result) = attack.attack_trace_expecting(&cap.run.capture.samples, n) else {
                     continue;
                 };
                 for (est, &truth) in result.coefficients.iter().zip(&cap.values) {

@@ -27,8 +27,7 @@ fn main() {
     let device = paper_device(n, 0.05);
     for &runs in runs_sweep {
         let mut rng = StdRng::seed_from_u64(1001);
-        let Ok(attack) =
-            TrainedAttack::profile(&device, runs, &AttackConfig::default(), &mut rng)
+        let Ok(attack) = TrainedAttack::profile(&device, runs, &AttackConfig::default(), &mut rng)
         else {
             println!("{runs:>10} profiling failed (not enough class data)");
             continue;

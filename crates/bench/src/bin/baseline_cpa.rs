@@ -26,8 +26,12 @@ fn main() {
         Scale::Quick => 200,
         _ => 1000,
     };
-    let device = Device::new(n, &[PAPER_Q], PowerModelConfig::default().with_noise_sigma(0.05))
-        .expect("device");
+    let device = Device::new(
+        n,
+        &[PAPER_Q],
+        PowerModelConfig::default().with_noise_sigma(0.05),
+    )
+    .expect("device");
     let config = AttackConfig::default();
     let mut rng = StdRng::seed_from_u64(515);
     let candidates: Vec<i64> = (-14..=14).collect();
@@ -37,7 +41,9 @@ fn main() {
     let mut traces_a: Vec<Vec<f64>> = Vec::with_capacity(trace_count);
     for _ in 0..trace_count {
         // Coefficient 0 carries the fixed secret; the rest vary freely.
-        let mut values: Vec<i64> = (0..n).map(|i| candidates[(i * 7) % candidates.len()]).collect();
+        let mut values: Vec<i64> = (0..n)
+            .map(|i| candidates[(i * 7) % candidates.len()])
+            .collect();
         values[0] = fixed_secret;
         let cap = device.capture_chosen(&values, &mut rng).expect("capture");
         if let Ok(windows) = extract_ladder_windows(&cap.run.capture.samples, &config) {
@@ -66,7 +72,10 @@ fn main() {
     }
     // CPA on the mixed population with the *known* per-trace values as the
     // hypothesis recovers the leakage model (sanity: correlation exists):
-    let hyp_true: Vec<f64> = mixed_values.iter().map(|&v| v.unsigned_abs() as f64).collect();
+    let hyp_true: Vec<f64> = mixed_values
+        .iter()
+        .map(|&v| v.unsigned_abs() as f64)
+        .collect();
     let sanity = cpa_rank(&mixed_traces, &[hyp_true]).expect("cpa");
     println!(
         "leakage-model sanity check: peak |rho| = {:.3} at sample {} \

@@ -49,7 +49,9 @@ fn main() {
     let mut adv_rng = StdRng::seed_from_u64(909);
     let attack = TrainedAttack::profile(&device, 60, &AttackConfig::default(), &mut adv_rng)
         .expect("profiling");
-    let capture = device.capture_chosen(&witness.e2, &mut rng).expect("capture");
+    let capture = device
+        .capture_chosen(&witness.e2, &mut rng)
+        .expect("capture");
     let result = attack
         .attack_trace_expecting(&capture.run.capture.samples, n)
         .expect("attack");
@@ -102,13 +104,14 @@ fn main() {
             .collect();
         let b: Vec<i64> = known
             .iter()
-            .map(|&i| {
-                (c1[i] as i64 - result.coefficients[i].predicted).rem_euclid(q_i)
-            })
+            .map(|&i| (c1[i] as i64 - result.coefficients[i].predicted).rem_euclid(q_i))
             .collect();
         if let Ok(sol) = solve_lwe(&LweInstance { q: q_i, a, b }, &config) {
             recovered_u = Some(sol.secret);
-            println!("lattice finisher succeeded with {} trusted relations", known.len());
+            println!(
+                "lattice finisher succeeded with {} trusted relations",
+                known.len()
+            );
             break;
         }
     }

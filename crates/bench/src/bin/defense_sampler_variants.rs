@@ -38,14 +38,14 @@ fn evaluate(variant: KernelVariant, name: &'static str, scale: Scale) -> Option<
     )
     .expect("device");
     let mut rng = StdRng::seed_from_u64(2026);
-    let attack = match TrainedAttack::profile(&device, profile_runs, &AttackConfig::default(), &mut rng)
-    {
-        Ok(a) => a,
-        Err(e) => {
-            println!("{name}: profiling failed ({e})");
-            return None;
-        }
-    };
+    let attack =
+        match TrainedAttack::profile(&device, profile_runs, &AttackConfig::default(), &mut rng) {
+            Ok(a) => a,
+            Err(e) => {
+                println!("{name}: profiling failed ({e})");
+                return None;
+            }
+        };
     let (mut sh, mut vh, mut total) = (0usize, 0usize, 0usize);
     let (mut zh, mut zt) = (0usize, 0usize);
     for _ in 0..attack_runs.max(6) {

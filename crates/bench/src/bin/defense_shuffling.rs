@@ -51,16 +51,35 @@ fn main() {
 
     println!("{:>34} {:>10}", "metric", "value");
     println!("{}", "-".repeat(46));
-    println!("{:>34} {:>9.1}%", "unprotected value accuracy", 100.0 * base_acc);
-    println!("{:>34} {:>9.1}%", "shuffled per-window accuracy", 100.0 * positional);
-    println!("{:>34} {:>9.1}%", "shuffled per-coordinate accuracy", 100.0 * coordinate);
-    println!("{:>34} {:>9.1}%", "random-assignment chance level", 100.0 * chance);
+    println!(
+        "{:>34} {:>9.1}%",
+        "unprotected value accuracy",
+        100.0 * base_acc
+    );
+    println!(
+        "{:>34} {:>9.1}%",
+        "shuffled per-window accuracy",
+        100.0 * positional
+    );
+    println!(
+        "{:>34} {:>9.1}%",
+        "shuffled per-coordinate accuracy",
+        100.0 * coordinate
+    );
+    println!(
+        "{:>34} {:>9.1}%",
+        "random-assignment chance level",
+        100.0 * chance
+    );
     let csv = format!(
         "metric,value\nunprotected_value_acc,{base_acc:.4}\nshuffled_positional_acc,{positional:.4}\nshuffled_coordinate_acc,{coordinate:.4}\nchance_level,{chance:.4}\n"
     );
     write_artifact("defense_shuffling.csv", &csv);
 
-    assert!(positional > 0.4, "shuffling must not hide the leakage itself");
+    assert!(
+        positional > 0.4,
+        "shuffling must not hide the leakage itself"
+    );
     assert!(
         coordinate < chance + 0.15,
         "shuffling must push coordinate accuracy to chance"

@@ -16,8 +16,14 @@ fn main() {
     let n = 32usize;
     let q = 3329u64;
     let t = 16u64;
-    let trials = if std::env::var_os("REVEAL_QUICK").is_some() { 3 } else { 10 };
-    println!("End-to-end single-trace message recovery (n = {n}, q = {q}, t = {t}, {trials} trials)\n");
+    let trials = if std::env::var_os("REVEAL_QUICK").is_some() {
+        3
+    } else {
+        10
+    };
+    println!(
+        "End-to-end single-trace message recovery (n = {n}, q = {q}, t = {t}, {trials} trials)\n"
+    );
 
     let parms = EncryptionParameters::new(
         n,
@@ -32,8 +38,8 @@ fn main() {
     let pk = keygen.public_key(&sk, &mut rng);
     let encryptor = Encryptor::new(&ctx, &pk);
 
-    let device = Device::new(n, &[q], PowerModelConfig::default().with_noise_sigma(0.02))
-        .expect("device");
+    let device =
+        Device::new(n, &[q], PowerModelConfig::default().with_noise_sigma(0.02)).expect("device");
     let mut adv_rng = StdRng::seed_from_u64(555);
     let attack = TrainedAttack::profile(&device, 60, &AttackConfig::default(), &mut adv_rng)
         .expect("profiling");

@@ -34,7 +34,10 @@ fn main() {
         bursts.len() >= 4,
         "all coefficient peaks must be distinguishable"
     );
-    write_artifact("fig3a_full_trace.csv", &to_csv(samples, Some("sample,power")));
+    write_artifact(
+        "fig3a_full_trace.csv",
+        &to_csv(samples, Some("sample,power")),
+    );
 
     println!("\n=== Fig. 3(b): per-branch sub-traces (noise > 0, < 0, = 0) ===");
     let config = AttackConfig::default();
@@ -66,6 +69,9 @@ fn main() {
          (noise σ = {:.3})",
         device.power_config().noise_sigma
     );
-    assert!(d_pn > 0.2 && d_pz > 0.2 && d_nz > 0.2, "branches must separate");
+    assert!(
+        d_pn > 0.2 && d_pz > 0.2 && d_nz > 0.2,
+        "branches must separate"
+    );
     println!("=> the taken branch is identifiable from a single trace (vulnerability 1)");
 }

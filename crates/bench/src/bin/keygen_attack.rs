@@ -19,7 +19,11 @@ fn main() {
     let n = 32usize;
     let q = 3329u64;
     let t = 16u64;
-    let trials = if std::env::var_os("REVEAL_QUICK").is_some() { 3 } else { 10 };
+    let trials = if std::env::var_os("REVEAL_QUICK").is_some() {
+        3
+    } else {
+        10
+    };
     println!("Key-generation attack (n = {n}, q = {q}): one KeyGen trace -> secret key\n");
 
     let parms = EncryptionParameters::new(
@@ -29,8 +33,8 @@ fn main() {
     )
     .expect("parameters");
     let ctx = BfvContext::new(parms).expect("context");
-    let device = Device::new(n, &[q], PowerModelConfig::default().with_noise_sigma(0.02))
-        .expect("device");
+    let device =
+        Device::new(n, &[q], PowerModelConfig::default().with_noise_sigma(0.02)).expect("device");
     let mut adv_rng = StdRng::seed_from_u64(222);
     let attack = TrainedAttack::profile(&device, 60, &AttackConfig::default(), &mut adv_rng)
         .expect("profiling");
@@ -46,7 +50,11 @@ fn main() {
         // Ground-truth keygen noise from the key relation (this is what the
         // device sampled; we mirror it into the trace).
         let neg_e = pk.p0().add(&pk.p1().mul(sk.as_rns()));
-        let e_true: Vec<i64> = neg_e.residues()[0].to_signed().iter().map(|&x| -x).collect();
+        let e_true: Vec<i64> = neg_e.residues()[0]
+            .to_signed()
+            .iter()
+            .map(|&x| -x)
+            .collect();
         let capture = device.capture_chosen(&e_true, &mut rng).expect("capture");
         let Ok(result) = attack.attack_trace_expecting(&capture.run.capture.samples, n) else {
             println!("trial {trial}: segmentation mismatch");
@@ -70,7 +78,11 @@ fn main() {
                 continue;
             }
         };
-        assert_eq!(s_rec, sk.coefficients(), "recovered key must be the real one");
+        assert_eq!(
+            s_rec,
+            sk.coefficients(),
+            "recovered key must be the real one"
+        );
         // Prove it: decrypt a ciphertext with the stolen key.
         let stolen = SecretKey::from_coefficients(&ctx, s_rec);
         let enc = Encryptor::new(&ctx, &pk);

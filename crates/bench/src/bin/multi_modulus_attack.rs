@@ -16,8 +16,12 @@ use reveal_rv32::power::PowerModelConfig;
 fn evaluate(moduli: &[u64], ladder_window: usize, scale: Scale, name: &str) -> Option<(f64, f64)> {
     let (profile_runs, attack_runs, _) = scale.attack_workload();
     let n = 64;
-    let device = Device::new(n, moduli, PowerModelConfig::default().with_noise_sigma(0.05))
-        .expect("device");
+    let device = Device::new(
+        n,
+        moduli,
+        PowerModelConfig::default().with_noise_sigma(0.05),
+    )
+    .expect("device");
     let config = AttackConfig {
         ladder_window,
         ..AttackConfig::default()
@@ -51,7 +55,10 @@ fn evaluate(moduli: &[u64], ladder_window: usize, scale: Scale, name: &str) -> O
 fn main() {
     let scale = Scale::from_env();
     println!("Multi-modulus generality check (n = 64, {scale:?})\n");
-    println!("{:>26} {:>10} {:>10}", "coeff_modulus", "sign_acc", "value_acc");
+    println!(
+        "{:>26} {:>10} {:>10}",
+        "coeff_modulus", "sign_acc", "value_acc"
+    );
     println!("{}", "-".repeat(50));
     let mut csv = String::from("chain,sign_acc,value_acc\n");
     // Single 27-bit prime (the paper's shape) vs a two-prime chain; the
@@ -64,7 +71,12 @@ fn main() {
     let mut rows = Vec::new();
     for (name, moduli, window) in cases {
         if let Some((sign, value)) = evaluate(&moduli, window, scale, name) {
-            println!("{:>26} {:>9.1}% {:>9.1}%", name, 100.0 * sign, 100.0 * value);
+            println!(
+                "{:>26} {:>9.1}% {:>9.1}%",
+                name,
+                100.0 * sign,
+                100.0 * value
+            );
             csv.push_str(&format!("{name},{sign:.4},{value:.4}\n"));
             rows.push((sign, value));
         }

@@ -53,5 +53,8 @@ fn main() {
     write_artifact("table1_confusion_full.csv", &cm.to_csv());
 
     assert!(cm.sign_accuracy() > 0.99, "paper: 100% sign success");
-    assert!(neg_diag > pos_diag, "paper: negatives more accurately extracted");
+    assert!(
+        neg_diag > pos_diag,
+        "paper: negatives more accurately extracted"
+    );
 }

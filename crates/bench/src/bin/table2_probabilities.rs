@@ -14,9 +14,7 @@ use std::collections::BTreeMap;
 fn main() {
     let scale = Scale::from_env();
     let (profile_runs, attack_runs, n) = scale.attack_workload();
-    println!(
-        "Table II: guessing probabilities from selected measurements ({scale:?}, n = {n})\n"
-    );
+    println!("Table II: guessing probabilities from selected measurements ({scale:?}, n = {n})\n");
     let device = paper_device(n, 0.05);
     let attack = train_attacker(&device, profile_runs, 2);
 

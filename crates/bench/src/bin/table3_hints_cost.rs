@@ -15,16 +15,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reveal_attack::rounded_gaussian_prior;
 use reveal_bench::{paper_device, train_attacker, Scale, PAPER_N};
-use reveal_hints::{
-    integrate_posteriors, DbddInstance, HintPolicy, LweParameters, Posterior,
-};
+use reveal_hints::{integrate_posteriors, DbddInstance, HintPolicy, LweParameters, Posterior};
 use std::collections::BTreeMap;
 
 /// Collects measured posteriors bucketed by the true secret value.
-fn measure_posteriors(
-    scale: Scale,
-    seed: u64,
-) -> BTreeMap<i64, Vec<Posterior>> {
+fn measure_posteriors(scale: Scale, seed: u64) -> BTreeMap<i64, Vec<Posterior>> {
     let (profile_runs, attack_runs, n) = scale.attack_workload();
     let device = paper_device(n, 0.05);
     let attack = train_attacker(&device, profile_runs, seed);
@@ -54,7 +49,10 @@ fn main() {
     println!("collecting measured probability tables from single-trace attacks …");
     let buckets = measure_posteriors(scale, 3);
     let measured: usize = buckets.values().map(Vec::len).sum();
-    println!("{measured} measurements across {} secret values", buckets.len());
+    println!(
+        "{measured} measurements across {} secret values",
+        buckets.len()
+    );
 
     // Framework trials: fresh secrets, random measurement selection.
     let prior = rounded_gaussian_prior(3.19, 41);
@@ -125,9 +123,18 @@ fn main() {
     println!("\n+--------------------------------------------+-----------+");
     println!("|                                            |  SEAL-128 |");
     println!("+--------------------------------------------+-----------+");
-    println!("| Attack without hints (bikz)                | {:>9.2} |", baseline.bikz);
-    println!("| Attack with measured hints (bikz)          | {:>9.2} |", with_hints);
-    println!("| Attack with Table-II-grade hints (bikz)    | {:>9.2} |", table_ii_grade.bikz);
+    println!(
+        "| Attack without hints (bikz)                | {:>9.2} |",
+        baseline.bikz
+    );
+    println!(
+        "| Attack with measured hints (bikz)          | {:>9.2} |",
+        with_hints
+    );
+    println!(
+        "| Attack with Table-II-grade hints (bikz)    | {:>9.2} |",
+        table_ii_grade.bikz
+    );
     println!("+--------------------------------------------+-----------+");
     println!("\npaper reference:  382.25 without hints, 12.2 with hints");
     println!(

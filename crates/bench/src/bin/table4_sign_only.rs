@@ -14,9 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reveal_attack::rounded_gaussian_prior;
 use reveal_bench::{paper_device, train_attacker, Scale, PAPER_N};
-use reveal_hints::{
-    integrate_posteriors, DbddInstance, HintPolicy, LweParameters, Posterior,
-};
+use reveal_hints::{integrate_posteriors, DbddInstance, HintPolicy, LweParameters, Posterior};
 
 fn main() {
     let scale = Scale::from_env();
@@ -123,18 +121,38 @@ fn main() {
     // The guess succeeds when the coefficient equals the most likely value
     // for its (known, nonzero) sign — analytically P(|s| = 1 | s != 0)/?,
     // i.e. the conditional mass of the modal value of the half-distribution.
-    let p_zero: f64 = prior.iter().find(|(v, _)| *v == 0).map(|(_, p)| *p).unwrap_or(0.0);
-    let p_one: f64 = prior.iter().find(|(v, _)| *v == 1).map(|(_, p)| *p).unwrap_or(0.0);
+    let p_zero: f64 = prior
+        .iter()
+        .find(|(v, _)| *v == 0)
+        .map(|(_, p)| *p)
+        .unwrap_or(0.0);
+    let p_one: f64 = prior
+        .iter()
+        .find(|(v, _)| *v == 1)
+        .map(|(_, p)| *p)
+        .unwrap_or(0.0);
     let success_rate = p_one / ((1.0 - p_zero) / 2.0);
 
     println!("+------------------------------------+-----------+");
     println!("|                                    |  SEAL-128 |");
     println!("+------------------------------------+-----------+");
-    println!("| Attack without hints (bikz)        | {:>9.2} |", baseline.bikz);
-    println!("| Attack with hints (bikz)           | {:>9.2} |", sign_only);
-    println!("| Attack with hints & guesses (bikz) | {:>9.2} |", with_guess);
+    println!(
+        "| Attack without hints (bikz)        | {:>9.2} |",
+        baseline.bikz
+    );
+    println!(
+        "| Attack with hints (bikz)           | {:>9.2} |",
+        sign_only
+    );
+    println!(
+        "| Attack with hints & guesses (bikz) | {:>9.2} |",
+        with_guess
+    );
     println!("| Number of guesses                  | {:>9} |", 1);
-    println!("| Success probability                | {:>8.0}% |", 100.0 * success_rate);
+    println!(
+        "| Success probability                | {:>8.0}% |",
+        100.0 * success_rate
+    );
     println!("+------------------------------------+-----------+");
     println!("\npaper reference: 382.25 / 253.29 / 252.83, 1 guess, 20% success");
     println!(
@@ -143,13 +161,25 @@ fn main() {
         reveal_hints::bikz_to_bits(sign_only)
     );
 
-    assert!(sign_rate > 0.99, "measured sign success must back the premise");
-    assert!(sign_only < baseline.bikz - 40.0, "sign hints must reduce the cost");
+    assert!(
+        sign_rate > 0.99,
+        "measured sign success must back the premise"
+    );
+    assert!(
+        sign_only < baseline.bikz - 40.0,
+        "sign hints must reduce the cost"
+    );
     assert!(
         reveal_hints::bikz_to_bits(sign_only) > 50.0,
         "sign-only attack must NOT break the scheme"
     );
     assert!(with_guess <= sign_only + 1e-9, "a guess can only help");
-    assert!(sign_only - with_guess < 5.0, "one guess is worth well under 5 bikz");
-    assert!((0.1..0.4).contains(&success_rate), "success {success_rate} (paper: 20%)");
+    assert!(
+        sign_only - with_guess < 5.0,
+        "one guess is worth well under 5 bikz"
+    );
+    assert!(
+        (0.1..0.4).contains(&success_rate),
+        "success {success_rate} (paper: 20%)"
+    );
 }

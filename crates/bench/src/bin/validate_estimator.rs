@@ -65,7 +65,12 @@ fn main() {
         let avg_beta = solved_betas.iter().sum::<f64>() / solved_betas.len().max(1) as f64;
         println!(
             "{:>4} {:>4} {:>16.2} {:>16.2} {:>9}/{}",
-            n, m, predicted, avg_beta, solved_betas.len(), trials
+            n,
+            m,
+            predicted,
+            avg_beta,
+            solved_betas.len(),
+            trials
         );
         csv.push_str(&format!(
             "{n},{m},{predicted:.2},{avg_beta:.2},{}\n",
@@ -80,7 +85,10 @@ fn main() {
 
     // Every instance in this easy regime must be solvable, and the
     // prediction must be non-decreasing with the observation trend.
-    assert!(observations.len() >= 5, "solver must succeed across the sweep");
+    assert!(
+        observations.len() >= 5,
+        "solver must succeed across the sweep"
+    );
     let pred_span = predictions.last().unwrap() - predictions.first().unwrap();
     assert!(
         pred_span.abs() < 80.0,

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # reveal-bench
 //!
 //! Shared harness code for the table/figure generator binaries and the
@@ -64,8 +66,12 @@ impl Scale {
 ///
 /// Panics when the kernel cannot be built (programming error).
 pub fn paper_device(n: usize, noise_sigma: f64) -> Device {
-    Device::new(n, &[PAPER_Q], PowerModelConfig::default().with_noise_sigma(noise_sigma))
-        .expect("paper device is well-formed")
+    Device::new(
+        n,
+        &[PAPER_Q],
+        PowerModelConfig::default().with_noise_sigma(noise_sigma),
+    )
+    .expect("paper device is well-formed")
 }
 
 /// Profiles a fresh attacker at the given scale.

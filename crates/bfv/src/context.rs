@@ -59,10 +59,9 @@ impl BfvContext {
     /// Propagates any parameter validation failure.
     pub fn new(parms: EncryptionParameters) -> Result<Self, ParameterError> {
         let basis = parms.rns_basis()?;
-        let plain_context =
-            PolyContext::new(parms.poly_modulus_degree(), *parms.plain_modulus())
-                .map_err(reveal_math::RnsError::Context)
-                .map_err(ParameterError::Rns)?;
+        let plain_context = PolyContext::new(parms.poly_modulus_degree(), *parms.plain_modulus())
+            .map_err(reveal_math::RnsError::Context)
+            .map_err(ParameterError::Rns)?;
         let t = parms.plain_modulus().value();
         let (delta, rem) = basis.product().divmod_u64(t);
         let delta_mod = parms
@@ -163,8 +162,7 @@ impl BfvContext {
 
     fn same_context(&self, other: &BfvContext) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
-            || (self.inner.parms.poly_modulus_degree()
-                == other.inner.parms.poly_modulus_degree()
+            || (self.inner.parms.poly_modulus_degree() == other.inner.parms.poly_modulus_degree()
                 && self.inner.parms.coeff_modulus() == other.inner.parms.coeff_modulus()
                 && self.inner.parms.plain_modulus() == other.inner.parms.plain_modulus())
     }

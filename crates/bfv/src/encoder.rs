@@ -23,7 +23,10 @@ impl fmt::Display for EncodeError {
                 write!(f, "value needs {bits} bits but the degree is only {degree}")
             }
             EncodeError::BatchingUnsupported { t, degree } => {
-                write!(f, "plain modulus {t} does not support batching at degree {degree}")
+                write!(
+                    f,
+                    "plain modulus {t} does not support batching at degree {degree}"
+                )
             }
             EncodeError::WrongSlotCount { got, expected } => {
                 write!(f, "expected {expected} slots, got {got}")
@@ -254,7 +257,10 @@ mod tests {
         let encoder = BatchEncoder::new(&c).unwrap();
         assert!(matches!(
             encoder.encode(&[1, 2, 3]),
-            Err(EncodeError::WrongSlotCount { got: 3, expected: 1024 })
+            Err(EncodeError::WrongSlotCount {
+                got: 3,
+                expected: 1024
+            })
         ));
     }
 

@@ -58,7 +58,8 @@ impl Encryptor {
 
     /// Encrypts `plain`, discarding all side-channel observations.
     pub fn encrypt<R: Rng + ?Sized>(&self, plain: &Plaintext, rng: &mut R) -> Ciphertext {
-        self.encrypt_observed(plain, rng, &mut NullProbe, &mut NullProbe).0
+        self.encrypt_observed(plain, rng, &mut NullProbe, &mut NullProbe)
+            .0
     }
 
     /// Encrypts `plain` while reporting the sampling of `e1` to `probe_e1`

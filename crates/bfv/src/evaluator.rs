@@ -228,9 +228,8 @@ impl Evaluator {
                 .iter()
                 .zip(basis.contexts())
                 .map(|(r, ctx)| {
-                    let coeffs: Vec<u64> = (0..n)
-                        .map(|i| (r.coeffs()[i] >> shift) & mask)
-                        .collect();
+                    let coeffs: Vec<u64> =
+                        (0..n).map(|i| (r.coeffs()[i] >> shift) & mask).collect();
                     ctx.polynomial(&coeffs)
                 })
                 .collect();
@@ -291,8 +290,7 @@ mod tests {
         use reveal_math::primes::ntt_primes;
         use reveal_math::Modulus;
         let q = ntt_primes(50, 2048, 1).unwrap().remove(0);
-        let parms =
-            EncryptionParameters::new(1024, vec![q], Modulus::new(256).unwrap()).unwrap();
+        let parms = EncryptionParameters::new(1024, vec![q], Modulus::new(256).unwrap()).unwrap();
         fixture_on(parms, seed)
     }
 
@@ -321,15 +319,15 @@ mod tests {
         let b = f.rng.gen_range(0..t);
         let ca = f.enc.encrypt(&Plaintext::constant(&f.ctx, a), &mut f.rng);
         let cb = f.enc.encrypt(&Plaintext::constant(&f.ctx, b), &mut f.rng);
-        assert_eq!(f.dec.decrypt(&f.eval.add(&ca, &cb)).coeffs()[0], (a + b) % t);
+        assert_eq!(
+            f.dec.decrypt(&f.eval.add(&ca, &cb)).coeffs()[0],
+            (a + b) % t
+        );
         assert_eq!(
             f.dec.decrypt(&f.eval.sub(&ca, &cb)).coeffs()[0],
             (a + t - b) % t
         );
-        assert_eq!(
-            f.dec.decrypt(&f.eval.negate(&ca)).coeffs()[0],
-            (t - a) % t
-        );
+        assert_eq!(f.dec.decrypt(&f.eval.negate(&ca)).coeffs()[0], (t - a) % t);
     }
 
     #[test]
@@ -350,9 +348,7 @@ mod tests {
         let mut f = fixture(3);
         let mut m = vec![0u64; 1024];
         m[2] = 5;
-        let ca = f
-            .enc
-            .encrypt(&Plaintext::new(&f.ctx, &m), &mut f.rng);
+        let ca = f.enc.encrypt(&Plaintext::new(&f.ctx, &m), &mut f.rng);
         // Multiply by x^3.
         let mut x3 = vec![0u64; 1024];
         x3[3] = 1;

@@ -21,7 +21,11 @@ impl SecretKey {
     ///
     /// Panics if the coefficient count differs from the ring degree.
     pub fn from_coefficients(ctx: &crate::context::BfvContext, s_signed: Vec<i64>) -> Self {
-        assert_eq!(s_signed.len(), ctx.degree(), "coefficient count must equal n");
+        assert_eq!(
+            s_signed.len(),
+            ctx.degree(),
+            "coefficient count must equal n"
+        );
         let s = ctx.basis().from_signed(&s_signed);
         Self { s, s_signed }
     }
@@ -228,7 +232,10 @@ mod tests {
         let q = c.parms().coeff_modulus()[0];
         for &r in neg_e.residues()[0].coeffs() {
             let centered = q.to_signed(r);
-            assert!(centered.abs() <= 41, "noise coefficient {centered} too large");
+            assert!(
+                centered.abs() <= 41,
+                "noise coefficient {centered} too large"
+            );
         }
     }
 

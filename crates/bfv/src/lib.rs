@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 // Indexed loops are the clearest notation for the dense numeric kernels
 // in this workspace (convolutions, scatter matrices, lattice bases).
 #![allow(clippy::needless_range_loop)]
@@ -65,11 +66,11 @@ pub use params::{
     EncryptionParameters, ParameterError, SecurityLevel, DEFAULT_NOISE_MAX_DEVIATION,
     DEFAULT_NOISE_STANDARD_DEVIATION,
 };
-pub use serialization::{
-    load_ciphertext, load_plaintext, load_public_key, load_secret_key, save_ciphertext,
-    save_plaintext, save_public_key, save_secret_key, SerializeError,
-};
 pub use sampler::{
     set_poly_coeffs_normal, ClippedNormalDistribution, NullProbe, RecordingProbe, SamplerEvent,
     SamplerProbe, SignBranch,
+};
+pub use serialization::{
+    load_ciphertext, load_plaintext, load_public_key, load_secret_key, save_ciphertext,
+    save_plaintext, save_public_key, save_secret_key, SerializeError,
 };

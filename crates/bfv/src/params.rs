@@ -32,13 +32,19 @@ impl fmt::Display for ParameterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParameterError::BadDegree(n) => {
-                write!(f, "poly_modulus_degree {n} must be a power of two in [8, 32768]")
+                write!(
+                    f,
+                    "poly_modulus_degree {n} must be a power of two in [8, 32768]"
+                )
             }
             ParameterError::Rns(e) => write!(f, "coefficient modulus chain invalid: {e}"),
             ParameterError::Modulus(e) => write!(f, "modulus invalid: {e}"),
             ParameterError::Prime(e) => write!(f, "prime generation failed: {e}"),
             ParameterError::PlainModulusTooLarge { t, q_bits } => {
-                write!(f, "plain modulus {t} too large for a {q_bits}-bit coefficient modulus")
+                write!(
+                    f,
+                    "plain modulus {t} too large for a {q_bits}-bit coefficient modulus"
+                )
             }
         }
     }
@@ -133,9 +139,7 @@ impl EncryptionParameters {
         coeff_modulus: Vec<Modulus>,
         plain_modulus: Modulus,
     ) -> Result<Self, ParameterError> {
-        if !poly_modulus_degree.is_power_of_two()
-            || !(8..=32768).contains(&poly_modulus_degree)
-        {
+        if !poly_modulus_degree.is_power_of_two() || !(8..=32768).contains(&poly_modulus_degree) {
             return Err(ParameterError::BadDegree(poly_modulus_degree));
         }
         let q_bits: u32 = coeff_modulus.iter().map(|m| m.bit_count()).sum();
@@ -161,11 +165,7 @@ impl EncryptionParameters {
     /// The exact parameter set the RevEAL paper attacks: SEAL-128 with
     /// `n = 1024`, `q = 132120577`, `t = 256`, `σ = 3.19`.
     pub fn seal_128_paper() -> Result<Self, ParameterError> {
-        Self::new(
-            1024,
-            vec![Modulus::new(132120577)?],
-            Modulus::new(256)?,
-        )
+        Self::new(1024, vec![Modulus::new(132120577)?], Modulus::new(256)?)
     }
 
     /// SEAL-style defaults for a given degree and security level:
@@ -255,7 +255,10 @@ impl EncryptionParameters {
 
     /// Builds the RNS basis for the coefficient modulus chain.
     pub fn rns_basis(&self) -> Result<RnsBasis, ParameterError> {
-        Ok(RnsBasis::new(self.poly_modulus_degree, self.coeff_modulus.clone())?)
+        Ok(RnsBasis::new(
+            self.poly_modulus_degree,
+            self.coeff_modulus.clone(),
+        )?)
     }
 
     /// Total bit count of the coefficient modulus.
@@ -283,9 +286,8 @@ mod tests {
     #[test]
     fn default_moduli_respect_budget() {
         for degree in [2048usize, 4096, 8192] {
-            let p =
-                EncryptionParameters::with_default_moduli(degree, SecurityLevel::Tc128, 256)
-                    .unwrap();
+            let p = EncryptionParameters::with_default_moduli(degree, SecurityLevel::Tc128, 256)
+                .unwrap();
             let budget = SecurityLevel::Tc128.max_coeff_modulus_bits(degree);
             assert!(p.coeff_modulus_bit_count() <= budget);
             assert!(p.coeff_modulus_bit_count() >= budget - 4);

@@ -155,7 +155,10 @@ impl ClippedNormalDistribution {
     ///
     /// Panics if `standard_deviation <= 0` or `max_deviation < standard_deviation`.
     pub fn new(mean: f64, standard_deviation: f64, max_deviation: f64) -> Self {
-        assert!(standard_deviation > 0.0, "standard deviation must be positive");
+        assert!(
+            standard_deviation > 0.0,
+            "standard deviation must be positive"
+        );
         assert!(
             max_deviation >= standard_deviation,
             "max deviation must be at least one standard deviation"
@@ -305,10 +308,7 @@ pub fn sample_ternary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
 
 /// Samples a polynomial with uniform residues under each coefficient modulus,
 /// in the flat `poly[i + j * n]` layout.
-pub fn sample_uniform<R: Rng + ?Sized>(
-    parms: &EncryptionParameters,
-    rng: &mut R,
-) -> Vec<u64> {
+pub fn sample_uniform<R: Rng + ?Sized>(parms: &EncryptionParameters, rng: &mut R) -> Vec<u64> {
     let n = parms.poly_modulus_degree();
     let mut out = Vec::with_capacity(n * parms.coeff_modulus().len());
     for m in parms.coeff_modulus() {
@@ -355,7 +355,11 @@ mod tests {
         let n = 200_000;
         let samples: Vec<i64> = (0..n).map(|_| dist.sample_i64(&mut rng).0).collect();
         let mean = samples.iter().sum::<i64>() as f64 / n as f64;
-        let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         // Var of round(N(0, σ²)) ≈ σ² + 1/12.
         let expected = 3.19f64 * 3.19 + 1.0 / 12.0;
@@ -374,7 +378,10 @@ mod tests {
             assert!(v.abs() <= 3.19);
             rejected += stats.clip_rejections;
         }
-        assert!(rejected > 100, "expected many clip rejections, got {rejected}");
+        assert!(
+            rejected > 100,
+            "expected many clip rejections, got {rejected}"
+        );
     }
 
     #[test]
@@ -400,8 +407,16 @@ mod tests {
             let r0 = poly[i];
             let r1 = poly[i + 8];
             // Residues must encode the same signed value under both moduli.
-            let v0 = if r0 > q0 / 2 { r0 as i64 - q0 as i64 } else { r0 as i64 };
-            let v1 = if r1 > q1 / 2 { r1 as i64 - q1 as i64 } else { r1 as i64 };
+            let v0 = if r0 > q0 / 2 {
+                r0 as i64 - q0 as i64
+            } else {
+                r0 as i64
+            };
+            let v1 = if r1 > q1 / 2 {
+                r1 as i64 - q1 as i64
+            } else {
+                r1 as i64
+            };
             assert_eq!(v0, v1, "coefficient {i} differs across moduli");
             assert!(v0.abs() <= 41);
         }
@@ -473,7 +488,10 @@ mod tests {
         // All three values should appear with roughly equal frequency.
         for target in [-1i64, 0, 1] {
             let count = v.iter().filter(|&&x| x == target).count();
-            assert!((2800..=3900).contains(&count), "count of {target} = {count}");
+            assert!(
+                (2800..=3900).contains(&count),
+                "count of {target} = {count}"
+            );
         }
     }
 

@@ -353,7 +353,10 @@ mod tests {
         ));
         // Corrupt magic.
         bytes[0] = b'X';
-        assert_eq!(load_secret_key(&ctx, &bytes), Err(SerializeError::BadHeader));
+        assert_eq!(
+            load_secret_key(&ctx, &bytes),
+            Err(SerializeError::BadHeader)
+        );
     }
 
     #[test]

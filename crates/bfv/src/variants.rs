@@ -112,7 +112,16 @@ pub fn set_poly_coeffs_normal_masked<R: Rng + ?Sized, P: SamplerProbe>(
                 branch: SignBranch::Positive,
             });
             for (j, modulus) in coeff_modulus.iter().enumerate() {
-                write_masked(share0, share1, i + j * coeff_count, noise as u64, modulus, rng, probe, j);
+                write_masked(
+                    share0,
+                    share1,
+                    i + j * coeff_count,
+                    noise as u64,
+                    modulus,
+                    rng,
+                    probe,
+                    j,
+                );
             }
         } else if noise < 0 {
             probe.record(&SamplerEvent::BranchTaken {
@@ -126,14 +135,32 @@ pub fn set_poly_coeffs_normal_masked<R: Rng + ?Sized, P: SamplerProbe>(
             });
             for (j, modulus) in coeff_modulus.iter().enumerate() {
                 let residue = modulus.value() - noise as u64;
-                write_masked(share0, share1, i + j * coeff_count, residue, modulus, rng, probe, j);
+                write_masked(
+                    share0,
+                    share1,
+                    i + j * coeff_count,
+                    residue,
+                    modulus,
+                    rng,
+                    probe,
+                    j,
+                );
             }
         } else {
             probe.record(&SamplerEvent::BranchTaken {
                 branch: SignBranch::Zero,
             });
             for (j, modulus) in coeff_modulus.iter().enumerate() {
-                write_masked(share0, share1, i + j * coeff_count, 0, modulus, rng, probe, j);
+                write_masked(
+                    share0,
+                    share1,
+                    i + j * coeff_count,
+                    0,
+                    modulus,
+                    rng,
+                    probe,
+                    j,
+                );
             }
         }
         probe.record(&SamplerEvent::CoefficientEnd { index: i });
@@ -274,7 +301,11 @@ mod tests {
             for i in 0..32 {
                 let r = poly[i + j * 32];
                 assert!(r < q);
-                let centered = if r > q / 2 { r as i64 - q as i64 } else { r as i64 };
+                let centered = if r > q / 2 {
+                    r as i64 - q as i64
+                } else {
+                    r as i64
+                };
                 assert!(centered.abs() <= 41);
             }
         }
@@ -282,8 +313,16 @@ mod tests {
         let q0 = p.coeff_modulus()[0].value();
         let q1 = p.coeff_modulus()[1].value();
         for i in 0..32 {
-            let v0 = if poly[i] > q0 / 2 { poly[i] as i64 - q0 as i64 } else { poly[i] as i64 };
-            let v1 = if poly[i + 32] > q1 / 2 { poly[i + 32] as i64 - q1 as i64 } else { poly[i + 32] as i64 };
+            let v0 = if poly[i] > q0 / 2 {
+                poly[i] as i64 - q0 as i64
+            } else {
+                poly[i] as i64
+            };
+            let v1 = if poly[i + 32] > q1 / 2 {
+                poly[i + 32] as i64 - q1 as i64
+            } else {
+                poly[i + 32] as i64
+            };
             assert_eq!(v0, v1);
         }
     }

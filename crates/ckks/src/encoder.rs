@@ -26,7 +26,10 @@ impl fmt::Display for EncodeError {
                 write!(f, "expected {expected} slots, got {got}")
             }
             EncodeError::CoefficientOverflow { coefficient, value } => {
-                write!(f, "scaled coefficient {coefficient} = {value} overflows i64")
+                write!(
+                    f,
+                    "scaled coefficient {coefficient} = {value} overflows i64"
+                )
             }
         }
     }
@@ -64,7 +67,10 @@ impl CkksEncoder {
     ///
     /// Panics if `n` is not a power of two ≥ 4 or the scale is zero.
     pub fn new(n: usize, scale: u64) -> Self {
-        assert!(n >= 4 && n.is_power_of_two(), "degree must be a power of two >= 4");
+        assert!(
+            n >= 4 && n.is_power_of_two(),
+            "degree must be a power of two >= 4"
+        );
         assert!(scale > 0, "scale must be positive");
         let half = n / 2;
         // Evaluation points: ζ^{2j+1}, j in [0, n/2): pairwise non-conjugate.
@@ -263,7 +269,10 @@ mod tests {
         let e = encoder(16);
         assert!(matches!(
             e.encode_real(&[1.0, 2.0]),
-            Err(EncodeError::WrongSlotCount { got: 2, expected: 8 })
+            Err(EncodeError::WrongSlotCount {
+                got: 2,
+                expected: 8
+            })
         ));
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 // Indexed loops are the clearest notation for the dense numeric kernels
 // in this workspace (convolutions, scatter matrices, lattice bases).
 #![allow(clippy::needless_range_loop)]

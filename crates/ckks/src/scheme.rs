@@ -92,12 +92,8 @@ impl CkksContext {
                     .map_err(|e| CkksError::Parameters(e.to_string()))?,
             );
             sampler_parms.push(
-                EncryptionParameters::new(
-                    n,
-                    chain,
-                    Modulus::new(2).expect("2 is a valid modulus"),
-                )
-                .map_err(|e| CkksError::Parameters(e.to_string()))?,
+                EncryptionParameters::new(n, chain, Modulus::new(2).expect("2 is a valid modulus"))
+                    .map_err(|e| CkksError::Parameters(e.to_string()))?,
             );
         }
         Ok(Self {
@@ -198,10 +194,7 @@ impl CkksCiphertext {
 }
 
 /// Generates CKKS keys.
-pub fn keygen<R: Rng + ?Sized>(
-    ctx: &CkksContext,
-    rng: &mut R,
-) -> (CkksSecretKey, CkksPublicKey) {
+pub fn keygen<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> (CkksSecretKey, CkksPublicKey) {
     let top = ctx.top_level();
     let basis = ctx.basis(top);
     let s_signed = sample_ternary(ctx.degree(), rng);
@@ -326,11 +319,17 @@ pub fn decrypt(
 /// Fails on level or scale mismatch.
 pub fn add(a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, CkksError> {
     if a.level != b.level {
-        return Err(CkksError::LevelMismatch { a: a.level, b: b.level });
+        return Err(CkksError::LevelMismatch {
+            a: a.level,
+            b: b.level,
+        });
     }
     let ratio = a.scale / b.scale;
     if !(0.999..1.001).contains(&ratio) {
-        return Err(CkksError::ScaleMismatch { a: a.scale, b: b.scale });
+        return Err(CkksError::ScaleMismatch {
+            a: a.scale,
+            b: b.scale,
+        });
     }
     let size = a.parts.len().max(b.parts.len());
     let zero = a.parts[0].basis().zero();
@@ -355,12 +354,17 @@ pub fn add(a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, Ckk
 /// Fails on level mismatch.
 pub fn multiply(a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, CkksError> {
     if a.level != b.level {
-        return Err(CkksError::LevelMismatch { a: a.level, b: b.level });
+        return Err(CkksError::LevelMismatch {
+            a: a.level,
+            b: b.level,
+        });
     }
     assert_eq!(a.parts.len(), 2, "multiply expects fresh ciphertexts");
     assert_eq!(b.parts.len(), 2, "multiply expects fresh ciphertexts");
     let d0 = a.parts[0].mul(&b.parts[0]);
-    let d1 = a.parts[0].mul(&b.parts[1]).add(&a.parts[1].mul(&b.parts[0]));
+    let d1 = a.parts[0]
+        .mul(&b.parts[1])
+        .add(&a.parts[1].mul(&b.parts[0]));
     let d2 = a.parts[1].mul(&b.parts[1]);
     Ok(CkksCiphertext {
         parts: vec![d0, d1, d2],
@@ -476,7 +480,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (sk, pk) = keygen(&ctx, &mut rng);
         let a: Vec<Complex> = (0..16).map(|i| Complex::from(i as f64 * 0.1)).collect();
-        let b: Vec<Complex> = (0..16).map(|i| Complex::from(3.0 - i as f64 * 0.2)).collect();
+        let b: Vec<Complex> = (0..16)
+            .map(|i| Complex::from(3.0 - i as f64 * 0.2))
+            .collect();
         let ca = encrypt(&ctx, &pk, &a, &mut rng).unwrap();
         let cb = encrypt(&ctx, &pk, &b, &mut rng).unwrap();
         let sum = decrypt(&ctx, &sk, &add(&ca, &cb).unwrap()).unwrap();
@@ -490,8 +496,12 @@ mod tests {
         let ctx = toy_context();
         let mut rng = StdRng::seed_from_u64(3);
         let (sk, pk) = keygen(&ctx, &mut rng);
-        let a: Vec<Complex> = (0..16).map(|i| Complex::from(0.3 + i as f64 * 0.05)).collect();
-        let b: Vec<Complex> = (0..16).map(|i| Complex::from(1.2 - i as f64 * 0.05)).collect();
+        let a: Vec<Complex> = (0..16)
+            .map(|i| Complex::from(0.3 + i as f64 * 0.05))
+            .collect();
+        let b: Vec<Complex> = (0..16)
+            .map(|i| Complex::from(1.2 - i as f64 * 0.05))
+            .collect();
         let ca = encrypt(&ctx, &pk, &a, &mut rng).unwrap();
         let cb = encrypt(&ctx, &pk, &b, &mut rng).unwrap();
         let prod = multiply(&ca, &cb).unwrap();
@@ -557,7 +567,10 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, SamplerEvent::Negation { .. }));
-        assert!(has_negation, "the vulnerable negation path executes in CKKS too");
+        assert!(
+            has_negation,
+            "the vulnerable negation path executes in CKKS too"
+        );
     }
 
     #[test]

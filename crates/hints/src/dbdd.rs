@@ -160,11 +160,7 @@ impl DbddInstance {
     /// ln det Σ over the surviving coordinates (the homogenization
     /// coordinate contributes variance 1, i.e. nothing).
     pub fn ln_det_sigma(&self) -> f64 {
-        self.variances
-            .iter()
-            .flatten()
-            .map(|v| v.ln())
-            .sum()
+        self.variances.iter().flatten().map(|v| v.ln()).sum()
     }
 
     /// Number of coordinates not yet eliminated.

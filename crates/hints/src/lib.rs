@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 // Indexed loops are the clearest notation for the dense numeric kernels
 // in this workspace (convolutions, scatter matrices, lattice bases).
 #![allow(clippy::needless_range_loop)]
@@ -37,6 +38,4 @@ pub use dbdd::{
     bikz_to_bits, DbddInstance, HintError, LweParameters, SecurityEstimate, BIKZ_PER_BIT,
 };
 pub use delta::{delta_bkz, ln_delta_bkz, solve_beta, success_margin};
-pub use posterior::{
-    integrate_posteriors, HintPolicy, HintSummary, Posterior, PosteriorError,
-};
+pub use posterior::{integrate_posteriors, HintPolicy, HintSummary, Posterior, PosteriorError};

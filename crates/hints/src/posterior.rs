@@ -50,10 +50,8 @@ impl Posterior {
         if total <= 0.0 {
             return Err(PosteriorError::Degenerate);
         }
-        let mut entries: Vec<(i64, f64)> = entries
-            .into_iter()
-            .map(|(v, p)| (v, p / total))
-            .collect();
+        let mut entries: Vec<(i64, f64)> =
+            entries.into_iter().map(|(v, p)| (v, p / total)).collect();
         entries.sort_by_key(|(v, _)| *v);
         Ok(Self { entries })
     }
@@ -81,10 +79,7 @@ impl Posterior {
 
     /// The probability of the mode.
     pub fn confidence(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(_, p)| *p)
-            .fold(0.0, f64::max)
+        self.entries.iter().map(|(_, p)| *p).fold(0.0, f64::max)
     }
 
     /// The mean ("centered" column of Table II).
@@ -161,7 +156,11 @@ pub fn integrate_posteriors(
     posteriors: &[Posterior],
     policy: &HintPolicy,
 ) -> Result<HintSummary, HintError> {
-    assert_eq!(coordinates.len(), posteriors.len(), "one coordinate per posterior");
+    assert_eq!(
+        coordinates.len(),
+        posteriors.len(),
+        "one coordinate per posterior"
+    );
     let mut summary = HintSummary::default();
     for (&coord, post) in coordinates.iter().zip(posteriors) {
         let variance = post.variance();
@@ -236,12 +235,11 @@ mod tests {
         let mut inst = DbddInstance::from_lwe(&LweParameters::seal_128_paper());
         let policy = HintPolicy::seal_paper();
         let posteriors = vec![
-            Posterior::certain(-2),                                  // perfect
-            Posterior::new(vec![(1, 0.7), (2, 0.3)]).unwrap(),       // approximate
-            Posterior::new(vec![(-14, 1.0), (14, 1.0)]).unwrap(),    // worse than prior? var=196 → skipped
+            Posterior::certain(-2),                               // perfect
+            Posterior::new(vec![(1, 0.7), (2, 0.3)]).unwrap(),    // approximate
+            Posterior::new(vec![(-14, 1.0), (14, 1.0)]).unwrap(), // worse than prior? var=196 → skipped
         ];
-        let summary =
-            integrate_posteriors(&mut inst, &[0, 1, 2], &posteriors, &policy).unwrap();
+        let summary = integrate_posteriors(&mut inst, &[0, 1, 2], &posteriors, &policy).unwrap();
         assert_eq!(summary.perfect, 1);
         assert_eq!(summary.approximate, 1);
         assert_eq!(summary.skipped, 1);
@@ -255,9 +253,7 @@ mod tests {
         let run = |confidence: f64| {
             let mut inst = DbddInstance::from_lwe(&LweParameters::seal_128_paper());
             let posts: Vec<Posterior> = (0..1024)
-                .map(|_| {
-                    Posterior::new(vec![(1, confidence), (5, 1.0 - confidence)]).unwrap()
-                })
+                .map(|_| Posterior::new(vec![(1, confidence), (5, 1.0 - confidence)]).unwrap())
                 .collect();
             let coords: Vec<usize> = (0..1024).collect();
             integrate_posteriors(&mut inst, &coords, &posts, &policy).unwrap();

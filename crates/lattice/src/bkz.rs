@@ -167,11 +167,7 @@ mod tests {
             let exact_norm = dot_ii(&exact, &exact);
             let mut bkz_basis = basis;
             bkz_reduce(&mut bkz_basis, &BkzParams::with_block_size(5));
-            assert_eq!(
-                shortest_row_norm_sq(&bkz_basis),
-                exact_norm,
-                "seed {seed}"
-            );
+            assert_eq!(shortest_row_norm_sq(&bkz_basis), exact_norm, "seed {seed}");
         }
     }
 

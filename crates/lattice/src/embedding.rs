@@ -197,7 +197,11 @@ fn extract_candidate(
         if tail.abs() != config.embedding_factor.abs() {
             continue;
         }
-        let sign = if tail == config.embedding_factor { 1 } else { -1 };
+        let sign = if tail == config.embedding_factor {
+            1
+        } else {
+            -1
+        };
         // row = sign * (e, -s, M)
         let secret: Vec<i64> = (0..n).map(|j| -sign * row[m + j]).collect();
         if secret.iter().any(|&s| s.abs() > config.secret_bound) {
@@ -231,7 +235,9 @@ pub fn random_instance<R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> (LweInstance, Vec<i64>, Vec<i64>) {
     let secret: Vec<i64> = (0..n).map(|_| rng.gen_range(-1i64..=1)).collect();
-    let error: Vec<i64> = (0..m).map(|_| rng.gen_range(-error_bound..=error_bound)).collect();
+    let error: Vec<i64> = (0..m)
+        .map(|_| rng.gen_range(-error_bound..=error_bound))
+        .collect();
     let a: Vec<Vec<i64>> = (0..m)
         .map(|_| (0..n).map(|_| rng.gen_range(0..q)).collect())
         .collect();

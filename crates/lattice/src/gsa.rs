@@ -102,7 +102,10 @@ mod tests {
         let p_weak = gsa_profile(40, 100.0, 2.0);
         let p_strong = gsa_profile(40, 100.0, 38.0);
         let slope = |p: &[f64]| p[1] - p[0];
-        assert!(slope(&p_strong) > slope(&p_weak), "stronger reduction = flatter profile");
+        assert!(
+            slope(&p_strong) > slope(&p_weak),
+            "stronger reduction = flatter profile"
+        );
         assert!(slope(&p_weak) < 0.0);
     }
 

@@ -78,7 +78,10 @@ impl Gso {
     /// The log-volume of the lattice: `Σ ln ‖b*_i‖` (half the log Gram
     /// determinant).
     pub fn log_volume(&self) -> f64 {
-        self.b_star_sq.iter().map(|&b| 0.5 * b.max(f64::MIN_POSITIVE).ln()).sum()
+        self.b_star_sq
+            .iter()
+            .map(|&b| 0.5 * b.max(f64::MIN_POSITIVE).ln())
+            .sum()
     }
 
     /// Removes basis row `i` and recomputes downstream data.
@@ -102,7 +105,11 @@ impl Gso {
 
     /// Inserts `vector` as row `i` and recomputes downstream data.
     pub fn insert_row(&mut self, i: usize, vector: Vec<i64>) {
-        assert_eq!(vector.len(), self.dim().max(vector.len()), "dimension mismatch");
+        assert_eq!(
+            vector.len(),
+            self.dim().max(vector.len()),
+            "dimension mismatch"
+        );
         self.basis.insert(i, vector);
         let rows = self.basis.len();
         self.mu.insert(i, vec![0.0; rows]);

@@ -1,0 +1,540 @@
+//! The taint fixpoint over the CFG and the L1–L4 rule checks.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use reveal_rv32::cfg::{Cfg, CfgError};
+use reveal_rv32::{format_instruction, AluOp, Instruction, MulOp, Program, Reg, SamplerKernel};
+
+use crate::report::{anchor_for, Finding, Report, Rule};
+use crate::taint::{AbsVal, RegVal, State, Taint};
+
+/// The analyzer: a program, its CFG, and the declared secret sources.
+#[derive(Debug)]
+pub struct Analyzer<'p> {
+    program: &'p Program,
+    base: u32,
+    cfg: Cfg,
+    secret_loads: BTreeMap<u32, String>,
+}
+
+impl<'p> Analyzer<'p> {
+    /// Prepares `program` (loaded at `base`) for analysis.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program's control flow cannot be reconstructed
+    /// ([`CfgError`]).
+    pub fn new(program: &'p Program, base: u32) -> Result<Self, CfgError> {
+        let cfg = Cfg::from_program(program, base)?;
+        Ok(Analyzer {
+            program,
+            base,
+            cfg,
+            secret_loads: BTreeMap::new(),
+        })
+    }
+
+    /// Declares the load at `pc` a secret source: the register it defines
+    /// becomes the taint root `description` names.
+    pub fn mark_secret_load(&mut self, pc: u32, description: impl Into<String>) -> &mut Self {
+        self.secret_loads.insert(pc, description.into());
+        self
+    }
+
+    /// The reconstructed CFG (for callers that want to inspect it).
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// Runs the taint fixpoint and the rule checks.
+    pub fn analyze(&self, target: impl Into<String>) -> Report {
+        let in_states = self.fixpoint();
+        let mut findings = Vec::new();
+        for (pc, instr) in self.cfg.reachable_instructions() {
+            let Some(state) = in_states.get(&pc) else {
+                continue;
+            };
+            self.check_rules(pc, instr, state, &mut findings);
+        }
+        findings.sort_by_key(|f| (f.pc, f.rule));
+
+        let mut caveats = Vec::new();
+        for &pc in &self.cfg.unresolved_indirect {
+            caveats.push(format!(
+                "indirect jump at {pc:#06x} has unknown targets; paths through it are not analyzed"
+            ));
+        }
+
+        Report {
+            target: target.into(),
+            findings,
+            caveats,
+            analyzed_instructions: self.cfg.reachable_instructions().count(),
+        }
+    }
+
+    /// Worklist fixpoint: the abstract state *entering* each reachable pc.
+    fn fixpoint(&self) -> BTreeMap<u32, State> {
+        let mut in_states: BTreeMap<u32, State> = BTreeMap::new();
+        in_states.insert(self.base, State::entry());
+        let mut worklist = VecDeque::from([self.base]);
+        while let Some(pc) = worklist.pop_front() {
+            let Some(instr) = self.cfg.instruction_at(pc) else {
+                continue;
+            };
+            let mut out = in_states[&pc].clone();
+            self.transfer(pc, instr, &mut out);
+            for &succ in self.cfg.successors_of(pc) {
+                let changed = match in_states.get_mut(&succ) {
+                    Some(existing) => existing.join_from(&out),
+                    None => {
+                        in_states.insert(succ, out.clone());
+                        true
+                    }
+                };
+                if changed && !worklist.contains(&succ) {
+                    worklist.push_back(succ);
+                }
+            }
+        }
+        in_states
+    }
+
+    /// Applies one instruction's effect to `state`.
+    fn transfer(&self, pc: u32, instr: Instruction, state: &mut State) {
+        match instr {
+            Instruction::Lui { rd, imm } => {
+                state.set_reg(rd, clean(AbsVal::Const(imm as u32)));
+            }
+            Instruction::Auipc { rd, imm } => {
+                state.set_reg(rd, clean(AbsVal::Const(pc.wrapping_add(imm as u32))));
+            }
+            Instruction::Jal { rd, .. } | Instruction::Jalr { rd, .. } => {
+                // The link address is public.
+                state.set_reg(rd, clean(AbsVal::Const(pc.wrapping_add(4))));
+            }
+            Instruction::Branch { .. } | Instruction::Ecall | Instruction::Ebreak => {}
+            Instruction::Load {
+                rd, rs1, offset, ..
+            } => {
+                let base = state.reg(rs1);
+                let taint = if self.secret_loads.contains_key(&pc) {
+                    Taint::source(pc)
+                } else {
+                    state.load_taint(base.val.region(offset)).join(base.taint)
+                };
+                state.set_reg(
+                    rd,
+                    RegVal {
+                        val: AbsVal::Unknown,
+                        taint,
+                    },
+                );
+            }
+            Instruction::Store {
+                rs1, rs2, offset, ..
+            } => {
+                let base = state.reg(rs1);
+                let data = state.reg(rs2);
+                state.store(base.val.region(offset), data.taint.join(base.taint));
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let a = state.reg(rs1);
+                let val = eval_alu_imm(op, a.val, imm);
+                state.set_reg(
+                    rd,
+                    RegVal {
+                        val,
+                        taint: a.taint,
+                    },
+                );
+            }
+            Instruction::AluReg { op, rd, rs1, rs2 } => {
+                let a = state.reg(rs1);
+                let b = state.reg(rs2);
+                let val = eval_alu_reg(op, a.val, b.val);
+                state.set_reg(
+                    rd,
+                    RegVal {
+                        val,
+                        taint: a.taint.join(b.taint),
+                    },
+                );
+            }
+            Instruction::MulDiv { op, rd, rs1, rs2 } => {
+                let a = state.reg(rs1);
+                let b = state.reg(rs2);
+                let val = eval_muldiv(op, a.val, b.val);
+                state.set_reg(
+                    rd,
+                    RegVal {
+                        val,
+                        taint: a.taint.join(b.taint),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Emits findings for `instr` given the state entering it.
+    fn check_rules(&self, pc: u32, instr: Instruction, state: &State, out: &mut Vec<Finding>) {
+        let tainted = |r: Reg| state.reg(r).taint.is_tainted();
+        let origin = |regs: &[Reg]| {
+            regs.iter()
+                .fold(Taint::CLEAN, |acc, &r| acc.join(state.reg(r).taint))
+                .origin()
+                .unwrap_or(pc)
+        };
+        let names = |regs: &[Reg]| {
+            regs.iter()
+                .filter(|&&r| tainted(r))
+                .map(|r| r.abi_name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut push = |rule: Rule, origin: u32, message: String| {
+            out.push(Finding {
+                rule,
+                pc,
+                instruction: format_instruction(&instr),
+                anchor: anchor_for(self.program, self.base, pc),
+                origin,
+                message,
+            });
+        };
+        match instr {
+            Instruction::Branch { rs1, rs2, .. } if tainted(rs1) || tainted(rs2) => {
+                push(
+                    Rule::L1SecretBranch,
+                    origin(&[rs1, rs2]),
+                    format!(
+                        "branch condition depends on secret register {}",
+                        names(&[rs1, rs2])
+                    ),
+                );
+            }
+            Instruction::Jalr { rs1, .. } if tainted(rs1) => {
+                push(
+                    Rule::L1SecretBranch,
+                    origin(&[rs1]),
+                    format!(
+                        "indirect jump target depends on secret register {}",
+                        names(&[rs1])
+                    ),
+                );
+            }
+            Instruction::Load { rs1, .. } if tainted(rs1) => {
+                push(
+                    Rule::L2SecretAddress,
+                    origin(&[rs1]),
+                    format!("load address depends on secret register {}", names(&[rs1])),
+                );
+            }
+            Instruction::Store { rs1, rs2, .. } => {
+                if tainted(rs1) {
+                    push(
+                        Rule::L2SecretAddress,
+                        origin(&[rs1]),
+                        format!("store address depends on secret register {}", names(&[rs1])),
+                    );
+                }
+                if tainted(rs2) {
+                    push(
+                        Rule::L4SecretStore,
+                        origin(&[rs2]),
+                        format!(
+                            "stored value derives from secret register {}",
+                            names(&[rs2])
+                        ),
+                    );
+                }
+            }
+            Instruction::MulDiv { op, rs1, rs2, .. } if tainted(rs1) || tainted(rs2) => {
+                push(
+                    Rule::L3VariableLatency,
+                    origin(&[rs1, rs2]),
+                    format!(
+                        "{:?} operand depends on secret register {} (variable-latency unit)",
+                        op,
+                        names(&[rs1, rs2])
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn clean(val: AbsVal) -> RegVal {
+    RegVal {
+        val,
+        taint: Taint::CLEAN,
+    }
+}
+
+fn eval_alu_const(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+    }
+}
+
+fn eval_alu_imm(op: AluOp, a: AbsVal, imm: i32) -> AbsVal {
+    match (op, a) {
+        (op, AbsVal::Const(c)) => AbsVal::Const(eval_alu_const(op, c, imm as u32)),
+        // Offsetting a pointer by an immediate stays inside its buffer for
+        // the stride-sized offsets these kernels use.
+        (AluOp::Add, AbsVal::Addr(b)) => AbsVal::Addr(b),
+        _ => AbsVal::Unknown,
+    }
+}
+
+fn eval_alu_reg(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    use AbsVal::{Addr, Const, Unknown};
+    match (op, a, b) {
+        (op, Const(x), Const(y)) => Const(eval_alu_const(op, x, y)),
+        // base + computed index: the defining pattern of an array access.
+        (AluOp::Add, Const(c), Unknown) | (AluOp::Add, Unknown, Const(c)) => Addr(c),
+        (AluOp::Add, Addr(b), Const(c)) | (AluOp::Add, Const(c), Addr(b)) => {
+            Addr(b.wrapping_add(c))
+        }
+        (AluOp::Add, Addr(b), Unknown) | (AluOp::Add, Unknown, Addr(b)) => Addr(b),
+        (AluOp::Sub, Addr(b), Const(c)) => Addr(b.wrapping_sub(c)),
+        _ => Unknown,
+    }
+}
+
+fn eval_muldiv(op: MulOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    let (AbsVal::Const(x), AbsVal::Const(y)) = (a, b) else {
+        return AbsVal::Unknown;
+    };
+    let val = match op {
+        MulOp::Mul => x.wrapping_mul(y),
+        MulOp::Mulh => (((x as i32 as i64) * (y as i32 as i64)) >> 32) as u32,
+        MulOp::Mulhsu => (((x as i32 as i64) * (y as i64)) >> 32) as u32,
+        MulOp::Mulhu => (((x as u64) * (y as u64)) >> 32) as u32,
+        MulOp::Div if y != 0 => ((x as i32).wrapping_div(y as i32)) as u32,
+        MulOp::Divu if y != 0 => x / y,
+        MulOp::Rem if y != 0 => ((x as i32).wrapping_rem(y as i32)) as u32,
+        MulOp::Remu if y != 0 => x % y,
+        // RISC-V defines division by zero, but the kernels never rely on it;
+        // losing precision here is harmless.
+        _ => return AbsVal::Unknown,
+    };
+    AbsVal::Const(val)
+}
+
+/// Analyzes a [`SamplerKernel`] with its declared secret sources.
+pub fn analyze_kernel(kernel: &SamplerKernel) -> Report {
+    let program = kernel.program();
+    let mut analyzer = Analyzer::new(program, 0).expect("kernel programs always have a valid CFG");
+    for source in kernel.secret_sources() {
+        analyzer.mark_secret_load(source.pc, source.description);
+    }
+    analyzer.analyze(format!(
+        "kernel[{:?}] n={} moduli={}",
+        kernel.variant(),
+        kernel.degree(),
+        kernel.moduli().len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Severity;
+    use reveal_rv32::assemble;
+
+    /// Analyzes `src` with every load labeled `secret*` marked as a secret
+    /// source (labels survive `li` expansion, PCs don't).
+    fn analyze_src(src: &str) -> (Report, reveal_rv32::Program) {
+        let program = assemble(src, 0).unwrap();
+        let mut analyzer = Analyzer::new(&program, 0).unwrap();
+        for (name, &off) in &program.symbols {
+            if name.starts_with("secret") {
+                analyzer.mark_secret_load(off, "test secret");
+            }
+        }
+        let report = analyzer.analyze("unit");
+        (report, program)
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let (report, _) = analyze_src(
+            "
+            li t0, 5
+            loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+            ",
+        );
+        assert!(report.findings.is_empty());
+        assert!(report.is_constant_time());
+    }
+
+    #[test]
+    fn secret_branch_fires_l1() {
+        let (report, program) = analyze_src(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t0, 0(s0)
+            leak:
+            beqz t0, out
+            addi t1, t1, 1
+            out:
+            ebreak
+            ",
+        );
+        let l1: Vec<_> = report.findings_for(Rule::L1SecretBranch).collect();
+        assert_eq!(l1.len(), 1);
+        assert_eq!(l1[0].pc, program.symbol("leak").unwrap());
+        assert_eq!(l1[0].origin, program.symbol("secret").unwrap());
+    }
+
+    #[test]
+    fn secret_index_fires_l2() {
+        let (report, program) = analyze_src(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t0, 0(s0)
+            slli t0, t0, 2
+            li t1, 0x1000
+            add t0, t0, t1
+            leak:
+            lw t2, 0(t0)
+            ebreak
+            ",
+        );
+        let l2: Vec<_> = report.findings_for(Rule::L2SecretAddress).collect();
+        assert_eq!(l2.len(), 1);
+        assert_eq!(l2[0].pc, program.symbol("leak").unwrap());
+        assert!(!report.is_constant_time());
+    }
+
+    #[test]
+    fn secret_mul_fires_l3_and_store_fires_l4() {
+        let (report, _) = analyze_src(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t0, 0(s0)
+            mul t1, t0, t0
+            li t2, 0x2000
+            sw t1, 0(t2)
+            ebreak
+            ",
+        );
+        assert_eq!(report.findings_for(Rule::L3VariableLatency).count(), 1);
+        assert_eq!(report.findings_for(Rule::L4SecretStore).count(), 1);
+        assert_eq!(report.findings_for(Rule::L1SecretBranch).count(), 0);
+        // L3 is a warning, L4 info: no error-severity findings.
+        assert!(!report.has_findings_at_least(Severity::Error));
+        assert!(report.has_findings_at_least(Severity::Warning));
+    }
+
+    #[test]
+    fn taint_flows_through_memory() {
+        // Secret is spilled to RAM and reloaded into a branch.
+        let (report, _) = analyze_src(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t0, 0(s0)
+            li t1, 0x3000
+            sw t0, 0(t1)
+            lw t2, 0(t1)
+            beqz t2, out
+            nop
+            out:
+            ebreak
+            ",
+        );
+        assert_eq!(report.findings_for(Rule::L1SecretBranch).count(), 1);
+    }
+
+    #[test]
+    fn distinct_regions_do_not_alias() {
+        // Secret stored to 0x3000 must not taint a load from 0x4000.
+        let (report, _) = analyze_src(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t0, 0(s0)
+            li t1, 0x3000
+            sw t0, 0(t1)
+            li t3, 0x4000
+            lw t2, 0(t3)
+            beqz t2, out
+            nop
+            out:
+            ebreak
+            ",
+        );
+        assert_eq!(report.findings_for(Rule::L1SecretBranch).count(), 0);
+    }
+
+    #[test]
+    fn sanitizing_overwrite_clears_taint() {
+        // The tainted register is redefined from a constant before the
+        // branch: no finding.
+        let (report, _) = analyze_src(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t0, 0(s0)
+            li t0, 7
+            beqz t0, out
+            nop
+            out:
+            ebreak
+            ",
+        );
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn unresolved_indirect_becomes_caveat() {
+        let (report, _) = analyze_src("jr t0\nebreak");
+        assert_eq!(report.caveats.len(), 1);
+        assert!(!report.is_constant_time());
+    }
+
+    #[test]
+    fn loop_fixpoint_terminates_and_propagates() {
+        // The taint enters on iteration-carried state: t2 accumulates the
+        // secret, then gates a branch after the loop.
+        let (report, program) = analyze_src(
+            "
+            li s0, 0xF0000000
+            li t1, 4
+            li t2, 0
+            loop:
+            secret:
+            lw t0, 0(s0)
+            add t2, t2, t0
+            addi t1, t1, -1
+            bnez t1, loop
+            leak:
+            beqz t2, out
+            nop
+            out:
+            ebreak
+            ",
+        );
+        let l1: Vec<_> = report.findings_for(Rule::L1SecretBranch).collect();
+        assert_eq!(l1.len(), 1, "only the post-loop branch leaks");
+        assert_eq!(l1[0].pc, program.symbol("leak").unwrap());
+    }
+}

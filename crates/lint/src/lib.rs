@@ -1,0 +1,45 @@
+#![forbid(unsafe_code)]
+
+//! # reveal-lint
+//!
+//! A static constant-time analyzer for the RV32 sampler kernels: the
+//! "could we have caught Fig. 2 before taping out?" companion to the
+//! dynamic side-channel attack the rest of the workspace mounts.
+//!
+//! The analyzer consumes an assembled [`Program`](reveal_rv32::Program),
+//! reconstructs its control-flow graph ([`reveal_rv32::cfg`]), marks the
+//! declared secret sources (for [`SamplerKernel`](reveal_rv32::SamplerKernel)s,
+//! the noise load from `NOISE_PORT`), and runs a forward taint fixpoint with
+//! a small value lattice for pointer/region reconstruction. Four rules are
+//! checked against the result:
+//!
+//! | rule | severity | fires on |
+//! |------|----------|----------|
+//! | L1   | error    | secret-dependent branch / indirect jump |
+//! | L2   | error    | secret-dependent load/store address |
+//! | L3   | warning  | secret operand to `mul`/`div`-class instructions |
+//! | L4   | info     | secret value stored to memory |
+//!
+//! See `docs/lint.md` for the taint model and worked examples.
+//!
+//! ## Example
+//!
+//! ```
+//! use reveal_lint::{analyze_kernel, Rule};
+//! use reveal_rv32::SamplerKernel;
+//!
+//! let kernel = SamplerKernel::new(8, &[132120577])?;
+//! let report = analyze_kernel(&kernel);
+//! // SEAL v3.2's sign ladder branches on the sampled noise.
+//! assert!(report.findings_for(Rule::L1SecretBranch).count() >= 1);
+//! assert!(!report.is_constant_time());
+//! # Ok::<(), reveal_rv32::KernelError>(())
+//! ```
+
+pub mod analysis;
+pub mod report;
+pub mod taint;
+
+pub use analysis::{analyze_kernel, Analyzer};
+pub use report::{Finding, Report, Rule, Severity};
+pub use taint::{AbsVal, RegVal, State, Taint};

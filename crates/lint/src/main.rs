@@ -1,0 +1,131 @@
+#![forbid(unsafe_code)]
+
+//! `reveal-lint` — command-line front end for the static constant-time
+//! analyzer.
+//!
+//! ```text
+//! reveal-lint [--variant vulnerable|branchless|masked] [--n N]
+//!             [--moduli q1,q2,...] [--format human|json]
+//!             [--fail-on error|warning|info|never]
+//! ```
+//!
+//! Exit status: 0 when no finding reaches the `--fail-on` threshold
+//! (default `error`), 1 when one does, 2 on usage errors. Designed to gate
+//! CI: `reveal-lint --variant branchless` passes, `--variant vulnerable`
+//! fails.
+
+use std::process::ExitCode;
+
+use reveal_lint::{analyze_kernel, Severity};
+use reveal_rv32::{KernelVariant, SamplerKernel};
+
+struct Options {
+    variant: KernelVariant,
+    n: usize,
+    moduli: Vec<u64>,
+    json: bool,
+    fail_on: Option<Severity>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            variant: KernelVariant::Vulnerable,
+            n: 8,
+            // SEAL's 27-bit NTT prime used throughout the workspace.
+            moduli: vec![132_120_577],
+            json: false,
+            fail_on: Some(Severity::Error),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: reveal-lint [--variant vulnerable|branchless|masked] [--n N]\n\
+     \x20                  [--moduli q1,q2,...] [--format human|json]\n\
+     \x20                  [--fail-on error|warning|info|never]"
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--variant" => {
+                opts.variant = match value("--variant")?.as_str() {
+                    "vulnerable" => KernelVariant::Vulnerable,
+                    "branchless" => KernelVariant::Branchless,
+                    "masked" | "masked-ladder" => KernelVariant::MaskedLadder,
+                    other => return Err(format!("unknown variant '{other}'")),
+                };
+            }
+            "--n" => {
+                opts.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
+            }
+            "--moduli" => {
+                opts.moduli = value("--moduli")?
+                    .split(',')
+                    .map(|q| q.trim().parse().map_err(|e| format!("--moduli: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--format" => {
+                opts.json = match value("--format")?.as_str() {
+                    "json" => true,
+                    "human" => false,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+            }
+            "--fail-on" => {
+                opts.fail_on = match value("--fail-on")?.as_str() {
+                    "error" => Some(Severity::Error),
+                    "warning" => Some(Severity::Warning),
+                    "info" => Some(Severity::Info),
+                    "never" => None,
+                    other => return Err(format!("unknown threshold '{other}'")),
+                };
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("reveal-lint: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let kernel = match SamplerKernel::with_variant(opts.n, &opts.moduli, opts.variant) {
+        Ok(kernel) => kernel,
+        Err(e) => {
+            eprintln!("reveal-lint: cannot build kernel: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = analyze_kernel(&kernel);
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+
+    let fail = match opts.fail_on {
+        Some(threshold) => report.has_findings_at_least(threshold),
+        None => false,
+    };
+    if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

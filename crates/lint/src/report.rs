@@ -1,0 +1,315 @@
+//! Findings, the analysis report, and its human/JSON renderings.
+
+use std::fmt;
+
+use reveal_rv32::Program;
+
+/// The constant-time rules the analyzer checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Secret-dependent branch or indirect jump: control flow reveals the
+    /// secret through timing and instruction-sequence power shape (the
+    /// paper's vulnerability 1).
+    L1SecretBranch,
+    /// Secret-dependent memory address: the access pattern reveals the
+    /// secret (cache/row-buffer channels; the paper's vulnerability 2 in
+    /// address form).
+    L2SecretAddress,
+    /// Secret operand to a variable-latency instruction (`mul`/`div` family
+    /// on cores without constant-time multipliers).
+    L3VariableLatency,
+    /// Secret value flows to a store: per-bit power leakage at the write
+    /// port (Hamming weight of the stored word — the paper's vulnerability 2
+    /// in value form). Informational: unavoidable when output must be
+    /// written, but each site is a template-attack target.
+    L4SecretStore,
+}
+
+impl Rule {
+    /// Stable short identifier (`L1` … `L4`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L1SecretBranch => "L1",
+            Rule::L2SecretAddress => "L2",
+            Rule::L3VariableLatency => "L3",
+            Rule::L4SecretStore => "L4",
+        }
+    }
+
+    /// How serious a violation of this rule is.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::L1SecretBranch | Rule::L2SecretAddress => Severity::Error,
+            Rule::L3VariableLatency => Severity::Warning,
+            Rule::L4SecretStore => Severity::Info,
+        }
+    }
+
+    /// One-line description of what the rule forbids.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::L1SecretBranch => "secret-dependent branch or indirect jump",
+            Rule::L2SecretAddress => "secret-dependent memory address",
+            Rule::L3VariableLatency => "secret operand to variable-latency instruction",
+            Rule::L4SecretStore => "secret value stored to memory",
+        }
+    }
+}
+
+/// Finding severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing; not a constant-time violation by itself.
+    Info,
+    /// Leakage that needs a strong adversary model to exploit.
+    Warning,
+    /// Single-trace exploitable leakage.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One rule violation at one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// PC of the offending instruction.
+    pub pc: u32,
+    /// Disassembly of the offending instruction.
+    pub instruction: String,
+    /// Nearest preceding label and byte distance, when the program has one.
+    pub anchor: Option<(String, u32)>,
+    /// PC of the secret source the taint traces back to.
+    pub origin: u32,
+    /// What leaks and how.
+    pub message: String,
+}
+
+impl Finding {
+    /// `label+0x10` / raw hex location for human output.
+    pub fn location(&self) -> String {
+        match &self.anchor {
+            Some((label, 0)) => format!("{:#06x} <{label}>", self.pc),
+            Some((label, delta)) => format!("{:#06x} <{label}+{delta:#x}>", self.pc),
+            None => format!("{:#06x}", self.pc),
+        }
+    }
+}
+
+/// The result of analyzing one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// What was analyzed (free-form, e.g. `kernel[vulnerable] n=8`).
+    pub target: String,
+    /// All findings, ordered by PC then rule.
+    pub findings: Vec<Finding>,
+    /// Soundness caveats (e.g. unresolved indirect jumps). Empty means the
+    /// analysis covered all reachable control flow.
+    pub caveats: Vec<String>,
+    /// Number of reachable instructions analyzed.
+    pub analyzed_instructions: usize,
+}
+
+impl Report {
+    /// Findings that violate `rule`.
+    pub fn findings_for(&self, rule: Rule) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.rule == rule)
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count_at(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.rule.severity() == severity)
+            .count()
+    }
+
+    /// Whether any finding is at or above `severity`.
+    pub fn has_findings_at_least(&self, severity: Severity) -> bool {
+        self.findings.iter().any(|f| f.rule.severity() >= severity)
+    }
+
+    /// Whether the program passes as constant-time: no error-severity
+    /// findings and no soundness caveats.
+    pub fn is_constant_time(&self) -> bool {
+        !self.has_findings_at_least(Severity::Error) && self.caveats.is_empty()
+    }
+
+    /// Renders the report for terminals, `rustc`-diagnostic style.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("reveal-lint: {}\n", self.target));
+        for caveat in &self.caveats {
+            out.push_str(&format!("note: {caveat}\n"));
+        }
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}[{}]: {} at {}\n    {}\n    | {}\n    = secret enters at {:#06x}\n",
+                f.rule.severity(),
+                f.rule.id(),
+                f.rule.description(),
+                f.location(),
+                f.message,
+                f.instruction,
+                f.origin,
+            ));
+        }
+        out.push_str(&format!(
+            "summary: {} error(s), {} warning(s), {} info across {} instructions — {}\n",
+            self.count_at(Severity::Error),
+            self.count_at(Severity::Warning),
+            self.count_at(Severity::Info),
+            self.analyzed_instructions,
+            if self.is_constant_time() {
+                "no secret-dependent control flow or addressing"
+            } else if self.has_findings_at_least(Severity::Error) {
+                "NOT constant-time"
+            } else {
+                "constant control flow, residual data leakage"
+            },
+        ));
+        out
+    }
+
+    /// Renders the report as JSON (stable schema, no external dependency).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"target\":{},", json_str(&self.target)));
+        out.push_str(&format!("\"constant_time\":{},", self.is_constant_time()));
+        out.push_str(&format!(
+            "\"analyzed_instructions\":{},",
+            self.analyzed_instructions
+        ));
+        out.push_str("\"caveats\":[");
+        for (i, c) in self.caveats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(c));
+        }
+        out.push_str("],\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"severity\":{},\"pc\":{},\"instruction\":{},\
+                 \"anchor\":{},\"origin\":{},\"message\":{}}}",
+                json_str(f.rule.id()),
+                json_str(&f.rule.severity().to_string()),
+                f.pc,
+                json_str(&f.instruction),
+                match &f.anchor {
+                    Some((label, delta)) =>
+                        format!("{{\"label\":{},\"offset\":{}}}", json_str(label), delta),
+                    None => "null".to_string(),
+                },
+                f.origin,
+                json_str(&f.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Looks up the nearest-preceding-label anchor for a PC.
+pub(crate) fn anchor_for(program: &Program, base: u32, pc: u32) -> Option<(String, u32)> {
+    program
+        .nearest_symbol(pc.wrapping_sub(base))
+        .map(|(name, delta)| (name.to_string(), delta))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            target: "test".into(),
+            findings: vec![Finding {
+                rule: Rule::L1SecretBranch,
+                pc: 0x40,
+                instruction: "blez t2, 24".into(),
+                anchor: Some(("dist_done".into(), 8)),
+                origin: 0x38,
+                message: "branch condition depends on secret".into(),
+            }],
+            caveats: vec![],
+            analyzed_instructions: 10,
+        }
+    }
+
+    #[test]
+    fn severity_ordering_matches_triage() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn rule_severities() {
+        assert_eq!(Rule::L1SecretBranch.severity(), Severity::Error);
+        assert_eq!(Rule::L2SecretAddress.severity(), Severity::Error);
+        assert_eq!(Rule::L3VariableLatency.severity(), Severity::Warning);
+        assert_eq!(Rule::L4SecretStore.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn report_summary_logic() {
+        let r = sample_report();
+        assert!(!r.is_constant_time());
+        assert!(r.has_findings_at_least(Severity::Error));
+        assert_eq!(r.count_at(Severity::Error), 1);
+        assert_eq!(r.findings_for(Rule::L1SecretBranch).count(), 1);
+        assert_eq!(r.findings_for(Rule::L2SecretAddress).count(), 0);
+    }
+
+    #[test]
+    fn human_rendering_mentions_rule_and_anchor() {
+        let text = sample_report().render_human();
+        assert!(text.contains("error[L1]"));
+        assert!(text.contains("<dist_done+0x8>"));
+        assert!(text.contains("NOT constant-time"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = sample_report().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rule\":\"L1\""));
+        assert!(json.contains("\"constant_time\":false"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

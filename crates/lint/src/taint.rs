@@ -1,0 +1,279 @@
+//! The abstract domain: a value lattice for address reconstruction and a
+//! taint lattice for secret tracking.
+//!
+//! Both lattices are deliberately shallow. [`AbsVal`] only needs to answer
+//! "which buffer does this pointer index?", so it tracks exact constants and
+//! region bases and collapses everything else to [`AbsVal::Unknown`].
+//! [`Taint`] tracks whether a value is derived from a secret source and, if
+//! so, the lowest-PC source it came from (enough to anchor a diagnostic;
+//! the full origin set would add noise, not information).
+
+use std::collections::BTreeMap;
+
+use reveal_rv32::Reg;
+
+/// Where a value sits in the constant/pointer lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Exactly this value on every path reaching here.
+    Const(u32),
+    /// A pointer into the buffer based at the given address; the index part
+    /// is unknown.
+    Addr(u32),
+    /// Anything.
+    Unknown,
+}
+
+impl AbsVal {
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (a, b) if a == b => a,
+            // A constant equal to a region base is a degenerate pointer into
+            // that region (index 0) — common on the first loop iteration.
+            (AbsVal::Const(c), AbsVal::Addr(b)) | (AbsVal::Addr(b), AbsVal::Const(c)) if c == b => {
+                AbsVal::Addr(b)
+            }
+            _ => AbsVal::Unknown,
+        }
+    }
+
+    /// The memory region a load/store through this base + `offset` touches:
+    /// the exact address for constants, the buffer base for pointers, `None`
+    /// when the address is unknown.
+    pub fn region(self, offset: i32) -> Option<u32> {
+        match self {
+            AbsVal::Const(c) => Some(c.wrapping_add(offset as u32)),
+            AbsVal::Addr(b) => Some(b),
+            AbsVal::Unknown => None,
+        }
+    }
+}
+
+/// Whether a value is influenced by a secret, and by which source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Taint {
+    origin: Option<u32>,
+}
+
+impl Taint {
+    /// An untainted value.
+    pub const CLEAN: Taint = Taint { origin: None };
+
+    /// A value read directly by the secret source at `pc`.
+    pub fn source(pc: u32) -> Taint {
+        Taint { origin: Some(pc) }
+    }
+
+    /// Least upper bound; keeps the lowest-PC origin as the representative.
+    #[must_use]
+    pub fn join(self, other: Taint) -> Taint {
+        match (self.origin, other.origin) {
+            (Some(a), Some(b)) => Taint {
+                origin: Some(a.min(b)),
+            },
+            (Some(a), None) | (None, Some(a)) => Taint { origin: Some(a) },
+            (None, None) => Taint::CLEAN,
+        }
+    }
+
+    /// Whether the value carries secret influence.
+    pub fn is_tainted(self) -> bool {
+        self.origin.is_some()
+    }
+
+    /// PC of the representative secret source, if tainted.
+    pub fn origin(self) -> Option<u32> {
+        self.origin
+    }
+}
+
+/// One register's abstract state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegVal {
+    /// Value lattice element.
+    pub val: AbsVal,
+    /// Taint lattice element.
+    pub taint: Taint,
+}
+
+impl RegVal {
+    /// Unknown and clean — the entry state of every register.
+    pub const TOP_CLEAN: RegVal = RegVal {
+        val: AbsVal::Unknown,
+        taint: Taint::CLEAN,
+    };
+}
+
+/// The abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Per-register value + taint; index = register number. `x0` is pinned
+    /// to `Const(0)`/clean by [`State::set_reg`].
+    pub regs: [RegVal; 32],
+    /// Taint of data stored into each known memory region, keyed by region
+    /// base. Regions never stored to are clean. Updates are weak (joins):
+    /// a region stays tainted once any path taints it.
+    pub mem: BTreeMap<u32, Taint>,
+    /// Join of the taints of every store whose target region was unknown;
+    /// such a store may alias any region, so every load folds this in.
+    pub unknown_store: Taint,
+}
+
+impl State {
+    /// The state at the program entry: registers unknown-but-clean, memory
+    /// untouched.
+    pub fn entry() -> State {
+        let mut regs = [RegVal::TOP_CLEAN; 32];
+        regs[0] = RegVal {
+            val: AbsVal::Const(0),
+            taint: Taint::CLEAN,
+        };
+        State {
+            regs,
+            mem: BTreeMap::new(),
+            unknown_store: Taint::CLEAN,
+        }
+    }
+
+    /// Reads a register (always `Const(0)`/clean for `x0`).
+    pub fn reg(&self, r: Reg) -> RegVal {
+        self.regs[r.0 as usize]
+    }
+
+    /// Writes a register; writes to `x0` are discarded.
+    pub fn set_reg(&mut self, r: Reg, v: RegVal) {
+        if r != Reg::ZERO {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// Taint observed by a load from `region` (`None` = unknown address):
+    /// the region's stored taint — or, for an unknown address, the join of
+    /// every region — plus the unknown-store summary either way.
+    pub fn load_taint(&self, region: Option<u32>) -> Taint {
+        let stored = match region {
+            Some(r) => self.mem.get(&r).copied().unwrap_or(Taint::CLEAN),
+            None => self.mem.values().fold(Taint::CLEAN, |acc, &t| acc.join(t)),
+        };
+        stored.join(self.unknown_store)
+    }
+
+    /// Records a store of `taint`ed data to `region` (weak update).
+    pub fn store(&mut self, region: Option<u32>, taint: Taint) {
+        match region {
+            Some(r) => {
+                let entry = self.mem.entry(r).or_insert(Taint::CLEAN);
+                *entry = entry.join(taint);
+            }
+            None => self.unknown_store = self.unknown_store.join(taint),
+        }
+    }
+
+    /// Joins `other` into `self`; returns whether anything changed.
+    pub fn join_from(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for i in 0..32 {
+            let joined = RegVal {
+                val: self.regs[i].val.join(other.regs[i].val),
+                taint: self.regs[i].taint.join(other.regs[i].taint),
+            };
+            if joined != self.regs[i] {
+                self.regs[i] = joined;
+                changed = true;
+            }
+        }
+        for (&region, &taint) in &other.mem {
+            let entry = self.mem.entry(region).or_insert(Taint::CLEAN);
+            let joined = entry.join(taint);
+            if joined != *entry {
+                *entry = joined;
+                changed = true;
+            }
+        }
+        let joined = self.unknown_store.join(other.unknown_store);
+        if joined != self.unknown_store {
+            self.unknown_store = joined;
+            changed = true;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absval_join_lattice_laws() {
+        let c1 = AbsVal::Const(1);
+        let c2 = AbsVal::Const(2);
+        let a1 = AbsVal::Addr(1);
+        assert_eq!(c1.join(c1), c1);
+        assert_eq!(c1.join(c2), AbsVal::Unknown);
+        assert_eq!(c1.join(a1), a1);
+        assert_eq!(a1.join(c1), a1);
+        assert_eq!(c2.join(a1), AbsVal::Unknown);
+        assert_eq!(AbsVal::Unknown.join(c1), AbsVal::Unknown);
+    }
+
+    #[test]
+    fn taint_join_keeps_lowest_origin() {
+        let a = Taint::source(8);
+        let b = Taint::source(4);
+        assert_eq!(a.join(b).origin(), Some(4));
+        assert_eq!(a.join(Taint::CLEAN).origin(), Some(8));
+        assert!(!Taint::CLEAN.join(Taint::CLEAN).is_tainted());
+    }
+
+    #[test]
+    fn regions_resolve_from_values() {
+        assert_eq!(AbsVal::Const(0x1000).region(4), Some(0x1004));
+        assert_eq!(AbsVal::Addr(0x2000).region(12), Some(0x2000));
+        assert_eq!(AbsVal::Unknown.region(0), None);
+    }
+
+    #[test]
+    fn unknown_store_poisons_every_load() {
+        let mut s = State::entry();
+        s.store(None, Taint::source(16));
+        assert!(s.load_taint(Some(0x1000)).is_tainted());
+        assert!(s.load_taint(None).is_tainted());
+    }
+
+    #[test]
+    fn x0_stays_pinned() {
+        let mut s = State::entry();
+        s.set_reg(
+            Reg::ZERO,
+            RegVal {
+                val: AbsVal::Unknown,
+                taint: Taint::source(0),
+            },
+        );
+        assert_eq!(s.reg(Reg::ZERO).val, AbsVal::Const(0));
+        assert!(!s.reg(Reg::ZERO).taint.is_tainted());
+    }
+
+    #[test]
+    fn join_from_reports_changes_and_converges() {
+        let mut a = State::entry();
+        let mut b = State::entry();
+        b.set_reg(
+            Reg(5),
+            RegVal {
+                val: AbsVal::Const(7),
+                taint: Taint::source(0),
+            },
+        );
+        b.store(Some(0x2000), Taint::source(8));
+        assert!(a.join_from(&b));
+        assert!(!a.join_from(&b), "second join is a no-op");
+        assert!(a.reg(Reg(5)).taint.is_tainted());
+        // Const(7) joined over Unknown stays Unknown (entry regs are top).
+        assert_eq!(a.reg(Reg(5)).val, AbsVal::Unknown);
+        assert!(a.load_taint(Some(0x2000)).is_tainted());
+        let _ = b;
+    }
+}

@@ -1,0 +1,149 @@
+//! The paper-level acceptance tests: the analyzer must reproduce §V-A's
+//! verdicts on the three sampler variants.
+//!
+//! - `Vulnerable` (SEAL v3.2, Fig. 2): the sign ladder branches on the
+//!   sampled noise — L1 fires at both ladder branches.
+//! - `Branchless` (post-v3.6 spirit): constant control flow and addressing —
+//!   no L1/L2; only the unavoidable L4 stores remain.
+//! - `MaskedLadder` (masking the stored value but keeping the ladder): the
+//!   half-measure still trips L1.
+
+use reveal_lint::{analyze_kernel, Rule, Severity};
+use reveal_rv32::{KernelVariant, SamplerKernel};
+
+const Q: u64 = 132_120_577;
+
+fn report_for(variant: KernelVariant) -> (reveal_lint::Report, SamplerKernel) {
+    let kernel = SamplerKernel::with_variant(8, &[Q], variant).unwrap();
+    (analyze_kernel(&kernel), kernel)
+}
+
+#[test]
+fn vulnerable_ladder_branches_on_the_secret() {
+    let (report, kernel) = report_for(KernelVariant::Vulnerable);
+    let l1: Vec<_> = report.findings_for(Rule::L1SecretBranch).collect();
+    assert!(
+        !l1.is_empty(),
+        "Fig. 2's ladder must be flagged:\n{}",
+        report.render_human()
+    );
+
+    // Both arms of the if/else-if ladder are found: the `blez` right after
+    // the noise load and the `bgez` at `not_positive`.
+    let program = kernel.program();
+    let blez_pc = program.symbol("dist_done").unwrap() + 8;
+    let bgez_pc = program.symbol("not_positive").unwrap();
+    let pcs: Vec<u32> = l1.iter().map(|f| f.pc).collect();
+    assert!(
+        pcs.contains(&blez_pc),
+        "blez at {blez_pc:#x} missing from {pcs:x?}"
+    );
+    assert!(
+        pcs.contains(&bgez_pc),
+        "bgez at {bgez_pc:#x} missing from {pcs:x?}"
+    );
+
+    // Every finding traces back to the NOISE_PORT load.
+    let noise_pc = kernel.secret_sources()[0].pc;
+    for f in &l1 {
+        assert_eq!(f.origin, noise_pc);
+    }
+
+    assert!(!report.is_constant_time());
+    assert!(
+        report.caveats.is_empty(),
+        "no indirect jumps in this variant"
+    );
+}
+
+#[test]
+fn vulnerable_ladder_has_no_secret_addressing() {
+    // The paper's vulnerability 2 is value leakage at the store port, not
+    // address leakage: poly indices come from public loop counters.
+    let (report, _) = report_for(KernelVariant::Vulnerable);
+    assert_eq!(report.findings_for(Rule::L2SecretAddress).count(), 0);
+    assert!(report.findings_for(Rule::L4SecretStore).count() >= 2);
+}
+
+#[test]
+fn branchless_variant_is_constant_time() {
+    let (report, _) = report_for(KernelVariant::Branchless);
+    assert_eq!(
+        report.findings_for(Rule::L1SecretBranch).count(),
+        0,
+        "branchless writer must not branch on the secret:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.findings_for(Rule::L2SecretAddress).count(), 0);
+    assert!(report.is_constant_time());
+
+    // Data-flow leakage remains: the residue still crosses the store port.
+    assert!(report.findings_for(Rule::L4SecretStore).count() >= 1);
+    assert!(!report.has_findings_at_least(Severity::Warning));
+}
+
+#[test]
+fn masked_ladder_still_leaks_control_flow() {
+    let (report, kernel) = report_for(KernelVariant::MaskedLadder);
+    let l1: Vec<_> = report.findings_for(Rule::L1SecretBranch).collect();
+    assert!(
+        !l1.is_empty(),
+        "masking stores does not fix the ladder:\n{}",
+        report.render_human()
+    );
+    let program = kernel.program();
+    let bgez_pc = program.symbol("m_not_pos").unwrap();
+    assert!(l1.iter().any(|f| f.pc == bgez_pc));
+    assert!(!report.is_constant_time());
+}
+
+#[test]
+fn masked_ladder_masks_the_first_share() {
+    // share0 = r is a fresh mask: storing it is clean. Only the share1
+    // store (residue - r, still first-order tainted through `sub`) and the
+    // plain `mv` path leak at the store port.
+    let (report, kernel) = report_for(KernelVariant::MaskedLadder);
+    let program = kernel.program();
+    let store_block = program.symbol("m_store").unwrap();
+    for f in report.findings_for(Rule::L4SecretStore) {
+        assert!(
+            f.pc >= store_block,
+            "only the m_store helper stores data: {:#x}",
+            f.pc
+        );
+    }
+    assert!(report.findings_for(Rule::L4SecretStore).count() >= 1);
+}
+
+#[test]
+fn findings_are_anchored_and_renderable() {
+    let (report, _) = report_for(KernelVariant::Vulnerable);
+    for f in &report.findings {
+        let anchor = f
+            .anchor
+            .as_ref()
+            .expect("kernel programs are fully labeled");
+        assert!(!anchor.0.is_empty());
+        assert!(!f.instruction.is_empty());
+    }
+    let human = report.render_human();
+    assert!(human.contains("error[L1]"));
+    assert!(human.contains("NOT constant-time"));
+    let json = report.render_json();
+    assert!(json.contains("\"constant_time\":false"));
+    assert!(json.contains("\"rule\":\"L1\""));
+}
+
+#[test]
+fn verdicts_are_stable_across_parameters() {
+    // The verdict is a property of the ladder shape, not of n or the
+    // modulus count.
+    for n in [4usize, 64, 1024] {
+        for moduli in [&[Q][..], &[Q, 8_380_417][..]] {
+            let kernel = SamplerKernel::with_variant(n, moduli, KernelVariant::Vulnerable).unwrap();
+            assert!(!analyze_kernel(&kernel).is_constant_time());
+            let kernel = SamplerKernel::with_variant(n, moduli, KernelVariant::Branchless).unwrap();
+            assert!(analyze_kernel(&kernel).is_constant_time());
+        }
+    }
+}

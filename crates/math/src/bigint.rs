@@ -339,7 +339,10 @@ mod tests {
     #[test]
     fn long_division_multi_limb_divisor() {
         // (2^130 + 12345) / (2^70 + 3)
-        let dividend = BigUint::from(1u64).shl_limbs(2).mul_u64(4).add(&BigUint::from(12345u64));
+        let dividend = BigUint::from(1u64)
+            .shl_limbs(2)
+            .mul_u64(4)
+            .add(&BigUint::from(12345u64));
         let divisor = BigUint::from(1u128 << 70).add(&BigUint::from(3u64));
         let (q, r) = dividend.divmod(&divisor);
         assert_eq!(q.mul(&divisor).add(&r), dividend);
@@ -359,7 +362,10 @@ mod tests {
     #[test]
     fn display_decimal() {
         assert_eq!(BigUint::zero().to_string(), "0");
-        assert_eq!(BigUint::from(1234567890123456789u64).to_string(), "1234567890123456789");
+        assert_eq!(
+            BigUint::from(1234567890123456789u64).to_string(),
+            "1234567890123456789"
+        );
         let big = BigUint::from(u64::MAX).add(&BigUint::one());
         assert_eq!(big.to_string(), "18446744073709551616");
     }

@@ -63,9 +63,9 @@ impl Modulus {
         }
         // floor(2^128 / value) via long division of 2^128 by value.
         let high = u128::MAX / value as u128; // floor((2^128 - 1)/value)
-        // 2^128 = (u128::MAX) + 1; floor(2^128/v) differs from
-        // floor((2^128-1)/v) only when v divides 2^128, i.e. v is a power of
-        // two.
+                                              // 2^128 = (u128::MAX) + 1; floor(2^128/v) differs from
+                                              // floor((2^128-1)/v) only when v divides 2^128, i.e. v is a power of
+                                              // two.
         let ratio = if value.is_power_of_two() {
             high + 1
         } else {
@@ -283,7 +283,15 @@ mod tests {
     #[test]
     fn barrett_reduce_matches_rem() {
         let q = Modulus::new(132120577).unwrap();
-        for x in [0u64, 1, 132120576, 132120577, 132120578, u64::MAX, 0xdead_beef_cafe_f00d] {
+        for x in [
+            0u64,
+            1,
+            132120576,
+            132120577,
+            132120578,
+            u64::MAX,
+            0xdead_beef_cafe_f00d,
+        ] {
             assert_eq!(q.reduce(x), x % q.value());
         }
     }

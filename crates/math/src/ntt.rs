@@ -29,7 +29,10 @@ impl fmt::Display for NttError {
                 write!(f, "transform size {n} is not a power of two >= 2")
             }
             NttError::NoRootOfUnity { modulus, two_n } => {
-                write!(f, "modulus {modulus} has no primitive {two_n}-th root of unity")
+                write!(
+                    f,
+                    "modulus {modulus} has no primitive {two_n}-th root of unity"
+                )
             }
         }
     }
@@ -96,9 +99,7 @@ impl NttTables {
             power = modulus.mul(power, psi);
             inv_power = modulus.mul(inv_power, psi_inv);
         }
-        let inv_degree = modulus
-            .inv(n as u64)
-            .expect("n invertible mod prime > n");
+        let inv_degree = modulus.inv(n as u64).expect("n invertible mod prime > n");
         Ok(Self {
             n,
             modulus,
@@ -132,7 +133,11 @@ impl NttTables {
     ///
     /// Panics if `values.len()` differs from the transform size.
     pub fn forward(&self, values: &mut [u64]) {
-        assert_eq!(values.len(), self.n, "input length must match transform size");
+        assert_eq!(
+            values.len(),
+            self.n,
+            "input length must match transform size"
+        );
         let q = &self.modulus;
         let n = self.n;
         let mut t = n;
@@ -161,7 +166,11 @@ impl NttTables {
     ///
     /// Panics if `values.len()` differs from the transform size.
     pub fn inverse(&self, values: &mut [u64]) {
-        assert_eq!(values.len(), self.n, "input length must match transform size");
+        assert_eq!(
+            values.len(),
+            self.n,
+            "input length must match transform size"
+        );
         let q = &self.modulus;
         let n = self.n;
         let mut t = 1usize;
@@ -249,8 +258,14 @@ mod tests {
     #[test]
     fn rejects_bad_sizes_and_moduli() {
         let q = Modulus::new(132120577).unwrap();
-        assert!(matches!(NttTables::new(3, q), Err(NttError::DegreeNotPowerOfTwo(3))));
-        assert!(matches!(NttTables::new(0, q), Err(NttError::DegreeNotPowerOfTwo(0))));
+        assert!(matches!(
+            NttTables::new(3, q),
+            Err(NttError::DegreeNotPowerOfTwo(3))
+        ));
+        assert!(matches!(
+            NttTables::new(0, q),
+            Err(NttError::DegreeNotPowerOfTwo(0))
+        ));
         let bad = Modulus::new(97).unwrap();
         assert!(matches!(
             NttTables::new(1024, bad),
@@ -292,9 +307,14 @@ mod tests {
         let n = 16;
         let t = tables(n);
         let q = *t.modulus();
-        let a: Vec<u64> = (0..n as u64).map(|i| (i * i * 31 + 7) % q.value()).collect();
+        let a: Vec<u64> = (0..n as u64)
+            .map(|i| (i * i * 31 + 7) % q.value())
+            .collect();
         let b: Vec<u64> = (0..n as u64).map(|i| (i * 1009 + 3) % q.value()).collect();
-        assert_eq!(t.negacyclic_multiply(&a, &b), negacyclic_multiply_naive(&a, &b, &q));
+        assert_eq!(
+            t.negacyclic_multiply(&a, &b),
+            negacyclic_multiply_naive(&a, &b, &q)
+        );
     }
 
     #[test]

@@ -194,8 +194,7 @@ impl Polynomial {
 
     fn check_same(&self, other: &Polynomial) {
         assert!(
-            self.context.n == other.context.n
-                && self.context.modulus == other.context.modulus,
+            self.context.n == other.context.n && self.context.modulus == other.context.modulus,
             "polynomials come from different contexts"
         );
     }

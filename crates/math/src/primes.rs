@@ -127,8 +127,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_bit_size() {
-        assert!(matches!(ntt_primes(1, 2048, 1), Err(PrimeError::BadBitSize(1))));
-        assert!(matches!(ntt_primes(63, 2048, 1), Err(PrimeError::BadBitSize(63))));
+        assert!(matches!(
+            ntt_primes(1, 2048, 1),
+            Err(PrimeError::BadBitSize(1))
+        ));
+        assert!(matches!(
+            ntt_primes(63, 2048, 1),
+            Err(PrimeError::BadBitSize(63))
+        ));
     }
 
     #[test]

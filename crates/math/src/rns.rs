@@ -64,7 +64,12 @@ impl fmt::Debug for RnsBasis {
             .field("n", &self.inner.n)
             .field(
                 "moduli",
-                &self.inner.moduli.iter().map(Modulus::value).collect::<Vec<_>>(),
+                &self
+                    .inner
+                    .moduli
+                    .iter()
+                    .map(Modulus::value)
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -108,7 +113,8 @@ impl RnsBasis {
             .zip(&punctured)
             .map(|(m, p)| {
                 let p_mod = p.rem_u64(m.value());
-                m.inv(p_mod).expect("punctured product invertible (coprime basis)")
+                m.inv(p_mod)
+                    .expect("punctured product invertible (coprime basis)")
             })
             .collect();
         Ok(Self {

@@ -1,0 +1,79 @@
+//! `any::<T>()` — uniform strategies over a type's whole domain.
+
+use crate::strategy::Strategy;
+use crate::test_runner::Gen;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(gen: &mut Gen) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, gen: &mut Gen) -> T {
+        T::arbitrary(gen)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty => $next:ident),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(gen: &mut Gen) -> $t {
+                gen.$next() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Arbitrary for u128 {
+    fn arbitrary(gen: &mut Gen) -> u128 {
+        (gen.next_u64() as u128) << 64 | gen.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(gen: &mut Gen) -> i128 {
+        u128::arbitrary(gen) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(gen: &mut Gen) -> bool {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(gen: &mut Gen) -> f64 {
+        // Finite, sign-symmetric values spanning many magnitudes; avoids
+        // NaN/inf which upstream also excludes by default.
+        let mantissa = gen.unit_f64() * 2.0 - 1.0;
+        let exp = (gen.below_u64(120) as i32) - 60;
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(gen: &mut Gen) -> f32 {
+        f64::arbitrary(gen) as f32
+    }
+}

@@ -1,0 +1,21 @@
+//! Test-runner configuration.
+
+/// Controls how many cases each property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}

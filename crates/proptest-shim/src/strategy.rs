@@ -1,0 +1,150 @@
+//! The [`Strategy`] trait and primitive strategies.
+
+use crate::test_runner::Gen;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values that fail `f` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, gen: &mut Gen) -> Self::Value {
+        (**self).generate(gen)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _gen: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, gen: &mut Gen) -> O {
+        (self.f)(self.inner.generate(gen))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, gen: &mut Gen) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(gen);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $wide:ty, $below:ident);* $(;)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                self.start.wrapping_add(gen.$below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, gen: &mut Gen) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as $wide).wrapping_sub(start as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Whole domain: raw bits are already uniform.
+                    let raw = (gen.next_u64() as u128) << 64 | gen.next_u64() as u128;
+                    return raw as $t;
+                }
+                start.wrapping_add(gen.$below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(
+    u8 => u64, below_u64; u16 => u64, below_u64; u32 => u64, below_u64;
+    u64 => u64, below_u64; usize => u64, below_u64;
+    i8 => u64, below_u64; i16 => u64, below_u64; i32 => u64, below_u64;
+    i64 => u64, below_u64; isize => u64, below_u64;
+    u128 => u128, below_u128; i128 => u128, below_u128;
+);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let u = gen.unit_f64() as $t;
+                let v = self.start + (self.end - self.start) * u;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);

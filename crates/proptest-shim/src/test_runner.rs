@@ -1,0 +1,91 @@
+//! Case generation and failure plumbing for the [`proptest!`](crate::proptest)
+//! macro.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Why a test case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — not a failure.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The per-case random source handed to strategies.
+///
+/// Seeded deterministically from the test path and case index so a failing
+/// case reproduces on every run and machine.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates the generator for case `case` of test `test_path`.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut hasher = DefaultHasher::new();
+        test_path.hash(&mut hasher);
+        case.hash(&mut hasher);
+        // Avoid the all-zero state SplitMix64 would otherwise start from.
+        Gen {
+            state: hasher.finish() ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Returns the next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, span)`; `span` must be nonzero.
+    pub fn below_u64(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform value in `[0, span)` for 128-bit spans.
+    pub fn below_u128(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let v = (self.next_u64() as u128) << 64 | self.next_u64() as u128;
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,184 @@
+//! Distributions: the `Standard` uniform-over-domain distribution and the
+//! uniform range sampling behind `Rng::gen_range`.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Uniform over the whole domain of the type (`[0, 1)` for floats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $gen:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$gen() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+        ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as i128
+    }
+}
+
+/// Uniform range sampling.
+pub mod uniform {
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Unbiased sampling of a value in `[0, span)` by rejection.
+    fn sample_below_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    fn sample_below_u128<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let zone = u128::MAX - (u128::MAX - span + 1) % span;
+        loop {
+            let v = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! int_range {
+        ($($t:ty as $u:ty, $below:ident, $next:ident);* $(;)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u);
+                    self.start.wrapping_add($below(rng, span) as $t)
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as $u).wrapping_sub(start as $u).wrapping_add(1);
+                    if span == 0 {
+                        // The range covers the type's whole domain.
+                        return rng.$next() as $t;
+                    }
+                    start.wrapping_add($below(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range!(
+        u8 as u64, sample_below_u64, next_u64;
+        u16 as u64, sample_below_u64, next_u64;
+        u32 as u64, sample_below_u64, next_u64;
+        u64 as u64, sample_below_u64, next_u64;
+        usize as u64, sample_below_u64, next_u64;
+        i8 as u64, sample_below_u64, next_u64;
+        i16 as u64, sample_below_u64, next_u64;
+        i32 as u64, sample_below_u64, next_u64;
+        i64 as u64, sample_below_u64, next_u64;
+        isize as u64, sample_below_u64, next_u64;
+    );
+
+    impl SampleRange<u128> for Range<u128> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> u128 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = self.end.wrapping_sub(self.start);
+            self.start.wrapping_add(sample_below_u128(rng, span))
+        }
+    }
+
+    impl SampleRange<i128> for Range<i128> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> i128 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = (self.end as u128).wrapping_sub(self.start as u128);
+            self.start
+                .wrapping_add(sample_below_u128(rng, span) as i128)
+        }
+    }
+
+    macro_rules! float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let u = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    let v = self.start + (self.end - self.start) * u;
+                    // Guard against rounding up to the excluded endpoint.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let u = (rng.next_u64() >> 11) as $t
+                        * (1.0 / ((1u64 << 53) - 1) as $t);
+                    start + (end - start) * u
+                }
+            }
+        )*};
+    }
+
+    float_range!(f32, f64);
+}

@@ -53,6 +53,17 @@ impl Program {
     pub fn symbol(&self, name: &str) -> Option<u32> {
         self.symbols.get(name).copied()
     }
+
+    /// The label at or nearest before byte `offset`, with the remaining
+    /// distance — e.g. `("outer", 8)` for an instruction two words into the
+    /// `outer` block. Useful for anchoring diagnostics to the listing.
+    pub fn nearest_symbol(&self, offset: u32) -> Option<(&str, u32)> {
+        self.symbols
+            .iter()
+            .filter(|(_, &off)| off <= offset)
+            .max_by_key(|(name, &off)| (off, std::cmp::Reverse(name.as_str())))
+            .map(|(name, &off)| (name.as_str(), offset - off))
+    }
 }
 
 /// Assembles source text into machine code loaded at `base` (needed for
@@ -113,10 +124,12 @@ pub fn assemble(source: &str, base: u32) -> Result<Program, AssembleError> {
     let mut words = Vec::new();
     let mut pc = 0u32;
     for (line_no, item) in &items {
-        let emitted = item.emit(pc, base, &symbols).map_err(|message| AssembleError {
-            line: *line_no,
-            message,
-        })?;
+        let emitted = item
+            .emit(pc, base, &symbols)
+            .map_err(|message| AssembleError {
+                line: *line_no,
+                message,
+            })?;
         pc += 4 * emitted.len() as u32;
         words.extend(emitted);
     }
@@ -167,12 +180,7 @@ impl Item {
         }
     }
 
-    fn emit(
-        &self,
-        pc: u32,
-        base: u32,
-        symbols: &HashMap<String, u32>,
-    ) -> Result<Vec<u32>, String> {
+    fn emit(&self, pc: u32, base: u32, symbols: &HashMap<String, u32>) -> Result<Vec<u32>, String> {
         match self {
             Item::Word(WordValue::Literal(v)) => Ok(vec![*v]),
             Item::Word(WordValue::Label(l)) => {
@@ -303,8 +311,12 @@ impl<'a> Ops<'a> {
             .operands
             .get(i)
             .ok_or_else(|| format!("missing operand {i}"))?;
-        let open = s.find('(').ok_or_else(|| format!("bad memory operand `{s}`"))?;
-        let close = s.find(')').ok_or_else(|| format!("bad memory operand `{s}`"))?;
+        let open = s
+            .find('(')
+            .ok_or_else(|| format!("bad memory operand `{s}`"))?;
+        let close = s
+            .find(')')
+            .ok_or_else(|| format!("bad memory operand `{s}`"))?;
         let off_str = s[..open].trim();
         let offset = if off_str.is_empty() {
             0
@@ -334,19 +346,39 @@ fn emit_mnemonic(
     base: u32,
     symbols: &HashMap<String, u32>,
 ) -> Result<Vec<u32>, String> {
-    let ops = Ops { m, pc, base, symbols };
+    let ops = Ops {
+        m,
+        pc,
+        base,
+        symbols,
+    };
     let one = |i: Instruction| Ok(vec![i.encode()]);
     let alu_imm = |op: AluOp, ops: &Ops| -> Result<Vec<u32>, String> {
         ops.arity(3)?;
-        one(Instruction::AluImm { op, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: ops.imm(2)? })
+        one(Instruction::AluImm {
+            op,
+            rd: ops.reg(0)?,
+            rs1: ops.reg(1)?,
+            imm: ops.imm(2)?,
+        })
     };
     let alu_reg = |op: AluOp, ops: &Ops| -> Result<Vec<u32>, String> {
         ops.arity(3)?;
-        one(Instruction::AluReg { op, rd: ops.reg(0)?, rs1: ops.reg(1)?, rs2: ops.reg(2)? })
+        one(Instruction::AluReg {
+            op,
+            rd: ops.reg(0)?,
+            rs1: ops.reg(1)?,
+            rs2: ops.reg(2)?,
+        })
     };
     let mul_op = |op: MulOp, ops: &Ops| -> Result<Vec<u32>, String> {
         ops.arity(3)?;
-        one(Instruction::MulDiv { op, rd: ops.reg(0)?, rs1: ops.reg(1)?, rs2: ops.reg(2)? })
+        one(Instruction::MulDiv {
+            op,
+            rd: ops.reg(0)?,
+            rs1: ops.reg(1)?,
+            rs2: ops.reg(2)?,
+        })
     };
     let branch = |cond: BranchCond, ops: &Ops| -> Result<Vec<u32>, String> {
         ops.arity(3)?;
@@ -370,17 +402,33 @@ fn emit_mnemonic(
         ops.arity(2)?;
         let r = ops.reg(0)?;
         let (rs1, rs2) = if swap { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
-        one(Instruction::Branch { cond, rs1, rs2, offset: ops.target(1)? })
+        one(Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset: ops.target(1)?,
+        })
     };
     let load = |width: MemWidth, signed: bool, ops: &Ops| -> Result<Vec<u32>, String> {
         ops.arity(2)?;
         let (rs1, offset) = ops.mem(1)?;
-        one(Instruction::Load { rd: ops.reg(0)?, rs1, offset, width, signed })
+        one(Instruction::Load {
+            rd: ops.reg(0)?,
+            rs1,
+            offset,
+            width,
+            signed,
+        })
     };
     let store = |width: MemWidth, ops: &Ops| -> Result<Vec<u32>, String> {
         ops.arity(2)?;
         let (rs1, offset) = ops.mem(1)?;
-        one(Instruction::Store { rs1, rs2: ops.reg(0)?, offset, width })
+        one(Instruction::Store {
+            rs1,
+            rs2: ops.reg(0)?,
+            offset,
+            width,
+        })
     };
     /// Splits a 32-bit value into (upper-20, lower-12) parts such that
     /// `lui(upper) + addi(lower) == value` with sign-extended lower part.
@@ -393,20 +441,40 @@ fn emit_mnemonic(
         "lui" => {
             ops.arity(2)?;
             let imm = ops.imm(1)?;
-            one(Instruction::Lui { rd: ops.reg(0)?, imm: (imm as u32 & 0xFFFF_F000) as i32 })
+            one(Instruction::Lui {
+                rd: ops.reg(0)?,
+                imm: (imm as u32 & 0xFFFF_F000) as i32,
+            })
         }
         "auipc" => {
             ops.arity(2)?;
-            one(Instruction::Auipc { rd: ops.reg(0)?, imm: ops.imm(1)? })
+            one(Instruction::Auipc {
+                rd: ops.reg(0)?,
+                imm: ops.imm(1)?,
+            })
         }
         "jal" => match m.operands.len() {
-            1 => one(Instruction::Jal { rd: Reg(1), offset: ops.target(0)? }),
-            2 => one(Instruction::Jal { rd: ops.reg(0)?, offset: ops.target(1)? }),
+            1 => one(Instruction::Jal {
+                rd: Reg(1),
+                offset: ops.target(0)?,
+            }),
+            2 => one(Instruction::Jal {
+                rd: ops.reg(0)?,
+                offset: ops.target(1)?,
+            }),
             n => Err(format!("`jal` expects 1 or 2 operands, got {n}")),
         },
         "jalr" => match m.operands.len() {
-            1 => one(Instruction::Jalr { rd: Reg(1), rs1: ops.reg(0)?, offset: 0 }),
-            3 => one(Instruction::Jalr { rd: ops.reg(0)?, rs1: ops.reg(1)?, offset: ops.imm(2)? }),
+            1 => one(Instruction::Jalr {
+                rd: Reg(1),
+                rs1: ops.reg(0)?,
+                offset: 0,
+            }),
+            3 => one(Instruction::Jalr {
+                rd: ops.reg(0)?,
+                rs1: ops.reg(1)?,
+                offset: ops.imm(2)?,
+            }),
             n => Err(format!("`jalr` expects 1 or 3 operands, got {n}")),
         },
         "beq" => branch(BranchCond::Eq, &ops),
@@ -461,28 +529,59 @@ fn emit_mnemonic(
         "ecall" => one(Instruction::Ecall),
         "ebreak" => one(Instruction::Ebreak),
         // --- pseudo-instructions ---
-        "nop" => one(Instruction::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }),
+        "nop" => one(Instruction::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+        }),
         "mv" => {
             ops.arity(2)?;
-            one(Instruction::AluImm { op: AluOp::Add, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: 0 })
+            one(Instruction::AluImm {
+                op: AluOp::Add,
+                rd: ops.reg(0)?,
+                rs1: ops.reg(1)?,
+                imm: 0,
+            })
         }
         "not" => {
             ops.arity(2)?;
-            one(Instruction::AluImm { op: AluOp::Xor, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: -1 })
+            one(Instruction::AluImm {
+                op: AluOp::Xor,
+                rd: ops.reg(0)?,
+                rs1: ops.reg(1)?,
+                imm: -1,
+            })
         }
         "neg" => {
             ops.arity(2)?;
-            one(Instruction::AluReg { op: AluOp::Sub, rd: ops.reg(0)?, rs1: Reg::ZERO, rs2: ops.reg(1)? })
+            one(Instruction::AluReg {
+                op: AluOp::Sub,
+                rd: ops.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: ops.reg(1)?,
+            })
         }
         "j" => {
             ops.arity(1)?;
-            one(Instruction::Jal { rd: Reg::ZERO, offset: ops.target(0)? })
+            one(Instruction::Jal {
+                rd: Reg::ZERO,
+                offset: ops.target(0)?,
+            })
         }
         "jr" => {
             ops.arity(1)?;
-            one(Instruction::Jalr { rd: Reg::ZERO, rs1: ops.reg(0)?, offset: 0 })
+            one(Instruction::Jalr {
+                rd: Reg::ZERO,
+                rs1: ops.reg(0)?,
+                offset: 0,
+            })
         }
-        "ret" => one(Instruction::Jalr { rd: Reg::ZERO, rs1: Reg(1), offset: 0 }),
+        "ret" => one(Instruction::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg(1),
+            offset: 0,
+        }),
         "li" => {
             ops.arity(2)?;
             let rd = ops.reg(0)?;
@@ -493,12 +592,23 @@ fn emit_mnemonic(
                     .map(|v| (-2048..=2047).contains(&v))
                     .unwrap_or(false)
             {
-                one(Instruction::AluImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: small })
+                one(Instruction::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: small,
+                })
             } else {
                 let (hi, lo) = split_hi_lo(value);
                 Ok(vec![
                     Instruction::Lui { rd, imm: hi }.encode(),
-                    Instruction::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo }.encode(),
+                    Instruction::AluImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                    }
+                    .encode(),
                 ])
             }
         }
@@ -509,7 +619,13 @@ fn emit_mnemonic(
             let (hi, lo) = split_hi_lo(value);
             Ok(vec![
                 Instruction::Lui { rd, imm: hi }.encode(),
-                Instruction::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo }.encode(),
+                Instruction::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                }
+                .encode(),
             ])
         }
         "call" => {
@@ -517,9 +633,18 @@ fn emit_mnemonic(
             // Near call: auipc+jalr would be canonical, but every kernel fits
             // in ±1 MiB, so emit jal ra plus a nop to keep the 2-word size.
             Ok(vec![
-                Instruction::Jal { rd: Reg(1), offset: ops.target(0)? }.encode(),
-                Instruction::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }
-                    .encode(),
+                Instruction::Jal {
+                    rd: Reg(1),
+                    offset: ops.target(0)?,
+                }
+                .encode(),
+                Instruction::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::ZERO,
+                    rs1: Reg::ZERO,
+                    imm: 0,
+                }
+                .encode(),
             ])
         }
         other => Err(format!("unknown mnemonic `{other}`")),
@@ -644,12 +769,21 @@ mod tests {
         )
         .unwrap();
         match Instruction::decode(p.words[0]).unwrap() {
-            Instruction::AluReg { op: AluOp::Sub, rs1, .. } => assert_eq!(rs1, Reg::ZERO),
+            Instruction::AluReg {
+                op: AluOp::Sub,
+                rs1,
+                ..
+            } => assert_eq!(rs1, Reg::ZERO),
             other => panic!("{other:?}"),
         }
         // bgtz t0 → blt zero, t0.
         match Instruction::decode(p.words[1]).unwrap() {
-            Instruction::Branch { cond: BranchCond::Lt, rs1, rs2, .. } => {
+            Instruction::Branch {
+                cond: BranchCond::Lt,
+                rs1,
+                rs2,
+                ..
+            } => {
                 assert_eq!(rs1, Reg::ZERO);
                 assert_eq!(rs2, Reg::parse("t0").unwrap());
             }

@@ -101,7 +101,12 @@ impl<M: Mmio> Bus<M> {
         }
         let a = addr as usize;
         assert!(a + 4 <= self.ram.len(), "read past RAM at {addr:#x}");
-        u32::from_le_bytes([self.ram[a], self.ram[a + 1], self.ram[a + 2], self.ram[a + 3]])
+        u32::from_le_bytes([
+            self.ram[a],
+            self.ram[a + 1],
+            self.ram[a + 2],
+            self.ram[a + 3],
+        ])
     }
 
     /// Writes a 32-bit little-endian word.
@@ -284,10 +289,8 @@ impl<M: Mmio> Cpu<M> {
     /// Executes one instruction, returning its record, or the halt reason.
     pub fn step(&mut self) -> Result<ExecRecord, Halt> {
         let word = self.bus.read_u32(self.pc);
-        let instruction = Instruction::decode(word).map_err(|_| Halt::DecodeFault {
-            pc: self.pc,
-            word,
-        })?;
+        let instruction =
+            Instruction::decode(word).map_err(|_| Halt::DecodeFault { pc: self.pc, word })?;
         let pc = self.pc;
         let mut next_pc = pc.wrapping_add(4);
         let mut reg_write = None;
@@ -318,7 +321,12 @@ impl<M: Mmio> Cpu<M> {
                 write_rd(&mut self.regs, rd, pc.wrapping_add(4));
                 next_pc = target;
             }
-            Instruction::Branch { cond, rs1, rs2, offset } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let a = self.regs[rs1.index()];
                 let b = self.regs[rs2.index()];
                 let taken = match cond {
@@ -334,13 +342,24 @@ impl<M: Mmio> Cpu<M> {
                     next_pc = pc.wrapping_add(offset as u32);
                 }
             }
-            Instruction::Load { rd, rs1, offset, width, signed } => {
+            Instruction::Load {
+                rd,
+                rs1,
+                offset,
+                width,
+                signed,
+            } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u32);
                 let value = self.bus.read_width(addr, width, signed);
                 mem_access = Some((addr, value, false));
                 write_rd(&mut self.regs, rd, value);
             }
-            Instruction::Store { rs1, rs2, offset, width } => {
+            Instruction::Store {
+                rs1,
+                rs2,
+                offset,
+                width,
+            } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u32);
                 let value = self.regs[rs2.index()];
                 self.bus.write_width(addr, value, width);
@@ -566,10 +585,7 @@ mod tests {
             ebreak
             ",
         );
-        let branches: Vec<bool> = records
-            .iter()
-            .filter_map(|r| r.branch_taken)
-            .collect();
+        let branches: Vec<bool> = records.iter().filter_map(|r| r.branch_taken).collect();
         assert_eq!(branches, vec![false, true]);
         // No record for the skipped instruction.
         assert!(records
@@ -592,7 +608,8 @@ mod tests {
             .find(|r| matches!(r.instruction, Instruction::MulDiv { .. }))
             .unwrap();
         let add_rec = records
-            .iter().rfind(|r| matches!(r.instruction, Instruction::AluReg { .. }))
+            .iter()
+            .rfind(|r| matches!(r.instruction, Instruction::AluReg { .. }))
             .unwrap();
         assert!(mul_rec.cycles > 10 * add_rec.cycles / 3);
     }

@@ -28,7 +28,12 @@ pub fn format_instruction(instr: &Instruction) -> String {
                 format!("jalr {rd}, {rs1}, {offset}")
             }
         }
-        Instruction::Branch { cond, rs1, rs2, offset } => {
+        Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let (mn, swap) = match cond {
                 BranchCond::Eq => ("beq", false),
                 BranchCond::Ne => ("bne", false),
@@ -63,7 +68,13 @@ pub fn format_instruction(instr: &Instruction) -> String {
             }
             format!("{mn} {rs1}, {rs2}, {offset}")
         }
-        Instruction::Load { rd, rs1, offset, width, signed } => {
+        Instruction::Load {
+            rd,
+            rs1,
+            offset,
+            width,
+            signed,
+        } => {
             let mn = match (width, signed) {
                 (MemWidth::Byte, true) => "lb",
                 (MemWidth::Half, true) => "lh",
@@ -73,7 +84,12 @@ pub fn format_instruction(instr: &Instruction) -> String {
             };
             format!("{mn} {rd}, {offset}({rs1})")
         }
-        Instruction::Store { rs1, rs2, offset, width } => {
+        Instruction::Store {
+            rs1,
+            rs2,
+            offset,
+            width,
+        } => {
             let mn = match width {
                 MemWidth::Byte => "sb",
                 MemWidth::Half => "sh",
@@ -230,7 +246,9 @@ mod tests {
         let rows = disassemble(&kernel.program().words, 0);
         assert!(rows.iter().all(|(_, _, t)| !t.starts_with(".word")));
         assert!(rows.iter().any(|(_, _, t)| t.starts_with("mul")));
-        assert!(rows.iter().any(|(_, _, t)| t.starts_with("blez") || t.contains("blez")));
+        assert!(rows
+            .iter()
+            .any(|(_, _, t)| t.starts_with("blez") || t.contains("blez")));
     }
 
     /// Disassemble → reassemble → identical words (for label-free text).

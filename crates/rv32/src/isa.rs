@@ -169,6 +169,50 @@ pub enum MemWidth {
     Word,
 }
 
+/// The source registers of an instruction (at most two in RV32IM), as
+/// returned by [`Instruction::uses`]. Iterable and cheap to copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Uses {
+    regs: [Option<Reg>; 2],
+}
+
+impl Uses {
+    fn none() -> Self {
+        Uses { regs: [None, None] }
+    }
+
+    fn one(r: Reg) -> Self {
+        Uses {
+            regs: [Some(r), None],
+        }
+    }
+
+    fn two(a: Reg, b: Reg) -> Self {
+        Uses {
+            regs: [Some(a), Some(b)],
+        }
+    }
+
+    /// Iterates over the used registers.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        self.regs.into_iter().flatten()
+    }
+
+    /// Whether `r` is among the used registers.
+    pub fn contains(self, r: Reg) -> bool {
+        self.regs.contains(&Some(r))
+    }
+}
+
+impl IntoIterator for Uses {
+    type Item = Reg;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<Reg>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.into_iter().flatten()
+    }
+}
+
 /// A decoded RV32IM instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instruction {
@@ -181,17 +225,48 @@ pub enum Instruction {
     /// `jalr rd, rs1, offset` — indirect jump and link.
     Jalr { rd: Reg, rs1: Reg, offset: i32 },
     /// Conditional branch.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, offset: i32 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     /// Load (`signed` selects sign extension for sub-word widths).
-    Load { rd: Reg, rs1: Reg, offset: i32, width: MemWidth, signed: bool },
+    Load {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+        width: MemWidth,
+        signed: bool,
+    },
     /// Store.
-    Store { rs1: Reg, rs2: Reg, offset: i32, width: MemWidth },
+    Store {
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+        width: MemWidth,
+    },
     /// Register–immediate ALU operation.
-    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Register–register ALU operation.
-    AluReg { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    AluReg {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// M-extension multiply/divide.
-    MulDiv { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    MulDiv {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `ecall` — environment call (halts the simulator).
     Ecall,
     /// `ebreak` — breakpoint (halts the simulator).
@@ -218,14 +293,17 @@ impl Instruction {
     pub fn encode(self) -> u32 {
         match self {
             Instruction::Lui { rd, imm } => (imm as u32) & 0xFFFF_F000 | rd_bits(rd) | 0b0110111,
-            Instruction::Auipc { rd, imm } => {
-                (imm as u32) & 0xFFFF_F000 | rd_bits(rd) | 0b0010111
-            }
+            Instruction::Auipc { rd, imm } => (imm as u32) & 0xFFFF_F000 | rd_bits(rd) | 0b0010111,
             Instruction::Jal { rd, offset } => encode_j(offset) | rd_bits(rd) | 0b1101111,
             Instruction::Jalr { rd, rs1, offset } => {
                 encode_i(offset) | rs1_bits(rs1) | rd_bits(rd) | 0b1100111
             }
-            Instruction::Branch { cond, rs1, rs2, offset } => {
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let funct3 = match cond {
                     BranchCond::Eq => 0b000,
                     BranchCond::Ne => 0b001,
@@ -236,7 +314,13 @@ impl Instruction {
                 };
                 encode_b(offset) | rs2_bits(rs2) | rs1_bits(rs1) | funct3 << 12 | 0b1100011
             }
-            Instruction::Load { rd, rs1, offset, width, signed } => {
+            Instruction::Load {
+                rd,
+                rs1,
+                offset,
+                width,
+                signed,
+            } => {
                 let funct3 = match (width, signed) {
                     (MemWidth::Byte, true) => 0b000,
                     (MemWidth::Half, true) => 0b001,
@@ -246,7 +330,12 @@ impl Instruction {
                 };
                 encode_i(offset) | rs1_bits(rs1) | funct3 << 12 | rd_bits(rd) | 0b0000011
             }
-            Instruction::Store { rs1, rs2, offset, width } => {
+            Instruction::Store {
+                rs1,
+                rs2,
+                offset,
+                width,
+            } => {
                 let funct3 = match width {
                     MemWidth::Byte => 0b000,
                     MemWidth::Half => 0b001,
@@ -312,6 +401,51 @@ impl Instruction {
         }
     }
 
+    /// The register this instruction defines (writes), if any.
+    ///
+    /// Writes to `x0` are architectural no-ops and reported as `None`, which
+    /// is what dataflow clients (e.g. the `reveal-lint` taint engine) want.
+    pub fn def(self) -> Option<Reg> {
+        let rd = match self {
+            Instruction::Lui { rd, .. }
+            | Instruction::Auipc { rd, .. }
+            | Instruction::Jal { rd, .. }
+            | Instruction::Jalr { rd, .. }
+            | Instruction::Load { rd, .. }
+            | Instruction::AluImm { rd, .. }
+            | Instruction::AluReg { rd, .. }
+            | Instruction::MulDiv { rd, .. } => rd,
+            Instruction::Branch { .. }
+            | Instruction::Store { .. }
+            | Instruction::Ecall
+            | Instruction::Ebreak => return None,
+        };
+        if rd == Reg::ZERO {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// The registers this instruction uses (reads), `x0` included when
+    /// architecturally read. At most two sources exist in RV32IM.
+    pub fn uses(self) -> Uses {
+        match self {
+            Instruction::Lui { .. }
+            | Instruction::Auipc { .. }
+            | Instruction::Jal { .. }
+            | Instruction::Ecall
+            | Instruction::Ebreak => Uses::none(),
+            Instruction::Jalr { rs1, .. }
+            | Instruction::Load { rs1, .. }
+            | Instruction::AluImm { rs1, .. } => Uses::one(rs1),
+            Instruction::Branch { rs1, rs2, .. }
+            | Instruction::Store { rs1, rs2, .. }
+            | Instruction::AluReg { rs1, rs2, .. }
+            | Instruction::MulDiv { rs1, rs2, .. } => Uses::two(rs1, rs2),
+        }
+    }
+
     /// Decodes a 32-bit machine word.
     ///
     /// # Errors
@@ -326,14 +460,27 @@ impl Instruction {
         let funct7 = (word >> 25) & 0x7F;
         let err = || DecodeInstructionError { word };
         Ok(match opcode {
-            0b0110111 => Instruction::Lui { rd, imm: (word & 0xFFFF_F000) as i32 },
-            0b0010111 => Instruction::Auipc { rd, imm: (word & 0xFFFF_F000) as i32 },
-            0b1101111 => Instruction::Jal { rd, offset: decode_j(word) },
+            0b0110111 => Instruction::Lui {
+                rd,
+                imm: (word & 0xFFFF_F000) as i32,
+            },
+            0b0010111 => Instruction::Auipc {
+                rd,
+                imm: (word & 0xFFFF_F000) as i32,
+            },
+            0b1101111 => Instruction::Jal {
+                rd,
+                offset: decode_j(word),
+            },
             0b1100111 => {
                 if funct3 != 0 {
                     return Err(err());
                 }
-                Instruction::Jalr { rd, rs1, offset: decode_i(word) }
+                Instruction::Jalr {
+                    rd,
+                    rs1,
+                    offset: decode_i(word),
+                }
             }
             0b1100011 => {
                 let cond = match funct3 {
@@ -345,7 +492,12 @@ impl Instruction {
                     0b111 => BranchCond::Geu,
                     _ => return Err(err()),
                 };
-                Instruction::Branch { cond, rs1, rs2, offset: decode_b(word) }
+                Instruction::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset: decode_b(word),
+                }
             }
             0b0000011 => {
                 let (width, signed) = match funct3 {
@@ -356,7 +508,13 @@ impl Instruction {
                     0b101 => (MemWidth::Half, false),
                     _ => return Err(err()),
                 };
-                Instruction::Load { rd, rs1, offset: decode_i(word), width, signed }
+                Instruction::Load {
+                    rd,
+                    rs1,
+                    offset: decode_i(word),
+                    width,
+                    signed,
+                }
             }
             0b0100011 => {
                 let width = match funct3 {
@@ -365,7 +523,12 @@ impl Instruction {
                     0b010 => MemWidth::Word,
                     _ => return Err(err()),
                 };
-                Instruction::Store { rs1, rs2, offset: decode_s(word), width }
+                Instruction::Store {
+                    rs1,
+                    rs2,
+                    offset: decode_s(word),
+                    width,
+                }
             }
             0b0010011 => {
                 let op = match funct3 {
@@ -451,7 +614,10 @@ fn rs2_bits(r: Reg) -> u32 {
 }
 
 fn encode_i(imm: i32) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "I-immediate {imm} out of range");
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "I-immediate {imm} out of range"
+    );
     ((imm as u32) & 0xFFF) << 20
 }
 
@@ -460,7 +626,10 @@ fn decode_i(word: u32) -> i32 {
 }
 
 fn encode_s(imm: i32) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "S-immediate {imm} out of range");
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "S-immediate {imm} out of range"
+    );
     let v = imm as u32;
     ((v >> 5) & 0x7F) << 25 | (v & 0x1F) << 7
 }
@@ -472,7 +641,10 @@ fn decode_s(word: u32) -> i32 {
 }
 
 fn encode_b(imm: i32) -> u32 {
-    debug_assert!(imm % 2 == 0 && (-4096..=4094).contains(&imm), "B-immediate {imm} invalid");
+    debug_assert!(
+        imm % 2 == 0 && (-4096..=4094).contains(&imm),
+        "B-immediate {imm} invalid"
+    );
     let v = imm as u32;
     ((v >> 12) & 1) << 31 | ((v >> 5) & 0x3F) << 25 | ((v >> 1) & 0xF) << 8 | ((v >> 11) & 1) << 7
 }
@@ -492,7 +664,10 @@ fn encode_j(imm: i32) -> u32 {
         "J-immediate {imm} invalid"
     );
     let v = imm as u32;
-    ((v >> 20) & 1) << 31 | ((v >> 1) & 0x3FF) << 21 | ((v >> 11) & 1) << 20 | ((v >> 12) & 0xFF) << 12
+    ((v >> 20) & 1) << 31
+        | ((v >> 1) & 0x3FF) << 21
+        | ((v >> 11) & 1) << 20
+        | ((v >> 12) & 0xFF) << 12
 }
 
 fn decode_j(word: u32) -> i32 {
@@ -524,19 +699,45 @@ mod tests {
     fn known_encodings() {
         // Cross-checked against the RISC-V spec examples.
         // addi x1, x0, 5  =>  0x00500093
-        let addi = Instruction::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg(0), imm: 5 };
+        let addi = Instruction::AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(0),
+            imm: 5,
+        };
         assert_eq!(addi.encode(), 0x0050_0093);
         // add x3, x1, x2  =>  0x002081B3
-        let add = Instruction::AluReg { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) };
+        let add = Instruction::AluReg {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
         assert_eq!(add.encode(), 0x0020_81B3);
         // mul x5, x6, x7 => funct7=1: 0x027302B3
-        let mul = Instruction::MulDiv { op: MulOp::Mul, rd: Reg(5), rs1: Reg(6), rs2: Reg(7) };
+        let mul = Instruction::MulDiv {
+            op: MulOp::Mul,
+            rd: Reg(5),
+            rs1: Reg(6),
+            rs2: Reg(7),
+        };
         assert_eq!(mul.encode(), 0x0273_02B3);
         // lw x4, 8(x2) => 0x00812203
-        let lw = Instruction::Load { rd: Reg(4), rs1: Reg(2), offset: 8, width: MemWidth::Word, signed: true };
+        let lw = Instruction::Load {
+            rd: Reg(4),
+            rs1: Reg(2),
+            offset: 8,
+            width: MemWidth::Word,
+            signed: true,
+        };
         assert_eq!(lw.encode(), 0x0081_2203);
         // sw x4, 12(x2) => 0x00412623
-        let sw = Instruction::Store { rs1: Reg(2), rs2: Reg(4), offset: 12, width: MemWidth::Word };
+        let sw = Instruction::Store {
+            rs1: Reg(2),
+            rs2: Reg(4),
+            offset: 12,
+            width: MemWidth::Word,
+        };
         assert_eq!(sw.encode(), 0x0041_2623);
         assert_eq!(Instruction::Ecall.encode(), 0x0000_0073);
         assert_eq!(Instruction::Ebreak.encode(), 0x0010_0073);

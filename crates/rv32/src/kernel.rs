@@ -38,6 +38,22 @@ pub const POLY_BASE: u32 = 0x2000;
 /// Base address of the second share buffer (masked variant only).
 pub const SHARE1_BASE: u32 = 0x0010_0000;
 
+/// An instruction that introduces secret data into the kernel's data flow.
+///
+/// Produced by [`SamplerKernel::secret_sources`]; consumed by static
+/// leakage analyses (`reveal-lint`) as taint roots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecretSource {
+    /// PC of the load that reads the secret.
+    pub pc: u32,
+    /// The register the load defines.
+    pub reg: crate::isa::Reg,
+    /// The MMIO port the secret arrives on.
+    pub port: u32,
+    /// Human-readable description of the secret.
+    pub description: &'static str,
+}
+
 /// Which noise-writer implementation the kernel models (§V-A variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelVariant {
@@ -375,6 +391,29 @@ impl SamplerKernel {
         &self.program
     }
 
+    /// The instructions that introduce secret data into the kernel.
+    ///
+    /// Every variant reads the sampled noise coefficient from
+    /// [`NOISE_PORT`] with the load at `dist_done`; the register it defines
+    /// is the taint root for static leakage analysis. The iteration-count
+    /// and mask ports ([`ITER_PORT`], [`RAND_PORT`]) carry public values and
+    /// are deliberately not listed.
+    pub fn secret_sources(&self) -> Vec<SecretSource> {
+        let pc = self
+            .program
+            .symbol("dist_done")
+            .expect("dist_done label exists in every variant");
+        let word = self.program.words[(pc / 4) as usize];
+        let instr = crate::isa::Instruction::decode(word).expect("noise load decodes");
+        let reg = instr.def().expect("noise load defines a register");
+        vec![SecretSource {
+            pc,
+            reg,
+            port: NOISE_PORT,
+            description: "sampled noise coefficient (dist(engine) result)",
+        }]
+    }
+
     /// Executes the kernel over `noise_values`, with `dist_iterations[i]`
     /// burst iterations before coefficient `i`, rendering power with
     /// `config`.
@@ -418,7 +457,10 @@ impl SamplerKernel {
         };
         mmio.push_reads(
             ITER_PORT,
-            dist_iterations.iter().copied().chain(std::iter::once(median_iters)),
+            dist_iterations
+                .iter()
+                .copied()
+                .chain(std::iter::once(median_iters)),
         );
         let k = self.moduli.len();
         if self.variant == KernelVariant::MaskedLadder {
@@ -536,7 +578,11 @@ mod tests {
         let values = [3i64, -2, 0, 1, -1, 41, -41, 0];
         let run = run_small(&values, 1);
         for (i, &v) in values.iter().enumerate() {
-            let expected = if v >= 0 { v as u32 } else { (Q as i64 + v) as u32 };
+            let expected = if v >= 0 {
+                v as u32
+            } else {
+                (Q as i64 + v) as u32
+            };
             assert_eq!(run.poly[i], expected, "coefficient {i}");
         }
     }
@@ -559,7 +605,12 @@ mod tests {
         let values = [-3i64, 2, 0, -1];
         let mut rng = StdRng::seed_from_u64(3);
         let run = kernel
-            .run(&values, &[4, 4, 4, 4], &PowerModelConfig::noiseless(), &mut rng)
+            .run(
+                &values,
+                &[4, 4, 4, 4],
+                &PowerModelConfig::noiseless(),
+                &mut rng,
+            )
             .unwrap();
         // poly[i + j*n]
         assert_eq!(run.poly[0], (Q as i64 - 3) as u32);
@@ -588,10 +639,20 @@ mod tests {
         let kernel = SamplerKernel::new(4, &[Q]).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let short = kernel
-            .run(&[1, 1, 1, 1], &[2, 2, 2, 2], &PowerModelConfig::noiseless(), &mut rng)
+            .run(
+                &[1, 1, 1, 1],
+                &[2, 2, 2, 2],
+                &PowerModelConfig::noiseless(),
+                &mut rng,
+            )
             .unwrap();
         let long = kernel
-            .run(&[1, 1, 1, 1], &[12, 12, 12, 12], &PowerModelConfig::noiseless(), &mut rng)
+            .run(
+                &[1, 1, 1, 1],
+                &[12, 12, 12, 12],
+                &PowerModelConfig::noiseless(),
+                &mut rng,
+            )
             .unwrap();
         let w_short = short.coefficient_windows[1].1 - short.coefficient_windows[1].0;
         let w_long = long.coefficient_windows[1].1 - long.coefficient_windows[1].0;
@@ -620,7 +681,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         assert!(matches!(
             kernel.run(&[0; 4], &[1; 8], &PowerModelConfig::noiseless(), &mut rng),
-            Err(KernelError::InputMismatch { expected: 8, got: 4 })
+            Err(KernelError::InputMismatch {
+                expected: 8,
+                got: 4
+            })
         ));
         assert!(matches!(
             SamplerKernel::new(12, &[Q]),
@@ -684,7 +748,11 @@ mod tests {
             .unwrap();
         // Reconstruction matches the reference semantics.
         for (i, &v) in values.iter().enumerate() {
-            assert_eq!(run.poly[i], v.rem_euclid(Q as i64) as u32, "coefficient {i}");
+            assert_eq!(
+                run.poly[i],
+                v.rem_euclid(Q as i64) as u32,
+                "coefficient {i}"
+            );
         }
         // Shares individually are not the residues.
         let (s0, s1) = run.shares.clone().unwrap();
@@ -702,11 +770,15 @@ mod tests {
     #[test]
     fn masked_variant_multi_modulus() {
         let q2 = 12289u64;
-        let kernel =
-            SamplerKernel::with_variant(4, &[Q, q2], KernelVariant::MaskedLadder).unwrap();
+        let kernel = SamplerKernel::with_variant(4, &[Q, q2], KernelVariant::MaskedLadder).unwrap();
         let mut rng = StdRng::seed_from_u64(14);
         let run = kernel
-            .run(&[-3, 2, 0, -1], &[4; 4], &PowerModelConfig::noiseless(), &mut rng)
+            .run(
+                &[-3, 2, 0, -1],
+                &[4; 4],
+                &PowerModelConfig::noiseless(),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(run.poly[0], (Q as i64 - 3) as u32);
         assert_eq!(run.poly[4], (q2 as i64 - 3) as u32);

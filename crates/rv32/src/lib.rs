@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 // Indexed loops are the clearest notation for the dense numeric kernels
 // in this workspace (convolutions, scatter matrices, lattice bases).
 #![allow(clippy::needless_range_loop)]
@@ -42,6 +43,7 @@
 //! ```
 
 pub mod asm;
+pub mod cfg;
 pub mod cpu;
 pub mod disasm;
 pub mod isa;
@@ -49,8 +51,9 @@ pub mod kernel;
 pub mod power;
 
 pub use asm::{assemble, AssembleError, Program};
+pub use cfg::{BasicBlock, Cfg, CfgError, Successors};
 pub use cpu::{Bus, Cpu, ExecRecord, Halt, Mmio, QueueMmio};
 pub use disasm::{disassemble, format_instruction, listing};
-pub use isa::{AluOp, BranchCond, Instruction, MemWidth, MulOp, Reg};
-pub use kernel::{KernelError, KernelRun, KernelVariant, SamplerKernel};
+pub use isa::{AluOp, BranchCond, Instruction, MemWidth, MulOp, Reg, Uses};
+pub use kernel::{KernelError, KernelRun, KernelVariant, SamplerKernel, SecretSource};
 pub use power::{render_power, PowerCapture, PowerModelConfig, SampleSpan};

@@ -196,13 +196,11 @@ pub fn render_power<R: Rng + ?Sized>(
         // when the result is latched into the register file / memory.
         let mut data_term = 0.0;
         if let Some((_, old, new)) = record.reg_write {
-            data_term +=
-                config.alpha_hw * weighted_bit_leakage(new, config.bit_weight_variation);
+            data_term += config.alpha_hw * weighted_bit_leakage(new, config.bit_weight_variation);
             data_term += config.beta_hd * (old ^ new).count_ones() as f64;
         }
         if let Some((addr, data, _is_write)) = record.mem_access {
-            data_term +=
-                config.gamma_mem * weighted_bit_leakage(data, config.bit_weight_variation);
+            data_term += config.gamma_mem * weighted_bit_leakage(data, config.bit_weight_variation);
             data_term += config.delta_addr * addr.count_ones() as f64;
         }
         if record.branch_taken == Some(true) {
@@ -266,7 +264,11 @@ mod tests {
 
     #[test]
     fn sample_count_matches_cycles() {
-        let c = capture("li t0, 1\nadd t1, t0, t0\nebreak", &PowerModelConfig::noiseless(), 0);
+        let c = capture(
+            "li t0, 1\nadd t1, t0, t0\nebreak",
+            &PowerModelConfig::noiseless(),
+            0,
+        );
         // li (3 cycles) + add (3 cycles); ebreak halts before retiring.
         assert_eq!(c.samples.len(), 6);
         assert_eq!(c.spans.len(), 2);
@@ -284,8 +286,7 @@ mod tests {
         let mul_span = &c.spans[1];
         let add_span = &c.spans[2];
         let avg = |span: &SampleSpan| {
-            c.samples[span.start..span.end].iter().sum::<f64>()
-                / (span.end - span.start) as f64
+            c.samples[span.start..span.end].iter().sum::<f64>() / (span.end - span.start) as f64
         };
         assert!(avg(mul_span) > 2.0 * avg(add_span));
     }
@@ -298,12 +299,14 @@ mod tests {
         let last_ones = *all_ones.samples.last().unwrap();
         let last_zero = *zero.samples.last().unwrap();
         let cfg = PowerModelConfig::default();
-        let expected_gap = cfg.alpha_hw
-            * weighted_bit_leakage(u32::MAX, cfg.bit_weight_variation)
+        let expected_gap = cfg.alpha_hw * weighted_bit_leakage(u32::MAX, cfg.bit_weight_variation)
             + 32.0 * cfg.beta_hd;
         assert!((last_ones - last_zero - expected_gap).abs() < 1e-9);
         // The weighted model reduces to plain HW at zero variation.
-        assert_eq!(weighted_bit_leakage(0xF0F0_1234, 0.0), 0xF0F0_1234u32.count_ones() as f64);
+        assert_eq!(
+            weighted_bit_leakage(0xF0F0_1234, 0.0),
+            0xF0F0_1234u32.count_ones() as f64
+        );
         // Equal-HW values leak differently under imbalanced bit lines.
         let l1 = weighted_bit_leakage(1, 0.5);
         let l2 = weighted_bit_leakage(2, 0.5);
@@ -352,7 +355,11 @@ mod tests {
 
     #[test]
     fn noise_perturbs_but_preserves_mean() {
-        let clean = capture("li t0, 5\nmul t1, t0, t0\nebreak", &PowerModelConfig::noiseless(), 1);
+        let clean = capture(
+            "li t0, 5\nmul t1, t0, t0\nebreak",
+            &PowerModelConfig::noiseless(),
+            1,
+        );
         let noisy_cfg = PowerModelConfig::default().with_noise_sigma(0.2);
         let noisy = capture("li t0, 5\nmul t1, t0, t0\nebreak", &noisy_cfg, 1);
         assert_eq!(clean.samples.len(), noisy.samples.len());
@@ -364,7 +371,11 @@ mod tests {
 
     #[test]
     fn span_of_pc_range_locates_code() {
-        let c = capture("nop\nnop\nmul t0, t0, t0\nebreak", &PowerModelConfig::noiseless(), 0);
+        let c = capture(
+            "nop\nnop\nmul t0, t0, t0\nebreak",
+            &PowerModelConfig::noiseless(),
+            0,
+        );
         let (start, end) = c.span_of_pc_range(8, 12).unwrap();
         // The mul is the third instruction: starts after 2 nops (3 cycles each).
         assert_eq!(start, 6);

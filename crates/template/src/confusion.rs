@@ -61,11 +61,7 @@ impl ConfusionMatrix {
 
     /// All labels that appear as actual or predicted, ascending.
     pub fn labels(&self) -> Vec<i64> {
-        let mut labels: Vec<i64> = self
-            .counts
-            .keys()
-            .flat_map(|&(a, p)| [a, p])
-            .collect();
+        let mut labels: Vec<i64> = self.counts.keys().flat_map(|&(a, p)| [a, p]).collect();
         labels.sort_unstable();
         labels.dedup();
         labels

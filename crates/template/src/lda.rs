@@ -27,8 +27,14 @@ impl fmt::Display for LdaError {
         match self {
             LdaError::NotEnoughClasses(n) => write!(f, "LDA needs >= 2 classes, got {n}"),
             LdaError::Empty => write!(f, "LDA fit on empty data"),
-            LdaError::TooManyComponents { requested, available } => {
-                write!(f, "requested {requested} components, only {available} available")
+            LdaError::TooManyComponents {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} components, only {available} available"
+                )
             }
             LdaError::Matrix(e) => write!(f, "scatter factorization failed: {e}"),
         }
@@ -64,7 +70,10 @@ impl LdaProjection {
         components: usize,
         ridge: f64,
     ) -> Result<Self, LdaError> {
-        let dim = observations.first().map(|(_, v)| v.len()).ok_or(LdaError::Empty)?;
+        let dim = observations
+            .first()
+            .map(|(_, v)| v.len())
+            .ok_or(LdaError::Empty)?;
         let mut by_class: BTreeMap<i64, Vec<&Vec<f64>>> = BTreeMap::new();
         for (label, v) in observations {
             by_class.entry(*label).or_default().push(v);
@@ -178,11 +187,7 @@ impl LdaProjection {
     /// # Errors
     ///
     /// Same as [`LdaProjection::fit`].
-    pub fn fit_trace_set(
-        set: &TraceSet,
-        components: usize,
-        ridge: f64,
-    ) -> Result<Self, LdaError> {
+    pub fn fit_trace_set(set: &TraceSet, components: usize, ridge: f64) -> Result<Self, LdaError> {
         let observations: Vec<(i64, Vec<f64>)> = set
             .iter()
             .filter_map(|t| t.label().map(|l| (l, t.samples().to_vec())))
@@ -363,7 +368,10 @@ mod tests {
         two.extend(clustered(1, &[1.0, 0.0], 10, 0.1));
         assert!(matches!(
             LdaProjection::fit(&two, 2, 1e-6),
-            Err(LdaError::TooManyComponents { requested: 2, available: 1 })
+            Err(LdaError::TooManyComponents {
+                requested: 2,
+                available: 1
+            })
         ));
     }
 

@@ -16,7 +16,10 @@ impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MatrixError::NotPositiveDefinite { pivot, value } => {
-                write!(f, "matrix not positive definite at pivot {pivot} (value {value})")
+                write!(
+                    f,
+                    "matrix not positive definite at pivot {pivot} (value {value})"
+                )
             }
             MatrixError::DimensionMismatch { expected, got } => {
                 write!(f, "expected dimension {expected}, got {got}")
@@ -53,7 +56,10 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return Err(MatrixError::NotPositiveDefinite { pivot: i, value: sum });
+                        return Err(MatrixError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
                     }
                     l[i * dim + j] = sum.sqrt();
                 } else {
@@ -71,7 +77,10 @@ impl Cholesky {
 
     /// `ln(det A) = 2 · Σ ln L_ii`.
     pub fn log_determinant(&self) -> f64 {
-        (0..self.dim).map(|i| self.l[i * self.dim + i].ln()).sum::<f64>() * 2.0
+        (0..self.dim)
+            .map(|i| self.l[i * self.dim + i].ln())
+            .sum::<f64>()
+            * 2.0
     }
 
     /// Solves `A·x = b`.
@@ -271,7 +280,10 @@ mod tests {
         let ch = Cholesky::new(&[1.0], 1).unwrap();
         assert!(matches!(
             ch.solve(&[1.0, 2.0]),
-            Err(MatrixError::DimensionMismatch { expected: 1, got: 2 })
+            Err(MatrixError::DimensionMismatch {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 

@@ -18,7 +18,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum TemplateError {
     /// A class had fewer traces than dimensions (covariance singular).
-    NotEnoughTraces { label: i64, count: usize, dim: usize },
+    NotEnoughTraces {
+        label: i64,
+        count: usize,
+        dim: usize,
+    },
     /// The profiling set was empty or unlabelled.
     NoClasses,
     /// Factorization failed even after regularization.
@@ -141,8 +145,7 @@ impl TemplateSet {
                 for (&label, vecs) in &by_label {
                     let mean = &means[&label];
                     for v in vecs {
-                        let centered: Vec<f64> =
-                            v.iter().zip(mean).map(|(a, b)| a - b).collect();
+                        let centered: Vec<f64> = v.iter().zip(mean).map(|(a, b)| a - b).collect();
                         pooled.push(&centered);
                     }
                 }
@@ -341,13 +344,19 @@ mod tests {
         let obs = vec![(0i64, vec![1.0, 2.0]), (1, vec![1.0])];
         assert!(matches!(
             TemplateSet::fit(&obs, CovarianceMode::Pooled, 0.0),
-            Err(TemplateError::DimensionMismatch { expected: 2, got: 1 })
+            Err(TemplateError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         let good = three_class_data();
         let set = TemplateSet::fit(&good, CovarianceMode::Pooled, 1e-9).unwrap();
         assert!(matches!(
             set.classify(&[1.0]),
-            Err(TemplateError::DimensionMismatch { expected: 2, got: 1 })
+            Err(TemplateError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -357,8 +366,14 @@ mod tests {
         for i in 0..30 {
             let j = i as f64 * 0.01;
             // Leakage only at samples 2 and 5.
-            ts.push(Trace::labelled(vec![1.0, 1.0, 3.0 + j, 1.0, 1.0, 0.0 - j, 1.0, 1.0], 1));
-            ts.push(Trace::labelled(vec![1.0, 1.0, 0.0 - j, 1.0, 1.0, 3.0 + j, 1.0, 1.0], -1));
+            ts.push(Trace::labelled(
+                vec![1.0, 1.0, 3.0 + j, 1.0, 1.0, 0.0 - j, 1.0, 1.0],
+                1,
+            ));
+            ts.push(Trace::labelled(
+                vec![1.0, 1.0, 0.0 - j, 1.0, 1.0, 3.0 + j, 1.0, 1.0],
+                -1,
+            ));
         }
         let set = TemplateSet::fit_trace_set(&ts, &[2, 5], CovarianceMode::Pooled, 1e-9).unwrap();
         assert_eq!(set.dim(), 2);

@@ -17,7 +17,10 @@ impl fmt::Display for AlignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AlignError::BadReference { reference, trace } => {
-                write!(f, "reference of {reference} samples cannot slide in a {trace}-sample trace")
+                write!(
+                    f,
+                    "reference of {reference} samples cannot slide in a {trace}-sample trace"
+                )
             }
             AlignError::EmptyWindow => write!(f, "empty shift window"),
         }
@@ -103,7 +106,10 @@ pub fn align_to_mean(
     }
     let len = windows[0].len();
     assert!(windows.iter().all(|w| w.len() == len), "ragged windows");
-    assert!(len > 2 * max_shift + 1, "windows too short for the shift budget");
+    assert!(
+        len > 2 * max_shift + 1,
+        "windows too short for the shift budget"
+    );
     let core = len - 2 * max_shift;
     // Reference: the mean of the central cores.
     let mut reference = vec![0.0; core];
@@ -160,9 +166,7 @@ mod tests {
     fn batch_alignment_removes_jitter() {
         // Windows with the pattern jittered by -2..=2; after alignment the
         // per-sample variance at the pattern collapses.
-        let windows: Vec<Vec<f64>> = (0..40)
-            .map(|i| pattern_at(10 + (i % 5), 48))
-            .collect();
+        let windows: Vec<Vec<f64>> = (0..40).map(|i| pattern_at(10 + (i % 5), 48)).collect();
         let (aligned, shifts) = align_to_mean(&windows, 4).unwrap();
         assert_eq!(aligned.len(), 40);
         assert!(shifts.iter().any(|&s| s != 0));

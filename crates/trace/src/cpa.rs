@@ -57,10 +57,7 @@ pub struct CpaScore {
 /// # Errors
 ///
 /// Fails on empty/ragged inputs.
-pub fn cpa_rank(
-    traces: &[Vec<f64>],
-    hypotheses: &[Vec<f64>],
-) -> Result<Vec<CpaScore>, CpaError> {
+pub fn cpa_rank(traces: &[Vec<f64>], hypotheses: &[Vec<f64>]) -> Result<Vec<CpaScore>, CpaError> {
     if traces.is_empty() {
         return Err(CpaError::NoTraces);
     }
@@ -218,24 +215,28 @@ mod tests {
     #[test]
     fn error_paths() {
         assert_eq!(cpa_rank(&[], &[vec![]]), Err(CpaError::NoTraces));
-        assert_eq!(
-            cpa_rank(&[vec![1.0]], &[]),
-            Err(CpaError::NoCandidates)
-        );
+        assert_eq!(cpa_rank(&[vec![1.0]], &[]), Err(CpaError::NoCandidates));
         assert_eq!(
             cpa_rank(&[vec![1.0], vec![1.0, 2.0]], &[vec![0.0, 1.0]]),
             Err(CpaError::RaggedTraces)
         );
         assert_eq!(
             cpa_rank(&[vec![1.0], vec![2.0]], &[vec![0.0]]),
-            Err(CpaError::HypothesisMismatch { expected: 2, got: 1 })
+            Err(CpaError::HypothesisMismatch {
+                expected: 2,
+                got: 1
+            })
         );
     }
 
     #[test]
     fn margin_edge_cases() {
         assert_eq!(distinguishing_margin(&[]), 0.0);
-        let one = [CpaScore { candidate: 0, peak_correlation: 0.5, peak_sample: 1 }];
+        let one = [CpaScore {
+            candidate: 0,
+            peak_correlation: 0.5,
+            peak_sample: 1,
+        }];
         assert_eq!(distinguishing_margin(&one), f64::INFINITY);
     }
 }

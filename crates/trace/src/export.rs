@@ -54,7 +54,9 @@ pub fn ascii_plot(samples: &[f64], width: usize, height: usize) -> String {
     let cols: Vec<f64> = (0..width)
         .map(|c| {
             let lo = (c as f64 * bucket) as usize;
-            let hi = (((c + 1) as f64 * bucket) as usize).min(samples.len()).max(lo + 1);
+            let hi = (((c + 1) as f64 * bucket) as usize)
+                .min(samples.len())
+                .max(lo + 1);
             samples[lo..hi.min(samples.len())]
                 .iter()
                 .cloned()

@@ -121,13 +121,20 @@ pub fn select_pois(
 /// Greedy top-k selection with spacing on a precomputed statistic.
 pub fn select_pois_from_statistic(stat: &[f64], count: usize, min_spacing: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..stat.len()).collect();
-    order.sort_by(|&a, &b| stat[b].partial_cmp(&stat[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        stat[b]
+            .partial_cmp(&stat[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut chosen: Vec<usize> = Vec::with_capacity(count);
     for idx in order {
         if chosen.len() >= count {
             break;
         }
-        if chosen.iter().all(|&c| c.abs_diff(idx) >= min_spacing.max(1)) {
+        if chosen
+            .iter()
+            .all(|&c| c.abs_diff(idx) >= min_spacing.max(1))
+        {
             chosen.push(idx);
         }
     }

@@ -83,7 +83,10 @@ pub fn smooth(samples: &[f64], window: usize) -> Vec<f64> {
 }
 
 /// Finds the high-power bursts (distribution-call peaks).
-pub fn find_bursts(samples: &[f64], config: &SegmentConfig) -> Result<Vec<(usize, usize)>, SegmentError> {
+pub fn find_bursts(
+    samples: &[f64],
+    config: &SegmentConfig,
+) -> Result<Vec<(usize, usize)>, SegmentError> {
     if samples.is_empty() {
         return Err(SegmentError::EmptyTrace);
     }
@@ -228,10 +231,7 @@ pub fn window_alignment_score(
     }
     let mut hits = 0usize;
     for &(ts, _) in truth {
-        if detected
-            .iter()
-            .any(|&(ds, _)| ds.abs_diff(ts) <= tolerance)
-        {
+        if detected.iter().any(|&(ds, _)| ds.abs_diff(ts) <= tolerance) {
             hits += 1;
         }
     }
@@ -255,7 +255,9 @@ mod tests {
 
     #[test]
     fn smoothing_reduces_variance() {
-        let noisy: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let noisy: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let s = smooth(&noisy, 16);
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;
@@ -279,7 +281,10 @@ mod tests {
         let bursts = find_bursts(&t, &SegmentConfig::default()).unwrap();
         assert_eq!(bursts.len(), 3);
         for (found, expected) in bursts.iter().zip(&truth) {
-            assert!(found.0.abs_diff(expected.0) <= 16, "{found:?} vs {expected:?}");
+            assert!(
+                found.0.abs_diff(expected.0) <= 16,
+                "{found:?} vs {expected:?}"
+            );
         }
     }
 
@@ -322,7 +327,10 @@ mod tests {
     #[test]
     fn alignment_score() {
         let truth = [(100, 200), (300, 400)];
-        assert_eq!(window_alignment_score(&[(102, 200), (299, 400)], &truth, 5), 1.0);
+        assert_eq!(
+            window_alignment_score(&[(102, 200), (299, 400)], &truth, 5),
+            1.0
+        );
         assert_eq!(window_alignment_score(&[(102, 200)], &truth, 5), 0.5);
         assert_eq!(window_alignment_score(&[], &truth, 5), 0.0);
         assert_eq!(window_alignment_score(&[(0, 1)], &[], 5), 0.0);

@@ -78,7 +78,8 @@ impl RunningStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
     }
@@ -234,7 +235,10 @@ mod tests {
         // var(x) over 0..9 with n-1: 9.166..
         let var_x = cov[0];
         assert!((var_x - 55.0 / 6.0).abs() < 1e-9);
-        assert!((cov[1] - 2.0 * var_x).abs() < 1e-9, "cov(x, 2x+1) = 2 var(x)");
+        assert!(
+            (cov[1] - 2.0 * var_x).abs() < 1e-9,
+            "cov(x, 2x+1) = 2 var(x)"
+        );
         assert!((cov[3] - 4.0 * var_x).abs() < 1e-9);
         assert_eq!(cov[1], cov[2], "symmetric");
         assert!((c.mean()[0] - 4.5).abs() < 1e-12);

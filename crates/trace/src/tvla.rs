@@ -25,7 +25,10 @@ impl fmt::Display for TvlaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TvlaError::NotEnoughTraces { fixed, random } => {
-                write!(f, "need >= 2 traces per group, got {fixed} fixed / {random} random")
+                write!(
+                    f,
+                    "need >= 2 traces per group, got {fixed} fixed / {random} random"
+                )
             }
             TvlaError::RaggedTraces => write!(f, "traces must have equal length"),
         }
@@ -57,10 +60,7 @@ impl TvlaResult {
 /// # Errors
 ///
 /// Fails on group sizes below 2 or ragged trace lengths.
-pub fn welch_t_test(
-    fixed: &[Vec<f64>],
-    random: &[Vec<f64>],
-) -> Result<TvlaResult, TvlaError> {
+pub fn welch_t_test(fixed: &[Vec<f64>], random: &[Vec<f64>]) -> Result<TvlaResult, TvlaError> {
     if fixed.len() < 2 || random.len() < 2 {
         return Err(TvlaError::NotEnoughTraces {
             fixed: fixed.len(),
@@ -148,7 +148,10 @@ mod tests {
         let two = flat_traces(2, 8, 1.0, 0.1);
         assert!(matches!(
             welch_t_test(&one, &two),
-            Err(TvlaError::NotEnoughTraces { fixed: 1, random: 2 })
+            Err(TvlaError::NotEnoughTraces {
+                fixed: 1,
+                random: 2
+            })
         ));
         let ragged = vec![vec![1.0; 8], vec![1.0; 9]];
         assert!(matches!(

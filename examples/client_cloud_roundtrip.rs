@@ -63,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "client decrypts: slot 2 = {} (= 3·{} + 7) — the protocol works",
-        plain.coeffs()[2], readings[2]
+        plain.coeffs()[2],
+        readings[2]
     );
 
     // --- The catch (the paper's point) ---

@@ -86,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "adaptive finisher trusted {trusted}/{n} coefficients and recovered the plaintext"
             );
-            println!("recovered readings (first 8): {:?}", &recovered.coeffs()[..8]);
+            println!(
+                "recovered readings (first 8): {:?}",
+                &recovered.coeffs()[..8]
+            );
             assert_eq!(recovered.coeffs(), plain.coeffs());
             println!("=> the 'encrypted' readings leaked through one power trace");
         }

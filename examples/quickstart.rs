@@ -6,9 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use reveal_attack::{
-    report_full_attack, AttackConfig, Device, TrainedAttack,
-};
+use reveal_attack::{report_full_attack, AttackConfig, Device, TrainedAttack};
 use reveal_bfv::{BfvContext, Decryptor, EncryptionParameters, Encryptor, KeyGenerator, Plaintext};
 use reveal_hints::{HintPolicy, LweParameters};
 use reveal_rv32::power::PowerModelConfig;

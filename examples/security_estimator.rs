@@ -45,9 +45,9 @@ fn main() {
     // (illustrative single-prime settings).
     let sets: [(usize, f64); 4] = [
         (1024, 132120577.0),
-        (2048, 1.8014398509481984e16),  // ~2^54
+        (2048, 1.8014398509481984e16),                 // ~2^54
         (4096, 6.489103637461917e32f64.min(f64::MAX)), // ~2^109 (as float)
-        (8192, 4.211e65),               // ~2^218
+        (8192, 4.211e65),                              // ~2^218
     ];
     for (n, q) in sets {
         let params = LweParameters::seal_like(n, q, 3.2);

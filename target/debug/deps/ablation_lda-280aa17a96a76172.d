@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lda-280aa17a96a76172.d: crates/bench/src/bin/ablation_lda.rs
+
+/root/repo/target/debug/deps/ablation_lda-280aa17a96a76172: crates/bench/src/bin/ablation_lda.rs
+
+crates/bench/src/bin/ablation_lda.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lda-e7f7f5b301ee6000.d: crates/bench/src/bin/ablation_lda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lda-e7f7f5b301ee6000.rmeta: crates/bench/src/bin/ablation_lda.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

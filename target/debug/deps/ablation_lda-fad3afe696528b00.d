@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lda-fad3afe696528b00.d: crates/bench/src/bin/ablation_lda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lda-fad3afe696528b00.rmeta: crates/bench/src/bin/ablation_lda.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_poi-00040928dd228127.d: crates/bench/src/bin/ablation_poi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_poi-00040928dd228127.rmeta: crates/bench/src/bin/ablation_poi.rs Cargo.toml
+
+crates/bench/src/bin/ablation_poi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_poi-4b6ff2914eeb3805.d: crates/bench/src/bin/ablation_poi.rs
+
+/root/repo/target/debug/deps/ablation_poi-4b6ff2914eeb3805: crates/bench/src/bin/ablation_poi.rs
+
+crates/bench/src/bin/ablation_poi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_poi-f1713cc2c56d64dc.d: crates/bench/src/bin/ablation_poi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_poi-f1713cc2c56d64dc.rmeta: crates/bench/src/bin/ablation_poi.rs Cargo.toml
+
+crates/bench/src/bin/ablation_poi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_profiling_size-8c912a8e6b86b70f.d: crates/bench/src/bin/ablation_profiling_size.rs
+
+/root/repo/target/debug/deps/ablation_profiling_size-8c912a8e6b86b70f: crates/bench/src/bin/ablation_profiling_size.rs
+
+crates/bench/src/bin/ablation_profiling_size.rs:

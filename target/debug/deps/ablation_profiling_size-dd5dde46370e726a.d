@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_profiling_size-dd5dde46370e726a.d: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_profiling_size-dd5dde46370e726a.rmeta: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_profiling_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_profiling_size-f064fc3ca96d6fc9.d: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_profiling_size-f064fc3ca96d6fc9.rmeta: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_profiling_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_snr-38efe53e7aa68f8c.d: crates/bench/src/bin/ablation_snr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_snr-38efe53e7aa68f8c.rmeta: crates/bench/src/bin/ablation_snr.rs Cargo.toml
+
+crates/bench/src/bin/ablation_snr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_snr-9c3e3e1b75e80b6b.d: crates/bench/src/bin/ablation_snr.rs
+
+/root/repo/target/debug/deps/ablation_snr-9c3e3e1b75e80b6b: crates/bench/src/bin/ablation_snr.rs
+
+crates/bench/src/bin/ablation_snr.rs:

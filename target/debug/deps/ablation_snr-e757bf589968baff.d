@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_snr-e757bf589968baff.d: crates/bench/src/bin/ablation_snr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_snr-e757bf589968baff.rmeta: crates/bench/src/bin/ablation_snr.rs Cargo.toml
+
+crates/bench/src/bin/ablation_snr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack-e700d1f7fa5dbe3f.d: crates/bench/benches/attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack-e700d1f7fa5dbe3f.rmeta: crates/bench/benches/attack.rs Cargo.toml
+
+crates/bench/benches/attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_cpa-93c25a724a5a6915.d: crates/bench/src/bin/baseline_cpa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_cpa-93c25a724a5a6915.rmeta: crates/bench/src/bin/baseline_cpa.rs Cargo.toml
+
+crates/bench/src/bin/baseline_cpa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_cpa-b7ef5b7b9bfc5aa5.d: crates/bench/src/bin/baseline_cpa.rs
+
+/root/repo/target/debug/deps/baseline_cpa-b7ef5b7b9bfc5aa5: crates/bench/src/bin/baseline_cpa.rs
+
+crates/bench/src/bin/baseline_cpa.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfv-3d7bed120a0d548f.d: crates/bench/benches/bfv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfv-3d7bed120a0d548f.rmeta: crates/bench/benches/bfv.rs Cargo.toml
+
+crates/bench/benches/bfv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

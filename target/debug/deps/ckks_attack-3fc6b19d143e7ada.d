@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ckks_attack-3fc6b19d143e7ada.d: crates/bench/src/bin/ckks_attack.rs
+
+/root/repo/target/debug/deps/ckks_attack-3fc6b19d143e7ada: crates/bench/src/bin/ckks_attack.rs
+
+crates/bench/src/bin/ckks_attack.rs:

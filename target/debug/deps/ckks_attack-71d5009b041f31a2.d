@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ckks_attack-71d5009b041f31a2.d: crates/bench/src/bin/ckks_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libckks_attack-71d5009b041f31a2.rmeta: crates/bench/src/bin/ckks_attack.rs Cargo.toml
+
+crates/bench/src/bin/ckks_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

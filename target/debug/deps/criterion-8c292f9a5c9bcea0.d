@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-8c292f9a5c9bcea0.d: crates/criterion-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-8c292f9a5c9bcea0.rmeta: crates/criterion-shim/src/lib.rs Cargo.toml
+
+crates/criterion-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-9d36cca6d7549eac.d: crates/criterion-shim/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-9d36cca6d7549eac.rmeta: crates/criterion-shim/src/lib.rs Cargo.toml
+
+crates/criterion-shim/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

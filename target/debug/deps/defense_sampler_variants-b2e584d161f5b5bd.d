@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_sampler_variants-b2e584d161f5b5bd.d: crates/bench/src/bin/defense_sampler_variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_sampler_variants-b2e584d161f5b5bd.rmeta: crates/bench/src/bin/defense_sampler_variants.rs Cargo.toml
+
+crates/bench/src/bin/defense_sampler_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

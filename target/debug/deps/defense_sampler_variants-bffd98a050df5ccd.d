@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_sampler_variants-bffd98a050df5ccd.d: crates/bench/src/bin/defense_sampler_variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_sampler_variants-bffd98a050df5ccd.rmeta: crates/bench/src/bin/defense_sampler_variants.rs Cargo.toml
+
+crates/bench/src/bin/defense_sampler_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

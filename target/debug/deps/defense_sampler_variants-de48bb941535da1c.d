@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_sampler_variants-de48bb941535da1c.d: crates/bench/src/bin/defense_sampler_variants.rs
+
+/root/repo/target/debug/deps/defense_sampler_variants-de48bb941535da1c: crates/bench/src/bin/defense_sampler_variants.rs
+
+crates/bench/src/bin/defense_sampler_variants.rs:

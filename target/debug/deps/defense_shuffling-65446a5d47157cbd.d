@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_shuffling-65446a5d47157cbd.d: crates/bench/src/bin/defense_shuffling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_shuffling-65446a5d47157cbd.rmeta: crates/bench/src/bin/defense_shuffling.rs Cargo.toml
+
+crates/bench/src/bin/defense_shuffling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

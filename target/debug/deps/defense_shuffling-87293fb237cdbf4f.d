@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_shuffling-87293fb237cdbf4f.d: crates/bench/src/bin/defense_shuffling.rs
+
+/root/repo/target/debug/deps/defense_shuffling-87293fb237cdbf4f: crates/bench/src/bin/defense_shuffling.rs
+
+crates/bench/src/bin/defense_shuffling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_shuffling-d5c836dcafc36ecd.d: crates/bench/src/bin/defense_shuffling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_shuffling-d5c836dcafc36ecd.rmeta: crates/bench/src/bin/defense_shuffling.rs Cargo.toml
+
+crates/bench/src/bin/defense_shuffling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-136601c081019940.d: crates/attack/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-136601c081019940: crates/attack/../../tests/end_to_end.rs
+
+crates/attack/../../tests/end_to_end.rs:

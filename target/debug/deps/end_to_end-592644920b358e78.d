@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-592644920b358e78.d: crates/attack/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-592644920b358e78: crates/attack/../../tests/end_to_end.rs
+
+crates/attack/../../tests/end_to_end.rs:

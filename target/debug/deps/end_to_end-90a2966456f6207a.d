@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-90a2966456f6207a.d: crates/attack/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-90a2966456f6207a.rmeta: crates/attack/../../tests/end_to_end.rs Cargo.toml
+
+crates/attack/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_recovery-0ab7169aae94018f.d: crates/bench/src/bin/end_to_end_recovery.rs
+
+/root/repo/target/debug/deps/end_to_end_recovery-0ab7169aae94018f: crates/bench/src/bin/end_to_end_recovery.rs
+
+crates/bench/src/bin/end_to_end_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_recovery-2302841ac4924823.d: crates/bench/src/bin/end_to_end_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_recovery-2302841ac4924823.rmeta: crates/bench/src/bin/end_to_end_recovery.rs Cargo.toml
+
+crates/bench/src/bin/end_to_end_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-ebcb685eb911ec36.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-ebcb685eb911ec36: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

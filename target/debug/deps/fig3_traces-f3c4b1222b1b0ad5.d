@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_traces-f3c4b1222b1b0ad5.d: crates/bench/src/bin/fig3_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_traces-f3c4b1222b1b0ad5.rmeta: crates/bench/src/bin/fig3_traces.rs Cargo.toml
+
+crates/bench/src/bin/fig3_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

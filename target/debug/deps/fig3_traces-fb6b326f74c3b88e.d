@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_traces-fb6b326f74c3b88e.d: crates/bench/src/bin/fig3_traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_traces-fb6b326f74c3b88e.rmeta: crates/bench/src/bin/fig3_traces.rs Cargo.toml
+
+crates/bench/src/bin/fig3_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hints-a1e4657cc6a4092b.d: crates/bench/benches/hints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhints-a1e4657cc6a4092b.rmeta: crates/bench/benches/hints.rs Cargo.toml
+
+crates/bench/benches/hints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-158be6d211601e66.d: crates/lint/tests/kernels.rs
+
+/root/repo/target/debug/deps/kernels-158be6d211601e66: crates/lint/tests/kernels.rs
+
+crates/lint/tests/kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-33225920a738d880.d: crates/lint/tests/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-33225920a738d880.rmeta: crates/lint/tests/kernels.rs Cargo.toml
+
+crates/lint/tests/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

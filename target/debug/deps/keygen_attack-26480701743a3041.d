@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keygen_attack-26480701743a3041.d: crates/bench/src/bin/keygen_attack.rs
+
+/root/repo/target/debug/deps/keygen_attack-26480701743a3041: crates/bench/src/bin/keygen_attack.rs
+
+crates/bench/src/bin/keygen_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keygen_attack-97ff241adca93b84.d: crates/bench/src/bin/keygen_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeygen_attack-97ff241adca93b84.rmeta: crates/bench/src/bin/keygen_attack.rs Cargo.toml
+
+crates/bench/src/bin/keygen_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

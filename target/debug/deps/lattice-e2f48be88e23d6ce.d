@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lattice-e2f48be88e23d6ce.d: crates/bench/benches/lattice.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblattice-e2f48be88e23d6ce.rmeta: crates/bench/benches/lattice.rs Cargo.toml
+
+crates/bench/benches/lattice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

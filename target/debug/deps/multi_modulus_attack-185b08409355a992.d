@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_modulus_attack-185b08409355a992.d: crates/bench/src/bin/multi_modulus_attack.rs
+
+/root/repo/target/debug/deps/multi_modulus_attack-185b08409355a992: crates/bench/src/bin/multi_modulus_attack.rs
+
+crates/bench/src/bin/multi_modulus_attack.rs:

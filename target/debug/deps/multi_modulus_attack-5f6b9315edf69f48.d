@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_modulus_attack-5f6b9315edf69f48.d: crates/bench/src/bin/multi_modulus_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_modulus_attack-5f6b9315edf69f48.rmeta: crates/bench/src/bin/multi_modulus_attack.rs Cargo.toml
+
+crates/bench/src/bin/multi_modulus_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-20ae88023701a13b.d: crates/attack/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-20ae88023701a13b.rmeta: crates/attack/../../tests/pipeline.rs Cargo.toml
+
+crates/attack/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-8386849c6616aaee.d: crates/attack/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-8386849c6616aaee: crates/attack/../../tests/pipeline.rs
+
+crates/attack/../../tests/pipeline.rs:

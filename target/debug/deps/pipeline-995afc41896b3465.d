@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-995afc41896b3465.d: crates/attack/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-995afc41896b3465: crates/attack/../../tests/pipeline.rs
+
+crates/attack/../../tests/pipeline.rs:

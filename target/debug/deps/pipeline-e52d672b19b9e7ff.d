@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-e52d672b19b9e7ff.d: crates/attack/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-e52d672b19b9e7ff.rmeta: crates/attack/../../tests/pipeline.rs Cargo.toml
+
+crates/attack/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

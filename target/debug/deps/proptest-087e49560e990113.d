@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/proptest-087e49560e990113.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-087e49560e990113.rmeta: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/arbitrary.rs:
+crates/proptest-shim/src/collection.rs:
+crates/proptest-shim/src/config.rs:
+crates/proptest-shim/src/strategy.rs:
+crates/proptest-shim/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

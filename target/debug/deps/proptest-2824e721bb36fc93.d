@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/proptest-2824e721bb36fc93.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-2824e721bb36fc93.rmeta: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs Cargo.toml
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/arbitrary.rs:
+crates/proptest-shim/src/collection.rs:
+crates/proptest-shim/src/config.rs:
+crates/proptest-shim/src/strategy.rs:
+crates/proptest-shim/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-41b312f988d9bde9.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-41b312f988d9bde9: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/arbitrary.rs:
+crates/proptest-shim/src/collection.rs:
+crates/proptest-shim/src/config.rs:
+crates/proptest-shim/src/strategy.rs:
+crates/proptest-shim/src/test_runner.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/proptest-c05225c61f9ab80b.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-c05225c61f9ab80b.rlib: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-c05225c61f9ab80b.rmeta: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/arbitrary.rs:
+crates/proptest-shim/src/collection.rs:
+crates/proptest-shim/src/config.rs:
+crates/proptest-shim/src/strategy.rs:
+crates/proptest-shim/src/test_runner.rs:

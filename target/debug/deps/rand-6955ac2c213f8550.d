@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rand-6955ac2c213f8550.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-6955ac2c213f8550.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs Cargo.toml
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/distributions.rs:
+crates/rand-shim/src/rngs.rs:
+crates/rand-shim/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-6e2af156e8f92f47.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs
+
+/root/repo/target/debug/deps/librand-6e2af156e8f92f47.rlib: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs
+
+/root/repo/target/debug/deps/librand-6e2af156e8f92f47.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/distributions.rs:
+crates/rand-shim/src/rngs.rs:
+crates/rand-shim/src/seq.rs:

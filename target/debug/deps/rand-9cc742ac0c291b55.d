@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-9cc742ac0c291b55.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs
+
+/root/repo/target/debug/deps/rand-9cc742ac0c291b55: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/distributions.rs:
+crates/rand-shim/src/rngs.rs:
+crates/rand-shim/src/seq.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/reveal_attack-db5d411df4b8a49a.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+
+/root/repo/target/debug/deps/reveal_attack-db5d411df4b8a49a: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/config.rs:
+crates/attack/src/defense.rs:
+crates/attack/src/device.rs:
+crates/attack/src/profile.rs:
+crates/attack/src/recover.rs:
+crates/attack/src/report.rs:

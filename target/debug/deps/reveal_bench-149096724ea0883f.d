@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reveal_bench-149096724ea0883f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/reveal_bench-149096724ea0883f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reveal_bench-1767a66093356481.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_bench-1767a66093356481.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

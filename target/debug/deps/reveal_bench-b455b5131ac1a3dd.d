@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reveal_bench-b455b5131ac1a3dd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_bench-b455b5131ac1a3dd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

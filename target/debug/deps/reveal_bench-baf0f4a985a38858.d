@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reveal_bench-baf0f4a985a38858.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_bench-baf0f4a985a38858.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_bench-baf0f4a985a38858.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/reveal_bfv-0587cfbc3ec4da12.d: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs
+
+/root/repo/target/debug/deps/libreveal_bfv-0587cfbc3ec4da12.rlib: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs
+
+/root/repo/target/debug/deps/libreveal_bfv-0587cfbc3ec4da12.rmeta: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs
+
+crates/bfv/src/lib.rs:
+crates/bfv/src/context.rs:
+crates/bfv/src/decryptor.rs:
+crates/bfv/src/encoder.rs:
+crates/bfv/src/encryptor.rs:
+crates/bfv/src/evaluator.rs:
+crates/bfv/src/keys.rs:
+crates/bfv/src/params.rs:
+crates/bfv/src/sampler.rs:
+crates/bfv/src/serialization.rs:
+crates/bfv/src/variants.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/reveal_bfv-45e0f260965f37b7.d: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_bfv-45e0f260965f37b7.rmeta: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs Cargo.toml
+
+crates/bfv/src/lib.rs:
+crates/bfv/src/context.rs:
+crates/bfv/src/decryptor.rs:
+crates/bfv/src/encoder.rs:
+crates/bfv/src/encryptor.rs:
+crates/bfv/src/evaluator.rs:
+crates/bfv/src/keys.rs:
+crates/bfv/src/params.rs:
+crates/bfv/src/sampler.rs:
+crates/bfv/src/serialization.rs:
+crates/bfv/src/variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/reveal_bfv-7f13dd47deb4cfba.d: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs
+
+/root/repo/target/debug/deps/reveal_bfv-7f13dd47deb4cfba: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs
+
+crates/bfv/src/lib.rs:
+crates/bfv/src/context.rs:
+crates/bfv/src/decryptor.rs:
+crates/bfv/src/encoder.rs:
+crates/bfv/src/encryptor.rs:
+crates/bfv/src/evaluator.rs:
+crates/bfv/src/keys.rs:
+crates/bfv/src/params.rs:
+crates/bfv/src/sampler.rs:
+crates/bfv/src/serialization.rs:
+crates/bfv/src/variants.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reveal_ckks-6dd659037a05b73b.d: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_ckks-6dd659037a05b73b.rmeta: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs Cargo.toml
+
+crates/ckks/src/lib.rs:
+crates/ckks/src/complex.rs:
+crates/ckks/src/encoder.rs:
+crates/ckks/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

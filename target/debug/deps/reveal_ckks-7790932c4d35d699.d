@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/reveal_ckks-7790932c4d35d699.d: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs
+
+/root/repo/target/debug/deps/reveal_ckks-7790932c4d35d699: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs
+
+crates/ckks/src/lib.rs:
+crates/ckks/src/complex.rs:
+crates/ckks/src/encoder.rs:
+crates/ckks/src/scheme.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reveal_ckks-a72719757e0a640b.d: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs
+
+/root/repo/target/debug/deps/libreveal_ckks-a72719757e0a640b.rlib: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs
+
+/root/repo/target/debug/deps/libreveal_ckks-a72719757e0a640b.rmeta: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs
+
+crates/ckks/src/lib.rs:
+crates/ckks/src/complex.rs:
+crates/ckks/src/encoder.rs:
+crates/ckks/src/scheme.rs:

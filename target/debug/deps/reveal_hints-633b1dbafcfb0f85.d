@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/reveal_hints-633b1dbafcfb0f85.d: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs
+
+/root/repo/target/debug/deps/reveal_hints-633b1dbafcfb0f85: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs
+
+crates/hints/src/lib.rs:
+crates/hints/src/dbdd.rs:
+crates/hints/src/delta.rs:
+crates/hints/src/posterior.rs:

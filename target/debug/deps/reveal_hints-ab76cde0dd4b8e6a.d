@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reveal_hints-ab76cde0dd4b8e6a.d: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs
+
+/root/repo/target/debug/deps/libreveal_hints-ab76cde0dd4b8e6a.rlib: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs
+
+/root/repo/target/debug/deps/libreveal_hints-ab76cde0dd4b8e6a.rmeta: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs
+
+crates/hints/src/lib.rs:
+crates/hints/src/dbdd.rs:
+crates/hints/src/delta.rs:
+crates/hints/src/posterior.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reveal_hints-bc94051dc2a330e3.d: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_hints-bc94051dc2a330e3.rmeta: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs Cargo.toml
+
+crates/hints/src/lib.rs:
+crates/hints/src/dbdd.rs:
+crates/hints/src/delta.rs:
+crates/hints/src/posterior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

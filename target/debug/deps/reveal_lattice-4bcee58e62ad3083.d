@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/reveal_lattice-4bcee58e62ad3083.d: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs
+
+/root/repo/target/debug/deps/libreveal_lattice-4bcee58e62ad3083.rlib: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs
+
+/root/repo/target/debug/deps/libreveal_lattice-4bcee58e62ad3083.rmeta: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/bkz.rs:
+crates/lattice/src/embedding.rs:
+crates/lattice/src/enumeration.rs:
+crates/lattice/src/gsa.rs:
+crates/lattice/src/gso.rs:
+crates/lattice/src/lll.rs:

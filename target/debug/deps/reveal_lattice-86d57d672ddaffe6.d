@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/reveal_lattice-86d57d672ddaffe6.d: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs
+
+/root/repo/target/debug/deps/reveal_lattice-86d57d672ddaffe6: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/bkz.rs:
+crates/lattice/src/embedding.rs:
+crates/lattice/src/enumeration.rs:
+crates/lattice/src/gsa.rs:
+crates/lattice/src/gso.rs:
+crates/lattice/src/lll.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/reveal_lattice-8ef6ec1ce852c2b7.d: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_lattice-8ef6ec1ce852c2b7.rmeta: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs Cargo.toml
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/bkz.rs:
+crates/lattice/src/embedding.rs:
+crates/lattice/src/enumeration.rs:
+crates/lattice/src/gsa.rs:
+crates/lattice/src/gso.rs:
+crates/lattice/src/lll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/reveal_lattice-d9baf6e2e604e3ca.d: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_lattice-d9baf6e2e604e3ca.rmeta: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs Cargo.toml
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/bkz.rs:
+crates/lattice/src/embedding.rs:
+crates/lattice/src/enumeration.rs:
+crates/lattice/src/gsa.rs:
+crates/lattice/src/gso.rs:
+crates/lattice/src/lll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

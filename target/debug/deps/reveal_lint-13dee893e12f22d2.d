@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reveal_lint-13dee893e12f22d2.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/reveal_lint-13dee893e12f22d2: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/reveal_lint-149320af1c310025.d: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs
+
+/root/repo/target/debug/deps/reveal_lint-149320af1c310025: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/analysis.rs:
+crates/lint/src/report.rs:
+crates/lint/src/taint.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reveal_lint-1d3f2f74ca12af1d.d: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_lint-1d3f2f74ca12af1d.rmeta: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/analysis.rs:
+crates/lint/src/report.rs:
+crates/lint/src/taint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reveal_lint-580eaa30cb1c6afa.d: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_lint-580eaa30cb1c6afa.rmeta: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/analysis.rs:
+crates/lint/src/report.rs:
+crates/lint/src/taint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

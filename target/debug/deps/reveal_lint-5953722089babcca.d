@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reveal_lint-5953722089babcca.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/reveal_lint-5953722089babcca: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

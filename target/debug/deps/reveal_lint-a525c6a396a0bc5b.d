@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reveal_lint-a525c6a396a0bc5b.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_lint-a525c6a396a0bc5b.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

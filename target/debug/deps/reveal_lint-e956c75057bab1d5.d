@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reveal_lint-e956c75057bab1d5.d: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs
+
+/root/repo/target/debug/deps/libreveal_lint-e956c75057bab1d5.rlib: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs
+
+/root/repo/target/debug/deps/libreveal_lint-e956c75057bab1d5.rmeta: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/analysis.rs:
+crates/lint/src/report.rs:
+crates/lint/src/taint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reveal_lint-ecb0eb59358010cf.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_lint-ecb0eb59358010cf.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

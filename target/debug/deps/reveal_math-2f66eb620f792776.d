@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/reveal_math-2f66eb620f792776.d: crates/math/src/lib.rs crates/math/src/arith.rs crates/math/src/bigint.rs crates/math/src/modulus.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs
+
+/root/repo/target/debug/deps/libreveal_math-2f66eb620f792776.rlib: crates/math/src/lib.rs crates/math/src/arith.rs crates/math/src/bigint.rs crates/math/src/modulus.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs
+
+/root/repo/target/debug/deps/libreveal_math-2f66eb620f792776.rmeta: crates/math/src/lib.rs crates/math/src/arith.rs crates/math/src/bigint.rs crates/math/src/modulus.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs
+
+crates/math/src/lib.rs:
+crates/math/src/arith.rs:
+crates/math/src/bigint.rs:
+crates/math/src/modulus.rs:
+crates/math/src/ntt.rs:
+crates/math/src/poly.rs:
+crates/math/src/primes.rs:
+crates/math/src/rns.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/reveal_math-67e09b24a01a919f.d: crates/math/src/lib.rs crates/math/src/arith.rs crates/math/src/bigint.rs crates/math/src/modulus.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_math-67e09b24a01a919f.rmeta: crates/math/src/lib.rs crates/math/src/arith.rs crates/math/src/bigint.rs crates/math/src/modulus.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs Cargo.toml
+
+crates/math/src/lib.rs:
+crates/math/src/arith.rs:
+crates/math/src/bigint.rs:
+crates/math/src/modulus.rs:
+crates/math/src/ntt.rs:
+crates/math/src/poly.rs:
+crates/math/src/primes.rs:
+crates/math/src/rns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/reveal_rv32-1f69db3062390c80.d: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs
+
+/root/repo/target/debug/deps/libreveal_rv32-1f69db3062390c80.rlib: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs
+
+/root/repo/target/debug/deps/libreveal_rv32-1f69db3062390c80.rmeta: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs
+
+crates/rv32/src/lib.rs:
+crates/rv32/src/asm.rs:
+crates/rv32/src/cfg.rs:
+crates/rv32/src/cpu.rs:
+crates/rv32/src/disasm.rs:
+crates/rv32/src/isa.rs:
+crates/rv32/src/kernel.rs:
+crates/rv32/src/power.rs:

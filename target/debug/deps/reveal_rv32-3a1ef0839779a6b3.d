@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reveal_rv32-3a1ef0839779a6b3.d: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs
+
+/root/repo/target/debug/deps/reveal_rv32-3a1ef0839779a6b3: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs
+
+crates/rv32/src/lib.rs:
+crates/rv32/src/asm.rs:
+crates/rv32/src/cfg.rs:
+crates/rv32/src/cpu.rs:
+crates/rv32/src/disasm.rs:
+crates/rv32/src/isa.rs:
+crates/rv32/src/kernel.rs:
+crates/rv32/src/power.rs:

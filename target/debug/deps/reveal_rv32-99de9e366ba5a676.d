@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/reveal_rv32-99de9e366ba5a676.d: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_rv32-99de9e366ba5a676.rmeta: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs Cargo.toml
+
+crates/rv32/src/lib.rs:
+crates/rv32/src/asm.rs:
+crates/rv32/src/cfg.rs:
+crates/rv32/src/cpu.rs:
+crates/rv32/src/disasm.rs:
+crates/rv32/src/isa.rs:
+crates/rv32/src/kernel.rs:
+crates/rv32/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/reveal_trace-19e607b022fa5e93.d: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
+
+/root/repo/target/debug/deps/reveal_trace-19e607b022fa5e93: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/align.rs:
+crates/trace/src/cpa.rs:
+crates/trace/src/export.rs:
+crates/trace/src/poi.rs:
+crates/trace/src/segment.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/tvla.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-2816c877e1226df9.d: crates/rv32/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-2816c877e1226df9: crates/rv32/tests/roundtrip.rs
+
+crates/rv32/tests/roundtrip.rs:

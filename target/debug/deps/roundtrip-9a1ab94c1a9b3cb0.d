@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-9a1ab94c1a9b3cb0.d: crates/rv32/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-9a1ab94c1a9b3cb0.rmeta: crates/rv32/tests/roundtrip.rs Cargo.toml
+
+crates/rv32/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sampler-7f1114ecf3218332.d: crates/bench/benches/sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsampler-7f1114ecf3218332.rmeta: crates/bench/benches/sampler.rs Cargo.toml
+
+crates/bench/benches/sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

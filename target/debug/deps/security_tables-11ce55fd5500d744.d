@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_tables-11ce55fd5500d744.d: crates/attack/../../tests/security_tables.rs
+
+/root/repo/target/debug/deps/security_tables-11ce55fd5500d744: crates/attack/../../tests/security_tables.rs
+
+crates/attack/../../tests/security_tables.rs:

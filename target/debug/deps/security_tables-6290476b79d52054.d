@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_tables-6290476b79d52054.d: crates/attack/../../tests/security_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_tables-6290476b79d52054.rmeta: crates/attack/../../tests/security_tables.rs Cargo.toml
+
+crates/attack/../../tests/security_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_tables-ee83411c11f9da34.d: crates/attack/../../tests/security_tables.rs
+
+/root/repo/target/debug/deps/security_tables-ee83411c11f9da34: crates/attack/../../tests/security_tables.rs
+
+crates/attack/../../tests/security_tables.rs:

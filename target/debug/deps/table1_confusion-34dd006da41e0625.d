@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_confusion-34dd006da41e0625.d: crates/bench/src/bin/table1_confusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_confusion-34dd006da41e0625.rmeta: crates/bench/src/bin/table1_confusion.rs Cargo.toml
+
+crates/bench/src/bin/table1_confusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_confusion-a651e72229c2f030.d: crates/bench/src/bin/table1_confusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_confusion-a651e72229c2f030.rmeta: crates/bench/src/bin/table1_confusion.rs Cargo.toml
+
+crates/bench/src/bin/table1_confusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_confusion-e6653a63bfb8ffbb.d: crates/bench/src/bin/table1_confusion.rs
+
+/root/repo/target/debug/deps/table1_confusion-e6653a63bfb8ffbb: crates/bench/src/bin/table1_confusion.rs
+
+crates/bench/src/bin/table1_confusion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_probabilities-8b46738a04f646c2.d: crates/bench/src/bin/table2_probabilities.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_probabilities-8b46738a04f646c2.rmeta: crates/bench/src/bin/table2_probabilities.rs Cargo.toml
+
+crates/bench/src/bin/table2_probabilities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

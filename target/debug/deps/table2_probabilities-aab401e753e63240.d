@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_probabilities-aab401e753e63240.d: crates/bench/src/bin/table2_probabilities.rs
+
+/root/repo/target/debug/deps/table2_probabilities-aab401e753e63240: crates/bench/src/bin/table2_probabilities.rs
+
+crates/bench/src/bin/table2_probabilities.rs:

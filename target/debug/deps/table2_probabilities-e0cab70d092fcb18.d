@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_probabilities-e0cab70d092fcb18.d: crates/bench/src/bin/table2_probabilities.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_probabilities-e0cab70d092fcb18.rmeta: crates/bench/src/bin/table2_probabilities.rs Cargo.toml
+
+crates/bench/src/bin/table2_probabilities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_hints_cost-340f32ad4d2ca4bc.d: crates/bench/src/bin/table3_hints_cost.rs
+
+/root/repo/target/debug/deps/table3_hints_cost-340f32ad4d2ca4bc: crates/bench/src/bin/table3_hints_cost.rs
+
+crates/bench/src/bin/table3_hints_cost.rs:

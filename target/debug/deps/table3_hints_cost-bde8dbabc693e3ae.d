@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_hints_cost-bde8dbabc693e3ae.d: crates/bench/src/bin/table3_hints_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_hints_cost-bde8dbabc693e3ae.rmeta: crates/bench/src/bin/table3_hints_cost.rs Cargo.toml
+
+crates/bench/src/bin/table3_hints_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_sign_only-996ca5c3c859830b.d: crates/bench/src/bin/table4_sign_only.rs
+
+/root/repo/target/debug/deps/table4_sign_only-996ca5c3c859830b: crates/bench/src/bin/table4_sign_only.rs
+
+crates/bench/src/bin/table4_sign_only.rs:

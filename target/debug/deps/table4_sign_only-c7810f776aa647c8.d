@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_sign_only-c7810f776aa647c8.d: crates/bench/src/bin/table4_sign_only.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_sign_only-c7810f776aa647c8.rmeta: crates/bench/src/bin/table4_sign_only.rs Cargo.toml
+
+crates/bench/src/bin/table4_sign_only.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

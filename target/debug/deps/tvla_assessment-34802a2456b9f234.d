@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tvla_assessment-34802a2456b9f234.d: crates/bench/src/bin/tvla_assessment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtvla_assessment-34802a2456b9f234.rmeta: crates/bench/src/bin/tvla_assessment.rs Cargo.toml
+
+crates/bench/src/bin/tvla_assessment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

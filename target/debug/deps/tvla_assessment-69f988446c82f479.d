@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tvla_assessment-69f988446c82f479.d: crates/bench/src/bin/tvla_assessment.rs
+
+/root/repo/target/debug/deps/tvla_assessment-69f988446c82f479: crates/bench/src/bin/tvla_assessment.rs
+
+crates/bench/src/bin/tvla_assessment.rs:

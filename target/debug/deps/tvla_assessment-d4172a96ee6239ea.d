@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tvla_assessment-d4172a96ee6239ea.d: crates/bench/src/bin/tvla_assessment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtvla_assessment-d4172a96ee6239ea.rmeta: crates/bench/src/bin/tvla_assessment.rs Cargo.toml
+
+crates/bench/src/bin/tvla_assessment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

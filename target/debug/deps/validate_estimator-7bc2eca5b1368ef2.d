@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_estimator-7bc2eca5b1368ef2.d: crates/bench/src/bin/validate_estimator.rs
+
+/root/repo/target/debug/deps/validate_estimator-7bc2eca5b1368ef2: crates/bench/src/bin/validate_estimator.rs
+
+crates/bench/src/bin/validate_estimator.rs:

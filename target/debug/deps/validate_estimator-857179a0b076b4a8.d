@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_estimator-857179a0b076b4a8.d: crates/bench/src/bin/validate_estimator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_estimator-857179a0b076b4a8.rmeta: crates/bench/src/bin/validate_estimator.rs Cargo.toml
+
+crates/bench/src/bin/validate_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_estimator-9beda38c959fb3c7.d: crates/bench/src/bin/validate_estimator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_estimator-9beda38c959fb3c7.rmeta: crates/bench/src/bin/validate_estimator.rs Cargo.toml
+
+crates/bench/src/bin/validate_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

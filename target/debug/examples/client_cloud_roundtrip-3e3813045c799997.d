@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/client_cloud_roundtrip-3e3813045c799997.d: crates/attack/../../examples/client_cloud_roundtrip.rs
+
+/root/repo/target/debug/examples/client_cloud_roundtrip-3e3813045c799997: crates/attack/../../examples/client_cloud_roundtrip.rs
+
+crates/attack/../../examples/client_cloud_roundtrip.rs:

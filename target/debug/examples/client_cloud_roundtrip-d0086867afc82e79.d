@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/client_cloud_roundtrip-d0086867afc82e79.d: crates/attack/../../examples/client_cloud_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclient_cloud_roundtrip-d0086867afc82e79.rmeta: crates/attack/../../examples/client_cloud_roundtrip.rs Cargo.toml
+
+crates/attack/../../examples/client_cloud_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/client_cloud_roundtrip-f98c67a5c3196798.d: crates/attack/../../examples/client_cloud_roundtrip.rs
+
+/root/repo/target/debug/examples/client_cloud_roundtrip-f98c67a5c3196798: crates/attack/../../examples/client_cloud_roundtrip.rs
+
+crates/attack/../../examples/client_cloud_roundtrip.rs:

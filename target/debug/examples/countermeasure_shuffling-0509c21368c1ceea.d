@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/countermeasure_shuffling-0509c21368c1ceea.d: crates/attack/../../examples/countermeasure_shuffling.rs
+
+/root/repo/target/debug/examples/countermeasure_shuffling-0509c21368c1ceea: crates/attack/../../examples/countermeasure_shuffling.rs
+
+crates/attack/../../examples/countermeasure_shuffling.rs:

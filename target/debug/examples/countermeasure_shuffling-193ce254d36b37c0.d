@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/countermeasure_shuffling-193ce254d36b37c0.d: crates/attack/../../examples/countermeasure_shuffling.rs
+
+/root/repo/target/debug/examples/countermeasure_shuffling-193ce254d36b37c0: crates/attack/../../examples/countermeasure_shuffling.rs
+
+crates/attack/../../examples/countermeasure_shuffling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/countermeasure_shuffling-2546cb2bee531db3.d: crates/attack/../../examples/countermeasure_shuffling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcountermeasure_shuffling-2546cb2bee531db3.rmeta: crates/attack/../../examples/countermeasure_shuffling.rs Cargo.toml
+
+crates/attack/../../examples/countermeasure_shuffling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

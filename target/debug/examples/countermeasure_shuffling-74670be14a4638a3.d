@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/countermeasure_shuffling-74670be14a4638a3.d: crates/attack/../../examples/countermeasure_shuffling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcountermeasure_shuffling-74670be14a4638a3.rmeta: crates/attack/../../examples/countermeasure_shuffling.rs Cargo.toml
+
+crates/attack/../../examples/countermeasure_shuffling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_medical_db-3678a52eb1be13a1.d: crates/attack/../../examples/encrypted_medical_db.rs
+
+/root/repo/target/debug/examples/encrypted_medical_db-3678a52eb1be13a1: crates/attack/../../examples/encrypted_medical_db.rs
+
+crates/attack/../../examples/encrypted_medical_db.rs:

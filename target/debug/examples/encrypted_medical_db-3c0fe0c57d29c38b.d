@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_medical_db-3c0fe0c57d29c38b.d: crates/attack/../../examples/encrypted_medical_db.rs
+
+/root/repo/target/debug/examples/encrypted_medical_db-3c0fe0c57d29c38b: crates/attack/../../examples/encrypted_medical_db.rs
+
+crates/attack/../../examples/encrypted_medical_db.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_medical_db-e6cb0af59a4eb076.d: crates/attack/../../examples/encrypted_medical_db.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_medical_db-e6cb0af59a4eb076.rmeta: crates/attack/../../examples/encrypted_medical_db.rs Cargo.toml
+
+crates/attack/../../examples/encrypted_medical_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

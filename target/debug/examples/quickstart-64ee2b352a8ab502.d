@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-64ee2b352a8ab502.d: crates/attack/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-64ee2b352a8ab502.rmeta: crates/attack/../../examples/quickstart.rs Cargo.toml
+
+crates/attack/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b19476076cc1b6cc.d: crates/attack/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b19476076cc1b6cc: crates/attack/../../examples/quickstart.rs
+
+crates/attack/../../examples/quickstart.rs:

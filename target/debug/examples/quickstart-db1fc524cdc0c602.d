@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-db1fc524cdc0c602.d: crates/attack/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-db1fc524cdc0c602: crates/attack/../../examples/quickstart.rs
+
+crates/attack/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-e37b3bac4f57ce25.d: crates/attack/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-e37b3bac4f57ce25.rmeta: crates/attack/../../examples/quickstart.rs Cargo.toml
+
+crates/attack/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/security_estimator-3f08f18b2ca9ef2b.d: crates/attack/../../examples/security_estimator.rs
+
+/root/repo/target/debug/examples/security_estimator-3f08f18b2ca9ef2b: crates/attack/../../examples/security_estimator.rs
+
+crates/attack/../../examples/security_estimator.rs:

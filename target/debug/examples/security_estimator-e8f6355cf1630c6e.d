@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/security_estimator-e8f6355cf1630c6e.d: crates/attack/../../examples/security_estimator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecurity_estimator-e8f6355cf1630c6e.rmeta: crates/attack/../../examples/security_estimator.rs Cargo.toml
+
+crates/attack/../../examples/security_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

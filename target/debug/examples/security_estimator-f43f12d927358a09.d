@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/security_estimator-f43f12d927358a09.d: crates/attack/../../examples/security_estimator.rs
+
+/root/repo/target/debug/examples/security_estimator-f43f12d927358a09: crates/attack/../../examples/security_estimator.rs
+
+crates/attack/../../examples/security_estimator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/security_estimator-fc9bb97a3d338323.d: crates/attack/../../examples/security_estimator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecurity_estimator-fc9bb97a3d338323.rmeta: crates/attack/../../examples/security_estimator.rs Cargo.toml
+
+crates/attack/../../examples/security_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lda-94e493f64ee3aedc.d: crates/bench/src/bin/ablation_lda.rs
+
+/root/repo/target/release/deps/ablation_lda-94e493f64ee3aedc: crates/bench/src/bin/ablation_lda.rs
+
+crates/bench/src/bin/ablation_lda.rs:

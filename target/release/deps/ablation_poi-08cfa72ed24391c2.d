@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_poi-08cfa72ed24391c2.d: crates/bench/src/bin/ablation_poi.rs
+
+/root/repo/target/release/deps/ablation_poi-08cfa72ed24391c2: crates/bench/src/bin/ablation_poi.rs
+
+crates/bench/src/bin/ablation_poi.rs:

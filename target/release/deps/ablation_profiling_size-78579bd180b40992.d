@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_profiling_size-78579bd180b40992.d: crates/bench/src/bin/ablation_profiling_size.rs
+
+/root/repo/target/release/deps/ablation_profiling_size-78579bd180b40992: crates/bench/src/bin/ablation_profiling_size.rs
+
+crates/bench/src/bin/ablation_profiling_size.rs:

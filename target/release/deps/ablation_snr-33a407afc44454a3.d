@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_snr-33a407afc44454a3.d: crates/bench/src/bin/ablation_snr.rs
+
+/root/repo/target/release/deps/ablation_snr-33a407afc44454a3: crates/bench/src/bin/ablation_snr.rs
+
+crates/bench/src/bin/ablation_snr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_cpa-c659208b3084fb8f.d: crates/bench/src/bin/baseline_cpa.rs
+
+/root/repo/target/release/deps/baseline_cpa-c659208b3084fb8f: crates/bench/src/bin/baseline_cpa.rs
+
+crates/bench/src/bin/baseline_cpa.rs:

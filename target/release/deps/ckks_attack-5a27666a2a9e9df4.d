@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ckks_attack-5a27666a2a9e9df4.d: crates/bench/src/bin/ckks_attack.rs
+
+/root/repo/target/release/deps/ckks_attack-5a27666a2a9e9df4: crates/bench/src/bin/ckks_attack.rs
+
+crates/bench/src/bin/ckks_attack.rs:

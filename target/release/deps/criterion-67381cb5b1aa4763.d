@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-67381cb5b1aa4763.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-67381cb5b1aa4763.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-67381cb5b1aa4763.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

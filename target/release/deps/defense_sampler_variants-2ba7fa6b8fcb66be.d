@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/defense_sampler_variants-2ba7fa6b8fcb66be.d: crates/bench/src/bin/defense_sampler_variants.rs
+
+/root/repo/target/release/deps/defense_sampler_variants-2ba7fa6b8fcb66be: crates/bench/src/bin/defense_sampler_variants.rs
+
+crates/bench/src/bin/defense_sampler_variants.rs:

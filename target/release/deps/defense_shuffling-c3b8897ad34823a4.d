@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/defense_shuffling-c3b8897ad34823a4.d: crates/bench/src/bin/defense_shuffling.rs
+
+/root/repo/target/release/deps/defense_shuffling-c3b8897ad34823a4: crates/bench/src/bin/defense_shuffling.rs
+
+crates/bench/src/bin/defense_shuffling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_recovery-49b483021b647e58.d: crates/bench/src/bin/end_to_end_recovery.rs
+
+/root/repo/target/release/deps/end_to_end_recovery-49b483021b647e58: crates/bench/src/bin/end_to_end_recovery.rs
+
+crates/bench/src/bin/end_to_end_recovery.rs:

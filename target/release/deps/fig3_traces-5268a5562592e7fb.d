@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_traces-5268a5562592e7fb.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/release/deps/fig3_traces-5268a5562592e7fb: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/keygen_attack-678f9d925ffb3c6f.d: crates/bench/src/bin/keygen_attack.rs
+
+/root/repo/target/release/deps/keygen_attack-678f9d925ffb3c6f: crates/bench/src/bin/keygen_attack.rs
+
+crates/bench/src/bin/keygen_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_modulus_attack-8e755005ee3dada5.d: crates/bench/src/bin/multi_modulus_attack.rs
+
+/root/repo/target/release/deps/multi_modulus_attack-8e755005ee3dada5: crates/bench/src/bin/multi_modulus_attack.rs
+
+crates/bench/src/bin/multi_modulus_attack.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/proptest-9eb9c505d15db0d6.d: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-9eb9c505d15db0d6.rlib: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-9eb9c505d15db0d6.rmeta: crates/proptest-shim/src/lib.rs crates/proptest-shim/src/arbitrary.rs crates/proptest-shim/src/collection.rs crates/proptest-shim/src/config.rs crates/proptest-shim/src/strategy.rs crates/proptest-shim/src/test_runner.rs
+
+crates/proptest-shim/src/lib.rs:
+crates/proptest-shim/src/arbitrary.rs:
+crates/proptest-shim/src/collection.rs:
+crates/proptest-shim/src/config.rs:
+crates/proptest-shim/src/strategy.rs:
+crates/proptest-shim/src/test_runner.rs:

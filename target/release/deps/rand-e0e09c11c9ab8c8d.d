@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-e0e09c11c9ab8c8d.d: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs
+
+/root/repo/target/release/deps/librand-e0e09c11c9ab8c8d.rlib: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs
+
+/root/repo/target/release/deps/librand-e0e09c11c9ab8c8d.rmeta: crates/rand-shim/src/lib.rs crates/rand-shim/src/distributions.rs crates/rand-shim/src/rngs.rs crates/rand-shim/src/seq.rs
+
+crates/rand-shim/src/lib.rs:
+crates/rand-shim/src/distributions.rs:
+crates/rand-shim/src/rngs.rs:
+crates/rand-shim/src/seq.rs:

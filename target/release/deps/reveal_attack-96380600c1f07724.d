@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/reveal_attack-96380600c1f07724.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+
+/root/repo/target/release/deps/libreveal_attack-96380600c1f07724.rlib: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+
+/root/repo/target/release/deps/libreveal_attack-96380600c1f07724.rmeta: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/config.rs:
+crates/attack/src/defense.rs:
+crates/attack/src/device.rs:
+crates/attack/src/profile.rs:
+crates/attack/src/recover.rs:
+crates/attack/src/report.rs:

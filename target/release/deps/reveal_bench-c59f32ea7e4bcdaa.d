@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reveal_bench-c59f32ea7e4bcdaa.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libreveal_bench-c59f32ea7e4bcdaa.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libreveal_bench-c59f32ea7e4bcdaa.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/reveal_bfv-0d9d27c4578c4352.d: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs
+
+/root/repo/target/release/deps/libreveal_bfv-0d9d27c4578c4352.rlib: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs
+
+/root/repo/target/release/deps/libreveal_bfv-0d9d27c4578c4352.rmeta: crates/bfv/src/lib.rs crates/bfv/src/context.rs crates/bfv/src/decryptor.rs crates/bfv/src/encoder.rs crates/bfv/src/encryptor.rs crates/bfv/src/evaluator.rs crates/bfv/src/keys.rs crates/bfv/src/params.rs crates/bfv/src/sampler.rs crates/bfv/src/serialization.rs crates/bfv/src/variants.rs
+
+crates/bfv/src/lib.rs:
+crates/bfv/src/context.rs:
+crates/bfv/src/decryptor.rs:
+crates/bfv/src/encoder.rs:
+crates/bfv/src/encryptor.rs:
+crates/bfv/src/evaluator.rs:
+crates/bfv/src/keys.rs:
+crates/bfv/src/params.rs:
+crates/bfv/src/sampler.rs:
+crates/bfv/src/serialization.rs:
+crates/bfv/src/variants.rs:

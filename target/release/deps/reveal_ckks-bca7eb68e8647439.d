@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/reveal_ckks-bca7eb68e8647439.d: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs
+
+/root/repo/target/release/deps/libreveal_ckks-bca7eb68e8647439.rlib: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs
+
+/root/repo/target/release/deps/libreveal_ckks-bca7eb68e8647439.rmeta: crates/ckks/src/lib.rs crates/ckks/src/complex.rs crates/ckks/src/encoder.rs crates/ckks/src/scheme.rs
+
+crates/ckks/src/lib.rs:
+crates/ckks/src/complex.rs:
+crates/ckks/src/encoder.rs:
+crates/ckks/src/scheme.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/reveal_hints-de27164641aaeb54.d: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs
+
+/root/repo/target/release/deps/libreveal_hints-de27164641aaeb54.rlib: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs
+
+/root/repo/target/release/deps/libreveal_hints-de27164641aaeb54.rmeta: crates/hints/src/lib.rs crates/hints/src/dbdd.rs crates/hints/src/delta.rs crates/hints/src/posterior.rs
+
+crates/hints/src/lib.rs:
+crates/hints/src/dbdd.rs:
+crates/hints/src/delta.rs:
+crates/hints/src/posterior.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/reveal_lattice-d8b1f140633ad186.d: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs
+
+/root/repo/target/release/deps/libreveal_lattice-d8b1f140633ad186.rlib: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs
+
+/root/repo/target/release/deps/libreveal_lattice-d8b1f140633ad186.rmeta: crates/lattice/src/lib.rs crates/lattice/src/bkz.rs crates/lattice/src/embedding.rs crates/lattice/src/enumeration.rs crates/lattice/src/gsa.rs crates/lattice/src/gso.rs crates/lattice/src/lll.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/bkz.rs:
+crates/lattice/src/embedding.rs:
+crates/lattice/src/enumeration.rs:
+crates/lattice/src/gsa.rs:
+crates/lattice/src/gso.rs:
+crates/lattice/src/lll.rs:

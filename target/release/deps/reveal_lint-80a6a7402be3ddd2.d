@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/reveal_lint-80a6a7402be3ddd2.d: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs
+
+/root/repo/target/release/deps/libreveal_lint-80a6a7402be3ddd2.rlib: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs
+
+/root/repo/target/release/deps/libreveal_lint-80a6a7402be3ddd2.rmeta: crates/lint/src/lib.rs crates/lint/src/analysis.rs crates/lint/src/report.rs crates/lint/src/taint.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/analysis.rs:
+crates/lint/src/report.rs:
+crates/lint/src/taint.rs:

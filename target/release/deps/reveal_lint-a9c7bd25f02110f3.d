@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reveal_lint-a9c7bd25f02110f3.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/reveal_lint-a9c7bd25f02110f3: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/reveal_math-8411fe41f0d7f75f.d: crates/math/src/lib.rs crates/math/src/arith.rs crates/math/src/bigint.rs crates/math/src/modulus.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs
+
+/root/repo/target/release/deps/libreveal_math-8411fe41f0d7f75f.rlib: crates/math/src/lib.rs crates/math/src/arith.rs crates/math/src/bigint.rs crates/math/src/modulus.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs
+
+/root/repo/target/release/deps/libreveal_math-8411fe41f0d7f75f.rmeta: crates/math/src/lib.rs crates/math/src/arith.rs crates/math/src/bigint.rs crates/math/src/modulus.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs
+
+crates/math/src/lib.rs:
+crates/math/src/arith.rs:
+crates/math/src/bigint.rs:
+crates/math/src/modulus.rs:
+crates/math/src/ntt.rs:
+crates/math/src/poly.rs:
+crates/math/src/primes.rs:
+crates/math/src/rns.rs:

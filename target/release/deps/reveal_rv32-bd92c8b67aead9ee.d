@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/reveal_rv32-bd92c8b67aead9ee.d: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs
+
+/root/repo/target/release/deps/libreveal_rv32-bd92c8b67aead9ee.rlib: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs
+
+/root/repo/target/release/deps/libreveal_rv32-bd92c8b67aead9ee.rmeta: crates/rv32/src/lib.rs crates/rv32/src/asm.rs crates/rv32/src/cfg.rs crates/rv32/src/cpu.rs crates/rv32/src/disasm.rs crates/rv32/src/isa.rs crates/rv32/src/kernel.rs crates/rv32/src/power.rs
+
+crates/rv32/src/lib.rs:
+crates/rv32/src/asm.rs:
+crates/rv32/src/cfg.rs:
+crates/rv32/src/cpu.rs:
+crates/rv32/src/disasm.rs:
+crates/rv32/src/isa.rs:
+crates/rv32/src/kernel.rs:
+crates/rv32/src/power.rs:

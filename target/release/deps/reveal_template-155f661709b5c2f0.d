@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/reveal_template-155f661709b5c2f0.d: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+/root/repo/target/release/deps/libreveal_template-155f661709b5c2f0.rlib: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+/root/repo/target/release/deps/libreveal_template-155f661709b5c2f0.rmeta: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+crates/template/src/lib.rs:
+crates/template/src/confusion.rs:
+crates/template/src/lda.rs:
+crates/template/src/matrix.rs:
+crates/template/src/scores.rs:
+crates/template/src/template.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_confusion-8b353267f6a919af.d: crates/bench/src/bin/table1_confusion.rs
+
+/root/repo/target/release/deps/table1_confusion-8b353267f6a919af: crates/bench/src/bin/table1_confusion.rs
+
+crates/bench/src/bin/table1_confusion.rs:

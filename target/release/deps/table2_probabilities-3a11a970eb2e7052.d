@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_probabilities-3a11a970eb2e7052.d: crates/bench/src/bin/table2_probabilities.rs
+
+/root/repo/target/release/deps/table2_probabilities-3a11a970eb2e7052: crates/bench/src/bin/table2_probabilities.rs
+
+crates/bench/src/bin/table2_probabilities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_hints_cost-495400cee0dce752.d: crates/bench/src/bin/table3_hints_cost.rs
+
+/root/repo/target/release/deps/table3_hints_cost-495400cee0dce752: crates/bench/src/bin/table3_hints_cost.rs
+
+crates/bench/src/bin/table3_hints_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_sign_only-fdeba7d9a31607dd.d: crates/bench/src/bin/table4_sign_only.rs
+
+/root/repo/target/release/deps/table4_sign_only-fdeba7d9a31607dd: crates/bench/src/bin/table4_sign_only.rs
+
+crates/bench/src/bin/table4_sign_only.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tvla_assessment-41140feac4790863.d: crates/bench/src/bin/tvla_assessment.rs
+
+/root/repo/target/release/deps/tvla_assessment-41140feac4790863: crates/bench/src/bin/tvla_assessment.rs
+
+crates/bench/src/bin/tvla_assessment.rs:

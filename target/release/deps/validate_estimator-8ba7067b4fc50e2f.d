@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_estimator-8ba7067b4fc50e2f.d: crates/bench/src/bin/validate_estimator.rs
+
+/root/repo/target/release/deps/validate_estimator-8ba7067b4fc50e2f: crates/bench/src/bin/validate_estimator.rs
+
+crates/bench/src/bin/validate_estimator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7ecf289ce501e95d.d: crates/attack/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7ecf289ce501e95d: crates/attack/../../examples/quickstart.rs
+
+crates/attack/../../examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libreveal_hints.rlib: /root/repo/crates/hints/src/dbdd.rs /root/repo/crates/hints/src/delta.rs /root/repo/crates/hints/src/lib.rs /root/repo/crates/hints/src/posterior.rs

@@ -15,18 +15,10 @@ fn toy_session(
     q: u64,
     t: u64,
     seed: u64,
-) -> (
-    BfvContext,
-    reveal_bfv::PublicKey,
-    Encryptor,
-    StdRng,
-) {
-    let parms = EncryptionParameters::new(
-        n,
-        vec![Modulus::new(q).unwrap()],
-        Modulus::new(t).unwrap(),
-    )
-    .unwrap();
+) -> (BfvContext, reveal_bfv::PublicKey, Encryptor, StdRng) {
+    let parms =
+        EncryptionParameters::new(n, vec![Modulus::new(q).unwrap()], Modulus::new(t).unwrap())
+            .unwrap();
     let ctx = BfvContext::new(parms).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
     let keygen = KeyGenerator::new(&ctx);
@@ -69,7 +61,11 @@ fn single_trace_to_plaintext_with_lattice_finisher() {
     let (recovered, u, trusted) =
         recover_adaptive(&ctx, &pk, &ct, &estimates, 0.85).expect("finisher must succeed");
     assert_eq!(u, wit.u, "the ternary encryption sample u is recovered");
-    assert_eq!(recovered.coeffs(), plain.coeffs(), "full plaintext recovery");
+    assert_eq!(
+        recovered.coeffs(),
+        plain.coeffs(),
+        "full plaintext recovery"
+    );
     assert!(trusted >= n / 3, "trusted {trusted} coefficients");
 }
 

@@ -8,7 +8,9 @@ use reveal_attack::{
     TrainedAttack,
 };
 use reveal_hints::{HintPolicy, LweParameters};
+use reveal_lint::{analyze_kernel, Rule};
 use reveal_rv32::power::PowerModelConfig;
+use reveal_rv32::{KernelVariant, SamplerKernel};
 use reveal_template::ConfusionMatrix;
 use reveal_trace::segment::{find_bursts, window_alignment_score};
 
@@ -25,8 +27,7 @@ fn segmentation_matches_ground_truth_windows() {
         let bursts = find_bursts(&cap.run.capture.samples, &config.segment).unwrap();
         // One burst per coefficient plus the epilogue burst.
         assert_eq!(bursts.len(), 64 + 1);
-        let score =
-            window_alignment_score(&bursts, &cap.run.coefficient_windows, 24);
+        let score = window_alignment_score(&bursts, &cap.run.coefficient_windows, 24);
         assert!(score > 0.95, "alignment score {score}");
         let windows = extract_ladder_windows(&cap.run.capture.samples, &config).unwrap();
         assert_eq!(windows.len(), 64);
@@ -36,11 +37,9 @@ fn segmentation_matches_ground_truth_windows() {
 #[test]
 fn confusion_matrix_reproduces_table_i_structure() {
     // Build a small-scale Table I and check its structural properties.
-    let device = Device::new(64, &[Q], PowerModelConfig::default().with_noise_sigma(0.05))
-        .unwrap();
+    let device = Device::new(64, &[Q], PowerModelConfig::default().with_noise_sigma(0.05)).unwrap();
     let mut rng = StdRng::seed_from_u64(2);
-    let attack =
-        TrainedAttack::profile(&device, 30, &AttackConfig::default(), &mut rng).unwrap();
+    let attack = TrainedAttack::profile(&device, 30, &AttackConfig::default(), &mut rng).unwrap();
     let mut cm = ConfusionMatrix::new();
     for _ in 0..12 {
         let cap = device.capture_fresh(&mut rng).unwrap();
@@ -54,8 +53,16 @@ fn confusion_matrix_reproduces_table_i_structure() {
     assert!(cm.total() > 500, "need data, got {}", cm.total());
     // Paper properties: 100% on the zero column, perfect sign separation,
     // negatives stronger than positives on the diagonal.
-    assert!(cm.column_percentage(0, 0) >= 99.0, "zero column {}", cm.column_percentage(0, 0));
-    assert!(cm.sign_accuracy() > 0.99, "sign accuracy {}", cm.sign_accuracy());
+    assert!(
+        cm.column_percentage(0, 0) >= 99.0,
+        "zero column {}",
+        cm.column_percentage(0, 0)
+    );
+    assert!(
+        cm.sign_accuracy() > 0.99,
+        "sign accuracy {}",
+        cm.sign_accuracy()
+    );
     let neg_diag: f64 = (1..=7).map(|v| cm.column_percentage(-v, -v)).sum::<f64>() / 7.0;
     let pos_diag: f64 = (1..=7).map(|v| cm.column_percentage(v, v)).sum::<f64>() / 7.0;
     assert!(
@@ -73,11 +80,9 @@ fn confusion_matrix_reproduces_table_i_structure() {
 #[test]
 fn hint_reports_order_correctly() {
     // Full hints < sign-only hints < baseline, on the same attack output.
-    let device = Device::new(64, &[Q], PowerModelConfig::default().with_noise_sigma(0.05))
-        .unwrap();
+    let device = Device::new(64, &[Q], PowerModelConfig::default().with_noise_sigma(0.05)).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
-    let attack =
-        TrainedAttack::profile(&device, 24, &AttackConfig::default(), &mut rng).unwrap();
+    let attack = TrainedAttack::profile(&device, 24, &AttackConfig::default(), &mut rng).unwrap();
     let cap = device.capture_fresh(&mut rng).unwrap();
     let result = attack
         .attack_trace_expecting(&cap.run.capture.samples, 64)
@@ -92,6 +97,30 @@ fn hint_reports_order_correctly() {
     assert!(full.with_hints.bikz <= sign_only.with_hints.bikz);
     assert!(sign_only.with_hints.bikz < full.baseline.bikz);
     assert_eq!(full.baseline.bikz, sign_only.baseline.bikz);
+}
+
+#[test]
+fn lint_gate_agrees_with_the_dynamic_attack() {
+    // The static analyzer's verdict must match what the rest of this suite
+    // demonstrates dynamically: the kernel the attack succeeds against is
+    // flagged (secret-dependent branches at the sign ladder), and the
+    // branchless rewrite — the paper's recommended fix — comes back clean.
+    let vulnerable = SamplerKernel::with_variant(64, &[Q], KernelVariant::Vulnerable).unwrap();
+    let report = analyze_kernel(&vulnerable);
+    assert!(
+        report.findings_for(Rule::L1SecretBranch).count() >= 2,
+        "lint gate must flag the Fig. 2 ladder:\n{}",
+        report.render_human()
+    );
+    assert!(!report.is_constant_time());
+
+    let branchless = SamplerKernel::with_variant(64, &[Q], KernelVariant::Branchless).unwrap();
+    let report = analyze_kernel(&branchless);
+    assert!(
+        report.is_constant_time(),
+        "the fixed sampler must pass the lint gate:\n{}",
+        report.render_human()
+    );
 }
 
 #[test]

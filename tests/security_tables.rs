@@ -2,16 +2,18 @@
 //! SEAL-128 parameters — estimator only, no trace simulation needed).
 
 use reveal_attack::rounded_gaussian_prior;
-use reveal_hints::{
-    integrate_posteriors, DbddInstance, HintPolicy, LweParameters, Posterior,
-};
+use reveal_hints::{integrate_posteriors, DbddInstance, HintPolicy, LweParameters, Posterior};
 
 #[test]
 fn table_iii_shape_at_full_scale() {
     let params = LweParameters::seal_128_paper();
     let baseline = DbddInstance::from_lwe(&params).estimate();
     // Paper: 382.25 bikz ≈ 2^128.
-    assert!((baseline.bikz - 382.25).abs() < 12.0, "baseline {:.2}", baseline.bikz);
+    assert!(
+        (baseline.bikz - 382.25).abs() < 12.0,
+        "baseline {:.2}",
+        baseline.bikz
+    );
 
     let mut hinted = DbddInstance::from_lwe(&params);
     for i in 0..1024 {
@@ -120,5 +122,8 @@ fn table_iv_guesses_row() {
     let with_guess = build(1);
     let delta = without_guess - with_guess;
     assert!(delta > 0.0, "a guess must help");
-    assert!(delta < 5.0, "one guess is worth well under 5 bikz, got {delta:.2}");
+    assert!(
+        delta < 5.0,
+        "one guess is worth well under 5 bikz, got {delta:.2}"
+    );
 }
