@@ -41,7 +41,8 @@ pub use config::AttackConfig;
 pub use defense::{evaluate_against_shuffling, DefenseEvaluation, ShuffledDevice};
 pub use device::{burst_iterations, Capture, Device};
 pub use profile::{
-    extract_ladder_windows, AttackError, CoefficientEstimate, SingleTraceAttack, TrainedAttack,
+    collect_profiling, extract_ladder_windows, AttackError, CoefficientEstimate, ProfilingData,
+    SingleTraceAttack, TrainedAttack,
 };
 pub use recover::{
     recover_adaptive, recover_message, recover_message_from_u, recover_message_partial,

@@ -3,8 +3,9 @@
 
 use crate::config::AttackConfig;
 use crate::device::Device;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use reveal_rv32::kernel::KernelError;
 use reveal_template::{CovarianceMode, ScoreTable, TemplateError, TemplateSet};
 use reveal_trace::poi::{select_pois, PoiError};
@@ -191,11 +192,92 @@ impl SingleTraceAttack {
     }
 }
 
+/// The labelled window sets one profiling campaign yields: the sign set plus
+/// the sign-conditional value sets, ready for [`TrainedAttack::fit`].
+#[derive(Debug, Clone)]
+pub struct ProfilingData {
+    /// Windows labelled by coefficient sign (−1, 0, +1).
+    pub sign_set: TraceSet,
+    /// Windows of positive coefficients, labelled by value.
+    pub pos_set: TraceSet,
+    /// Windows of negative coefficients, labelled by value.
+    pub neg_set: TraceSet,
+    /// Total windows that survived segmentation.
+    pub total_windows: usize,
+}
+
+/// Collects `runs` chosen-value profiling captures in parallel. Run `i` is a
+/// pure function of `(master_seed, i)`: its chosen values, its device noise
+/// and its timing variance all come from an [`StdRng`] seeded with
+/// [`reveal_par::derive_seed`]`(master_seed, i)` — never from a shared
+/// mutable generator — so the collected sets are identical whatever the
+/// thread count, and a run's data no longer depends on how much randomness
+/// earlier runs happened to consume.
+///
+/// # Errors
+///
+/// Propagates the first failing run's error (in run order). Runs whose
+/// segmentation finds the wrong window count are skipped, as a real
+/// adversary would re-capture.
+pub fn collect_profiling(
+    device: &Device,
+    runs: usize,
+    config: &AttackConfig,
+    master_seed: u64,
+) -> Result<ProfilingData, AttackError> {
+    let n = device.degree();
+    let labels = config.value_labels();
+    type RunYield = Result<Option<(Vec<i64>, Vec<Vec<f64>>)>, AttackError>;
+    let collected: Vec<RunYield> = reveal_par::par_map_index(runs, |run| {
+        let mut rng = StdRng::seed_from_u64(reveal_par::derive_seed(master_seed, run as u64));
+        // Balanced, shuffled chosen values; the per-run offset makes all
+        // classes appear across runs even when n < label count.
+        let mut values: Vec<i64> = (0..n)
+            .map(|i| labels[(i + run * n) % labels.len()])
+            .collect();
+        values.shuffle(&mut rng);
+        let capture = device.capture_chosen(&values, &mut rng)?;
+        let windows = extract_ladder_windows(&capture.run.capture.samples, config)?;
+        if windows.len() != n {
+            // Segmentation glitch: a real adversary would re-capture.
+            return Ok(None);
+        }
+        Ok(Some((values, windows)))
+    });
+
+    let mut data = ProfilingData {
+        sign_set: TraceSet::new(),
+        pos_set: TraceSet::new(),
+        neg_set: TraceSet::new(),
+        total_windows: 0,
+    };
+    for run_yield in collected {
+        let Some((values, windows)) = run_yield? else {
+            continue;
+        };
+        for (w, &v) in windows.into_iter().zip(&values) {
+            data.total_windows += 1;
+            data.sign_set.push(Trace::labelled(w.clone(), v.signum()));
+            if v > 0 {
+                data.pos_set.push(Trace::labelled(w, v));
+            } else if v < 0 {
+                data.neg_set.push(Trace::labelled(w, v));
+            }
+        }
+    }
+    Ok(data)
+}
+
 impl TrainedAttack {
     /// Profiles `device` with `runs` chosen-value captures and fits all
     /// template sets. Each run cycles through every value class in
     /// `[-value_range, value_range]` in shuffled positions, so classes stay
     /// balanced and position effects decorrelate.
+    ///
+    /// The supplied generator contributes exactly one `u64` — the master
+    /// seed handed to [`profile_seeded`](TrainedAttack::profile_seeded) —
+    /// so profiling is reproducible from the seed alone and runs in
+    /// parallel across `REVEAL_THREADS` workers.
     ///
     /// # Errors
     ///
@@ -207,37 +289,31 @@ impl TrainedAttack {
         config: &AttackConfig,
         rng: &mut R,
     ) -> Result<Self, AttackError> {
-        let n = device.degree();
-        let labels = config.value_labels();
-        let mut sign_set = TraceSet::new();
-        let mut pos_set = TraceSet::new();
-        let mut neg_set = TraceSet::new();
-        let mut total_windows = 0usize;
+        Self::profile_seeded(device, runs, config, rng.next_u64())
+    }
 
-        for run in 0..runs {
-            // Balanced, shuffled chosen values; the per-run offset makes all
-            // classes appear across runs even when n < label count.
-            let mut values: Vec<i64> = (0..n)
-                .map(|i| labels[(i + run * n) % labels.len()])
-                .collect();
-            values.shuffle(rng);
-            let capture = device.capture_chosen(&values, rng)?;
-            let windows = extract_ladder_windows(&capture.run.capture.samples, config)?;
-            if windows.len() != n {
-                // Segmentation glitch: a real adversary would re-capture.
-                continue;
-            }
-            for (w, &v) in windows.into_iter().zip(&values) {
-                total_windows += 1;
-                sign_set.push(Trace::labelled(w.clone(), v.signum()));
-                if v > 0 {
-                    pos_set.push(Trace::labelled(w, v));
-                } else if v < 0 {
-                    neg_set.push(Trace::labelled(w, v));
-                }
-            }
-        }
-        Self::fit(config.clone(), sign_set, pos_set, neg_set, total_windows)
+    /// Seed-explicit profiling: collects [`collect_profiling`]'s window sets
+    /// (in parallel, deterministically) and fits the templates. Two calls
+    /// with the same arguments produce bit-identical attackers at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrainedAttack::profile`].
+    pub fn profile_seeded(
+        device: &Device,
+        runs: usize,
+        config: &AttackConfig,
+        master_seed: u64,
+    ) -> Result<Self, AttackError> {
+        let data = collect_profiling(device, runs, config, master_seed)?;
+        Self::fit(
+            config.clone(),
+            data.sign_set,
+            data.pos_set,
+            data.neg_set,
+            data.total_windows,
+        )
     }
 
     /// Fits the template sets from already-windowed profiling data (used by
@@ -338,10 +414,12 @@ impl TrainedAttack {
     /// Fails when segmentation or classification fails.
     pub fn attack_trace(&self, samples: &[f64]) -> Result<SingleTraceAttack, AttackError> {
         let windows = extract_ladder_windows(samples, &self.config)?;
-        let mut coefficients = Vec::with_capacity(windows.len());
-        for w in &windows {
-            coefficients.push(self.attack_window(w)?);
-        }
+        // Each window's classification is independent; fan out across
+        // threads and keep trace order. The first failing window (in trace
+        // order) determines the error, matching the serial loop.
+        let coefficients = reveal_par::par_map(&windows, |w| self.attack_window(w))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(SingleTraceAttack { coefficients })
     }
 

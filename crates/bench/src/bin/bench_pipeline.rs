@@ -1,0 +1,236 @@
+//! **Pipeline timing harness**: wall-clock of each attack stage with the
+//! `reveal-par` runtime pinned to one worker vs the machine's full thread
+//! count, plus a bit-identity check between the two runs (the determinism
+//! contract of `docs/performance.md`).
+//!
+//! Emits `BENCH_pipeline.json` under `target/reveal/` with per-stage
+//! timings, speedups, the thread counts compared, and the workload scale.
+//! A committed copy lives in `docs/results/`.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin bench_pipeline`
+//! (honours `REVEAL_QUICK` / `REVEAL_FULL` and `REVEAL_THREADS`).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{
+    collect_profiling, report_full_attack, AttackConfig, Capture, Device, ProfilingData,
+    SingleTraceAttack, TrainedAttack,
+};
+use reveal_bench::{paper_device, write_artifact, Scale};
+use reveal_hints::{HintPolicy, LweParameters};
+use reveal_trace::cpa::cpa_rank;
+
+const MASTER_SEED: u64 = 0x5EA1_BE9C;
+
+/// One stage's measurements across the two thread settings.
+struct StageTiming {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl StageTiming {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+fn time_ms<R>(body: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let result = body();
+    (result, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Everything one full pipeline pass produces, for cross-run identity checks.
+struct PipelineOutput {
+    profiling: ProfilingData,
+    results: Vec<SingleTraceAttack>,
+    baseline_bikz: f64,
+    hinted_bikz: f64,
+    stage_ms: Vec<(&'static str, f64)>,
+}
+
+/// Runs every stage once under the *current* thread setting, timing each.
+/// The attack captures are passed in so both runs score identical traces.
+fn run_pipeline(
+    device: &Device,
+    config: &AttackConfig,
+    profile_runs: usize,
+    captures: &[Capture],
+    degree: usize,
+) -> PipelineOutput {
+    let mut stage_ms = Vec::new();
+
+    let (profiling, ms) = time_ms(|| {
+        collect_profiling(device, profile_runs, config, MASTER_SEED).expect("profiling collection")
+    });
+    stage_ms.push(("profile_collect", ms));
+
+    let data = profiling.clone();
+    let (attack, ms) = time_ms(|| {
+        TrainedAttack::fit(
+            config.clone(),
+            data.sign_set,
+            data.pos_set,
+            data.neg_set,
+            data.total_windows,
+        )
+        .expect("template fit")
+    });
+    stage_ms.push(("template_fit", ms));
+
+    let (results, ms) = time_ms(|| {
+        captures
+            .iter()
+            .map(|cap| {
+                attack
+                    .attack_trace_expecting(&cap.run.capture.samples, degree)
+                    .expect("single-trace attack")
+            })
+            .collect::<Vec<_>>()
+    });
+    stage_ms.push(("attack_traces", ms));
+
+    // CPA baseline over the first capture's windows — the multi-trace
+    // distinguisher the paper rules out, timed for completeness since its
+    // correlation loop also runs on the parallel runtime.
+    let windows: Vec<Vec<f64>> = captures
+        .iter()
+        .map(|cap| {
+            let all =
+                reveal_attack::extract_ladder_windows(&cap.run.capture.samples, config).unwrap();
+            all.into_iter().next().unwrap()
+        })
+        .collect();
+    let hypotheses: Vec<Vec<f64>> = (-14i64..=14)
+        .map(|c| vec![c.unsigned_abs() as f64; windows.len()])
+        .collect();
+    let (_, ms) = time_ms(|| cpa_rank(&windows, &hypotheses).expect("cpa"));
+    stage_ms.push(("cpa_rank", ms));
+
+    let (report, ms) = time_ms(|| {
+        report_full_attack(
+            &results[0],
+            &LweParameters::seal_128_paper(),
+            &HintPolicy::seal_paper(),
+        )
+        .expect("security report")
+    });
+    stage_ms.push(("security_report", ms));
+
+    PipelineOutput {
+        profiling,
+        results,
+        baseline_bikz: report.baseline.bikz,
+        hinted_bikz: report.with_hints.bikz,
+        stage_ms,
+    }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Standard => "standard",
+        Scale::Full => "full",
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (profile_runs, attack_runs, degree) = scale.attack_workload();
+    let parallel_threads = reveal_par::max_threads().max(2);
+
+    let device = paper_device(degree, 0.05);
+    let config = AttackConfig::default();
+
+    // Fixed attack captures, shared by both timed runs.
+    let mut rng = StdRng::seed_from_u64(MASTER_SEED ^ 1);
+    let captures: Vec<Capture> = (0..attack_runs)
+        .map(|_| device.capture_fresh(&mut rng).expect("capture"))
+        .collect();
+
+    println!(
+        "pipeline bench: scale={} n={degree} profile_runs={profile_runs} \
+         attack_runs={attack_runs} | serial=1 thread vs parallel={parallel_threads} threads",
+        scale_name(scale)
+    );
+
+    let serial = reveal_par::with_threads(1, || {
+        run_pipeline(&device, &config, profile_runs, &captures, degree)
+    });
+    let parallel = reveal_par::with_threads(parallel_threads, || {
+        run_pipeline(&device, &config, profile_runs, &captures, degree)
+    });
+
+    // Determinism contract: both runs must agree bit for bit.
+    let deterministic = serial.profiling.total_windows == parallel.profiling.total_windows
+        && serial.results == parallel.results
+        && serial.baseline_bikz.to_bits() == parallel.baseline_bikz.to_bits()
+        && serial.hinted_bikz.to_bits() == parallel.hinted_bikz.to_bits();
+
+    let stages: Vec<StageTiming> = serial
+        .stage_ms
+        .iter()
+        .zip(&parallel.stage_ms)
+        .map(|(&(name, s), &(_, p))| StageTiming {
+            name,
+            serial_ms: s,
+            parallel_ms: p,
+        })
+        .collect();
+    let total = StageTiming {
+        name: "total",
+        serial_ms: stages.iter().map(|s| s.serial_ms).sum(),
+        parallel_ms: stages.iter().map(|s| s.parallel_ms).sum(),
+    };
+
+    for stage in stages.iter().chain(std::iter::once(&total)) {
+        println!(
+            "  {:<16} serial {:>9.1} ms   {}-thread {:>9.1} ms   speedup {:.2}x",
+            stage.name,
+            stage.serial_ms,
+            parallel_threads,
+            stage.parallel_ms,
+            stage.speedup()
+        );
+    }
+    println!("  deterministic: {deterministic} (recovered coefficients and bikz bit-identical)");
+
+    let stage_json: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}",
+                s.name, s.serial_ms, s.parallel_ms, s.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"reveal-bench-pipeline/v1\",\n  \"scale\": \"{}\",\n  \"ring_degree\": {},\n  \"profile_runs\": {},\n  \"attack_runs\": {},\n  \"serial_threads\": 1,\n  \"parallel_threads\": {},\n  \"available_parallelism\": {},\n  \"deterministic\": {},\n  \"baseline_bikz\": {:.2},\n  \"with_hints_bikz\": {:.2},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n}}\n",
+        scale_name(scale),
+        degree,
+        profile_runs,
+        attack_runs,
+        parallel_threads,
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+        deterministic,
+        serial.baseline_bikz,
+        serial.hinted_bikz,
+        stage_json.join(",\n"),
+        total.serial_ms,
+        total.parallel_ms,
+        total.speedup()
+    );
+    write_artifact("BENCH_pipeline.json", &json);
+
+    assert!(
+        deterministic,
+        "parallel pipeline must match serial bit for bit"
+    );
+}

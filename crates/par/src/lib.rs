@@ -1,0 +1,320 @@
+#![forbid(unsafe_code)]
+
+//! # reveal-par
+//!
+//! A zero-dependency, **deterministic** data-parallel runtime for the RevEAL
+//! pipeline, built on [`std::thread::scope`]. The workspace has no crates.io
+//! access, so `rayon` is unavailable; the hot paths of a template attack are
+//! embarrassingly parallel per trace / per window, and this crate provides
+//! exactly the primitives they need.
+//!
+//! ## Determinism contract
+//!
+//! Every primitive returns results **in input order**, and every reduction
+//! combines partial results in a **fixed order** that depends only on the
+//! input length and the caller-chosen chunk size — never on the thread count
+//! or on scheduling. Consequently the output of any `reveal-par` call is
+//! bit-for-bit identical whether it runs on 1 thread or 64:
+//!
+//! - [`par_map`] / [`par_map_index`]: each element is a pure function of its
+//!   index; results are written back by index.
+//! - [`par_map_chunks`]: chunk boundaries are `chunk_size`-aligned and
+//!   independent of the thread count.
+//! - [`par_reduce`]: each chunk is folded left-to-right and chunk results are
+//!   combined left-to-right, so even non-associative floating-point
+//!   reductions are reproducible across thread counts.
+//!
+//! ## Thread-count resolution
+//!
+//! 1. a process-wide override set by [`with_threads`] (tests, benches),
+//! 2. the `REVEAL_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! ## Example
+//!
+//! ```
+//! let squares = reveal_par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! let sum = reveal_par::par_reduce(&squares, 2, 0u64, |a, &x| a + x, |a, b| a + b);
+//! assert_eq!(sum, 30);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread-count override (0 = unset). Written only under
+/// [`OVERRIDE_LOCK`] by [`with_threads`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`with_threads`] callers so concurrent tests cannot observe
+/// each other's override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The number of worker threads a parallel call will use: the
+/// [`with_threads`] override if active, else `REVEAL_THREADS`, else
+/// [`std::thread::available_parallelism`] (1 if unavailable).
+pub fn max_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("REVEAL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `body` with the thread count pinned to `threads`, restoring the
+/// previous setting afterwards. Callers are serialized process-wide, so two
+/// concurrent `with_threads` blocks (e.g. parallel tests) cannot leak their
+/// setting into each other. Results are unchanged by construction — this
+/// only controls how much hardware the work is spread over.
+pub fn with_threads<R>(threads: usize, body: impl FnOnce() -> R) -> R {
+    let guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let previous = THREAD_OVERRIDE.swap(threads.max(1), Ordering::Relaxed);
+    let result = body();
+    THREAD_OVERRIDE.store(previous, Ordering::Relaxed);
+    drop(guard);
+    result
+}
+
+/// Derives an independent 64-bit seed from a master seed and a task index
+/// (SplitMix64 finalizer over the golden-ratio sequence). Used to give every
+/// parallel task its own RNG stream: task `i`'s randomness depends only on
+/// `(master, i)`, never on how much randomness other tasks consumed — the
+/// root fix for order-dependent collection.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Core executor: evaluates `task(0..count)` on up to [`max_threads`]
+/// scoped workers and returns the results in index order. Work is claimed
+/// dynamically (an atomic cursor), but since every task is a pure function
+/// of its index and results are placed by index, scheduling cannot affect
+/// the output.
+fn run_indexed<R: Send>(count: usize, task: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
+    let threads = max_threads().min(count);
+    if threads <= 1 {
+        return (0..count).map(task).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        produced.push((index, task(index)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(bucket) => bucket,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    for bucket in buckets {
+        for (index, value) in bucket {
+            slots[index] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Intended for coarse tasks (a device capture, a trace segmentation, a
+/// candidate's full correlation sweep); for element counts in the millions
+/// prefer [`par_map_chunks`] to amortize the per-task claim.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    run_indexed(items.len(), &|i| f(&items[i]))
+}
+
+/// Maps `f` over `0..count` in parallel, returning results in index order.
+pub fn par_map_index<R: Send>(count: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    run_indexed(count, &f)
+}
+
+/// Splits `items` into `chunk_size`-aligned chunks (the last may be short),
+/// maps `f(chunk_index, chunk)` over them in parallel, and returns one result
+/// per chunk in chunk order. Chunk boundaries depend only on `items.len()`
+/// and `chunk_size`, never on the thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_map_chunks<T: Sync, R: Send>(
+    items: &[T],
+    chunk_size: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunk_count = items.len().div_ceil(chunk_size);
+    run_indexed(chunk_count, &|c| {
+        let lo = c * chunk_size;
+        let hi = (lo + chunk_size).min(items.len());
+        f(c, &items[lo..hi])
+    })
+}
+
+/// Deterministic parallel reduction: folds each `chunk_size`-aligned chunk
+/// left-to-right from a fresh `identity`, then combines the chunk results
+/// left-to-right (again from `identity`). The combining order is fixed by
+/// the chunking alone, so floating-point reductions are bit-identical across
+/// thread counts. For associative-exact operations (integer sums, set
+/// unions) the result equals the plain serial fold.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_reduce<T: Sync, A: Send + Sync + Clone>(
+    items: &[T],
+    chunk_size: usize,
+    identity: A,
+    fold: impl Fn(A, &T) -> A + Sync,
+    combine: impl Fn(A, A) -> A,
+) -> A {
+    let partials = par_map_chunks(items, chunk_size, |_, chunk| {
+        chunk.iter().fold(identity.clone(), &fold)
+    });
+    partials.into_iter().fold(identity, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = with_threads(threads, || par_map(&items, |&x| x * 3 + 1));
+            assert_eq!(out, items.iter().map(|&x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_index_matches_serial() {
+        for threads in [1, 4] {
+            let out = with_threads(threads, || par_map_index(257, |i| i * i));
+            assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_are_thread_independent() {
+        let items: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let reference = with_threads(1, || {
+            par_reduce(&items, 512, 0.0f64, |a, &x| a + x, |a, b| a + b)
+        });
+        for threads in [2, 3, 5, 8] {
+            let sum = with_threads(threads, || {
+                par_reduce(&items, 512, 0.0f64, |a, &x| a + x, |a, b| a + b)
+            });
+            // Bit-for-bit, not approximately: the combining order is fixed.
+            assert_eq!(sum.to_bits(), reference.to_bits(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_covers_everything_once() {
+        let items: Vec<usize> = (0..103).collect();
+        let chunks = with_threads(4, || {
+            par_map_chunks(&items, 10, |c, chunk| (c, chunk.to_vec()))
+        });
+        assert_eq!(chunks.len(), 11);
+        let mut rebuilt = Vec::new();
+        for (i, (c, chunk)) in chunks.into_iter().enumerate() {
+            assert_eq!(c, i);
+            rebuilt.extend(chunk);
+        }
+        assert_eq!(rebuilt, items);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map_index(0, |i| i), Vec::<usize>::new());
+        assert_eq!(
+            par_reduce(&[] as &[i64], 8, 7i64, |a, &x| a + x, |a, b| a + b),
+            7
+        );
+    }
+
+    #[test]
+    fn derived_seeds_decorrelate_tasks() {
+        let seeds: Vec<u64> = (0..100).map(|i| derive_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "collisions in derived seeds");
+        // Different masters give different streams.
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn with_threads_restores_previous_setting() {
+        let outer = max_threads();
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            // Nesting is allowed; the inner value wins, then unwinds.
+        });
+        assert_eq!(max_threads(), outer);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_par_map_equals_serial(
+            items in proptest::collection::vec(-1_000_000i64..1_000_000, 0..300),
+            threads in 1usize..9,
+        ) {
+            let serial: Vec<i64> = items.iter().map(|&x| x.wrapping_mul(31) ^ 7).collect();
+            let parallel = with_threads(threads, || par_map(&items, |&x| x.wrapping_mul(31) ^ 7));
+            prop_assert_eq!(parallel, serial);
+        }
+
+        #[test]
+        fn prop_par_reduce_equals_serial_fold(
+            items in proptest::collection::vec(-1_000_000i64..1_000_000, 0..300),
+            threads in 1usize..9,
+            chunk in 1usize..64,
+        ) {
+            let serial = items.iter().fold(0i64, |a, &x| a.wrapping_add(x));
+            let parallel = with_threads(threads, || {
+                par_reduce(
+                    &items,
+                    chunk,
+                    0i64,
+                    |a, &x| a.wrapping_add(x),
+                    |a, b| a.wrapping_add(b),
+                )
+            });
+            prop_assert_eq!(parallel, serial);
+        }
+    }
+}

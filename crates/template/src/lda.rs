@@ -4,7 +4,9 @@
 //! samples, project whole windows onto the few directions that maximize
 //! between-class over within-class scatter.
 
-use crate::matrix::{regularize, symmetric_eigen, Cholesky, MatrixError};
+use crate::matrix::{
+    mat_mul, mat_mul_transpose_right, regularize, symmetric_eigen, Cholesky, MatrixError,
+};
 use reveal_trace::TraceSet;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -48,6 +50,11 @@ impl From<MatrixError> for LdaError {
         LdaError::Matrix(e)
     }
 }
+
+/// Observations per parallel partial-scatter chunk. Fixed (never derived
+/// from the thread count) so the merge order — hence every bit of the fitted
+/// projection — is identical for any `REVEAL_THREADS`.
+const SCATTER_CHUNK: usize = 64;
 
 /// A fitted LDA projection (rows of `matrix` are the discriminant
 /// directions in input space).
@@ -113,17 +120,30 @@ impl LdaProjection {
             }
             class_means.insert(label, mean);
         }
-        // Within-class scatter S_w and between-class scatter S_b.
-        let mut sw = vec![0.0; dim * dim];
-        for (&label, rows) in &by_class {
-            let mean = &class_means[&label];
-            for v in rows {
-                for r in 0..dim {
-                    let dr = v[r] - mean[r];
-                    for c in 0..dim {
-                        sw[r * dim + c] += dr * (v[c] - mean[c]);
+        // Within-class scatter S_w: each observation's outer product is
+        // independent, so chunks of observations accumulate partial scatters
+        // in parallel and merge in chunk order. Chunk boundaries are fixed
+        // (not thread-dependent), so the sum — and every result downstream —
+        // is bit-identical for any `REVEAL_THREADS`.
+        let partial_scatters =
+            reveal_par::par_map_chunks(observations, SCATTER_CHUNK, |_, chunk| {
+                let mut local = vec![0.0; dim * dim];
+                for (label, v) in chunk {
+                    let mean = &class_means[label];
+                    for r in 0..dim {
+                        let dr = v[r] - mean[r];
+                        let row = &mut local[r * dim..(r + 1) * dim];
+                        for ((slot, x), m) in row.iter_mut().zip(v).zip(mean) {
+                            *slot += dr * (x - m);
+                        }
                     }
                 }
+                local
+            });
+        let mut sw = vec![0.0; dim * dim];
+        for partial in partial_scatters {
+            for (acc, x) in sw.iter_mut().zip(&partial) {
+                *acc += x;
             }
         }
         let mut sb = vec![0.0; dim * dim];
@@ -143,24 +163,24 @@ impl LdaProjection {
         // back-transform the eigenvectors with w = L⁻ᵀ u.
         let _ = Cholesky::new(&sw, dim)?; // surfaces non-SPD scatter early
         let l = lower_factor(&sw, dim);
-        // B = L⁻¹ S_b (column-wise forward substitution).
-        let mut b = vec![0.0; dim * dim];
-        for col in 0..dim {
-            let col_vec: Vec<f64> = (0..dim).map(|r| sb[r * dim + col]).collect();
-            let y = forward_substitute(&l, dim, &col_vec);
-            for r in 0..dim {
-                b[r * dim + col] = y[r];
+        // Invert L once (column-wise forward substitution, parallel over
+        // columns), then form M with the two cache-friendly products: B =
+        // L⁻¹·S_b walks rows contiguously in i-k-j order, and B·L⁻ᵀ scans
+        // two contiguous rows per inner product instead of striding columns.
+        let linv_columns = reveal_par::par_map_index(dim, |j| {
+            let mut unit = vec![0.0; dim];
+            unit[j] = 1.0;
+            forward_substitute(&l, dim, &unit)
+        });
+        let mut linv = vec![0.0; dim * dim];
+        for (j, column) in linv_columns.iter().enumerate() {
+            for r in j..dim {
+                linv[r * dim + j] = column[r];
             }
         }
-        // M = B L⁻ᵀ: Mᵀ = L⁻¹ Bᵀ, i.e. forward-substitute each row of B.
-        let mut m = vec![0.0; dim * dim];
-        for row in 0..dim {
-            let row_vec: Vec<f64> = (0..dim).map(|c| b[row * dim + c]).collect();
-            let y = forward_substitute(&l, dim, &row_vec);
-            for c in 0..dim {
-                m[row * dim + c] = y[c];
-            }
-        }
+        let b = mat_mul(&linv, &sb, dim);
+        let m = mat_mul_transpose_right(&b, &linv, dim);
+        let mut m = m;
         // Symmetrize against numerical drift, then eigen-decompose.
         for r in 0..dim {
             for c in r + 1..dim {
@@ -203,6 +223,16 @@ impl LdaProjection {
     /// Number of discriminant components.
     pub fn components(&self) -> usize {
         self.components.len()
+    }
+
+    /// Projects a batch of observations, parallel over observations; output
+    /// order matches input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn project_batch<S: AsRef<[f64]> + Sync>(&self, observations: &[S]) -> Vec<Vec<f64>> {
+        reveal_par::par_map(observations, |o| self.project(o.as_ref()))
     }
 
     /// Projects an observation onto the discriminant directions.
@@ -351,6 +381,24 @@ mod tests {
             hits += (best == *l) as usize;
         }
         assert!(hits as f64 / data.len() as f64 > 0.97);
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        let mut data = clustered(0, &[0.0, 3.0, -1.0, 0.5], 90, 0.6);
+        data.extend(clustered(1, &[2.5, 3.0, -1.0, 0.5], 90, 0.6));
+        data.extend(clustered(2, &[0.0, 0.0, 2.0, 0.5], 90, 0.6));
+        let reference = reveal_par::with_threads(1, || LdaProjection::fit(&data, 2, 1e-6).unwrap());
+        for threads in [2, 4, 8] {
+            let fitted =
+                reveal_par::with_threads(threads, || LdaProjection::fit(&data, 2, 1e-6).unwrap());
+            assert_eq!(fitted, reference, "threads {threads}");
+        }
+        // Batch projection equals the serial loop, in order.
+        let observations: Vec<Vec<f64>> = data.iter().map(|(_, v)| v.clone()).collect();
+        let serial: Vec<Vec<f64>> = observations.iter().map(|o| reference.project(o)).collect();
+        let batch = reveal_par::with_threads(4, || reference.project_batch(&observations));
+        assert_eq!(batch, serial);
     }
 
     #[test]

@@ -256,6 +256,23 @@ impl TemplateSet {
         }
         Ok(ScoreTable::from_log_likelihoods(scores))
     }
+
+    /// Classifies a batch of observations, parallel over observations via
+    /// `reveal-par`; scores come back in input order, and the first failing
+    /// observation (in input order) determines the error — exactly the
+    /// serial loop's behavior.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch of any observation.
+    pub fn classify_batch<S: AsRef<[f64]> + Sync>(
+        &self,
+        observations: &[S],
+    ) -> Result<Vec<ScoreTable>, TemplateError> {
+        reveal_par::par_map(observations, |o| self.classify(o.as_ref()))
+            .into_iter()
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -76,33 +76,30 @@ pub fn cpa_rank(traces: &[Vec<f64>], hypotheses: &[Vec<f64>]) -> Result<Vec<CpaS
             });
         }
     }
-    // Column-major view of the traces for per-sample correlation.
-    let mut columns = vec![vec![0.0; traces.len()]; len];
-    for (t, trace) in traces.iter().enumerate() {
-        for (s, &v) in trace.iter().enumerate() {
-            columns[s][t] = v;
+    // Column-major view of the traces for per-sample correlation; the
+    // transpose is parallel over sample columns (each column is independent).
+    let columns: Vec<Vec<f64>> =
+        reveal_par::par_map_index(len, |s| traces.iter().map(|t| t[s]).collect());
+    // One candidate's correlation sweep is independent of every other's, so
+    // candidates fan out across threads; scores come back in candidate order
+    // and the later sort is stable, keeping the ranking deterministic.
+    let mut scores: Vec<CpaScore> = reveal_par::par_map_index(hypotheses.len(), |candidate| {
+        let hyp = &hypotheses[candidate];
+        let mut peak = 0.0f64;
+        let mut peak_sample = 0usize;
+        for (s, col) in columns.iter().enumerate() {
+            let r = pearson_correlation(col, hyp).abs();
+            if r > peak {
+                peak = r;
+                peak_sample = s;
+            }
         }
-    }
-    let mut scores: Vec<CpaScore> = hypotheses
-        .iter()
-        .enumerate()
-        .map(|(candidate, hyp)| {
-            let mut peak = 0.0f64;
-            let mut peak_sample = 0usize;
-            for (s, col) in columns.iter().enumerate() {
-                let r = pearson_correlation(col, hyp).abs();
-                if r > peak {
-                    peak = r;
-                    peak_sample = s;
-                }
-            }
-            CpaScore {
-                candidate,
-                peak_correlation: peak,
-                peak_sample,
-            }
-        })
-        .collect();
+        CpaScore {
+            candidate,
+            peak_correlation: peak,
+            peak_sample,
+        }
+    });
     scores.sort_by(|a, b| {
         b.peak_correlation
             .partial_cmp(&a.peak_correlation)
@@ -210,6 +207,19 @@ mod tests {
         // peak level drops, the true peak stays.
         assert!(strong > 0.2);
         let _ = weak; // small-sample case may or may not succeed — by design
+    }
+
+    #[test]
+    fn parallel_ranking_is_thread_count_invariant() {
+        let secret = 0x5Au8;
+        let inputs: Vec<u8> = (0..120u32).map(|i| (i * 29 + 3) as u8).collect();
+        let traces = synth_traces(secret, &inputs, 0.4);
+        let hyps = hypotheses_for(&inputs);
+        let reference = reveal_par::with_threads(1, || cpa_rank(&traces, &hyps).unwrap());
+        for threads in [2, 4, 8] {
+            let ranked = reveal_par::with_threads(threads, || cpa_rank(&traces, &hyps).unwrap());
+            assert_eq!(ranked, reference, "threads {threads}");
+        }
     }
 
     #[test]

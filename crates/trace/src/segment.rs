@@ -219,6 +219,31 @@ pub fn segment_windows(
     Ok(windows)
 }
 
+/// Segments many traces at once, one [`segment_windows`] call per trace,
+/// parallelized over traces with `reveal-par`. Results come back in input
+/// order and are bit-identical to the serial loop for any thread count.
+pub fn segment_windows_batch<S: AsRef<[f64]> + Sync>(
+    traces: &[S],
+    config: &SegmentConfig,
+) -> Vec<Result<Vec<(usize, usize)>, SegmentError>> {
+    reveal_par::par_map(traces, |t| segment_windows(t.as_ref(), config))
+}
+
+/// Burst detection over many traces ([`find_bursts`] + [`refine_burst_ends`]
+/// per trace), parallelized over traces with `reveal-par`. This is the
+/// per-trace front half of the attack pipeline; batching it lets a capture
+/// campaign segment as fast as the hardware allows.
+pub fn refined_bursts_batch<S: AsRef<[f64]> + Sync>(
+    traces: &[S],
+    config: &SegmentConfig,
+) -> Vec<Result<Vec<(usize, usize)>, SegmentError>> {
+    reveal_par::par_map(traces, |t| {
+        let samples = t.as_ref();
+        let bursts = find_bursts(samples, config)?;
+        Ok(refine_burst_ends(samples, &bursts, config))
+    })
+}
+
 /// Compares detected windows with ground truth: the fraction of true windows
 /// whose detected counterpart starts within `tolerance` samples.
 pub fn window_alignment_score(
@@ -322,6 +347,30 @@ mod tests {
             find_bursts(&flat, &SegmentConfig::default()),
             Err(SegmentError::NoPeaksFound)
         );
+    }
+
+    #[test]
+    fn batch_segmentation_matches_serial_for_any_thread_count() {
+        let traces: Vec<Vec<f64>> = (0..12)
+            .map(|k| {
+                synthetic_trace(
+                    &[(50 + k, 120 + k), (300, 370), (600, 660)],
+                    900,
+                    1.0,
+                    4.0 + k as f64 * 0.1,
+                )
+            })
+            .collect();
+        let config = SegmentConfig::default();
+        let serial: Vec<_> = traces.iter().map(|t| segment_windows(t, &config)).collect();
+        for threads in [1, 4] {
+            let batch =
+                reveal_par::with_threads(threads, || segment_windows_batch(&traces, &config));
+            assert_eq!(batch, serial, "threads {threads}");
+        }
+        let refined = reveal_par::with_threads(4, || refined_bursts_batch(&traces, &config));
+        assert_eq!(refined.len(), traces.len());
+        assert!(refined.iter().all(|r| r.as_ref().unwrap().len() == 3));
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lda-a24e21558477e7d4.d: crates/bench/src/bin/ablation_lda.rs
+
+/root/repo/target/debug/deps/ablation_lda-a24e21558477e7d4: crates/bench/src/bin/ablation_lda.rs
+
+crates/bench/src/bin/ablation_lda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lda-efb242e7ec6406c9.d: crates/bench/src/bin/ablation_lda.rs
+
+/root/repo/target/debug/deps/ablation_lda-efb242e7ec6406c9: crates/bench/src/bin/ablation_lda.rs
+
+crates/bench/src/bin/ablation_lda.rs:

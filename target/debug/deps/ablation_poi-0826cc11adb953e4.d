@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_poi-0826cc11adb953e4.d: crates/bench/src/bin/ablation_poi.rs
+
+/root/repo/target/debug/deps/ablation_poi-0826cc11adb953e4: crates/bench/src/bin/ablation_poi.rs
+
+crates/bench/src/bin/ablation_poi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_poi-c38b446b277fe784.d: crates/bench/src/bin/ablation_poi.rs
+
+/root/repo/target/debug/deps/ablation_poi-c38b446b277fe784: crates/bench/src/bin/ablation_poi.rs
+
+crates/bench/src/bin/ablation_poi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_profiling_size-0c7a02f04e5686af.d: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_profiling_size-0c7a02f04e5686af.rmeta: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_profiling_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_profiling_size-d485714b5af220d5.d: crates/bench/src/bin/ablation_profiling_size.rs
+
+/root/repo/target/debug/deps/ablation_profiling_size-d485714b5af220d5: crates/bench/src/bin/ablation_profiling_size.rs
+
+crates/bench/src/bin/ablation_profiling_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_profiling_size-f7ca3ea0f7a621a8.d: crates/bench/src/bin/ablation_profiling_size.rs
+
+/root/repo/target/debug/deps/ablation_profiling_size-f7ca3ea0f7a621a8: crates/bench/src/bin/ablation_profiling_size.rs
+
+crates/bench/src/bin/ablation_profiling_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_snr-37de4a1429eb5db3.d: crates/bench/src/bin/ablation_snr.rs
+
+/root/repo/target/debug/deps/ablation_snr-37de4a1429eb5db3: crates/bench/src/bin/ablation_snr.rs
+
+crates/bench/src/bin/ablation_snr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_snr-d036d1c1a7fc91bf.d: crates/bench/src/bin/ablation_snr.rs
+
+/root/repo/target/debug/deps/ablation_snr-d036d1c1a7fc91bf: crates/bench/src/bin/ablation_snr.rs
+
+crates/bench/src/bin/ablation_snr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_cpa-bef8ae6ed83c11ff.d: crates/bench/src/bin/baseline_cpa.rs
+
+/root/repo/target/debug/deps/baseline_cpa-bef8ae6ed83c11ff: crates/bench/src/bin/baseline_cpa.rs
+
+crates/bench/src/bin/baseline_cpa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_cpa-ef657a177f6b8de7.d: crates/bench/src/bin/baseline_cpa.rs
+
+/root/repo/target/debug/deps/baseline_cpa-ef657a177f6b8de7: crates/bench/src/bin/baseline_cpa.rs
+
+crates/bench/src/bin/baseline_cpa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pipeline-8cf1d6217281112e.d: crates/bench/src/bin/bench_pipeline.rs
+
+/root/repo/target/debug/deps/bench_pipeline-8cf1d6217281112e: crates/bench/src/bin/bench_pipeline.rs
+
+crates/bench/src/bin/bench_pipeline.rs:

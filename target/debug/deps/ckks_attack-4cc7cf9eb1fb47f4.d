@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ckks_attack-4cc7cf9eb1fb47f4.d: crates/bench/src/bin/ckks_attack.rs
+
+/root/repo/target/debug/deps/ckks_attack-4cc7cf9eb1fb47f4: crates/bench/src/bin/ckks_attack.rs
+
+crates/bench/src/bin/ckks_attack.rs:

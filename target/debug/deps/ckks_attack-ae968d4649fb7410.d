@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ckks_attack-ae968d4649fb7410.d: crates/bench/src/bin/ckks_attack.rs
+
+/root/repo/target/debug/deps/ckks_attack-ae968d4649fb7410: crates/bench/src/bin/ckks_attack.rs
+
+crates/bench/src/bin/ckks_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_sampler_variants-8e517bac13e502ac.d: crates/bench/src/bin/defense_sampler_variants.rs
+
+/root/repo/target/debug/deps/defense_sampler_variants-8e517bac13e502ac: crates/bench/src/bin/defense_sampler_variants.rs
+
+crates/bench/src/bin/defense_sampler_variants.rs:

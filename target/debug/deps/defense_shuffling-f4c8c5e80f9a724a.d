@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_shuffling-f4c8c5e80f9a724a.d: crates/bench/src/bin/defense_shuffling.rs
+
+/root/repo/target/debug/deps/defense_shuffling-f4c8c5e80f9a724a: crates/bench/src/bin/defense_shuffling.rs
+
+crates/bench/src/bin/defense_shuffling.rs:

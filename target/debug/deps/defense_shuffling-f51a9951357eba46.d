@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_shuffling-f51a9951357eba46.d: crates/bench/src/bin/defense_shuffling.rs
+
+/root/repo/target/debug/deps/defense_shuffling-f51a9951357eba46: crates/bench/src/bin/defense_shuffling.rs
+
+crates/bench/src/bin/defense_shuffling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8fcf86d2b1844911.d: crates/attack/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8fcf86d2b1844911: crates/attack/../../tests/end_to_end.rs
+
+crates/attack/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_recovery-16519a7134b21452.d: crates/bench/src/bin/end_to_end_recovery.rs
+
+/root/repo/target/debug/deps/end_to_end_recovery-16519a7134b21452: crates/bench/src/bin/end_to_end_recovery.rs
+
+crates/bench/src/bin/end_to_end_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_recovery-62db1fb0095e00a7.d: crates/bench/src/bin/end_to_end_recovery.rs
+
+/root/repo/target/debug/deps/end_to_end_recovery-62db1fb0095e00a7: crates/bench/src/bin/end_to_end_recovery.rs
+
+crates/bench/src/bin/end_to_end_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-34bf7f191da54bda.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-34bf7f191da54bda: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-cb45fb88ab88b47b.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-cb45fb88ab88b47b: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hints-3e564b019a831ba2.d: crates/bench/benches/hints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhints-3e564b019a831ba2.rmeta: crates/bench/benches/hints.rs Cargo.toml
+
+crates/bench/benches/hints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

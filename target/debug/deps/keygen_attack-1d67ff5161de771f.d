@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keygen_attack-1d67ff5161de771f.d: crates/bench/src/bin/keygen_attack.rs
+
+/root/repo/target/debug/deps/keygen_attack-1d67ff5161de771f: crates/bench/src/bin/keygen_attack.rs
+
+crates/bench/src/bin/keygen_attack.rs:

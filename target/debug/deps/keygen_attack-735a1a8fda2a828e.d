@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keygen_attack-735a1a8fda2a828e.d: crates/bench/src/bin/keygen_attack.rs
+
+/root/repo/target/debug/deps/keygen_attack-735a1a8fda2a828e: crates/bench/src/bin/keygen_attack.rs
+
+crates/bench/src/bin/keygen_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lattice-6cb81a160e0ec294.d: crates/bench/benches/lattice.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblattice-6cb81a160e0ec294.rmeta: crates/bench/benches/lattice.rs Cargo.toml
+
+crates/bench/benches/lattice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

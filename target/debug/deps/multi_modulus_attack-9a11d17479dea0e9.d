@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_modulus_attack-9a11d17479dea0e9.d: crates/bench/src/bin/multi_modulus_attack.rs
+
+/root/repo/target/debug/deps/multi_modulus_attack-9a11d17479dea0e9: crates/bench/src/bin/multi_modulus_attack.rs
+
+crates/bench/src/bin/multi_modulus_attack.rs:

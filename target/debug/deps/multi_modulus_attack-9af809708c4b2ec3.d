@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_modulus_attack-9af809708c4b2ec3.d: crates/bench/src/bin/multi_modulus_attack.rs
+
+/root/repo/target/debug/deps/multi_modulus_attack-9af809708c4b2ec3: crates/bench/src/bin/multi_modulus_attack.rs
+
+crates/bench/src/bin/multi_modulus_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-3c5c6fb6507768ac.d: crates/attack/../../tests/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-3c5c6fb6507768ac: crates/attack/../../tests/par_determinism.rs
+
+crates/attack/../../tests/par_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/par_determinism-80b2aab610f7682e.d: crates/attack/../../tests/par_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar_determinism-80b2aab610f7682e.rmeta: crates/attack/../../tests/par_determinism.rs Cargo.toml
+
+crates/attack/../../tests/par_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-59292dd7e215fddc.d: crates/attack/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-59292dd7e215fddc.rmeta: crates/attack/../../tests/pipeline.rs Cargo.toml
+
+crates/attack/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

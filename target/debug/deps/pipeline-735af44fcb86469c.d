@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-735af44fcb86469c.d: crates/attack/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-735af44fcb86469c: crates/attack/../../tests/pipeline.rs
+
+crates/attack/../../tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reveal_bench-07c90e1ca7898b3e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_bench-07c90e1ca7898b3e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

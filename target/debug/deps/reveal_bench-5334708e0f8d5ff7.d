@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reveal_bench-5334708e0f8d5ff7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/reveal_bench-5334708e0f8d5ff7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

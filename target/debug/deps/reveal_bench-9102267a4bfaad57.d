@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reveal_bench-9102267a4bfaad57.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/reveal_bench-9102267a4bfaad57: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

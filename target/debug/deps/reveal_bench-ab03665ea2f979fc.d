@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reveal_bench-ab03665ea2f979fc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_bench-ab03665ea2f979fc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_bench-ab03665ea2f979fc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

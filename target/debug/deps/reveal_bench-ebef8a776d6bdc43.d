@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reveal_bench-ebef8a776d6bdc43.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_bench-ebef8a776d6bdc43.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_bench-ebef8a776d6bdc43.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

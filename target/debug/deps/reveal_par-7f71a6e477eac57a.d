@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reveal_par-7f71a6e477eac57a.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/reveal_par-7f71a6e477eac57a: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

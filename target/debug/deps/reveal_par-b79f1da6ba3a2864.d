@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reveal_par-b79f1da6ba3a2864.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_par-b79f1da6ba3a2864.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_par-b79f1da6ba3a2864.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

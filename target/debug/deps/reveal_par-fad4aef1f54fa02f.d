@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reveal_par-fad4aef1f54fa02f.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_par-fad4aef1f54fa02f.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

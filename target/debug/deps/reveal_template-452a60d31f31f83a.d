@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reveal_template-452a60d31f31f83a.d: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+/root/repo/target/debug/deps/reveal_template-452a60d31f31f83a: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+crates/template/src/lib.rs:
+crates/template/src/confusion.rs:
+crates/template/src/lda.rs:
+crates/template/src/matrix.rs:
+crates/template/src/scores.rs:
+crates/template/src/template.rs:

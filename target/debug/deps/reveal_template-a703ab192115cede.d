@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/reveal_template-a703ab192115cede.d: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_template-a703ab192115cede.rmeta: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs Cargo.toml
+
+crates/template/src/lib.rs:
+crates/template/src/confusion.rs:
+crates/template/src/lda.rs:
+crates/template/src/matrix.rs:
+crates/template/src/scores.rs:
+crates/template/src/template.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reveal_template-b1ef7a6eccba4086.d: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+/root/repo/target/debug/deps/libreveal_template-b1ef7a6eccba4086.rlib: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+/root/repo/target/debug/deps/libreveal_template-b1ef7a6eccba4086.rmeta: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+crates/template/src/lib.rs:
+crates/template/src/confusion.rs:
+crates/template/src/lda.rs:
+crates/template/src/matrix.rs:
+crates/template/src/scores.rs:
+crates/template/src/template.rs:

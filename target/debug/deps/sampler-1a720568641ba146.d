@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sampler-1a720568641ba146.d: crates/bench/benches/sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsampler-1a720568641ba146.rmeta: crates/bench/benches/sampler.rs Cargo.toml
+
+crates/bench/benches/sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

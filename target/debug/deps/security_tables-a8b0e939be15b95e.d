@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_tables-a8b0e939be15b95e.d: crates/attack/../../tests/security_tables.rs
+
+/root/repo/target/debug/deps/security_tables-a8b0e939be15b95e: crates/attack/../../tests/security_tables.rs
+
+crates/attack/../../tests/security_tables.rs:

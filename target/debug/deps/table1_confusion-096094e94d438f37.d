@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_confusion-096094e94d438f37.d: crates/bench/src/bin/table1_confusion.rs
+
+/root/repo/target/debug/deps/table1_confusion-096094e94d438f37: crates/bench/src/bin/table1_confusion.rs
+
+crates/bench/src/bin/table1_confusion.rs:

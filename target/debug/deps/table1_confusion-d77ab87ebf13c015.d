@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_confusion-d77ab87ebf13c015.d: crates/bench/src/bin/table1_confusion.rs
+
+/root/repo/target/debug/deps/table1_confusion-d77ab87ebf13c015: crates/bench/src/bin/table1_confusion.rs
+
+crates/bench/src/bin/table1_confusion.rs:

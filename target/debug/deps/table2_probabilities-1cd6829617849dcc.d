@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_probabilities-1cd6829617849dcc.d: crates/bench/src/bin/table2_probabilities.rs
+
+/root/repo/target/debug/deps/table2_probabilities-1cd6829617849dcc: crates/bench/src/bin/table2_probabilities.rs
+
+crates/bench/src/bin/table2_probabilities.rs:

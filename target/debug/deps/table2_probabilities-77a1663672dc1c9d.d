@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_probabilities-77a1663672dc1c9d.d: crates/bench/src/bin/table2_probabilities.rs
+
+/root/repo/target/debug/deps/table2_probabilities-77a1663672dc1c9d: crates/bench/src/bin/table2_probabilities.rs
+
+crates/bench/src/bin/table2_probabilities.rs:

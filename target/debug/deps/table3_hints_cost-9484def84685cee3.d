@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_hints_cost-9484def84685cee3.d: crates/bench/src/bin/table3_hints_cost.rs
+
+/root/repo/target/debug/deps/table3_hints_cost-9484def84685cee3: crates/bench/src/bin/table3_hints_cost.rs
+
+crates/bench/src/bin/table3_hints_cost.rs:

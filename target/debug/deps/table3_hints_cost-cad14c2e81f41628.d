@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_hints_cost-cad14c2e81f41628.d: crates/bench/src/bin/table3_hints_cost.rs
+
+/root/repo/target/debug/deps/table3_hints_cost-cad14c2e81f41628: crates/bench/src/bin/table3_hints_cost.rs
+
+crates/bench/src/bin/table3_hints_cost.rs:

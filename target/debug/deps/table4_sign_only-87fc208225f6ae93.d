@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_sign_only-87fc208225f6ae93.d: crates/bench/src/bin/table4_sign_only.rs
+
+/root/repo/target/debug/deps/table4_sign_only-87fc208225f6ae93: crates/bench/src/bin/table4_sign_only.rs
+
+crates/bench/src/bin/table4_sign_only.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_sign_only-f9754b7e492c82ae.d: crates/bench/src/bin/table4_sign_only.rs
+
+/root/repo/target/debug/deps/table4_sign_only-f9754b7e492c82ae: crates/bench/src/bin/table4_sign_only.rs
+
+crates/bench/src/bin/table4_sign_only.rs:

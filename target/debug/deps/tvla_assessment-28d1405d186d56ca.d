@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tvla_assessment-28d1405d186d56ca.d: crates/bench/src/bin/tvla_assessment.rs
+
+/root/repo/target/debug/deps/tvla_assessment-28d1405d186d56ca: crates/bench/src/bin/tvla_assessment.rs
+
+crates/bench/src/bin/tvla_assessment.rs:

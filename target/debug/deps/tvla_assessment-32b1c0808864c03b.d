@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tvla_assessment-32b1c0808864c03b.d: crates/bench/src/bin/tvla_assessment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtvla_assessment-32b1c0808864c03b.rmeta: crates/bench/src/bin/tvla_assessment.rs Cargo.toml
+
+crates/bench/src/bin/tvla_assessment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tvla_assessment-4ebff02ba14fba60.d: crates/bench/src/bin/tvla_assessment.rs
+
+/root/repo/target/debug/deps/tvla_assessment-4ebff02ba14fba60: crates/bench/src/bin/tvla_assessment.rs
+
+crates/bench/src/bin/tvla_assessment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_estimator-69ec14f0f4188743.d: crates/bench/src/bin/validate_estimator.rs
+
+/root/repo/target/debug/deps/validate_estimator-69ec14f0f4188743: crates/bench/src/bin/validate_estimator.rs
+
+crates/bench/src/bin/validate_estimator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_estimator-aa95e10835ad5124.d: crates/bench/src/bin/validate_estimator.rs
+
+/root/repo/target/debug/deps/validate_estimator-aa95e10835ad5124: crates/bench/src/bin/validate_estimator.rs
+
+crates/bench/src/bin/validate_estimator.rs:

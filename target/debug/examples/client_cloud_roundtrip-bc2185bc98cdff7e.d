@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/client_cloud_roundtrip-bc2185bc98cdff7e.d: crates/attack/../../examples/client_cloud_roundtrip.rs
+
+/root/repo/target/debug/examples/client_cloud_roundtrip-bc2185bc98cdff7e: crates/attack/../../examples/client_cloud_roundtrip.rs
+
+crates/attack/../../examples/client_cloud_roundtrip.rs:

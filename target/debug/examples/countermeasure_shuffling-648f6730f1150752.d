@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/countermeasure_shuffling-648f6730f1150752.d: crates/attack/../../examples/countermeasure_shuffling.rs
+
+/root/repo/target/debug/examples/countermeasure_shuffling-648f6730f1150752: crates/attack/../../examples/countermeasure_shuffling.rs
+
+crates/attack/../../examples/countermeasure_shuffling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_medical_db-594db95612c60795.d: crates/attack/../../examples/encrypted_medical_db.rs
+
+/root/repo/target/debug/examples/encrypted_medical_db-594db95612c60795: crates/attack/../../examples/encrypted_medical_db.rs
+
+crates/attack/../../examples/encrypted_medical_db.rs:

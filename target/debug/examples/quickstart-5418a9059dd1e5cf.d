@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-5418a9059dd1e5cf.d: crates/attack/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-5418a9059dd1e5cf.rmeta: crates/attack/../../examples/quickstart.rs Cargo.toml
+
+crates/attack/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

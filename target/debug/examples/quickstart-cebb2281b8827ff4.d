@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cebb2281b8827ff4.d: crates/attack/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cebb2281b8827ff4: crates/attack/../../examples/quickstart.rs
+
+crates/attack/../../examples/quickstart.rs:

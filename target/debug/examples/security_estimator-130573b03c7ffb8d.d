@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/security_estimator-130573b03c7ffb8d.d: crates/attack/../../examples/security_estimator.rs
+
+/root/repo/target/debug/examples/security_estimator-130573b03c7ffb8d: crates/attack/../../examples/security_estimator.rs
+
+crates/attack/../../examples/security_estimator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lda-9c113825f5ef8a5c.d: crates/bench/src/bin/ablation_lda.rs
+
+/root/repo/target/release/deps/ablation_lda-9c113825f5ef8a5c: crates/bench/src/bin/ablation_lda.rs
+
+crates/bench/src/bin/ablation_lda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_poi-8ab6f0d927c041be.d: crates/bench/src/bin/ablation_poi.rs
+
+/root/repo/target/release/deps/ablation_poi-8ab6f0d927c041be: crates/bench/src/bin/ablation_poi.rs
+
+crates/bench/src/bin/ablation_poi.rs:

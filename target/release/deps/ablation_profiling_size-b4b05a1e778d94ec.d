@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_profiling_size-b4b05a1e778d94ec.d: crates/bench/src/bin/ablation_profiling_size.rs
+
+/root/repo/target/release/deps/ablation_profiling_size-b4b05a1e778d94ec: crates/bench/src/bin/ablation_profiling_size.rs
+
+crates/bench/src/bin/ablation_profiling_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_snr-7a0589c892503e89.d: crates/bench/src/bin/ablation_snr.rs
+
+/root/repo/target/release/deps/ablation_snr-7a0589c892503e89: crates/bench/src/bin/ablation_snr.rs
+
+crates/bench/src/bin/ablation_snr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_cpa-20946431df1ebe30.d: crates/bench/src/bin/baseline_cpa.rs
+
+/root/repo/target/release/deps/baseline_cpa-20946431df1ebe30: crates/bench/src/bin/baseline_cpa.rs
+
+crates/bench/src/bin/baseline_cpa.rs:

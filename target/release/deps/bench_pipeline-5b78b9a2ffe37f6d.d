@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pipeline-5b78b9a2ffe37f6d.d: crates/bench/src/bin/bench_pipeline.rs
+
+/root/repo/target/release/deps/bench_pipeline-5b78b9a2ffe37f6d: crates/bench/src/bin/bench_pipeline.rs
+
+crates/bench/src/bin/bench_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ckks_attack-ef6c5e4407ecd26a.d: crates/bench/src/bin/ckks_attack.rs
+
+/root/repo/target/release/deps/ckks_attack-ef6c5e4407ecd26a: crates/bench/src/bin/ckks_attack.rs
+
+crates/bench/src/bin/ckks_attack.rs:

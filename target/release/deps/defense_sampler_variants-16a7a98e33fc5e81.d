@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/defense_sampler_variants-16a7a98e33fc5e81.d: crates/bench/src/bin/defense_sampler_variants.rs
+
+/root/repo/target/release/deps/defense_sampler_variants-16a7a98e33fc5e81: crates/bench/src/bin/defense_sampler_variants.rs
+
+crates/bench/src/bin/defense_sampler_variants.rs:

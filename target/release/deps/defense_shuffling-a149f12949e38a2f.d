@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/defense_shuffling-a149f12949e38a2f.d: crates/bench/src/bin/defense_shuffling.rs
+
+/root/repo/target/release/deps/defense_shuffling-a149f12949e38a2f: crates/bench/src/bin/defense_shuffling.rs
+
+crates/bench/src/bin/defense_shuffling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_recovery-8054576a464aa4fe.d: crates/bench/src/bin/end_to_end_recovery.rs
+
+/root/repo/target/release/deps/end_to_end_recovery-8054576a464aa4fe: crates/bench/src/bin/end_to_end_recovery.rs
+
+crates/bench/src/bin/end_to_end_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_traces-1b5ee138feb044d1.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/release/deps/fig3_traces-1b5ee138feb044d1: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/keygen_attack-52f33791e6c17cfd.d: crates/bench/src/bin/keygen_attack.rs
+
+/root/repo/target/release/deps/keygen_attack-52f33791e6c17cfd: crates/bench/src/bin/keygen_attack.rs
+
+crates/bench/src/bin/keygen_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_modulus_attack-9c6fc4ee96519267.d: crates/bench/src/bin/multi_modulus_attack.rs
+
+/root/repo/target/release/deps/multi_modulus_attack-9c6fc4ee96519267: crates/bench/src/bin/multi_modulus_attack.rs
+
+crates/bench/src/bin/multi_modulus_attack.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reveal_bench-303e9a9c229b30fb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libreveal_bench-303e9a9c229b30fb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libreveal_bench-303e9a9c229b30fb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

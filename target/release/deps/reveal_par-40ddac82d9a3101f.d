@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reveal_par-40ddac82d9a3101f.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libreveal_par-40ddac82d9a3101f.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libreveal_par-40ddac82d9a3101f.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

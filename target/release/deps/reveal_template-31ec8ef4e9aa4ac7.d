@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/reveal_template-31ec8ef4e9aa4ac7.d: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+/root/repo/target/release/deps/libreveal_template-31ec8ef4e9aa4ac7.rlib: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+/root/repo/target/release/deps/libreveal_template-31ec8ef4e9aa4ac7.rmeta: crates/template/src/lib.rs crates/template/src/confusion.rs crates/template/src/lda.rs crates/template/src/matrix.rs crates/template/src/scores.rs crates/template/src/template.rs
+
+crates/template/src/lib.rs:
+crates/template/src/confusion.rs:
+crates/template/src/lda.rs:
+crates/template/src/matrix.rs:
+crates/template/src/scores.rs:
+crates/template/src/template.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_confusion-08b2a0e517236532.d: crates/bench/src/bin/table1_confusion.rs
+
+/root/repo/target/release/deps/table1_confusion-08b2a0e517236532: crates/bench/src/bin/table1_confusion.rs
+
+crates/bench/src/bin/table1_confusion.rs:

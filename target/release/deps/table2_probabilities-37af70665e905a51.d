@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_probabilities-37af70665e905a51.d: crates/bench/src/bin/table2_probabilities.rs
+
+/root/repo/target/release/deps/table2_probabilities-37af70665e905a51: crates/bench/src/bin/table2_probabilities.rs
+
+crates/bench/src/bin/table2_probabilities.rs:

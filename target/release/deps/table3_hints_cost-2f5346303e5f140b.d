@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_hints_cost-2f5346303e5f140b.d: crates/bench/src/bin/table3_hints_cost.rs
+
+/root/repo/target/release/deps/table3_hints_cost-2f5346303e5f140b: crates/bench/src/bin/table3_hints_cost.rs
+
+crates/bench/src/bin/table3_hints_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_sign_only-01aa737d6a92017d.d: crates/bench/src/bin/table4_sign_only.rs
+
+/root/repo/target/release/deps/table4_sign_only-01aa737d6a92017d: crates/bench/src/bin/table4_sign_only.rs
+
+crates/bench/src/bin/table4_sign_only.rs:

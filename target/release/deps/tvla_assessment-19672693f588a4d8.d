@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tvla_assessment-19672693f588a4d8.d: crates/bench/src/bin/tvla_assessment.rs
+
+/root/repo/target/release/deps/tvla_assessment-19672693f588a4d8: crates/bench/src/bin/tvla_assessment.rs
+
+crates/bench/src/bin/tvla_assessment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_estimator-ac563883ad793f46.d: crates/bench/src/bin/validate_estimator.rs
+
+/root/repo/target/release/deps/validate_estimator-ac563883ad793f46: crates/bench/src/bin/validate_estimator.rs
+
+crates/bench/src/bin/validate_estimator.rs:

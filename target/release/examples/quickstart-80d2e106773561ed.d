@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-80d2e106773561ed.d: crates/attack/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-80d2e106773561ed: crates/attack/../../examples/quickstart.rs
+
+crates/attack/../../examples/quickstart.rs:
