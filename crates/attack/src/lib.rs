@@ -1,4 +1,7 @@
 #![forbid(unsafe_code)]
+// The capture→segment→score→recover hot path must degrade with typed
+// errors, never panic on a glitched acquisition; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 // Indexed loops are the clearest notation for the dense numeric kernels
 // in this workspace (convolutions, scatter matrices, lattice bases).
 #![allow(clippy::needless_range_loop)]
@@ -36,6 +39,7 @@ pub mod device;
 pub mod profile;
 pub mod recover;
 pub mod report;
+pub mod robust;
 
 pub use config::AttackConfig;
 pub use defense::{evaluate_against_shuffling, DefenseEvaluation, ShuffledDevice};
@@ -51,4 +55,8 @@ pub use recover::{
 pub use report::{
     report_full_attack, report_posteriors, report_sign_only, rounded_gaussian_prior, AttackReport,
     ReportError,
+};
+pub use robust::{
+    calibrate, relaxation_schedule, report_robust, Calibration, Diagnostics, HintDecision,
+    RobustAttack, RobustAttackResult, RobustCoefficient, RobustConfig, Suspicion,
 };

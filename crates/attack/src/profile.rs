@@ -444,6 +444,27 @@ impl TrainedAttack {
         Ok(result)
     }
 
+    /// The raw (unnormalized) log-likelihood of the best-fitting *sign*
+    /// class for one ladder window — an absolute goodness-of-fit number, in
+    /// contrast to the softmax probabilities, which always sum to one even
+    /// when every template fits terribly. The robust driver screens windows
+    /// whose score falls far below the per-trace population (misaligned,
+    /// glitched or clipped windows score catastrophically against every
+    /// class at once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates template-classification failures.
+    pub fn sign_fit_score(&self, window: &[f64]) -> Result<f64, AttackError> {
+        let obs: Vec<f64> = self.sign_pois.iter().map(|&i| window[i]).collect();
+        let scores = self.sign_templates.classify(&obs)?;
+        Ok(scores
+            .log_likelihoods()
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
     /// Classifies one ladder window.
     ///
     /// # Errors

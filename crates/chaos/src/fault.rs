@@ -1,0 +1,184 @@
+//! The fault taxonomy: every acquisition defect the injector can synthesize,
+//! as a typed value with enough parameters to reproduce it exactly.
+
+use std::fmt;
+
+/// One acquisition fault. Parameters are chosen so that the zero value of
+/// every knob is a no-op, which lets intensity sweeps start from a provably
+/// clean capture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Sampling-clock jitter: each sample is independently dropped with
+    /// probability `drop_rate` or emitted twice with probability `dup_rate`.
+    /// Changes the trace length and shifts everything downstream.
+    ClockJitter { drop_rate: f64, dup_rate: f64 },
+    /// Slow multiplicative drift: gain `1 + per_kilosample · t/1000` — a
+    /// warming amplifier front-end.
+    AmplitudeDrift { per_kilosample: f64 },
+    /// Periodic gain wander: gain `1 + amplitude · sin(2π t/period + φ)`
+    /// with a seeded random phase — supply ripple coupling into the probe.
+    GainWander { amplitude: f64, period: usize },
+    /// Isolated glitch spikes: each sample is hit with probability `rate`
+    /// by an additive spike of `magnitude` × the trace's dynamic range,
+    /// random sign.
+    GlitchSpikes { rate: f64, magnitude: f64 },
+    /// ADC saturation: samples are clamped to the
+    /// `[lower_fraction, upper_fraction]` band of the trace's dynamic range
+    /// (`0.0..=1.0` leaves the trace untouched).
+    Clipping {
+        lower_fraction: f64,
+        upper_fraction: f64,
+    },
+    /// Trigger failure merging bursts: for `pairs` randomly chosen adjacent
+    /// coefficient windows, the inter-burst ladder region is overwritten at
+    /// burst level, so segmentation sees one long burst.
+    BurstMerge { pairs: usize },
+    /// Trigger failure splitting bursts: for `count` randomly chosen
+    /// windows, a notch of `notch_len` baseline-level samples is carved
+    /// into the burst, so segmentation sees two short bursts.
+    BurstSplit { count: usize, notch_len: usize },
+    /// Additive white Gaussian noise of standard deviation `sigma`, on top
+    /// of whatever the power model already injected.
+    GaussianNoise { sigma: f64 },
+}
+
+impl Fault {
+    /// Stable short name, used in logs and the bench artifact.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::ClockJitter { .. } => "clock_jitter",
+            Fault::AmplitudeDrift { .. } => "amplitude_drift",
+            Fault::GainWander { .. } => "gain_wander",
+            Fault::GlitchSpikes { .. } => "glitch_spikes",
+            Fault::Clipping { .. } => "clipping",
+            Fault::BurstMerge { .. } => "burst_merge",
+            Fault::BurstSplit { .. } => "burst_split",
+            Fault::GaussianNoise { .. } => "gaussian_noise",
+        }
+    }
+
+    /// Stable per-kind tag mixed into the RNG seed derivation, so the same
+    /// plan seed reproduces the same randomness for a fault kind even when
+    /// other faults are added or reparameterized. This is what makes
+    /// `noise_only(seed, σ)` use the *same unit noise vector* at every σ —
+    /// a nested-noise property the monotone-degradation tests rely on.
+    pub fn seed_tag(&self) -> u64 {
+        match self {
+            Fault::ClockJitter { .. } => 0x4A17,
+            Fault::AmplitudeDrift { .. } => 0xD21F,
+            Fault::GainWander { .. } => 0x3A1D,
+            Fault::GlitchSpikes { .. } => 0x61C4,
+            Fault::Clipping { .. } => 0xC11F,
+            Fault::BurstMerge { .. } => 0x3E26,
+            Fault::BurstSplit { .. } => 0x5F11,
+            Fault::GaussianNoise { .. } => 0x901E,
+        }
+    }
+
+    /// Whether every knob is at its no-op value (the fault cannot change a
+    /// single sample).
+    pub fn is_noop(&self) -> bool {
+        match *self {
+            Fault::ClockJitter {
+                drop_rate,
+                dup_rate,
+            } => drop_rate <= 0.0 && dup_rate <= 0.0,
+            Fault::AmplitudeDrift { per_kilosample } => per_kilosample == 0.0,
+            Fault::GainWander { amplitude, .. } => amplitude == 0.0,
+            Fault::GlitchSpikes { rate, magnitude } => rate <= 0.0 || magnitude == 0.0,
+            Fault::Clipping {
+                lower_fraction,
+                upper_fraction,
+            } => lower_fraction <= 0.0 && upper_fraction >= 1.0,
+            Fault::BurstMerge { pairs } => pairs == 0,
+            Fault::BurstSplit { count, .. } => count == 0,
+            Fault::GaussianNoise { sigma } => sigma == 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::ClockJitter {
+                drop_rate,
+                dup_rate,
+            } => write!(f, "clock_jitter(drop={drop_rate}, dup={dup_rate})"),
+            Fault::AmplitudeDrift { per_kilosample } => {
+                write!(f, "amplitude_drift({per_kilosample}/ksample)")
+            }
+            Fault::GainWander { amplitude, period } => {
+                write!(f, "gain_wander(a={amplitude}, T={period})")
+            }
+            Fault::GlitchSpikes { rate, magnitude } => {
+                write!(f, "glitch_spikes(rate={rate}, mag={magnitude})")
+            }
+            Fault::Clipping {
+                lower_fraction,
+                upper_fraction,
+            } => write!(f, "clipping([{lower_fraction}, {upper_fraction}])"),
+            Fault::BurstMerge { pairs } => write!(f, "burst_merge({pairs})"),
+            Fault::BurstSplit { count, notch_len } => {
+                write!(f, "burst_split({count}×{notch_len})")
+            }
+            Fault::GaussianNoise { sigma } => write!(f, "gaussian_noise(σ={sigma})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_detection_matches_zero_knobs() {
+        assert!(Fault::GaussianNoise { sigma: 0.0 }.is_noop());
+        assert!(!Fault::GaussianNoise { sigma: 0.1 }.is_noop());
+        assert!(Fault::ClockJitter {
+            drop_rate: 0.0,
+            dup_rate: 0.0
+        }
+        .is_noop());
+        assert!(Fault::Clipping {
+            lower_fraction: 0.0,
+            upper_fraction: 1.0
+        }
+        .is_noop());
+        assert!(!Fault::BurstMerge { pairs: 1 }.is_noop());
+    }
+
+    #[test]
+    fn seed_tags_are_distinct() {
+        let faults = [
+            Fault::ClockJitter {
+                drop_rate: 0.0,
+                dup_rate: 0.0,
+            },
+            Fault::AmplitudeDrift {
+                per_kilosample: 0.0,
+            },
+            Fault::GainWander {
+                amplitude: 0.0,
+                period: 1,
+            },
+            Fault::GlitchSpikes {
+                rate: 0.0,
+                magnitude: 0.0,
+            },
+            Fault::Clipping {
+                lower_fraction: 0.0,
+                upper_fraction: 1.0,
+            },
+            Fault::BurstMerge { pairs: 0 },
+            Fault::BurstSplit {
+                count: 0,
+                notch_len: 0,
+            },
+            Fault::GaussianNoise { sigma: 0.0 },
+        ];
+        let mut tags: Vec<u64> = faults.iter().map(Fault::seed_tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), faults.len());
+    }
+}

@@ -1,0 +1,685 @@
+//! The injector: applies a [`ChaosPlan`]'s faults to a capture and records
+//! ground truth about every corruption in an [`InjectionLog`].
+//!
+//! Coordinate discipline: faults that keep the sample count (noise, gain,
+//! glitches, clipping, merge, split) are applied first, in plan order;
+//! index-remapping faults (clock jitter) run last, and the log's window and
+//! event spans are remapped through the jitter map so everything the log
+//! reports is in *output* trace coordinates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reveal_par::derive_seed;
+
+use crate::fault::Fault;
+
+/// Multiplicative gain error above which a coefficient's decision zone is
+/// considered corrupted (template amplitudes shift by more than the
+/// inter-value spacing the classifier relies on).
+pub const GAIN_CORRUPTION_TOLERANCE: f64 = 0.02;
+
+/// Samples of slack added around each ground-truth window when deciding
+/// whether a point defect corrupts that coefficient (absorbs burst-end
+/// refinement error).
+pub const ZONE_MARGIN: usize = 8;
+
+/// A seeded, composable corruption plan: which faults to apply, in which
+/// order, from which master seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Master seed; every fault derives its own stream from this and its
+    /// kind tag, so plans are reproducible and individually stable.
+    pub seed: u64,
+    /// Faults, applied in order (jitter-class faults always last).
+    pub faults: Vec<Fault>,
+}
+
+impl ChaosPlan {
+    /// A plan that does nothing (zero faults).
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Only additive Gaussian noise. Thanks to per-kind seed derivation the
+    /// unit noise vector is identical for every `sigma` at a fixed seed —
+    /// raising `sigma` scales the *same* perturbation, which makes
+    /// degradation monotonicity testable without sampling error.
+    pub fn noise_only(seed: u64, sigma: f64) -> Self {
+        Self {
+            seed,
+            faults: if sigma == 0.0 {
+                Vec::new()
+            } else {
+                vec![Fault::GaussianNoise { sigma }]
+            },
+        }
+    }
+
+    /// The default mixed-fault sweep at `intensity ∈ [0, 1]`: every fault
+    /// kind with knobs scaled linearly, chosen so `0.0` is provably clean
+    /// and `1.0` is a badly degraded but still segmentable capture.
+    pub fn standard_sweep(seed: u64, intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        let structural = (2.0 * i).round() as usize;
+        let faults = vec![
+            Fault::GaussianNoise { sigma: 0.45 * i },
+            Fault::AmplitudeDrift {
+                per_kilosample: 0.012 * i,
+            },
+            Fault::GainWander {
+                amplitude: 0.05 * i,
+                period: 1500,
+            },
+            Fault::GlitchSpikes {
+                rate: 0.0008 * i,
+                magnitude: 1.2,
+            },
+            Fault::Clipping {
+                lower_fraction: 0.0,
+                upper_fraction: 1.0 - 0.18 * i,
+            },
+            Fault::BurstSplit {
+                count: structural,
+                notch_len: 32,
+            },
+            Fault::BurstMerge { pairs: structural },
+            Fault::ClockJitter {
+                drop_rate: 0.0015 * i,
+                dup_rate: 0.0015 * i,
+            },
+        ];
+        Self {
+            seed,
+            faults: faults.into_iter().filter(|f| !f.is_noop()).collect(),
+        }
+    }
+
+    /// Applies the plan to `samples`, using the capture's ground-truth
+    /// per-coefficient `windows` to attribute corruption. Returns the
+    /// corrupted trace plus the injection log (window/event spans in output
+    /// coordinates).
+    pub fn inject(&self, samples: &[f64], windows: &[(usize, usize)]) -> Injected {
+        Injector::new(self, samples, windows).run()
+    }
+}
+
+/// One applied fault: what ran, where it landed, which coefficients it hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// The fault as configured.
+    pub fault: Fault,
+    /// `[start, end)` span of affected samples, in output coordinates.
+    pub span: (usize, usize),
+    /// Number of samples the fault actually changed.
+    pub affected_samples: usize,
+    /// Coefficients whose decision zone this event corrupted.
+    pub corrupted: Vec<usize>,
+}
+
+/// Ground truth about an injection: what the tests check recovered results
+/// against.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InjectionLog {
+    /// One event per applied (non-no-op) fault occurrence.
+    pub events: Vec<FaultEvent>,
+    /// Union of every event's corrupted coefficients.
+    pub corrupted: BTreeSet<usize>,
+    /// The ground-truth coefficient windows remapped to output coordinates.
+    pub windows: Vec<(usize, usize)>,
+    /// Quadrature sum of all injected Gaussian noise σ (0.0 when no noise
+    /// fault ran).
+    pub injected_noise_sigma: f64,
+}
+
+impl InjectionLog {
+    /// Whether coefficient `i`'s decision zone was touched by any fault.
+    pub fn is_corrupted(&self, i: usize) -> bool {
+        self.corrupted.contains(&i)
+    }
+}
+
+/// A corrupted capture plus its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injected {
+    /// The faulted trace.
+    pub samples: Vec<f64>,
+    /// What was done to it.
+    pub log: InjectionLog,
+}
+
+/// Draws a standard Gaussian via Box–Muller (the rand shim has no normal
+/// distribution).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+struct Injector<'a> {
+    plan: &'a ChaosPlan,
+    out: Vec<f64>,
+    windows: Vec<(usize, usize)>,
+    events: Vec<FaultEvent>,
+    noise_variance: f64,
+    /// Dynamic range of the *input* trace: relative fault magnitudes stay
+    /// stable no matter how earlier faults deformed the trace.
+    range_min: f64,
+    range_max: f64,
+    occurrences: BTreeMap<u64, u64>,
+}
+
+impl<'a> Injector<'a> {
+    fn new(plan: &'a ChaosPlan, samples: &[f64], windows: &[(usize, usize)]) -> Self {
+        let finite = samples.iter().copied().filter(|s| s.is_finite());
+        let range_min = finite.clone().fold(f64::INFINITY, f64::min);
+        let range_max = finite.fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            plan,
+            out: samples.to_vec(),
+            windows: windows.to_vec(),
+            events: Vec::new(),
+            noise_variance: 0.0,
+            range_min: if range_min.is_finite() {
+                range_min
+            } else {
+                0.0
+            },
+            range_max: if range_max.is_finite() {
+                range_max
+            } else {
+                0.0
+            },
+            occurrences: BTreeMap::new(),
+        }
+    }
+
+    fn run(mut self) -> Injected {
+        // Length-preserving faults first, jitter-class faults last (see the
+        // module docs for why).
+        let (jitter, in_place): (Vec<&Fault>, Vec<&Fault>) = self
+            .plan
+            .faults
+            .iter()
+            .partition(|f| matches!(f, Fault::ClockJitter { .. }));
+        for fault in in_place.into_iter().chain(jitter) {
+            if fault.is_noop() {
+                continue;
+            }
+            let mut rng = self.fault_rng(fault);
+            match *fault {
+                Fault::GaussianNoise { sigma } => self.apply_noise(fault, sigma, &mut rng),
+                Fault::AmplitudeDrift { per_kilosample } => {
+                    self.apply_gain(fault, |t| 1.0 + per_kilosample * t as f64 / 1000.0)
+                }
+                Fault::GainWander { amplitude, period } => {
+                    let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+                    let period = period.max(1) as f64;
+                    self.apply_gain(fault, |t| {
+                        1.0 + amplitude * (std::f64::consts::TAU * t as f64 / period + phase).sin()
+                    });
+                }
+                Fault::GlitchSpikes { rate, magnitude } => {
+                    self.apply_glitches(fault, rate, magnitude, &mut rng)
+                }
+                Fault::Clipping {
+                    lower_fraction,
+                    upper_fraction,
+                } => self.apply_clipping(fault, lower_fraction, upper_fraction),
+                Fault::BurstMerge { pairs } => self.apply_merge(fault, pairs, &mut rng),
+                Fault::BurstSplit { count, notch_len } => {
+                    self.apply_split(fault, count, notch_len, &mut rng)
+                }
+                Fault::ClockJitter {
+                    drop_rate,
+                    dup_rate,
+                } => self.apply_jitter(fault, drop_rate, dup_rate, &mut rng),
+            }
+        }
+        let corrupted = self
+            .events
+            .iter()
+            .flat_map(|e| e.corrupted.iter().copied())
+            .collect();
+        Injected {
+            samples: self.out,
+            log: InjectionLog {
+                events: self.events,
+                corrupted,
+                windows: self.windows,
+                injected_noise_sigma: self.noise_variance.sqrt(),
+            },
+        }
+    }
+
+    fn fault_rng(&mut self, fault: &Fault) -> StdRng {
+        let tag = fault.seed_tag();
+        let occurrence = self.occurrences.entry(tag).or_insert(0);
+        let seed = derive_seed(derive_seed(self.plan.seed, tag), *occurrence);
+        *occurrence += 1;
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn dynamic_range(&self) -> f64 {
+        (self.range_max - self.range_min).max(1e-12)
+    }
+
+    /// Coefficients whose margin-padded decision zone intersects
+    /// `[start, end)`.
+    fn zone_hits(&self, start: usize, end: usize) -> Vec<usize> {
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(s, e))| {
+                let zs = s.saturating_sub(ZONE_MARGIN);
+                let ze = e + ZONE_MARGIN;
+                start < ze && zs < end
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn apply_noise(&mut self, fault: &Fault, sigma: f64, rng: &mut StdRng) {
+        for s in &mut self.out {
+            *s += sigma * gaussian(rng);
+        }
+        self.noise_variance += sigma * sigma;
+        let n = self.out.len();
+        self.events.push(FaultEvent {
+            fault: fault.clone(),
+            span: (0, n),
+            affected_samples: n,
+            // Global noise is attributed via the confidence derating, not
+            // the per-coefficient corruption set.
+            corrupted: Vec::new(),
+        });
+    }
+
+    fn apply_gain(&mut self, fault: &Fault, gain: impl Fn(usize) -> f64) {
+        let mut affected = 0usize;
+        for (t, s) in self.out.iter_mut().enumerate() {
+            let g = gain(t);
+            if (g - 1.0).abs() > GAIN_CORRUPTION_TOLERANCE {
+                affected += 1;
+            }
+            *s *= g;
+        }
+        let corrupted = self
+            .windows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(s, e))| {
+                let zs = s.saturating_sub(ZONE_MARGIN);
+                let ze = (e + ZONE_MARGIN).min(self.out.len());
+                (zs..ze).any(|t| (gain(t) - 1.0).abs() > GAIN_CORRUPTION_TOLERANCE)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let n = self.out.len();
+        self.events.push(FaultEvent {
+            fault: fault.clone(),
+            span: (0, n),
+            affected_samples: affected,
+            corrupted,
+        });
+    }
+
+    fn apply_glitches(&mut self, fault: &Fault, rate: f64, magnitude: f64, rng: &mut StdRng) {
+        let amp = magnitude * self.dynamic_range();
+        for t in 0..self.out.len() {
+            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                let scale = 1.0 + rng.gen::<f64>();
+                self.out[t] += sign * amp * scale;
+                let corrupted = self.zone_hits(t, t + 1);
+                self.events.push(FaultEvent {
+                    fault: fault.clone(),
+                    span: (t, t + 1),
+                    affected_samples: 1,
+                    corrupted,
+                });
+            }
+        }
+    }
+
+    fn apply_clipping(&mut self, fault: &Fault, lower_fraction: f64, upper_fraction: f64) {
+        let lo = self.range_min + lower_fraction * self.dynamic_range();
+        let hi = self.range_min + upper_fraction * self.dynamic_range();
+        let mut clipped = Vec::new();
+        for (t, s) in self.out.iter_mut().enumerate() {
+            let c = s.clamp(lo.min(hi), hi.max(lo));
+            if c != *s {
+                clipped.push(t);
+                *s = c;
+            }
+        }
+        if clipped.is_empty() {
+            return;
+        }
+        let first = clipped[0];
+        let last = clipped[clipped.len() - 1];
+        let corrupted: BTreeSet<usize> = clipped
+            .iter()
+            .flat_map(|&t| self.zone_hits(t, t + 1))
+            .collect();
+        self.events.push(FaultEvent {
+            fault: fault.clone(),
+            span: (first, last + 1),
+            affected_samples: clipped.len(),
+            corrupted: corrupted.into_iter().collect(),
+        });
+    }
+
+    /// Picks `count` distinct values in `0..bound`, deterministically.
+    fn pick_distinct(count: usize, bound: usize, rng: &mut StdRng) -> Vec<usize> {
+        let mut picked = BTreeSet::new();
+        if bound == 0 {
+            return Vec::new();
+        }
+        let want = count.min(bound);
+        let mut attempts = 0usize;
+        while picked.len() < want && attempts < 16 * want + 16 {
+            picked.insert(rng.gen_range(0..bound));
+            attempts += 1;
+        }
+        picked.into_iter().collect()
+    }
+
+    fn apply_merge(&mut self, fault: &Fault, pairs: usize, rng: &mut StdRng) {
+        if self.windows.len() < 2 {
+            return;
+        }
+        for i in Self::pick_distinct(pairs, self.windows.len() - 1, rng) {
+            let (s, e) = self.windows[i];
+            let e = e.min(self.out.len());
+            if e <= s {
+                continue;
+            }
+            // The inter-burst ladder region is the tail of window `i`; fill
+            // it at burst level so segmentation fuses bursts i and i+1.
+            let len = e - s;
+            let fill = (len / 2).clamp(1, 140);
+            let mut level_pool: Vec<f64> = self.out[s..e].to_vec();
+            level_pool.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let level = level_pool[(level_pool.len() * 9) / 10];
+            for t in e - fill..e {
+                self.out[t] = level;
+            }
+            self.events.push(FaultEvent {
+                fault: fault.clone(),
+                span: (e - fill, e),
+                affected_samples: fill,
+                corrupted: vec![i, i + 1],
+            });
+        }
+    }
+
+    fn apply_split(&mut self, fault: &Fault, count: usize, notch_len: usize, rng: &mut StdRng) {
+        if notch_len == 0 {
+            return;
+        }
+        let baseline = {
+            let mut sorted: Vec<f64> = self.out.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            sorted[sorted.len() / 50]
+        };
+        for i in Self::pick_distinct(count, self.windows.len(), rng) {
+            let (s, e) = self.windows[i];
+            let e = e.min(self.out.len());
+            if e <= s {
+                continue;
+            }
+            let len = e - s;
+            // Aim at the dist burst (the window head); windows end with a
+            // ~96-sample ladder, so the burst spans roughly the first
+            // `len − 96` samples.
+            let burst_len = len.saturating_sub(96);
+            if burst_len < notch_len + 16 {
+                continue;
+            }
+            let notch_start = s + (burst_len - notch_len) / 2;
+            for t in notch_start..notch_start + notch_len {
+                self.out[t] = baseline;
+            }
+            self.events.push(FaultEvent {
+                fault: fault.clone(),
+                span: (notch_start, notch_start + notch_len),
+                affected_samples: notch_len,
+                corrupted: vec![i],
+            });
+        }
+    }
+
+    fn apply_jitter(&mut self, fault: &Fault, drop_rate: f64, dup_rate: f64, rng: &mut StdRng) {
+        let drop = drop_rate.clamp(0.0, 0.45);
+        let dup = dup_rate.clamp(0.0, 0.45);
+        let old_len = self.out.len();
+        let mut new = Vec::with_capacity(old_len + old_len / 8);
+        // map[old] = new index of the first surviving sample at or after
+        // `old`; map[old_len] = new length.
+        let mut map = Vec::with_capacity(old_len + 1);
+        let mut defects: Vec<usize> = Vec::new();
+        for (t, &s) in self.out.iter().enumerate() {
+            map.push(new.len());
+            let r: f64 = rng.gen();
+            if r < drop {
+                defects.push(t);
+                continue;
+            }
+            new.push(s);
+            if r < drop + dup {
+                defects.push(t);
+                new.push(s);
+            }
+        }
+        map.push(new.len());
+        // Attribute corruption in *old* coordinates (zones are still old).
+        let corrupted: BTreeSet<usize> = defects
+            .iter()
+            .flat_map(|&t| self.zone_hits(t, t + 1))
+            .collect();
+        // Remap prior event spans and the ground-truth windows.
+        for event in &mut self.events {
+            event.span = (map[event.span.0], map[event.span.1]);
+        }
+        for w in &mut self.windows {
+            *w = (map[w.0], map[w.1.min(old_len)]);
+        }
+        let new_len = new.len();
+        self.out = new;
+        self.events.push(FaultEvent {
+            fault: fault.clone(),
+            span: (0, new_len),
+            affected_samples: defects.len(),
+            corrupted: corrupted.into_iter().collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic 4-burst capture mimicking the kernel's geometry: each
+    /// window = high burst then low ladder tail.
+    fn synthetic() -> (Vec<f64>, Vec<(usize, usize)>) {
+        let mut samples = vec![1.0; 40];
+        let mut windows = Vec::new();
+        for _ in 0..4 {
+            let start = samples.len();
+            for t in 0..180 {
+                samples.push(4.0 + 0.3 * ((t % 7) as f64) / 7.0);
+            }
+            for t in 0..120 {
+                samples.push(1.8 + 0.2 * ((t % 5) as f64) / 5.0);
+            }
+            windows.push((start, samples.len()));
+        }
+        samples.extend(std::iter::repeat_n(1.0, 40));
+        (samples, windows)
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let (samples, windows) = synthetic();
+        let injected = ChaosPlan::clean(7).inject(&samples, &windows);
+        assert_eq!(injected.samples, samples);
+        assert!(injected.log.events.is_empty());
+        assert!(injected.log.corrupted.is_empty());
+        assert_eq!(injected.log.windows, windows);
+        assert_eq!(injected.log.injected_noise_sigma, 0.0);
+    }
+
+    #[test]
+    fn zero_intensity_sweep_is_clean() {
+        let plan = ChaosPlan::standard_sweep(3, 0.0);
+        assert!(plan.faults.is_empty());
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let (samples, windows) = synthetic();
+        let a = ChaosPlan::standard_sweep(11, 0.8).inject(&samples, &windows);
+        let b = ChaosPlan::standard_sweep(11, 0.8).inject(&samples, &windows);
+        let c = ChaosPlan::standard_sweep(12, 0.8).inject(&samples, &windows);
+        assert_eq!(a, b);
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn noise_is_nested_across_sigma() {
+        let (samples, windows) = synthetic();
+        let low = ChaosPlan::noise_only(5, 0.1).inject(&samples, &windows);
+        let high = ChaosPlan::noise_only(5, 0.2).inject(&samples, &windows);
+        for ((&s, &l), &h) in samples.iter().zip(&low.samples).zip(&high.samples) {
+            let dl = l - s;
+            let dh = h - s;
+            assert!(
+                (dh - 2.0 * dl).abs() < 1e-12,
+                "noise not nested: {dl} vs {dh}"
+            );
+        }
+        assert!((low.log.injected_noise_sigma - 0.1).abs() < 1e-15);
+        // Noise alone corrupts nothing (confidence gating owns that regime).
+        assert!(low.log.corrupted.is_empty());
+    }
+
+    #[test]
+    fn merge_corrupts_both_neighbours() {
+        let (samples, windows) = synthetic();
+        let plan = ChaosPlan {
+            seed: 9,
+            faults: vec![Fault::BurstMerge { pairs: 1 }],
+        };
+        let injected = plan.inject(&samples, &windows);
+        assert_eq!(injected.log.events.len(), 1);
+        let event = &injected.log.events[0];
+        assert_eq!(event.corrupted.len(), 2);
+        assert_eq!(event.corrupted[1], event.corrupted[0] + 1);
+        // The filled span sits at burst level.
+        let (s, e) = event.span;
+        assert!(injected.samples[s..e].iter().all(|&v| v > 3.0));
+    }
+
+    #[test]
+    fn split_notches_the_burst() {
+        let (samples, windows) = synthetic();
+        let plan = ChaosPlan {
+            seed: 13,
+            faults: vec![Fault::BurstSplit {
+                count: 1,
+                notch_len: 32,
+            }],
+        };
+        let injected = plan.inject(&samples, &windows);
+        assert_eq!(injected.log.events.len(), 1);
+        let event = &injected.log.events[0];
+        assert_eq!(event.corrupted.len(), 1);
+        let (s, e) = event.span;
+        assert_eq!(e - s, 32);
+        // Notch dropped to baseline, inside the target's burst head.
+        assert!(injected.samples[s..e].iter().all(|&v| v < 1.5));
+        let (ws, we) = windows[event.corrupted[0]];
+        assert!(s >= ws && e <= we);
+    }
+
+    #[test]
+    fn clipping_flattens_burst_tops() {
+        let (samples, windows) = synthetic();
+        let plan = ChaosPlan {
+            seed: 1,
+            faults: vec![Fault::Clipping {
+                lower_fraction: 0.0,
+                upper_fraction: 0.5,
+            }],
+        };
+        let injected = plan.inject(&samples, &windows);
+        let max_after = injected.samples.iter().cloned().fold(f64::MIN, f64::max);
+        let max_before = samples.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max_after < max_before);
+        // Every burst top clipped → every coefficient corrupted.
+        assert_eq!(injected.log.corrupted.len(), windows.len());
+    }
+
+    #[test]
+    fn jitter_remaps_windows_and_spans() {
+        let (samples, windows) = synthetic();
+        let plan = ChaosPlan {
+            seed: 21,
+            faults: vec![
+                Fault::GlitchSpikes {
+                    rate: 0.002,
+                    magnitude: 2.0,
+                },
+                Fault::ClockJitter {
+                    drop_rate: 0.03,
+                    dup_rate: 0.0,
+                },
+            ],
+        };
+        let injected = plan.inject(&samples, &windows);
+        assert!(injected.samples.len() < samples.len());
+        let new_len = injected.samples.len();
+        assert_eq!(injected.log.windows.len(), windows.len());
+        for (i, &(s, e)) in injected.log.windows.iter().enumerate() {
+            assert!(s < e && e <= new_len, "window {i} out of range");
+            if i > 0 {
+                assert!(s >= injected.log.windows[i - 1].1);
+            }
+        }
+        for event in &injected.log.events {
+            assert!(event.span.0 <= event.span.1 && event.span.1 <= new_len);
+        }
+        // With a 3% drop rate over ~1300 samples, some zone must be hit.
+        assert!(!injected.log.corrupted.is_empty());
+    }
+
+    #[test]
+    fn gain_wander_marks_only_zones_seeing_large_gain() {
+        let (samples, windows) = synthetic();
+        let plan = ChaosPlan {
+            seed: 2,
+            faults: vec![Fault::AmplitudeDrift {
+                per_kilosample: 0.025,
+            }],
+        };
+        let injected = plan.inject(&samples, &windows);
+        // |gain−1| > 0.02 only after t = 800: the first window (ending ≈340)
+        // stays clean, the last is corrupted.
+        assert!(!injected.log.is_corrupted(0));
+        assert!(injected.log.is_corrupted(windows.len() - 1));
+    }
+
+    #[test]
+    fn standard_sweep_scales_with_intensity() {
+        let (samples, windows) = synthetic();
+        let mild = ChaosPlan::standard_sweep(4, 0.2).inject(&samples, &windows);
+        let harsh = ChaosPlan::standard_sweep(4, 1.0).inject(&samples, &windows);
+        assert!(harsh.log.injected_noise_sigma > mild.log.injected_noise_sigma);
+        assert!(harsh.log.corrupted.len() >= mild.log.corrupted.len());
+    }
+}

@@ -1,0 +1,38 @@
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+
+//! # reveal-chaos
+//!
+//! A seeded, composable acquisition-fault injector for stress-testing the
+//! RevEAL attack pipeline. Real capture campaigns suffer clock jitter,
+//! amplifier drift, glitch spikes, ADC saturation and trigger failures; the
+//! paper's clean SAKURA-G traces sidestep all of that, so the reproduction
+//! synthesizes it here instead — deterministically, with ground truth.
+//!
+//! Every fault is a typed [`Fault`] value; a [`ChaosPlan`] applies a list of
+//! them from a master seed and returns both the corrupted trace and an
+//! [`InjectionLog`] recording exactly which samples were touched and which
+//! coefficients' decision zones were corrupted. Tests use the log to assert
+//! the robust attack driver never upgrades a corrupted coefficient to a
+//! wrong "perfect" hint.
+//!
+//! ## Example
+//!
+//! ```
+//! use reveal_chaos::{ChaosPlan, Fault};
+//!
+//! let samples = vec![1.0; 512];
+//! let windows = vec![(100, 300)];
+//! let plan = ChaosPlan::noise_only(42, 0.25);
+//! let injected = plan.inject(&samples, &windows);
+//! assert_eq!(injected.samples.len(), samples.len());
+//! assert!((injected.log.injected_noise_sigma - 0.25).abs() < 1e-12);
+//! ```
+
+pub mod fault;
+pub mod inject;
+
+pub use fault::Fault;
+pub use inject::{
+    ChaosPlan, FaultEvent, Injected, InjectionLog, GAIN_CORRUPTION_TOLERANCE, ZONE_MARGIN,
+};

@@ -38,4 +38,6 @@ pub use dbdd::{
     bikz_to_bits, DbddInstance, HintError, LweParameters, SecurityEstimate, BIKZ_PER_BIT,
 };
 pub use delta::{delta_bkz, ln_delta_bkz, solve_beta, success_margin};
-pub use posterior::{integrate_posteriors, HintPolicy, HintSummary, Posterior, PosteriorError};
+pub use posterior::{
+    integrate_posteriors, HintClass, HintPolicy, HintSummary, Posterior, PosteriorError,
+};

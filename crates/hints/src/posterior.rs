@@ -114,6 +114,24 @@ pub struct HintPolicy {
     pub max_useful_variance_ratio: f64,
     /// The prior variance of a coefficient (σ² of the sampler).
     pub prior_variance: f64,
+    /// Calibration factor multiplied into every posterior variance before
+    /// classification. `1.0` is the paper's behaviour (bit-exact: a `× 1.0`
+    /// float multiply is the identity); the robust driver raises it when a
+    /// capture looks degraded, so hints degrade perfect → approximate →
+    /// skipped instead of over-claiming certainty.
+    pub variance_inflation: f64,
+}
+
+/// The classification of one posterior under a [`HintPolicy`]: which rung of
+/// the degradation ladder the coordinate lands on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HintClass {
+    /// Integrate via `integrate_perfect_hint` (value known exactly).
+    Perfect,
+    /// Integrate via `integrate_approximate_hint` with this ε².
+    Approximate { eps_squared: f64 },
+    /// Posterior no sharper than the prior: integrate nothing.
+    Skipped,
 }
 
 impl HintPolicy {
@@ -123,6 +141,32 @@ impl HintPolicy {
             perfect_variance_threshold: 1e-9,
             max_useful_variance_ratio: 0.999,
             prior_variance: 3.2 * 3.2,
+            variance_inflation: 1.0,
+        }
+    }
+
+    /// A copy with the given variance-inflation calibration.
+    pub fn with_variance_inflation(mut self, inflation: f64) -> Self {
+        self.variance_inflation = inflation.max(1.0);
+        self
+    }
+
+    /// Classifies a posterior variance onto the degradation ladder. This is
+    /// the single decision point the whole workspace uses, so the robust
+    /// driver's gating and `integrate_posteriors` can never disagree.
+    pub fn classify_variance(&self, variance: f64) -> HintClass {
+        let variance = variance * self.variance_inflation;
+        if variance <= self.perfect_variance_threshold {
+            HintClass::Perfect
+        } else if variance < self.prior_variance * self.max_useful_variance_ratio {
+            // Find the hint variance ε² whose Bayesian posterior equals the
+            // measured posterior variance: ε² = vσ² / (σ² − v).
+            let prior = self.prior_variance;
+            HintClass::Approximate {
+                eps_squared: variance * prior / (prior - variance),
+            }
+        } else {
+            HintClass::Skipped
         }
     }
 }
@@ -163,19 +207,16 @@ pub fn integrate_posteriors(
     );
     let mut summary = HintSummary::default();
     for (&coord, post) in coordinates.iter().zip(posteriors) {
-        let variance = post.variance();
-        if variance <= policy.perfect_variance_threshold {
-            instance.integrate_perfect_hint(coord)?;
-            summary.perfect += 1;
-        } else if variance < policy.prior_variance * policy.max_useful_variance_ratio {
-            // Find the hint variance ε² whose Bayesian posterior equals the
-            // measured posterior variance: ε² = vσ² / (σ² − v).
-            let prior = policy.prior_variance;
-            let eps = variance * prior / (prior - variance);
-            instance.integrate_approximate_hint(coord, eps)?;
-            summary.approximate += 1;
-        } else {
-            summary.skipped += 1;
+        match policy.classify_variance(post.variance()) {
+            HintClass::Perfect => {
+                instance.integrate_perfect_hint(coord)?;
+                summary.perfect += 1;
+            }
+            HintClass::Approximate { eps_squared } => {
+                instance.integrate_approximate_hint(coord, eps_squared)?;
+                summary.approximate += 1;
+            }
+            HintClass::Skipped => summary.skipped += 1,
         }
     }
     Ok(summary)
@@ -245,6 +286,52 @@ mod tests {
         assert_eq!(summary.skipped, 1);
         let (p, a, _, _) = inst.hint_counts();
         assert_eq!((p, a), (1, 1));
+    }
+
+    #[test]
+    fn classification_matches_integration_dichotomy() {
+        let policy = HintPolicy::seal_paper();
+        assert_eq!(policy.classify_variance(0.0), HintClass::Perfect);
+        assert_eq!(policy.classify_variance(1e-10), HintClass::Perfect);
+        match policy.classify_variance(0.21) {
+            HintClass::Approximate { eps_squared } => {
+                let prior = 3.2 * 3.2;
+                assert!((eps_squared - 0.21 * prior / (prior - 0.21)).abs() < 1e-12);
+            }
+            other => panic!("expected approximate, got {other:?}"),
+        }
+        assert_eq!(policy.classify_variance(196.0), HintClass::Skipped);
+    }
+
+    #[test]
+    fn variance_inflation_degrades_classes_monotonically() {
+        let base = HintPolicy::seal_paper();
+        // Inflation 1.0 is the identity (bit-exact).
+        assert_eq!(
+            base.with_variance_inflation(1.0).classify_variance(0.5),
+            base.classify_variance(0.5)
+        );
+        // A borderline-perfect posterior degrades to approximate, then an
+        // approximate one degrades to skipped, as inflation grows.
+        let inflated = base.with_variance_inflation(100.0);
+        assert_eq!(base.classify_variance(5e-10), HintClass::Perfect);
+        assert!(matches!(
+            inflated.classify_variance(5e-10),
+            HintClass::Approximate { .. }
+        ));
+        assert!(matches!(
+            base.classify_variance(2.0),
+            HintClass::Approximate { .. }
+        ));
+        assert_eq!(inflated.classify_variance(2.0), HintClass::Skipped);
+        // Inflation below 1.0 is clamped: it must never sharpen hints.
+        assert_eq!(base.with_variance_inflation(0.1).variance_inflation, 1.0);
+        // Inflated approximate hints carry a larger ε².
+        let eps = |p: &HintPolicy| match p.classify_variance(0.5) {
+            HintClass::Approximate { eps_squared } => eps_squared,
+            other => panic!("expected approximate, got {other:?}"),
+        };
+        assert!(eps(&base.with_variance_inflation(4.0)) > eps(&base));
     }
 
     #[test]

@@ -11,6 +11,13 @@ pub enum AlignError {
     BadReference { reference: usize, trace: usize },
     /// The allowed shift window is empty.
     EmptyWindow,
+    /// A trace or reference sample is NaN or infinite; correlation against
+    /// it would silently rank every shift equal.
+    NonFiniteSample(usize),
+    /// Batch alignment got windows of differing lengths.
+    RaggedWindows { expected: usize, got: usize },
+    /// Windows are too short for the requested shift budget.
+    WindowTooShort { len: usize, max_shift: usize },
 }
 
 impl fmt::Display for AlignError {
@@ -23,6 +30,16 @@ impl fmt::Display for AlignError {
                 )
             }
             AlignError::EmptyWindow => write!(f, "empty shift window"),
+            AlignError::NonFiniteSample(i) => write!(f, "non-finite sample at index {i}"),
+            AlignError::RaggedWindows { expected, got } => {
+                write!(f, "ragged windows: {got} samples where {expected} expected")
+            }
+            AlignError::WindowTooShort { len, max_shift } => {
+                write!(
+                    f,
+                    "{len}-sample windows cannot absorb a ±{max_shift} shift budget"
+                )
+            }
         }
     }
 }
@@ -49,6 +66,12 @@ pub fn best_shift(
             reference: reference.len(),
             trace: trace.len(),
         });
+    }
+    if let Some(i) = trace.iter().position(|s| !s.is_finite()) {
+        return Err(AlignError::NonFiniteSample(i));
+    }
+    if let Some(i) = reference.iter().position(|s| !s.is_finite()) {
+        return Err(AlignError::NonFiniteSample(i));
     }
     let ref_mean = reference.iter().sum::<f64>() / reference.len() as f64;
     let ref_centered: Vec<f64> = reference.iter().map(|r| r - ref_mean).collect();
@@ -92,11 +115,8 @@ pub fn best_shift(
 ///
 /// # Errors
 ///
-/// Propagates [`best_shift`] failures.
-///
-/// # Panics
-///
-/// Panics if windows are ragged or shorter than `2·max_shift + 2`.
+/// Propagates [`best_shift`] failures; fails with typed errors (instead of
+/// panicking) on ragged or too-short windows.
 pub fn align_to_mean(
     windows: &[Vec<f64>],
     max_shift: usize,
@@ -105,11 +125,15 @@ pub fn align_to_mean(
         return Ok((Vec::new(), Vec::new()));
     }
     let len = windows[0].len();
-    assert!(windows.iter().all(|w| w.len() == len), "ragged windows");
-    assert!(
-        len > 2 * max_shift + 1,
-        "windows too short for the shift budget"
-    );
+    if let Some(w) = windows.iter().find(|w| w.len() != len) {
+        return Err(AlignError::RaggedWindows {
+            expected: len,
+            got: w.len(),
+        });
+    }
+    if len <= 2 * max_shift + 1 {
+        return Err(AlignError::WindowTooShort { len, max_shift });
+    }
     let core = len - 2 * max_shift;
     // Reference: the mean of the central cores.
     let mut reference = vec![0.0; core];
@@ -192,6 +216,25 @@ mod tests {
         assert!(matches!(
             best_shift(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 2, 0),
             Err(AlignError::EmptyWindow)
+        ));
+        // Degenerate inputs get typed errors instead of NaN ranks or panics.
+        assert!(matches!(
+            best_shift(&[1.0, f64::NAN, 3.0], &[1.0, 2.0], 0, 1),
+            Err(AlignError::NonFiniteSample(1))
+        ));
+        assert!(matches!(
+            align_to_mean(&[vec![1.0; 8], vec![1.0; 7]], 2),
+            Err(AlignError::RaggedWindows {
+                expected: 8,
+                got: 7
+            })
+        ));
+        assert!(matches!(
+            align_to_mean(&[vec![1.0; 8]], 4),
+            Err(AlignError::WindowTooShort {
+                len: 8,
+                max_shift: 4
+            })
         ));
     }
 

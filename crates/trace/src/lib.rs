@@ -1,4 +1,7 @@
 #![forbid(unsafe_code)]
+// The capture→segment→score hot path must degrade with typed errors, never
+// panic on a glitched acquisition; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 // Indexed loops are the clearest notation for the dense numeric kernels
 // in this workspace (convolutions, scatter matrices, lattice bases).
 #![allow(clippy::needless_range_loop)]
@@ -31,6 +34,7 @@ pub mod align;
 pub mod cpa;
 pub mod export;
 pub mod poi;
+pub mod sanity;
 pub mod segment;
 pub mod stats;
 pub mod trace;
@@ -39,6 +43,9 @@ pub mod tvla;
 pub use align::{align_to_mean, best_shift, AlignError};
 pub use cpa::{cpa_rank, distinguishing_margin, CpaError, CpaScore};
 pub use poi::{select_pois, PoiError, PoiMethod};
+pub use sanity::{
+    check_finite, mad_outlier_flags, median, median_abs_deviation, robust_noise_sigma,
+};
 pub use segment::{segment_windows, SegmentConfig, SegmentError};
 pub use stats::{pearson_correlation, Covariance, RunningStats};
 pub use trace::{resample_linear, Trace, TraceSet};

@@ -1,0 +1,146 @@
+//! Robust sanity statistics for degraded acquisitions: finiteness checks,
+//! median / median-absolute-deviation (MAD) outlier detection, and a robust
+//! per-trace noise estimate.
+//!
+//! These are the building blocks of the self-healing attack driver
+//! (`reveal-attack`'s `robust` module): burst lengths and ladder-window
+//! levels are screened with MAD outlier flags, and the noise estimate feeds
+//! the confidence derating that gates the hint-degradation ladder. MAD is
+//! used instead of mean/σ throughout because a single glitch spike or a
+//! merged burst would drag a moment-based screen past its own outliers.
+
+use crate::segment::SegmentError;
+
+/// The consistency constant making MAD estimate σ for Gaussian data.
+pub const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Rejects empty or NaN/infinity-containing traces with a typed error.
+///
+/// # Errors
+///
+/// [`SegmentError::EmptyTrace`] on empty input,
+/// [`SegmentError::NonFiniteSample`] (with the first offending index) on
+/// NaN or infinite samples.
+pub fn check_finite(samples: &[f64]) -> Result<(), SegmentError> {
+    if samples.is_empty() {
+        return Err(SegmentError::EmptyTrace);
+    }
+    match samples.iter().position(|s| !s.is_finite()) {
+        Some(i) => Err(SegmentError::NonFiniteSample(i)),
+        None => Ok(()),
+    }
+}
+
+/// The median of a slice (0.0 for an empty slice). Even lengths average the
+/// two central order statistics.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+/// The median absolute deviation from the median (0.0 for an empty slice).
+pub fn median_abs_deviation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Flags entries whose robust z-score `|x − median| / (MAD·1.4826)` exceeds
+/// `k`. The MAD is floored at `scale_floor` so an (almost) constant
+/// population does not flag every harmless wiggle.
+pub fn mad_outlier_flags(xs: &[f64], k: f64, scale_floor: f64) -> Vec<bool> {
+    let med = median(xs);
+    let scale = (median_abs_deviation(xs) * MAD_TO_SIGMA).max(scale_floor);
+    xs.iter().map(|x| (x - med).abs() > k * scale).collect()
+}
+
+/// Robust estimate of the white-noise σ riding on a trace: the MAD of the
+/// first differences, scaled to σ (differencing doubles the noise variance
+/// and suppresses the slow signal component, so glitches and bursts barely
+/// move it).
+pub fn robust_noise_sigma(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let diffs: Vec<f64> = samples.windows(2).map(|w| w[1] - w[0]).collect();
+    median_abs_deviation(&diffs) * MAD_TO_SIGMA / std::f64::consts::SQRT_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_finite_catches_degenerate_inputs() {
+        assert_eq!(check_finite(&[]), Err(SegmentError::EmptyTrace));
+        assert_eq!(
+            check_finite(&[1.0, f64::NAN]),
+            Err(SegmentError::NonFiniteSample(1))
+        );
+        assert_eq!(
+            check_finite(&[f64::INFINITY]),
+            Err(SegmentError::NonFiniteSample(0))
+        );
+        assert_eq!(check_finite(&[0.0, -1.0]), Ok(()));
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 10.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let xs = [10.0, 10.1, 9.9, 10.0, 1000.0];
+        assert!(median_abs_deviation(&xs) < 0.2);
+        let flags = mad_outlier_flags(&xs, 6.0, 1e-9);
+        assert_eq!(flags, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn mad_floor_suppresses_constant_population_noise() {
+        let xs = [5.0, 5.0 + 1e-12, 5.0 - 1e-12, 5.0];
+        let flags = mad_outlier_flags(&xs, 6.0, 0.01);
+        assert!(flags.iter().all(|f| !f));
+    }
+
+    #[test]
+    fn noise_sigma_tracks_injected_noise() {
+        // Deterministic pseudo-noise on a slow ramp: the estimate must see
+        // the fast component, not the ramp.
+        let noisy: Vec<f64> = (0..4000u64)
+            .map(|i| {
+                let slow = i as f64 * 0.001;
+                // splitmix64-style finalizer: adjacent indices decorrelate.
+                let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let fast = (z % 1000) as f64 / 1000.0 - 0.5;
+                slow + fast * 0.4
+            })
+            .collect();
+        let sigma = robust_noise_sigma(&noisy);
+        // Uniform(-0.2, 0.2) has σ ≈ 0.115.
+        assert!(sigma > 0.05 && sigma < 0.25, "sigma {sigma}");
+        assert_eq!(robust_noise_sigma(&[1.0]), 0.0);
+        // Scaling the noise scales the estimate.
+        let double: Vec<f64> = noisy.iter().map(|x| x * 2.0).collect();
+        assert!(robust_noise_sigma(&double) > 1.5 * sigma);
+    }
+}

@@ -47,6 +47,9 @@ pub enum SegmentError {
     EmptyTrace,
     /// No burst exceeded the threshold.
     NoPeaksFound,
+    /// The trace contains a NaN or infinite sample (acquisition glitch or a
+    /// corrupted capture file); index of the first offender.
+    NonFiniteSample(usize),
 }
 
 impl fmt::Display for SegmentError {
@@ -54,6 +57,9 @@ impl fmt::Display for SegmentError {
         match self {
             SegmentError::EmptyTrace => write!(f, "cannot segment an empty trace"),
             SegmentError::NoPeaksFound => write!(f, "no distribution-call peaks found"),
+            SegmentError::NonFiniteSample(i) => {
+                write!(f, "non-finite sample at index {i}")
+            }
         }
     }
 }
@@ -61,36 +67,45 @@ impl fmt::Display for SegmentError {
 impl std::error::Error for SegmentError {}
 
 /// Moving-average smoothing (centered, edge-clamped).
-pub fn smooth(samples: &[f64], window: usize) -> Vec<f64> {
-    if samples.is_empty() || window <= 1 {
-        return samples.to_vec();
+///
+/// # Errors
+///
+/// Fails on an empty trace or on NaN/infinite samples — a single NaN would
+/// otherwise silently poison every averaged output around it.
+pub fn smooth(samples: &[f64], window: usize) -> Result<Vec<f64>, SegmentError> {
+    crate::sanity::check_finite(samples)?;
+    if window <= 1 {
+        return Ok(samples.to_vec());
     }
     let half = window / 2;
     let n = samples.len();
     // Prefix sums for O(n) averaging.
     let mut prefix = Vec::with_capacity(n + 1);
+    let mut acc = 0.0;
     prefix.push(0.0);
     for &s in samples {
-        prefix.push(prefix.last().unwrap() + s);
+        acc += s;
+        prefix.push(acc);
     }
-    (0..n)
+    Ok((0..n)
         .map(|i| {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(n);
             (prefix[hi] - prefix[lo]) / (hi - lo) as f64
         })
-        .collect()
+        .collect())
 }
 
 /// Finds the high-power bursts (distribution-call peaks).
+///
+/// # Errors
+///
+/// Fails on empty, non-finite, or burst-free (e.g. all-constant) traces.
 pub fn find_bursts(
     samples: &[f64],
     config: &SegmentConfig,
 ) -> Result<Vec<(usize, usize)>, SegmentError> {
-    if samples.is_empty() {
-        return Err(SegmentError::EmptyTrace);
-    }
-    let smoothed = smooth(samples, config.smooth_window);
+    let smoothed = smooth(samples, config.smooth_window)?;
     // Robust low/high levels: 5th and 95th percentiles of the smoothed trace.
     let mut sorted = smoothed.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -283,7 +298,7 @@ mod tests {
         let noisy: Vec<f64> = (0..1000)
             .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
             .collect();
-        let s = smooth(&noisy, 16);
+        let s = smooth(&noisy, 16).unwrap();
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;
             v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
@@ -294,9 +309,17 @@ mod tests {
 
     #[test]
     fn smooth_degenerate_inputs() {
-        assert_eq!(smooth(&[], 8), Vec::<f64>::new());
-        assert_eq!(smooth(&[5.0], 8), vec![5.0]);
-        assert_eq!(smooth(&[1.0, 2.0], 1), vec![1.0, 2.0]);
+        assert_eq!(smooth(&[], 8), Err(SegmentError::EmptyTrace));
+        assert_eq!(smooth(&[5.0], 8), Ok(vec![5.0]));
+        assert_eq!(smooth(&[1.0, 2.0], 1), Ok(vec![1.0, 2.0]));
+        assert_eq!(
+            smooth(&[1.0, f64::NAN, 2.0], 4),
+            Err(SegmentError::NonFiniteSample(1))
+        );
+        assert_eq!(
+            smooth(&[1.0, 2.0, f64::INFINITY], 1),
+            Err(SegmentError::NonFiniteSample(2))
+        );
     }
 
     #[test]
@@ -346,6 +369,21 @@ mod tests {
         assert_eq!(
             find_bursts(&flat, &SegmentConfig::default()),
             Err(SegmentError::NoPeaksFound)
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_traces() {
+        let mut t = synthetic_trace(&[(100, 180)], 400, 1.0, 4.0);
+        t[250] = f64::NAN;
+        assert_eq!(
+            find_bursts(&t, &SegmentConfig::default()),
+            Err(SegmentError::NonFiniteSample(250))
+        );
+        t[250] = f64::NEG_INFINITY;
+        assert_eq!(
+            segment_windows(&t, &SegmentConfig::default()),
+            Err(SegmentError::NonFiniteSample(250))
         );
     }
 

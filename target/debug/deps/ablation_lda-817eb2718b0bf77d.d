@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lda-817eb2718b0bf77d.d: crates/bench/src/bin/ablation_lda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lda-817eb2718b0bf77d.rmeta: crates/bench/src/bin/ablation_lda.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lda-f22a00ebf76d6526.d: crates/bench/src/bin/ablation_lda.rs
+
+/root/repo/target/debug/deps/ablation_lda-f22a00ebf76d6526: crates/bench/src/bin/ablation_lda.rs
+
+crates/bench/src/bin/ablation_lda.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_poi-43b137c11ffe4110.d: crates/bench/src/bin/ablation_poi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_poi-43b137c11ffe4110.rmeta: crates/bench/src/bin/ablation_poi.rs Cargo.toml
+
+crates/bench/src/bin/ablation_poi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_poi-91e9e5db0f39937e.d: crates/bench/src/bin/ablation_poi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_poi-91e9e5db0f39937e.rmeta: crates/bench/src/bin/ablation_poi.rs Cargo.toml
+
+crates/bench/src/bin/ablation_poi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

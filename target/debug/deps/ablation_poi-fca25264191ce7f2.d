@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_poi-fca25264191ce7f2.d: crates/bench/src/bin/ablation_poi.rs
+
+/root/repo/target/debug/deps/ablation_poi-fca25264191ce7f2: crates/bench/src/bin/ablation_poi.rs
+
+crates/bench/src/bin/ablation_poi.rs:

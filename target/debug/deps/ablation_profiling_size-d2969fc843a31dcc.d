@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_profiling_size-d2969fc843a31dcc.d: crates/bench/src/bin/ablation_profiling_size.rs
+
+/root/repo/target/debug/deps/ablation_profiling_size-d2969fc843a31dcc: crates/bench/src/bin/ablation_profiling_size.rs
+
+crates/bench/src/bin/ablation_profiling_size.rs:

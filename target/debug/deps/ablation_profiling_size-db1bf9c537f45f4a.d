@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_profiling_size-db1bf9c537f45f4a.d: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_profiling_size-db1bf9c537f45f4a.rmeta: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_profiling_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

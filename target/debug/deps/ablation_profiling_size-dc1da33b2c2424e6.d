@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_profiling_size-dc1da33b2c2424e6.d: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_profiling_size-dc1da33b2c2424e6.rmeta: crates/bench/src/bin/ablation_profiling_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_profiling_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

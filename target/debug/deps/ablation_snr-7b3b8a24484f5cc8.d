@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_snr-7b3b8a24484f5cc8.d: crates/bench/src/bin/ablation_snr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_snr-7b3b8a24484f5cc8.rmeta: crates/bench/src/bin/ablation_snr.rs Cargo.toml
+
+crates/bench/src/bin/ablation_snr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_snr-a49055f8a9a3f83a.d: crates/bench/src/bin/ablation_snr.rs
+
+/root/repo/target/debug/deps/ablation_snr-a49055f8a9a3f83a: crates/bench/src/bin/ablation_snr.rs
+
+crates/bench/src/bin/ablation_snr.rs:

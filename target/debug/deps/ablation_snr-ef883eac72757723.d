@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_snr-ef883eac72757723.d: crates/bench/src/bin/ablation_snr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_snr-ef883eac72757723.rmeta: crates/bench/src/bin/ablation_snr.rs Cargo.toml
+
+crates/bench/src/bin/ablation_snr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack-c2b63847eaaee51c.d: crates/bench/benches/attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack-c2b63847eaaee51c.rmeta: crates/bench/benches/attack.rs Cargo.toml
+
+crates/bench/benches/attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_cpa-3df72b6e93d36f1a.d: crates/bench/src/bin/baseline_cpa.rs
+
+/root/repo/target/debug/deps/baseline_cpa-3df72b6e93d36f1a: crates/bench/src/bin/baseline_cpa.rs
+
+crates/bench/src/bin/baseline_cpa.rs:

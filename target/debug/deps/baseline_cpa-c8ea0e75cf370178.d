@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_cpa-c8ea0e75cf370178.d: crates/bench/src/bin/baseline_cpa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_cpa-c8ea0e75cf370178.rmeta: crates/bench/src/bin/baseline_cpa.rs Cargo.toml
+
+crates/bench/src/bin/baseline_cpa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

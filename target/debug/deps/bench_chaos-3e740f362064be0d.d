@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_chaos-3e740f362064be0d.d: crates/bench/src/bin/bench_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_chaos-3e740f362064be0d.rmeta: crates/bench/src/bin/bench_chaos.rs Cargo.toml
+
+crates/bench/src/bin/bench_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_chaos-a90a580a69c3ae6a.d: crates/bench/src/bin/bench_chaos.rs
+
+/root/repo/target/debug/deps/bench_chaos-a90a580a69c3ae6a: crates/bench/src/bin/bench_chaos.rs
+
+crates/bench/src/bin/bench_chaos.rs:

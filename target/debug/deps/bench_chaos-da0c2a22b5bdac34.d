@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_chaos-da0c2a22b5bdac34.d: crates/bench/src/bin/bench_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_chaos-da0c2a22b5bdac34.rmeta: crates/bench/src/bin/bench_chaos.rs Cargo.toml
+
+crates/bench/src/bin/bench_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

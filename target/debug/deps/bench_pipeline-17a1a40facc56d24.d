@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pipeline-17a1a40facc56d24.d: crates/bench/src/bin/bench_pipeline.rs
+
+/root/repo/target/debug/deps/bench_pipeline-17a1a40facc56d24: crates/bench/src/bin/bench_pipeline.rs
+
+crates/bench/src/bin/bench_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_pipeline-35f4992f000f80c0.d: crates/bench/src/bin/bench_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_pipeline-35f4992f000f80c0.rmeta: crates/bench/src/bin/bench_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/bench_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfv-a7f9ddab5e0d2da2.d: crates/bench/benches/bfv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfv-a7f9ddab5e0d2da2.rmeta: crates/bench/benches/bfv.rs Cargo.toml
+
+crates/bench/benches/bfv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

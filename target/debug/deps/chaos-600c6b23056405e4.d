@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-600c6b23056405e4.d: crates/attack/../../tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-600c6b23056405e4.rmeta: crates/attack/../../tests/chaos.rs Cargo.toml
+
+crates/attack/../../tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-f4855bdcac4f7e2a.d: crates/attack/../../tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-f4855bdcac4f7e2a: crates/attack/../../tests/chaos.rs
+
+crates/attack/../../tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ckks_attack-60ac447a5647769e.d: crates/bench/src/bin/ckks_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libckks_attack-60ac447a5647769e.rmeta: crates/bench/src/bin/ckks_attack.rs Cargo.toml
+
+crates/bench/src/bin/ckks_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ckks_attack-7eed6e50ef35c76c.d: crates/bench/src/bin/ckks_attack.rs
+
+/root/repo/target/debug/deps/ckks_attack-7eed6e50ef35c76c: crates/bench/src/bin/ckks_attack.rs
+
+crates/bench/src/bin/ckks_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ckks_attack-8e7157b98125d157.d: crates/bench/src/bin/ckks_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libckks_attack-8e7157b98125d157.rmeta: crates/bench/src/bin/ckks_attack.rs Cargo.toml
+
+crates/bench/src/bin/ckks_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_sampler_variants-45360e4415d4c5e3.d: crates/bench/src/bin/defense_sampler_variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_sampler_variants-45360e4415d4c5e3.rmeta: crates/bench/src/bin/defense_sampler_variants.rs Cargo.toml
+
+crates/bench/src/bin/defense_sampler_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

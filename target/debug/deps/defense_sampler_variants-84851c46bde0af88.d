@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_sampler_variants-84851c46bde0af88.d: crates/bench/src/bin/defense_sampler_variants.rs
+
+/root/repo/target/debug/deps/defense_sampler_variants-84851c46bde0af88: crates/bench/src/bin/defense_sampler_variants.rs
+
+crates/bench/src/bin/defense_sampler_variants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_shuffling-28370a9b47d14006.d: crates/bench/src/bin/defense_shuffling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_shuffling-28370a9b47d14006.rmeta: crates/bench/src/bin/defense_shuffling.rs Cargo.toml
+
+crates/bench/src/bin/defense_shuffling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_shuffling-32a5af587d1c0f04.d: crates/bench/src/bin/defense_shuffling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_shuffling-32a5af587d1c0f04.rmeta: crates/bench/src/bin/defense_shuffling.rs Cargo.toml
+
+crates/bench/src/bin/defense_shuffling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_shuffling-94179d95d14bd76f.d: crates/bench/src/bin/defense_shuffling.rs
+
+/root/repo/target/debug/deps/defense_shuffling-94179d95d14bd76f: crates/bench/src/bin/defense_shuffling.rs
+
+crates/bench/src/bin/defense_shuffling.rs:

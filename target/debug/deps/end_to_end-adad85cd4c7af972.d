@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-adad85cd4c7af972.d: crates/attack/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-adad85cd4c7af972: crates/attack/../../tests/end_to_end.rs
+
+crates/attack/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_recovery-9951e98f07bc7e4a.d: crates/bench/src/bin/end_to_end_recovery.rs
+
+/root/repo/target/debug/deps/end_to_end_recovery-9951e98f07bc7e4a: crates/bench/src/bin/end_to_end_recovery.rs
+
+crates/bench/src/bin/end_to_end_recovery.rs:

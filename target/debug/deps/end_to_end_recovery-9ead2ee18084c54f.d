@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_recovery-9ead2ee18084c54f.d: crates/bench/src/bin/end_to_end_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_recovery-9ead2ee18084c54f.rmeta: crates/bench/src/bin/end_to_end_recovery.rs Cargo.toml
+
+crates/bench/src/bin/end_to_end_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

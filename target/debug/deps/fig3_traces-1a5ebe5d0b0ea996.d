@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_traces-1a5ebe5d0b0ea996.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/debug/deps/fig3_traces-1a5ebe5d0b0ea996: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hints-ed73018bb7aeba89.d: crates/bench/benches/hints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhints-ed73018bb7aeba89.rmeta: crates/bench/benches/hints.rs Cargo.toml
+
+crates/bench/benches/hints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keygen_attack-89d79a2111ab151a.d: crates/bench/src/bin/keygen_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeygen_attack-89d79a2111ab151a.rmeta: crates/bench/src/bin/keygen_attack.rs Cargo.toml
+
+crates/bench/src/bin/keygen_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keygen_attack-f2545e34c37c9368.d: crates/bench/src/bin/keygen_attack.rs
+
+/root/repo/target/debug/deps/keygen_attack-f2545e34c37c9368: crates/bench/src/bin/keygen_attack.rs
+
+crates/bench/src/bin/keygen_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lattice-c09fb5a498aba992.d: crates/bench/benches/lattice.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblattice-c09fb5a498aba992.rmeta: crates/bench/benches/lattice.rs Cargo.toml
+
+crates/bench/benches/lattice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

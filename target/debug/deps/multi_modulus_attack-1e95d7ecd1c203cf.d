@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_modulus_attack-1e95d7ecd1c203cf.d: crates/bench/src/bin/multi_modulus_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_modulus_attack-1e95d7ecd1c203cf.rmeta: crates/bench/src/bin/multi_modulus_attack.rs Cargo.toml
+
+crates/bench/src/bin/multi_modulus_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_modulus_attack-84cc4937468bfb6d.d: crates/bench/src/bin/multi_modulus_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_modulus_attack-84cc4937468bfb6d.rmeta: crates/bench/src/bin/multi_modulus_attack.rs Cargo.toml
+
+crates/bench/src/bin/multi_modulus_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

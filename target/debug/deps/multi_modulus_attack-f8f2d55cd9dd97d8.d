@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_modulus_attack-f8f2d55cd9dd97d8.d: crates/bench/src/bin/multi_modulus_attack.rs
+
+/root/repo/target/debug/deps/multi_modulus_attack-f8f2d55cd9dd97d8: crates/bench/src/bin/multi_modulus_attack.rs
+
+crates/bench/src/bin/multi_modulus_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ntt-704e5e4ec1d2a977.d: crates/bench/benches/ntt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libntt-704e5e4ec1d2a977.rmeta: crates/bench/benches/ntt.rs Cargo.toml
+
+crates/bench/benches/ntt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/par_determinism-9fef7da294f2d8cd.d: crates/attack/../../tests/par_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar_determinism-9fef7da294f2d8cd.rmeta: crates/attack/../../tests/par_determinism.rs Cargo.toml
+
+crates/attack/../../tests/par_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

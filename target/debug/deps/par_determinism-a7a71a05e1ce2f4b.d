@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-a7a71a05e1ce2f4b.d: crates/attack/../../tests/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-a7a71a05e1ce2f4b: crates/attack/../../tests/par_determinism.rs
+
+crates/attack/../../tests/par_determinism.rs:

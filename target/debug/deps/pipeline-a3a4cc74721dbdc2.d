@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-a3a4cc74721dbdc2.d: crates/attack/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-a3a4cc74721dbdc2.rmeta: crates/attack/../../tests/pipeline.rs Cargo.toml
+
+crates/attack/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

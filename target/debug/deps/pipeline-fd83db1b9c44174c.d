@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-fd83db1b9c44174c.d: crates/attack/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-fd83db1b9c44174c: crates/attack/../../tests/pipeline.rs
+
+crates/attack/../../tests/pipeline.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/reveal_attack-2208f53b6dbf67db.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+/root/repo/target/debug/deps/reveal_attack-2208f53b6dbf67db.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
 
-/root/repo/target/debug/deps/libreveal_attack-2208f53b6dbf67db.rlib: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+/root/repo/target/debug/deps/libreveal_attack-2208f53b6dbf67db.rlib: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
 
-/root/repo/target/debug/deps/libreveal_attack-2208f53b6dbf67db.rmeta: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+/root/repo/target/debug/deps/libreveal_attack-2208f53b6dbf67db.rmeta: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
 
 crates/attack/src/lib.rs:
 crates/attack/src/config.rs:
@@ -11,3 +11,4 @@ crates/attack/src/device.rs:
 crates/attack/src/profile.rs:
 crates/attack/src/recover.rs:
 crates/attack/src/report.rs:
+crates/attack/src/robust.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/reveal_attack-36745c067f103cca.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_attack-36745c067f103cca.rmeta: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs Cargo.toml
+
+crates/attack/src/lib.rs:
+crates/attack/src/config.rs:
+crates/attack/src/defense.rs:
+crates/attack/src/device.rs:
+crates/attack/src/profile.rs:
+crates/attack/src/recover.rs:
+crates/attack/src/report.rs:
+crates/attack/src/robust.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/reveal_attack-60d21fee02e9696e.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
+
+/root/repo/target/debug/deps/reveal_attack-60d21fee02e9696e: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/config.rs:
+crates/attack/src/defense.rs:
+crates/attack/src/device.rs:
+crates/attack/src/profile.rs:
+crates/attack/src/recover.rs:
+crates/attack/src/report.rs:
+crates/attack/src/robust.rs:

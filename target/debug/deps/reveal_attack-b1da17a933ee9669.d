@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/reveal_attack-b1da17a933ee9669.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/reveal_attack-b1da17a933ee9669.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs Cargo.toml
 
-/root/repo/target/debug/deps/libreveal_attack-b1da17a933ee9669.rmeta: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs Cargo.toml
+/root/repo/target/debug/deps/libreveal_attack-b1da17a933ee9669.rmeta: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs Cargo.toml
 
 crates/attack/src/lib.rs:
 crates/attack/src/config.rs:
@@ -9,6 +9,7 @@ crates/attack/src/device.rs:
 crates/attack/src/profile.rs:
 crates/attack/src/recover.rs:
 crates/attack/src/report.rs:
+crates/attack/src/robust.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

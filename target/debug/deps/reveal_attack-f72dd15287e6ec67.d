@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/reveal_attack-f72dd15287e6ec67.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+/root/repo/target/debug/deps/reveal_attack-f72dd15287e6ec67.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
 
-/root/repo/target/debug/deps/reveal_attack-f72dd15287e6ec67: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+/root/repo/target/debug/deps/reveal_attack-f72dd15287e6ec67: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
 
 crates/attack/src/lib.rs:
 crates/attack/src/config.rs:
@@ -9,3 +9,4 @@ crates/attack/src/device.rs:
 crates/attack/src/profile.rs:
 crates/attack/src/recover.rs:
 crates/attack/src/report.rs:
+crates/attack/src/robust.rs:

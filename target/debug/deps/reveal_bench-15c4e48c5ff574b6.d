@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reveal_bench-15c4e48c5ff574b6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_bench-15c4e48c5ff574b6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libreveal_bench-15c4e48c5ff574b6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

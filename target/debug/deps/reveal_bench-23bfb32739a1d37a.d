@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reveal_bench-23bfb32739a1d37a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_bench-23bfb32739a1d37a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reveal_bench-d52b2b5c06f6a2d8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/reveal_bench-d52b2b5c06f6a2d8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

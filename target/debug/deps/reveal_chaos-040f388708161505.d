@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reveal_chaos-040f388708161505.d: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs
+
+/root/repo/target/debug/deps/libreveal_chaos-040f388708161505.rlib: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs
+
+/root/repo/target/debug/deps/libreveal_chaos-040f388708161505.rmeta: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/fault.rs:
+crates/chaos/src/inject.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/reveal_chaos-7ed80a73d2cff773.d: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreveal_chaos-7ed80a73d2cff773.rmeta: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/fault.rs:
+crates/chaos/src/inject.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reveal_chaos-f0aa6a29ef3170d1.d: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs
+
+/root/repo/target/debug/deps/reveal_chaos-f0aa6a29ef3170d1: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/fault.rs:
+crates/chaos/src/inject.rs:

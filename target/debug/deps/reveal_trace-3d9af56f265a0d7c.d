@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/reveal_trace-3d9af56f265a0d7c.d: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs Cargo.toml
+/root/repo/target/debug/deps/reveal_trace-3d9af56f265a0d7c.d: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/sanity.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs Cargo.toml
 
-/root/repo/target/debug/deps/libreveal_trace-3d9af56f265a0d7c.rmeta: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs Cargo.toml
+/root/repo/target/debug/deps/libreveal_trace-3d9af56f265a0d7c.rmeta: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/sanity.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs Cargo.toml
 
 crates/trace/src/lib.rs:
 crates/trace/src/align.rs:
 crates/trace/src/cpa.rs:
 crates/trace/src/export.rs:
 crates/trace/src/poi.rs:
+crates/trace/src/sanity.rs:
 crates/trace/src/segment.rs:
 crates/trace/src/stats.rs:
 crates/trace/src/trace.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/reveal_trace-c0c75db052e90f47.d: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
+/root/repo/target/debug/deps/reveal_trace-c0c75db052e90f47.d: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/sanity.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
 
-/root/repo/target/debug/deps/reveal_trace-c0c75db052e90f47: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
+/root/repo/target/debug/deps/reveal_trace-c0c75db052e90f47: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/sanity.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
 
 crates/trace/src/lib.rs:
 crates/trace/src/align.rs:
 crates/trace/src/cpa.rs:
 crates/trace/src/export.rs:
 crates/trace/src/poi.rs:
+crates/trace/src/sanity.rs:
 crates/trace/src/segment.rs:
 crates/trace/src/stats.rs:
 crates/trace/src/trace.rs:

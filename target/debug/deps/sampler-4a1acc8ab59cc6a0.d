@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sampler-4a1acc8ab59cc6a0.d: crates/bench/benches/sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsampler-4a1acc8ab59cc6a0.rmeta: crates/bench/benches/sampler.rs Cargo.toml
+
+crates/bench/benches/sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_tables-916f9729c339c4c0.d: crates/attack/../../tests/security_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_tables-916f9729c339c4c0.rmeta: crates/attack/../../tests/security_tables.rs Cargo.toml
+
+crates/attack/../../tests/security_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

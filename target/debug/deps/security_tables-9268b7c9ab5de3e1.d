@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_tables-9268b7c9ab5de3e1.d: crates/attack/../../tests/security_tables.rs
+
+/root/repo/target/debug/deps/security_tables-9268b7c9ab5de3e1: crates/attack/../../tests/security_tables.rs
+
+crates/attack/../../tests/security_tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_confusion-504a00bfbe33b16c.d: crates/bench/src/bin/table1_confusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_confusion-504a00bfbe33b16c.rmeta: crates/bench/src/bin/table1_confusion.rs Cargo.toml
+
+crates/bench/src/bin/table1_confusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

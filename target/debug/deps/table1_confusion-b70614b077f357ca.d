@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_confusion-b70614b077f357ca.d: crates/bench/src/bin/table1_confusion.rs
+
+/root/repo/target/debug/deps/table1_confusion-b70614b077f357ca: crates/bench/src/bin/table1_confusion.rs
+
+crates/bench/src/bin/table1_confusion.rs:

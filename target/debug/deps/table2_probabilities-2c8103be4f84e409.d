@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_probabilities-2c8103be4f84e409.d: crates/bench/src/bin/table2_probabilities.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_probabilities-2c8103be4f84e409.rmeta: crates/bench/src/bin/table2_probabilities.rs Cargo.toml
+
+crates/bench/src/bin/table2_probabilities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

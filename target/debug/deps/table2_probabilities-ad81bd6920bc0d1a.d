@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_probabilities-ad81bd6920bc0d1a.d: crates/bench/src/bin/table2_probabilities.rs
+
+/root/repo/target/debug/deps/table2_probabilities-ad81bd6920bc0d1a: crates/bench/src/bin/table2_probabilities.rs
+
+crates/bench/src/bin/table2_probabilities.rs:

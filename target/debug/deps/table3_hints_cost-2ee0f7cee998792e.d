@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_hints_cost-2ee0f7cee998792e.d: crates/bench/src/bin/table3_hints_cost.rs
+
+/root/repo/target/debug/deps/table3_hints_cost-2ee0f7cee998792e: crates/bench/src/bin/table3_hints_cost.rs
+
+crates/bench/src/bin/table3_hints_cost.rs:

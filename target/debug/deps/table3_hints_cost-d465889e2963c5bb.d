@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_hints_cost-d465889e2963c5bb.d: crates/bench/src/bin/table3_hints_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_hints_cost-d465889e2963c5bb.rmeta: crates/bench/src/bin/table3_hints_cost.rs Cargo.toml
+
+crates/bench/src/bin/table3_hints_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_sign_only-52f4c5405efcf00a.d: crates/bench/src/bin/table4_sign_only.rs
+
+/root/repo/target/debug/deps/table4_sign_only-52f4c5405efcf00a: crates/bench/src/bin/table4_sign_only.rs
+
+crates/bench/src/bin/table4_sign_only.rs:

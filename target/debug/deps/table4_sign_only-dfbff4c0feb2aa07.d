@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_sign_only-dfbff4c0feb2aa07.d: crates/bench/src/bin/table4_sign_only.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_sign_only-dfbff4c0feb2aa07.rmeta: crates/bench/src/bin/table4_sign_only.rs Cargo.toml
+
+crates/bench/src/bin/table4_sign_only.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tvla_assessment-49ba5a691a612bf5.d: crates/bench/src/bin/tvla_assessment.rs
+
+/root/repo/target/debug/deps/tvla_assessment-49ba5a691a612bf5: crates/bench/src/bin/tvla_assessment.rs
+
+crates/bench/src/bin/tvla_assessment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tvla_assessment-52433a8a491a4a1a.d: crates/bench/src/bin/tvla_assessment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtvla_assessment-52433a8a491a4a1a.rmeta: crates/bench/src/bin/tvla_assessment.rs Cargo.toml
+
+crates/bench/src/bin/tvla_assessment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

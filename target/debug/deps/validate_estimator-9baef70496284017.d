@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_estimator-9baef70496284017.d: crates/bench/src/bin/validate_estimator.rs
+
+/root/repo/target/debug/deps/validate_estimator-9baef70496284017: crates/bench/src/bin/validate_estimator.rs
+
+crates/bench/src/bin/validate_estimator.rs:

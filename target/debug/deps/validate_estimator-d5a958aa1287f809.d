@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_estimator-d5a958aa1287f809.d: crates/bench/src/bin/validate_estimator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_estimator-d5a958aa1287f809.rmeta: crates/bench/src/bin/validate_estimator.rs Cargo.toml
+
+crates/bench/src/bin/validate_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_estimator-d78955b294734bad.d: crates/bench/src/bin/validate_estimator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_estimator-d78955b294734bad.rmeta: crates/bench/src/bin/validate_estimator.rs Cargo.toml
+
+crates/bench/src/bin/validate_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

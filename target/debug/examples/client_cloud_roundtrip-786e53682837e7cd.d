@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/client_cloud_roundtrip-786e53682837e7cd.d: crates/attack/../../examples/client_cloud_roundtrip.rs
+
+/root/repo/target/debug/examples/client_cloud_roundtrip-786e53682837e7cd: crates/attack/../../examples/client_cloud_roundtrip.rs
+
+crates/attack/../../examples/client_cloud_roundtrip.rs:

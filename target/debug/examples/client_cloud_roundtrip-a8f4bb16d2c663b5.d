@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/client_cloud_roundtrip-a8f4bb16d2c663b5.d: crates/attack/../../examples/client_cloud_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclient_cloud_roundtrip-a8f4bb16d2c663b5.rmeta: crates/attack/../../examples/client_cloud_roundtrip.rs Cargo.toml
+
+crates/attack/../../examples/client_cloud_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/countermeasure_shuffling-10b0b993ecd1c0ce.d: crates/attack/../../examples/countermeasure_shuffling.rs
+
+/root/repo/target/debug/examples/countermeasure_shuffling-10b0b993ecd1c0ce: crates/attack/../../examples/countermeasure_shuffling.rs
+
+crates/attack/../../examples/countermeasure_shuffling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/countermeasure_shuffling-46ef5d9d07e5f840.d: crates/attack/../../examples/countermeasure_shuffling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcountermeasure_shuffling-46ef5d9d07e5f840.rmeta: crates/attack/../../examples/countermeasure_shuffling.rs Cargo.toml
+
+crates/attack/../../examples/countermeasure_shuffling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

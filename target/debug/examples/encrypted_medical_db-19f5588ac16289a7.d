@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_medical_db-19f5588ac16289a7.d: crates/attack/../../examples/encrypted_medical_db.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_medical_db-19f5588ac16289a7.rmeta: crates/attack/../../examples/encrypted_medical_db.rs Cargo.toml
+
+crates/attack/../../examples/encrypted_medical_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_medical_db-668f3d7ec5900817.d: crates/attack/../../examples/encrypted_medical_db.rs
+
+/root/repo/target/debug/examples/encrypted_medical_db-668f3d7ec5900817: crates/attack/../../examples/encrypted_medical_db.rs
+
+crates/attack/../../examples/encrypted_medical_db.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-7ce3e554b0d8ef0a.d: crates/attack/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-7ce3e554b0d8ef0a.rmeta: crates/attack/../../examples/quickstart.rs Cargo.toml
+
+crates/attack/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

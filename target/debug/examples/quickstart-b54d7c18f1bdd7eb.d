@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b54d7c18f1bdd7eb.d: crates/attack/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b54d7c18f1bdd7eb: crates/attack/../../examples/quickstart.rs
+
+crates/attack/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/security_estimator-5f466edffc562fdb.d: crates/attack/../../examples/security_estimator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecurity_estimator-5f466edffc562fdb.rmeta: crates/attack/../../examples/security_estimator.rs Cargo.toml
+
+crates/attack/../../examples/security_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/security_estimator-cc229ebc6053efe2.d: crates/attack/../../examples/security_estimator.rs
+
+/root/repo/target/debug/examples/security_estimator-cc229ebc6053efe2: crates/attack/../../examples/security_estimator.rs
+
+crates/attack/../../examples/security_estimator.rs:

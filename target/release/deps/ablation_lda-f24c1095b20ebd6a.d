@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lda-f24c1095b20ebd6a.d: crates/bench/src/bin/ablation_lda.rs
+
+/root/repo/target/release/deps/ablation_lda-f24c1095b20ebd6a: crates/bench/src/bin/ablation_lda.rs
+
+crates/bench/src/bin/ablation_lda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_poi-74c57b95cddd06e2.d: crates/bench/src/bin/ablation_poi.rs
+
+/root/repo/target/release/deps/ablation_poi-74c57b95cddd06e2: crates/bench/src/bin/ablation_poi.rs
+
+crates/bench/src/bin/ablation_poi.rs:

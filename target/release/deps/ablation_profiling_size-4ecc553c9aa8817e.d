@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_profiling_size-4ecc553c9aa8817e.d: crates/bench/src/bin/ablation_profiling_size.rs
+
+/root/repo/target/release/deps/ablation_profiling_size-4ecc553c9aa8817e: crates/bench/src/bin/ablation_profiling_size.rs
+
+crates/bench/src/bin/ablation_profiling_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_snr-59c11bfb6c39be39.d: crates/bench/src/bin/ablation_snr.rs
+
+/root/repo/target/release/deps/ablation_snr-59c11bfb6c39be39: crates/bench/src/bin/ablation_snr.rs
+
+crates/bench/src/bin/ablation_snr.rs:

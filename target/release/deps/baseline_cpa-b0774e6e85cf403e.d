@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_cpa-b0774e6e85cf403e.d: crates/bench/src/bin/baseline_cpa.rs
+
+/root/repo/target/release/deps/baseline_cpa-b0774e6e85cf403e: crates/bench/src/bin/baseline_cpa.rs
+
+crates/bench/src/bin/baseline_cpa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_chaos-e892453d0133f2e5.d: crates/bench/src/bin/bench_chaos.rs
+
+/root/repo/target/release/deps/bench_chaos-e892453d0133f2e5: crates/bench/src/bin/bench_chaos.rs
+
+crates/bench/src/bin/bench_chaos.rs:

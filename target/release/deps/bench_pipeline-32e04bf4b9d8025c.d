@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pipeline-32e04bf4b9d8025c.d: crates/bench/src/bin/bench_pipeline.rs
+
+/root/repo/target/release/deps/bench_pipeline-32e04bf4b9d8025c: crates/bench/src/bin/bench_pipeline.rs
+
+crates/bench/src/bin/bench_pipeline.rs:

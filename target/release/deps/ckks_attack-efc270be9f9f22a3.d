@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ckks_attack-efc270be9f9f22a3.d: crates/bench/src/bin/ckks_attack.rs
+
+/root/repo/target/release/deps/ckks_attack-efc270be9f9f22a3: crates/bench/src/bin/ckks_attack.rs
+
+crates/bench/src/bin/ckks_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/defense_sampler_variants-e8e5d90bcf46cae1.d: crates/bench/src/bin/defense_sampler_variants.rs
+
+/root/repo/target/release/deps/defense_sampler_variants-e8e5d90bcf46cae1: crates/bench/src/bin/defense_sampler_variants.rs
+
+crates/bench/src/bin/defense_sampler_variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/defense_shuffling-e6e311ee9c46a642.d: crates/bench/src/bin/defense_shuffling.rs
+
+/root/repo/target/release/deps/defense_shuffling-e6e311ee9c46a642: crates/bench/src/bin/defense_shuffling.rs
+
+crates/bench/src/bin/defense_shuffling.rs:

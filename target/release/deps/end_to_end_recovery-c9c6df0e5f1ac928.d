@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_recovery-c9c6df0e5f1ac928.d: crates/bench/src/bin/end_to_end_recovery.rs
+
+/root/repo/target/release/deps/end_to_end_recovery-c9c6df0e5f1ac928: crates/bench/src/bin/end_to_end_recovery.rs
+
+crates/bench/src/bin/end_to_end_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_traces-7d1e15407b8b4e65.d: crates/bench/src/bin/fig3_traces.rs
+
+/root/repo/target/release/deps/fig3_traces-7d1e15407b8b4e65: crates/bench/src/bin/fig3_traces.rs
+
+crates/bench/src/bin/fig3_traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/keygen_attack-88cf93632598f60b.d: crates/bench/src/bin/keygen_attack.rs
+
+/root/repo/target/release/deps/keygen_attack-88cf93632598f60b: crates/bench/src/bin/keygen_attack.rs
+
+crates/bench/src/bin/keygen_attack.rs:

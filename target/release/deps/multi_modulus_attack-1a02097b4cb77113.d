@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multi_modulus_attack-1a02097b4cb77113.d: crates/bench/src/bin/multi_modulus_attack.rs
+
+/root/repo/target/release/deps/multi_modulus_attack-1a02097b4cb77113: crates/bench/src/bin/multi_modulus_attack.rs
+
+crates/bench/src/bin/multi_modulus_attack.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/reveal_attack-55fb630ceebda0cd.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+/root/repo/target/release/deps/reveal_attack-55fb630ceebda0cd.d: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
 
-/root/repo/target/release/deps/libreveal_attack-55fb630ceebda0cd.rlib: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+/root/repo/target/release/deps/libreveal_attack-55fb630ceebda0cd.rlib: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
 
-/root/repo/target/release/deps/libreveal_attack-55fb630ceebda0cd.rmeta: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs
+/root/repo/target/release/deps/libreveal_attack-55fb630ceebda0cd.rmeta: crates/attack/src/lib.rs crates/attack/src/config.rs crates/attack/src/defense.rs crates/attack/src/device.rs crates/attack/src/profile.rs crates/attack/src/recover.rs crates/attack/src/report.rs crates/attack/src/robust.rs
 
 crates/attack/src/lib.rs:
 crates/attack/src/config.rs:
@@ -11,3 +11,4 @@ crates/attack/src/device.rs:
 crates/attack/src/profile.rs:
 crates/attack/src/recover.rs:
 crates/attack/src/report.rs:
+crates/attack/src/robust.rs:

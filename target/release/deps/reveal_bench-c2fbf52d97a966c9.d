@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reveal_bench-c2fbf52d97a966c9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libreveal_bench-c2fbf52d97a966c9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libreveal_bench-c2fbf52d97a966c9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reveal_chaos-96d53603a565d996.d: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs
+
+/root/repo/target/release/deps/libreveal_chaos-96d53603a565d996.rlib: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs
+
+/root/repo/target/release/deps/libreveal_chaos-96d53603a565d996.rmeta: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/inject.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/fault.rs:
+crates/chaos/src/inject.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/reveal_trace-c34c3e7045cfedb0.d: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
+/root/repo/target/release/deps/reveal_trace-c34c3e7045cfedb0.d: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/sanity.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
 
-/root/repo/target/release/deps/libreveal_trace-c34c3e7045cfedb0.rlib: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
+/root/repo/target/release/deps/libreveal_trace-c34c3e7045cfedb0.rlib: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/sanity.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
 
-/root/repo/target/release/deps/libreveal_trace-c34c3e7045cfedb0.rmeta: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
+/root/repo/target/release/deps/libreveal_trace-c34c3e7045cfedb0.rmeta: crates/trace/src/lib.rs crates/trace/src/align.rs crates/trace/src/cpa.rs crates/trace/src/export.rs crates/trace/src/poi.rs crates/trace/src/sanity.rs crates/trace/src/segment.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/tvla.rs
 
 crates/trace/src/lib.rs:
 crates/trace/src/align.rs:
 crates/trace/src/cpa.rs:
 crates/trace/src/export.rs:
 crates/trace/src/poi.rs:
+crates/trace/src/sanity.rs:
 crates/trace/src/segment.rs:
 crates/trace/src/stats.rs:
 crates/trace/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_confusion-a93a19de4764647d.d: crates/bench/src/bin/table1_confusion.rs
+
+/root/repo/target/release/deps/table1_confusion-a93a19de4764647d: crates/bench/src/bin/table1_confusion.rs
+
+crates/bench/src/bin/table1_confusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_probabilities-d5ed81742f9f72d7.d: crates/bench/src/bin/table2_probabilities.rs
+
+/root/repo/target/release/deps/table2_probabilities-d5ed81742f9f72d7: crates/bench/src/bin/table2_probabilities.rs
+
+crates/bench/src/bin/table2_probabilities.rs:

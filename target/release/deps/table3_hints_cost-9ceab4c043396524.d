@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_hints_cost-9ceab4c043396524.d: crates/bench/src/bin/table3_hints_cost.rs
+
+/root/repo/target/release/deps/table3_hints_cost-9ceab4c043396524: crates/bench/src/bin/table3_hints_cost.rs
+
+crates/bench/src/bin/table3_hints_cost.rs:

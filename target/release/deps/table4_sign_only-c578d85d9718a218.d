@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_sign_only-c578d85d9718a218.d: crates/bench/src/bin/table4_sign_only.rs
+
+/root/repo/target/release/deps/table4_sign_only-c578d85d9718a218: crates/bench/src/bin/table4_sign_only.rs
+
+crates/bench/src/bin/table4_sign_only.rs:

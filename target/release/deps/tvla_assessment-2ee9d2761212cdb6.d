@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tvla_assessment-2ee9d2761212cdb6.d: crates/bench/src/bin/tvla_assessment.rs
+
+/root/repo/target/release/deps/tvla_assessment-2ee9d2761212cdb6: crates/bench/src/bin/tvla_assessment.rs
+
+crates/bench/src/bin/tvla_assessment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_estimator-a1eaf9c0f445c099.d: crates/bench/src/bin/validate_estimator.rs
+
+/root/repo/target/release/deps/validate_estimator-a1eaf9c0f445c099: crates/bench/src/bin/validate_estimator.rs
+
+crates/bench/src/bin/validate_estimator.rs:

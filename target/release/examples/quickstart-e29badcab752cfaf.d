@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e29badcab752cfaf.d: crates/attack/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e29badcab752cfaf: crates/attack/../../examples/quickstart.rs
+
+crates/attack/../../examples/quickstart.rs:
