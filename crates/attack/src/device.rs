@@ -5,7 +5,7 @@
 
 use rand::Rng;
 use reveal_bfv::sampler::{ClippedNormalDistribution, SampleStats};
-use reveal_rv32::kernel::{KernelError, KernelRun, KernelVariant, SamplerKernel};
+use reveal_rv32::kernel::{KernelError, KernelRun, KernelVariant, SamplerKernel, SamplerScratch};
 use reveal_rv32::power::PowerModelConfig;
 
 /// Converts one distribution call's statistics into the burst length the
@@ -147,6 +147,108 @@ impl Device {
             run,
         })
     }
+
+    /// [`Device::capture_fresh`] through the streaming fast path: the trace
+    /// renders into `scratch`'s reusable buffer and distribution bursts
+    /// replay from its sub-trace memo. Bit-identical output for the same RNG
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures.
+    pub fn capture_fresh_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut SamplerScratch,
+    ) -> Result<Capture, KernelError> {
+        let n = self.degree();
+        let mut dist = ClippedNormalDistribution::new(
+            0.0,
+            self.noise_standard_deviation,
+            self.noise_max_deviation,
+        );
+        let mut values = Vec::with_capacity(n);
+        let mut iterations = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (v, stats) = dist.sample_i64(rng);
+            values.push(v);
+            iterations.push(burst_iterations(&stats));
+        }
+        let run = self
+            .kernel
+            .run_into(&values, &iterations, &self.power, rng, scratch)?;
+        Ok(Capture { values, run })
+    }
+
+    /// [`Device::capture_chosen`] through the streaming fast path (see
+    /// [`Device::capture_fresh_into`]). This is what the profiling stage
+    /// uses: back-to-back chosen-value captures on one device hit the memo
+    /// constantly, since burst lengths concentrate on a few even values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures (including length mismatch).
+    pub fn capture_chosen_into<R: Rng + ?Sized>(
+        &self,
+        values: &[i64],
+        rng: &mut R,
+        scratch: &mut SamplerScratch,
+    ) -> Result<Capture, KernelError> {
+        let mut dist = ClippedNormalDistribution::new(
+            0.0,
+            self.noise_standard_deviation,
+            self.noise_max_deviation,
+        );
+        let iterations: Vec<u32> = values
+            .iter()
+            .map(|_| {
+                let (_, stats) = dist.sample_i64(rng);
+                burst_iterations(&stats)
+            })
+            .collect();
+        let run = self
+            .kernel
+            .run_into(values, &iterations, &self.power, rng, scratch)?;
+        Ok(Capture {
+            values: values.to_vec(),
+            run,
+        })
+    }
+
+    /// [`Device::capture_chosen`] through the pre-fast-path reference
+    /// execution ([`SamplerKernel::run_reference`]): per-step decoding, a
+    /// materialized record list, and `sin`-per-bit rendering. Bit-identical
+    /// output; exists so the equivalence tests and `bench_pipeline` can
+    /// compare the fast path against the implementation it replaced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures (including length mismatch).
+    pub fn capture_chosen_reference<R: Rng + ?Sized>(
+        &self,
+        values: &[i64],
+        rng: &mut R,
+    ) -> Result<Capture, KernelError> {
+        let mut dist = ClippedNormalDistribution::new(
+            0.0,
+            self.noise_standard_deviation,
+            self.noise_max_deviation,
+        );
+        let iterations: Vec<u32> = values
+            .iter()
+            .map(|_| {
+                let (_, stats) = dist.sample_i64(rng);
+                burst_iterations(&stats)
+            })
+            .collect();
+        let run = self
+            .kernel
+            .run_reference(values, &iterations, &self.power, rng)?;
+        Ok(Capture {
+            values: values.to_vec(),
+            run,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +290,32 @@ mod tests {
         let b = device.capture_fresh(&mut rng).unwrap();
         assert_ne!(a.values, b.values);
         assert_ne!(a.run.capture.samples, b.run.capture.samples);
+    }
+
+    #[test]
+    fn fast_path_captures_match_direct_captures() {
+        let device = Device::new(16, &[Q], PowerModelConfig::default()).unwrap();
+        let mut scratch = SamplerScratch::new();
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let direct = device.capture_fresh(&mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let fast = device.capture_fresh_into(&mut rng, &mut scratch).unwrap();
+        assert_eq!(fast.values, direct.values);
+        assert_eq!(fast.run.capture, direct.run.capture);
+        assert_eq!(fast.run.poly, direct.run.poly);
+
+        let values = [-7i64, 7, 0, -1, 1, -14, 14, 0, 2, -2, 3, -3, 0, 5, -5, 41];
+        let mut rng = StdRng::seed_from_u64(10);
+        let direct = device.capture_chosen(&values, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let fast = device
+            .capture_chosen_into(&values, &mut rng, &mut scratch)
+            .unwrap();
+        assert_eq!(fast.run.capture, direct.run.capture);
+        assert_eq!(fast.run.poly, direct.run.poly);
+        assert_eq!(fast.run.coefficient_windows, direct.run.coefficient_windows);
+        assert!(scratch.memo_len() > 0);
     }
 
     #[test]

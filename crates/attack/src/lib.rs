@@ -45,7 +45,8 @@ pub use config::AttackConfig;
 pub use defense::{evaluate_against_shuffling, DefenseEvaluation, ShuffledDevice};
 pub use device::{burst_iterations, Capture, Device};
 pub use profile::{
-    collect_profiling, extract_ladder_windows, AttackError, CoefficientEstimate, ProfilingData,
+    collect_profiling, collect_profiling_baseline, extract_ladder_windows,
+    extract_ladder_windows_reference, AttackError, CoefficientEstimate, ProfilingData,
     SingleTraceAttack, TrainedAttack,
 };
 pub use recover::{

@@ -86,8 +86,33 @@ pub fn extract_ladder_windows(
 ) -> Result<Vec<Vec<f64>>, SegmentError> {
     let bursts = find_bursts(samples, &config.segment)?;
     let bursts = reveal_trace::segment::refine_burst_ends(samples, &bursts, &config.segment);
+    windows_after_bursts(samples, &bursts, config)
+}
+
+/// [`extract_ladder_windows`] through the pre-fast-path segmenters (full
+/// percentile sorts per trace). Identical windows; kept for the
+/// `bench_pipeline` fast-path vs baseline comparison.
+///
+/// # Errors
+///
+/// Same as [`extract_ladder_windows`].
+pub fn extract_ladder_windows_reference(
+    samples: &[f64],
+    config: &AttackConfig,
+) -> Result<Vec<Vec<f64>>, SegmentError> {
+    let bursts = reveal_trace::segment::find_bursts_reference(samples, &config.segment)?;
+    let bursts =
+        reveal_trace::segment::refine_burst_ends_reference(samples, &bursts, &config.segment);
+    windows_after_bursts(samples, &bursts, config)
+}
+
+fn windows_after_bursts(
+    samples: &[f64],
+    bursts: &[(usize, usize)],
+    config: &AttackConfig,
+) -> Result<Vec<Vec<f64>>, SegmentError> {
     let mut windows = Vec::with_capacity(bursts.len());
-    for &(_, end) in &bursts {
+    for &(_, end) in bursts {
         // Only full windows qualify: the device's epilogue burst (the
         // encryption work following the sampler) guarantees one for every
         // real coefficient, while the epilogue burst itself — with nothing
@@ -206,45 +231,55 @@ pub struct ProfilingData {
     pub total_windows: usize,
 }
 
-/// Collects `runs` chosen-value profiling captures in parallel. Run `i` is a
-/// pure function of `(master_seed, i)`: its chosen values, its device noise
-/// and its timing variance all come from an [`StdRng`] seeded with
-/// [`reveal_par::derive_seed`]`(master_seed, i)` — never from a shared
-/// mutable generator — so the collected sets are identical whatever the
-/// thread count, and a run's data no longer depends on how much randomness
-/// earlier runs happened to consume.
-///
-/// # Errors
-///
-/// Propagates the first failing run's error (in run order). Runs whose
-/// segmentation finds the wrong window count are skipped, as a real
-/// adversary would re-capture.
-pub fn collect_profiling(
-    device: &Device,
-    runs: usize,
-    config: &AttackConfig,
-    master_seed: u64,
-) -> Result<ProfilingData, AttackError> {
-    let n = device.degree();
-    let labels = config.value_labels();
-    type RunYield = Result<Option<(Vec<i64>, Vec<Vec<f64>>)>, AttackError>;
-    let collected: Vec<RunYield> = reveal_par::par_map_index(runs, |run| {
-        let mut rng = StdRng::seed_from_u64(reveal_par::derive_seed(master_seed, run as u64));
-        // Balanced, shuffled chosen values; the per-run offset makes all
-        // classes appear across runs even when n < label count.
-        let mut values: Vec<i64> = (0..n)
-            .map(|i| labels[(i + run * n) % labels.len()])
-            .collect();
-        values.shuffle(&mut rng);
-        let capture = device.capture_chosen(&values, &mut rng)?;
-        let windows = extract_ladder_windows(&capture.run.capture.samples, config)?;
-        if windows.len() != n {
-            // Segmentation glitch: a real adversary would re-capture.
-            return Ok(None);
-        }
-        Ok(Some((values, windows)))
-    });
+/// Runs per worker chunk in [`collect_profiling`]: enough for the sub-trace
+/// memo to pay off within a chunk while still exposing parallelism at the
+/// standard scales (60-215 runs).
+const PROFILE_CHUNK: usize = 8;
 
+/// What one profiling run yields: its chosen values and ladder windows,
+/// `None` when segmentation found the wrong window count (re-capture).
+type RunYield = Result<Option<(Vec<i64>, Vec<Vec<f64>>)>, AttackError>;
+
+/// The per-run body shared by the fast path and the baseline: balanced,
+/// shuffled chosen values from the run's derived seed, one capture, window
+/// extraction.
+fn profiling_run(
+    device: &Device,
+    config: &AttackConfig,
+    labels: &[i64],
+    master_seed: u64,
+    run: usize,
+    scratch: Option<&mut reveal_rv32::kernel::SamplerScratch>,
+) -> RunYield {
+    let n = device.degree();
+    let mut rng = StdRng::seed_from_u64(reveal_par::derive_seed(master_seed, run as u64));
+    // Balanced, shuffled chosen values; the per-run offset makes all
+    // classes appear across runs even when n < label count.
+    let mut values: Vec<i64> = (0..n)
+        .map(|i| labels[(i + run * n) % labels.len()])
+        .collect();
+    values.shuffle(&mut rng);
+    let windows = match scratch {
+        Some(scratch) => {
+            let capture = device.capture_chosen_into(&values, &mut rng, scratch)?;
+            extract_ladder_windows(&capture.run.capture.samples, config)?
+        }
+        None => {
+            let capture = device.capture_chosen_reference(&values, &mut rng)?;
+            extract_ladder_windows_reference(&capture.run.capture.samples, config)?
+        }
+    };
+    if windows.len() != n {
+        // Segmentation glitch: a real adversary would re-capture.
+        return Ok(None);
+    }
+    Ok(Some((values, windows)))
+}
+
+/// Folds run yields (in run order) into the labelled window sets.
+fn accumulate_runs(
+    collected: impl IntoIterator<Item = RunYield>,
+) -> Result<ProfilingData, AttackError> {
     let mut data = ProfilingData {
         sign_set: TraceSet::new(),
         pos_set: TraceSet::new(),
@@ -266,6 +301,76 @@ pub fn collect_profiling(
         }
     }
     Ok(data)
+}
+
+/// Collects `runs` chosen-value profiling captures in parallel. Run `i` is a
+/// pure function of `(master_seed, i)`: its chosen values, its device noise
+/// and its timing variance all come from an [`StdRng`] seeded with
+/// [`reveal_par::derive_seed`]`(master_seed, i)` — never from a shared
+/// mutable generator — so the collected sets are identical whatever the
+/// thread count, and a run's data no longer depends on how much randomness
+/// earlier runs happened to consume.
+///
+/// Runs go through the rv32 streaming fast path in chunks of
+/// [`PROFILE_CHUNK`]: each chunk owns one
+/// [`reveal_rv32::kernel::SamplerScratch`], so its runs share a trace buffer
+/// and a warm sub-trace memo. Chunking changes scheduling only — each run's
+/// values depend on nothing but its own derived seed, so the collected sets
+/// are bit-identical to [`collect_profiling_baseline`].
+///
+/// # Errors
+///
+/// Propagates the first failing run's error (in run order). Runs whose
+/// segmentation finds the wrong window count are skipped, as a real
+/// adversary would re-capture.
+pub fn collect_profiling(
+    device: &Device,
+    runs: usize,
+    config: &AttackConfig,
+    master_seed: u64,
+) -> Result<ProfilingData, AttackError> {
+    let labels = config.value_labels();
+    let chunk_count = runs.div_ceil(PROFILE_CHUNK);
+    let collected: Vec<Vec<RunYield>> = reveal_par::par_map_index(chunk_count, |chunk| {
+        let mut scratch = reveal_rv32::kernel::SamplerScratch::new();
+        let first = chunk * PROFILE_CHUNK;
+        let last = (first + PROFILE_CHUNK).min(runs);
+        (first..last)
+            .map(|run| {
+                profiling_run(
+                    device,
+                    config,
+                    &labels,
+                    master_seed,
+                    run,
+                    Some(&mut scratch),
+                )
+            })
+            .collect()
+    });
+    accumulate_runs(collected.into_iter().flatten())
+}
+
+/// The pre-fast-path reference implementation of [`collect_profiling`]: one
+/// task per run, materializing captures through
+/// [`Device::capture_chosen_reference`] (per-step decoding, `sin`-per-bit
+/// rendering). Kept for the equivalence tests and the `bench_pipeline`
+/// fast-path vs baseline comparison.
+///
+/// # Errors
+///
+/// Same as [`collect_profiling`].
+pub fn collect_profiling_baseline(
+    device: &Device,
+    runs: usize,
+    config: &AttackConfig,
+    master_seed: u64,
+) -> Result<ProfilingData, AttackError> {
+    let labels = config.value_labels();
+    let collected: Vec<RunYield> = reveal_par::par_map_index(runs, |run| {
+        profiling_run(device, config, &labels, master_seed, run, None)
+    });
+    accumulate_runs(collected)
 }
 
 impl TrainedAttack {
@@ -416,8 +521,10 @@ impl TrainedAttack {
         let windows = extract_ladder_windows(samples, &self.config)?;
         // Each window's classification is independent; fan out across
         // threads and keep trace order. The first failing window (in trace
-        // order) determines the error, matching the serial loop.
-        let coefficients = reveal_par::par_map(&windows, |w| self.attack_window(w))
+        // order) determines the error, matching the serial loop. A minimum
+        // of 16 windows per worker keeps short traces serial — a single
+        // classification is far cheaper than a thread handoff.
+        let coefficients = reveal_par::par_map_min(&windows, 16, |w| self.attack_window(w))
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?;
         Ok(SingleTraceAttack { coefficients })
@@ -636,6 +743,22 @@ mod tests {
                 _ => assert!(est.probabilities.iter().all(|(v, _)| *v < 0)),
             }
         }
+    }
+
+    #[test]
+    fn fast_path_profiling_matches_baseline() {
+        // The chunked, memoized collector must yield bit-identical labelled
+        // sets to the one-task-per-run materializing baseline.
+        let device = Device::new(32, &[Q], PowerModelConfig::default()).unwrap();
+        let config = AttackConfig::default();
+        // 11 runs: exercises a full chunk plus a ragged tail.
+        let fast = collect_profiling(&device, 11, &config, 0xFEED_5EED).unwrap();
+        let baseline = collect_profiling_baseline(&device, 11, &config, 0xFEED_5EED).unwrap();
+        assert_eq!(fast.total_windows, baseline.total_windows);
+        assert_eq!(fast.sign_set, baseline.sign_set);
+        assert_eq!(fast.pos_set, baseline.pos_set);
+        assert_eq!(fast.neg_set, baseline.neg_set);
+        assert!(fast.total_windows > 0);
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use reveal_attack::{
-    collect_profiling, report_full_attack, AttackConfig, Capture, Device, ProfilingData,
-    SingleTraceAttack, TrainedAttack,
+    collect_profiling, collect_profiling_baseline, report_full_attack, AttackConfig, Capture,
+    Device, ProfilingData, SingleTraceAttack, TrainedAttack,
 };
 use reveal_bench::{paper_device, write_artifact, Scale};
 use reveal_hints::{HintPolicy, LweParameters};
@@ -168,8 +168,30 @@ fn main() {
         run_pipeline(&device, &config, profile_runs, &captures, degree)
     });
 
+    // Fast path vs the materializing reference collector, both single-threaded
+    // so the comparison isolates predecode + streaming + memoization from any
+    // thread-count effect. The reference must also reproduce the fast path's
+    // profiling sets bit for bit.
+    let (baseline_profiling, profile_baseline_ms) = reveal_par::with_threads(1, || {
+        time_ms(|| {
+            collect_profiling_baseline(&device, profile_runs, &config, MASTER_SEED)
+                .expect("baseline profiling collection")
+        })
+    });
+    let profile_fast_ms = serial.stage_ms[0].1;
+    let fast_path_speedup = if profile_fast_ms > 0.0 {
+        profile_baseline_ms / profile_fast_ms
+    } else {
+        1.0
+    };
+    let fast_path_identical = baseline_profiling.total_windows == serial.profiling.total_windows
+        && baseline_profiling.sign_set == serial.profiling.sign_set
+        && baseline_profiling.pos_set == serial.profiling.pos_set
+        && baseline_profiling.neg_set == serial.profiling.neg_set;
+
     // Determinism contract: both runs must agree bit for bit.
-    let deterministic = serial.profiling.total_windows == parallel.profiling.total_windows
+    let deterministic = fast_path_identical
+        && serial.profiling.total_windows == parallel.profiling.total_windows
         && serial.results == parallel.results
         && serial.baseline_bikz.to_bits() == parallel.baseline_bikz.to_bits()
         && serial.hinted_bikz.to_bits() == parallel.hinted_bikz.to_bits();
@@ -190,6 +212,17 @@ fn main() {
         parallel_ms: stages.iter().map(|s| s.parallel_ms).sum(),
     };
 
+    // Profiling throughput: each profiling run renders one full trace.
+    let traces_per_sec = |ms: f64| {
+        if ms > 0.0 {
+            profile_runs as f64 / (ms / 1e3)
+        } else {
+            0.0
+        }
+    };
+    let serial_tps = traces_per_sec(profile_fast_ms);
+    let parallel_tps = traces_per_sec(parallel.stage_ms[0].1);
+
     for stage in stages.iter().chain(std::iter::once(&total)) {
         println!(
             "  {:<16} serial {:>9.1} ms   {}-thread {:>9.1} ms   speedup {:.2}x",
@@ -200,6 +233,11 @@ fn main() {
             stage.speedup()
         );
     }
+    println!(
+        "  fast path: profile_collect {profile_fast_ms:.1} ms vs baseline \
+         {profile_baseline_ms:.1} ms ({fast_path_speedup:.2}x, identical: {fast_path_identical})"
+    );
+    println!("  throughput: {serial_tps:.2} traces/s serial, {parallel_tps:.2} traces/s parallel");
     println!("  deterministic: {deterministic} (recovered coefficients and bikz bit-identical)");
 
     let stage_json: Vec<String> = stages
@@ -212,7 +250,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"reveal-bench-pipeline/v1\",\n  \"scale\": \"{}\",\n  \"ring_degree\": {},\n  \"profile_runs\": {},\n  \"attack_runs\": {},\n  \"serial_threads\": 1,\n  \"parallel_threads\": {},\n  \"available_parallelism\": {},\n  \"deterministic\": {},\n  \"baseline_bikz\": {:.2},\n  \"with_hints_bikz\": {:.2},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n}}\n",
+        "{{\n  \"schema\": \"reveal-bench-pipeline/v2\",\n  \"scale\": \"{}\",\n  \"ring_degree\": {},\n  \"profile_runs\": {},\n  \"attack_runs\": {},\n  \"serial_threads\": 1,\n  \"parallel_threads\": {},\n  \"available_parallelism\": {},\n  \"deterministic\": {},\n  \"baseline_bikz\": {:.2},\n  \"with_hints_bikz\": {:.2},\n  \"fast_path\": {{\"profile_collect_baseline_ms\": {:.3}, \"profile_collect_fast_ms\": {:.3}, \"speedup\": {:.3}, \"bit_identical\": {}}},\n  \"throughput\": {{\"profile_traces_per_sec_serial\": {:.3}, \"profile_traces_per_sec_parallel\": {:.3}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n}}\n",
         scale_name(scale),
         degree,
         profile_runs,
@@ -222,6 +260,12 @@ fn main() {
         deterministic,
         serial.baseline_bikz,
         serial.hinted_bikz,
+        profile_baseline_ms,
+        profile_fast_ms,
+        fast_path_speedup,
+        fast_path_identical,
+        serial_tps,
+        parallel_tps,
         stage_json.join(",\n"),
         total.serial_ms,
         total.parallel_ms,

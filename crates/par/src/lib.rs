@@ -18,6 +18,10 @@
 //!
 //! - [`par_map`] / [`par_map_index`]: each element is a pure function of its
 //!   index; results are written back by index.
+//! - [`par_map_min`] / [`par_map_index_min`]: identical output, but a
+//!   minimum-work-per-worker heuristic drops tiny batches to the calling
+//!   thread (no spawn) — the worker count depends only on the batch size and
+//!   the configured thread count, so determinism is preserved.
 //! - [`par_map_chunks`]: chunk boundaries are `chunk_size`-aligned and
 //!   independent of the thread count.
 //! - [`par_reduce`]: each chunk is folded left-to-right and chunk results are
@@ -98,13 +102,16 @@ pub fn derive_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Core executor: evaluates `task(0..count)` on up to [`max_threads`]
-/// scoped workers and returns the results in index order. Work is claimed
+/// Core executor: evaluates `task(0..count)` on up to `threads` scoped
+/// workers and returns the results in index order. Work is claimed
 /// dynamically (an atomic cursor), but since every task is a pure function
 /// of its index and results are placed by index, scheduling cannot affect
 /// the output.
-fn run_indexed<R: Send>(count: usize, task: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
-    let threads = max_threads().min(count);
+fn run_indexed_capped<R: Send>(
+    count: usize,
+    threads: usize,
+    task: &(impl Fn(usize) -> R + Sync),
+) -> Vec<R> {
     if threads <= 1 {
         return (0..count).map(task).collect();
     }
@@ -145,11 +152,30 @@ fn run_indexed<R: Send>(count: usize, task: &(impl Fn(usize) -> R + Sync)) -> Ve
         .collect()
 }
 
+fn run_indexed<R: Send>(count: usize, task: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
+    run_indexed_capped(count, max_threads().min(count), task)
+}
+
+/// The worker count the minimum-work heuristic allows for `count` items when
+/// each worker should receive at least `min_items_per_worker` of them: small
+/// batches degenerate to one worker (pure serial, no threads spawned at
+/// all), large batches still fan out to [`max_threads`]. The result depends
+/// only on `(count, min_items_per_worker)` and the configured thread count —
+/// never on scheduling — so the determinism contract is unaffected (results
+/// are placed by index regardless of the worker count).
+fn capped_workers(count: usize, min_items_per_worker: usize) -> usize {
+    max_threads()
+        .min(count / min_items_per_worker.max(1))
+        .max(1)
+}
+
 /// Maps `f` over `items` in parallel, returning results in input order.
 ///
 /// Intended for coarse tasks (a device capture, a trace segmentation, a
 /// candidate's full correlation sweep); for element counts in the millions
-/// prefer [`par_map_chunks`] to amortize the per-task claim.
+/// prefer [`par_map_chunks`] to amortize the per-task claim, and for cheap
+/// per-item work prefer [`par_map_min`] so tiny batches skip the thread
+/// spawn entirely.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     run_indexed(items.len(), &|i| f(&items[i]))
 }
@@ -157,6 +183,32 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
 /// Maps `f` over `0..count` in parallel, returning results in index order.
 pub fn par_map_index<R: Send>(count: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     run_indexed(count, &f)
+}
+
+/// [`par_map`] with a minimum-work-per-worker heuristic: workers are capped
+/// so each receives at least `min_items_per_worker` items, and batches
+/// smaller than `2 × min_items_per_worker` run serially on the calling
+/// thread — spawning threads for a handful of microseconds of work costs
+/// more than it saves (the `cpa_rank` regression of `BENCH_pipeline.json`).
+/// Output is bit-identical to [`par_map`] for any thread count.
+pub fn par_map_min<T: Sync, R: Send>(
+    items: &[T],
+    min_items_per_worker: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = capped_workers(items.len(), min_items_per_worker);
+    run_indexed_capped(items.len(), workers, &|i| f(&items[i]))
+}
+
+/// [`par_map_index`] with the minimum-work-per-worker heuristic of
+/// [`par_map_min`].
+pub fn par_map_index_min<R: Send>(
+    count: usize,
+    min_items_per_worker: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let workers = capped_workers(count, min_items_per_worker);
+    run_indexed_capped(count, workers, &f)
 }
 
 /// Splits `items` into `chunk_size`-aligned chunks (the last may be short),
@@ -254,6 +306,34 @@ mod tests {
             rebuilt.extend(chunk);
         }
         assert_eq!(rebuilt, items);
+    }
+
+    #[test]
+    fn min_work_variants_match_plain_maps() {
+        let items: Vec<u64> = (0..500).collect();
+        for threads in [1, 2, 4, 8] {
+            for min in [1, 16, 250, 1000] {
+                let a = with_threads(threads, || par_map_min(&items, min, |&x| x * 7 + 1));
+                assert_eq!(a, items.iter().map(|&x| x * 7 + 1).collect::<Vec<_>>());
+                let b = with_threads(threads, || par_map_index_min(257, min, |i| i * i));
+                assert_eq!(b, (0..257).map(|i| i * i).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn min_work_heuristic_caps_workers() {
+        // count / min < 2 ⇒ one worker (serial); larger batches fan out but
+        // never give a worker less than `min` items.
+        assert_eq!(with_threads(8, || capped_workers(29, 32)), 1);
+        assert_eq!(with_threads(8, || capped_workers(63, 32)), 1);
+        assert_eq!(with_threads(8, || capped_workers(64, 32)), 2);
+        assert_eq!(with_threads(8, || capped_workers(1024, 32)), 8);
+        assert_eq!(with_threads(2, || capped_workers(1024, 32)), 2);
+        // min = 0 behaves like min = 1.
+        assert_eq!(with_threads(4, || capped_workers(8, 0)), 4);
+        // Empty batches stay serial.
+        assert_eq!(with_threads(8, || capped_workers(0, 16)), 1);
     }
 
     #[test]

@@ -20,9 +20,18 @@
 
 use crate::asm::{assemble, AssembleError, Program};
 use crate::cpu::{Bus, Cpu, ExecRecord, Halt, QueueMmio};
-use crate::power::{render_power, PowerCapture, PowerModelConfig};
+use crate::isa::Reg;
+use crate::power::{
+    render_power, render_power_reference, PowerCapture, PowerModelConfig, PowerRenderer,
+    TraceBuffer,
+};
 use rand::Rng;
+use std::collections::HashMap;
 use std::fmt;
+
+/// Burst working registers (fixed by the kernel template below).
+const T0: Reg = Reg(5);
+const T1: Reg = Reg(6);
 
 /// MMIO port delivering the next sampled noise value (two's complement).
 pub const NOISE_PORT: u32 = 0xF000_0000;
@@ -158,6 +167,7 @@ pub struct SamplerKernel {
     variant: KernelVariant,
     program: Program,
     outer_pc: u32,
+    dist_done_pc: u32,
 }
 
 /// Fig. 2's vulnerable if/else-if/else ladder.
@@ -362,12 +372,14 @@ impl SamplerKernel {
             .replace("{share1_base}", &SHARE1_BASE.to_string());
         let program = assemble(&source, 0)?;
         let outer_pc = program.symbol("outer").expect("outer label");
+        let dist_done_pc = program.symbol("dist_done").expect("dist_done label");
         Ok(Self {
             n,
             moduli: moduli32,
             variant,
             program,
             outer_pc,
+            dist_done_pc,
         })
     }
 
@@ -428,6 +440,214 @@ impl SamplerKernel {
         config: &PowerModelConfig,
         rng: &mut R,
     ) -> Result<KernelRun, KernelError> {
+        let mut cpu = self.prepare_cpu(noise_values, dist_iterations, rng)?;
+        let (records, halt) = cpu.run(self.fuel());
+        if halt != Halt::Ebreak {
+            return Err(KernelError::BadHalt(halt));
+        }
+
+        let capture = render_power(&records, config, rng);
+        let windows = self.ground_truth_windows(&records, &capture);
+        let (poly, shares) = self.read_outputs(&mut cpu);
+        Ok(KernelRun {
+            capture,
+            poly,
+            shares,
+            coefficient_windows: windows,
+            instruction_count: records.len(),
+        })
+    }
+
+    /// The pre-fast-path execution path, kept verbatim as the benchmark
+    /// reference: per-step instruction decoding (no predecode cache), a
+    /// materialized `Vec<ExecRecord>`, and `sin`-per-bit power rendering via
+    /// [`render_power_reference`]. Bit-identical to [`SamplerKernel::run`]
+    /// and [`SamplerKernel::run_into`]; exists so `bench_pipeline` can
+    /// measure the fast path against the implementation it replaced.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SamplerKernel::run`].
+    pub fn run_reference<R: Rng + ?Sized>(
+        &self,
+        noise_values: &[i64],
+        dist_iterations: &[u32],
+        config: &PowerModelConfig,
+        rng: &mut R,
+    ) -> Result<KernelRun, KernelError> {
+        let mut cpu = self.prepare_cpu_undecoded(noise_values, dist_iterations, rng)?;
+        let (records, halt) = cpu.run(self.fuel());
+        if halt != Halt::Ebreak {
+            return Err(KernelError::BadHalt(halt));
+        }
+
+        let capture = render_power_reference(&records, config, rng);
+        let windows = self.ground_truth_windows(&records, &capture);
+        let (poly, shares) = self.read_outputs(&mut cpu);
+        Ok(KernelRun {
+            capture,
+            poly,
+            shares,
+            coefficient_windows: windows,
+            instruction_count: records.len(),
+        })
+    }
+
+    /// Executes the kernel through the streaming fast path: power samples
+    /// stream into `scratch`'s reusable [`TraceBuffer`] as each instruction
+    /// retires (no `Vec<ExecRecord>` is materialized), and distribution
+    /// bursts replay from `scratch`'s noiseless sub-trace memo with a fresh
+    /// per-run noise overlay.
+    ///
+    /// Bit-identical to [`SamplerKernel::run`] for the same inputs and RNG
+    /// seed: same capture (samples and spans), outputs, windows, and
+    /// instruction count. The memo is validated against a fingerprint of the
+    /// kernel program, moduli, and power configuration, and cleared on
+    /// mismatch, so one scratch can serve many kernels.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SamplerKernel::run`].
+    pub fn run_into<R: Rng + ?Sized>(
+        &self,
+        noise_values: &[i64],
+        dist_iterations: &[u32],
+        config: &PowerModelConfig,
+        rng: &mut R,
+        scratch: &mut SamplerScratch,
+    ) -> Result<KernelRun, KernelError> {
+        let mut cpu = self.prepare_cpu(noise_values, dist_iterations, rng)?;
+        scratch.ensure(self.memo_fingerprint(config));
+        let renderer = PowerRenderer::new(config);
+        let fuel = self.fuel();
+        let mut record_index = 0usize;
+        let mut window_starts = Vec::with_capacity(self.n + 1);
+        let halt = loop {
+            if record_index >= fuel {
+                break Halt::OutOfFuel;
+            }
+            if cpu.pc() == self.outer_pc {
+                // Start of a per-coefficient window. The `lw t0, 4(s0)`
+                // executes normally (it pops ITER_PORT and tells us the
+                // burst length `m`); everything from the following `li t1`
+                // through the taken `beqz` into `dist_done` is a pure
+                // function of `(m, t1-on-entry)` — every value, Hamming
+                // distance, and cycle count — so its noiseless samples are
+                // memoized under that key.
+                window_starts.push(scratch.buffer.len());
+                let record = match cpu.step() {
+                    Ok(record) => record,
+                    Err(halt) => break halt,
+                };
+                let m = record.reg_write.map(|(_, _, new)| new).unwrap_or(0);
+                renderer.render_record(record_index, &record, rng, &mut scratch.buffer);
+                record_index += 1;
+                let key = (m, cpu.reg(T1));
+                if let Some(template) = scratch.memo.get(&key) {
+                    let mut offset = 0usize;
+                    for (i, (&pc, &count)) in template.pcs.iter().zip(&template.counts).enumerate()
+                    {
+                        let count = count as usize;
+                        renderer.replay_noiseless(
+                            record_index + i,
+                            pc,
+                            &template.samples[offset..offset + count],
+                            rng,
+                            &mut scratch.buffer,
+                        );
+                        offset += count;
+                    }
+                    record_index += template.pcs.len();
+                    cpu.set_reg(T0, 0);
+                    cpu.set_reg(T1, template.t1_exit);
+                    cpu.set_pc(self.dist_done_pc);
+                    cpu.add_cycles(template.cycles);
+                } else {
+                    let mut template = BurstTemplate::default();
+                    let cycles_before = cpu.cycle();
+                    let mut aborted = None;
+                    while cpu.pc() != self.dist_done_pc {
+                        if record_index >= fuel {
+                            aborted = Some(Halt::OutOfFuel);
+                            break;
+                        }
+                        let record = match cpu.step() {
+                            Ok(record) => record,
+                            Err(halt) => {
+                                aborted = Some(halt);
+                                break;
+                            }
+                        };
+                        let start = template.samples.len();
+                        renderer.render_record_noiseless(&record, &mut template.samples);
+                        renderer.replay_noiseless(
+                            record_index,
+                            record.pc,
+                            &template.samples[start..],
+                            rng,
+                            &mut scratch.buffer,
+                        );
+                        template.pcs.push(record.pc);
+                        template
+                            .counts
+                            .push((template.samples.len() - start) as u32);
+                        record_index += 1;
+                    }
+                    if let Some(halt) = aborted {
+                        break halt;
+                    }
+                    template.cycles = cpu.cycle() - cycles_before;
+                    template.t1_exit = cpu.reg(T1);
+                    scratch.memo.insert(key, template);
+                }
+                continue;
+            }
+            match cpu.step() {
+                Ok(record) => {
+                    renderer.render_record(record_index, &record, rng, &mut scratch.buffer);
+                    record_index += 1;
+                }
+                Err(halt) => break halt,
+            }
+        };
+        if halt != Halt::Ebreak {
+            return Err(KernelError::BadHalt(halt));
+        }
+
+        let capture = scratch.buffer.to_capture();
+        let windows = self.windows_from_starts(window_starts, capture.samples.len());
+        let (poly, shares) = self.read_outputs(&mut cpu);
+        Ok(KernelRun {
+            capture,
+            poly,
+            shares,
+            coefficient_windows: windows,
+            instruction_count: record_index,
+        })
+    }
+
+    /// Validates inputs and builds a CPU with queued MMIO, loaded program
+    /// (predecoded), and initialized q-table.
+    fn prepare_cpu<R: Rng + ?Sized>(
+        &self,
+        noise_values: &[i64],
+        dist_iterations: &[u32],
+        rng: &mut R,
+    ) -> Result<Cpu<QueueMmio>, KernelError> {
+        let mut cpu = self.prepare_cpu_undecoded(noise_values, dist_iterations, rng)?;
+        cpu.predecode(0, self.program.words.len());
+        Ok(cpu)
+    }
+
+    /// [`Self::prepare_cpu`] without the predecode pass — the reference
+    /// path decodes each instruction as it executes, like the original
+    /// interpreter did.
+    fn prepare_cpu_undecoded<R: Rng + ?Sized>(
+        &self,
+        noise_values: &[i64],
+        dist_iterations: &[u32],
+        rng: &mut R,
+    ) -> Result<Cpu<QueueMmio>, KernelError> {
         if noise_values.len() != self.n {
             return Err(KernelError::InputMismatch {
                 expected: self.n,
@@ -486,16 +706,18 @@ impl SamplerKernel {
         for (j, &q) in self.moduli.iter().enumerate() {
             bus.write_u32(Q_TABLE_BASE + 4 * j as u32, q);
         }
-        let mut cpu = Cpu::new(bus);
-        // Generous fuel: ~n · (burst + ladder) instructions.
-        let fuel = 64 * self.n * (k + 8) + 1024;
-        let (records, halt) = cpu.run(fuel);
-        if halt != Halt::Ebreak {
-            return Err(KernelError::BadHalt(halt));
-        }
+        Ok(Cpu::new(bus))
+    }
 
-        let capture = render_power(&records, config, rng);
-        let windows = self.ground_truth_windows(&records, &capture);
+    /// Generous fuel: ~n · (burst + ladder) instructions.
+    fn fuel(&self) -> usize {
+        64 * self.n * (self.moduli.len() + 8) + 1024
+    }
+
+    /// Reads the polynomial (and shares, for the masked variant) back out of
+    /// the halted CPU's memory.
+    fn read_outputs(&self, cpu: &mut Cpu<QueueMmio>) -> (Vec<u32>, ShareBuffers) {
+        let k = self.moduli.len();
         let mut poly = Vec::with_capacity(self.n * k);
         let mut shares = None;
         match self.variant {
@@ -518,13 +740,35 @@ impl SamplerKernel {
                 }
             }
         }
-        Ok(KernelRun {
-            capture,
-            poly,
-            shares,
-            coefficient_windows: windows,
-            instruction_count: records.len(),
-        })
+        (poly, shares)
+    }
+
+    /// Fingerprint keying the sub-trace memo: kernel program, geometry, and
+    /// every power-model knob that shapes the noiseless samples.
+    fn memo_fingerprint(&self, config: &PowerModelConfig) -> u64 {
+        // FNV-1a, word-at-a-time.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.n as u64);
+        for &word in &self.program.words {
+            mix(u64::from(word));
+        }
+        for &q in &self.moduli {
+            mix(u64::from(q));
+        }
+        mix(config.alpha_hw.to_bits());
+        mix(config.beta_hd.to_bits());
+        mix(config.gamma_mem.to_bits());
+        mix(config.delta_addr.to_bits());
+        mix(config.epsilon_flush.to_bits());
+        mix(config.bit_weight_variation.to_bits());
+        mix(config.noise_sigma.to_bits());
+        mix(config.samples_per_cycle as u64);
+        hash
     }
 
     /// Derives per-coefficient sample windows from the retirement of the
@@ -541,6 +785,14 @@ impl SamplerKernel {
                 starts.push(capture.spans[i].start);
             }
         }
+        self.windows_from_starts(starts, capture.samples.len())
+    }
+
+    fn windows_from_starts(
+        &self,
+        mut starts: Vec<usize>,
+        total_samples: usize,
+    ) -> Vec<(usize, usize)> {
         let dummy_start = starts.get(self.n).copied();
         starts.truncate(self.n);
         let mut windows = Vec::with_capacity(starts.len());
@@ -548,11 +800,77 @@ impl SamplerKernel {
             let end = if idx + 1 < starts.len() {
                 starts[idx + 1]
             } else {
-                dummy_start.unwrap_or(capture.samples.len())
+                dummy_start.unwrap_or(total_samples)
             };
             windows.push((s, end));
         }
         windows
+    }
+}
+
+/// The two share polynomials of a masked run, when present.
+type ShareBuffers = Option<(Vec<u32>, Vec<u32>)>;
+
+/// One memoized distribution burst: the noiseless samples and bookkeeping
+/// of every record from the `li t1` after the iteration-count load through
+/// the taken `beqz` into `dist_done`.
+#[derive(Debug, Clone, Default)]
+struct BurstTemplate {
+    /// Per-record program counters (for span reconstruction).
+    pcs: Vec<u32>,
+    /// Per-record sample counts.
+    counts: Vec<u32>,
+    /// Flat noiseless samples, concatenated in record order.
+    samples: Vec<f64>,
+    /// Total cycles the burst consumes.
+    cycles: u64,
+    /// Value of `t1` when the burst exits into `dist_done`.
+    t1_exit: u32,
+}
+
+/// Reusable state for [`SamplerKernel::run_into`]: the streaming sample
+/// buffer and the sub-trace memo.
+///
+/// Intended to live for a batch of runs (e.g. one profiling chunk). The memo
+/// only ever changes *speed*, never values: entries store noiseless sample
+/// templates keyed on the burst inputs plus a fingerprint of the kernel and
+/// power configuration, and the per-run noise overlay is drawn from the
+/// caller's RNG in the exact order the direct path would draw it.
+#[derive(Debug, Clone)]
+pub struct SamplerScratch {
+    buffer: TraceBuffer,
+    memo: HashMap<(u32, u32), BurstTemplate>,
+    fingerprint: Option<u64>,
+}
+
+impl Default for SamplerScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SamplerScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self {
+            buffer: TraceBuffer::new(),
+            memo: HashMap::new(),
+            fingerprint: None,
+        }
+    }
+
+    /// Number of memoized burst templates (observability for tests/benches).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Clears the buffer; clears the memo too if the fingerprint changed.
+    fn ensure(&mut self, fingerprint: u64) {
+        if self.fingerprint != Some(fingerprint) {
+            self.memo.clear();
+            self.fingerprint = Some(fingerprint);
+        }
+        self.buffer.clear();
     }
 }
 
@@ -784,6 +1102,91 @@ mod tests {
         assert_eq!(run.poly[4], (q2 as i64 - 3) as u32);
         assert_eq!(run.poly[1], 2);
         assert_eq!(run.poly[5], 2);
+    }
+
+    fn assert_runs_equal(fast: &KernelRun, baseline: &KernelRun, context: &str) {
+        assert_eq!(fast.capture, baseline.capture, "{context}: capture");
+        assert_eq!(fast.poly, baseline.poly, "{context}: poly");
+        assert_eq!(fast.shares, baseline.shares, "{context}: shares");
+        assert_eq!(
+            fast.coefficient_windows, baseline.coefficient_windows,
+            "{context}: windows"
+        );
+        assert_eq!(
+            fast.instruction_count, baseline.instruction_count,
+            "{context}: instruction count"
+        );
+    }
+
+    #[test]
+    fn fast_path_matches_baseline_for_all_variants() {
+        let values = [3i64, -2, 0, 1, -1, 41, -41, 14];
+        let iters = [4u32, 6, 4, 8, 4, 6, 4, 10];
+        // One shared scratch across every (variant, sigma) combination: the
+        // fingerprint check must invalidate the memo at each switch.
+        let mut scratch = SamplerScratch::new();
+        for variant in [
+            KernelVariant::Vulnerable,
+            KernelVariant::Branchless,
+            KernelVariant::MaskedLadder,
+        ] {
+            let kernel = SamplerKernel::with_variant(8, &[Q], variant).unwrap();
+            for sigma in [0.0, 0.05] {
+                let config = PowerModelConfig::default().with_noise_sigma(sigma);
+                let context = format!("{variant:?} sigma={sigma}");
+                let mut rng = StdRng::seed_from_u64(21);
+                let baseline = kernel.run(&values, &iters, &config, &mut rng).unwrap();
+                let mut rng = StdRng::seed_from_u64(21);
+                let fast = kernel
+                    .run_into(&values, &iters, &config, &mut rng, &mut scratch)
+                    .unwrap();
+                assert_runs_equal(&fast, &baseline, &context);
+                assert!(scratch.memo_len() > 0, "{context}: memo populated");
+                // Second run on the warm memo: every burst replays from the
+                // cache and must still be bit-identical.
+                let mut rng = StdRng::seed_from_u64(21);
+                let warm = kernel
+                    .run_into(&values, &iters, &config, &mut rng, &mut scratch)
+                    .unwrap();
+                assert_runs_equal(&warm, &baseline, &format!("{context} (warm)"));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_baseline_multi_modulus() {
+        let kernel = SamplerKernel::new(4, &[Q, 12289]).unwrap();
+        let values = [-3i64, 2, 0, -1];
+        let iters = [4u32, 9, 5, 4];
+        let config = PowerModelConfig::default();
+        let mut rng = StdRng::seed_from_u64(31);
+        let baseline = kernel.run(&values, &iters, &config, &mut rng).unwrap();
+        let mut scratch = SamplerScratch::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let fast = kernel
+            .run_into(&values, &iters, &config, &mut rng, &mut scratch)
+            .unwrap();
+        assert_runs_equal(&fast, &baseline, "multi-modulus");
+    }
+
+    #[test]
+    fn fast_path_input_validation_matches() {
+        let kernel = SamplerKernel::new(8, &[Q]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = SamplerScratch::new();
+        assert!(matches!(
+            kernel.run_into(
+                &[0; 4],
+                &[1; 8],
+                &PowerModelConfig::noiseless(),
+                &mut rng,
+                &mut scratch
+            ),
+            Err(KernelError::InputMismatch {
+                expected: 8,
+                got: 4
+            })
+        ));
     }
 
     #[test]

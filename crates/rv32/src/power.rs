@@ -161,6 +161,254 @@ impl PowerCapture {
     }
 }
 
+/// Receives power samples as they are produced, one record at a time.
+///
+/// A sink sees the exact sample stream that [`render_power`] would produce:
+/// `begin_record` / `end_record` bracket the samples of one executed
+/// instruction, in execution order. Implementations that do not need span
+/// bookkeeping can ignore the bracketing calls.
+pub trait PowerSink {
+    /// Called before the samples of one record are pushed.
+    fn begin_record(&mut self, record_index: usize, pc: u32);
+    /// One power sample.
+    fn push_sample(&mut self, sample: f64);
+    /// Called after the samples of the current record are pushed.
+    fn end_record(&mut self);
+}
+
+/// A reusable sample buffer implementing [`PowerSink`].
+///
+/// The streaming fast path renders each run into a caller-owned
+/// `TraceBuffer`, so back-to-back runs reuse one allocation instead of
+/// growing a fresh `Vec<ExecRecord>` plus a fresh sample vector per run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    samples: Vec<f64>,
+    spans: Vec<SampleSpan>,
+    record_spans: bool,
+    pending: Option<(usize, usize, u32)>,
+}
+
+impl TraceBuffer {
+    /// A buffer that records per-instruction [`SampleSpan`]s.
+    pub fn new() -> Self {
+        Self {
+            record_spans: true,
+            ..Self::default()
+        }
+    }
+
+    /// A buffer that keeps only samples (no span bookkeeping).
+    pub fn samples_only() -> Self {
+        Self::default()
+    }
+
+    /// Clears contents while keeping the allocations.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.spans.clear();
+        self.pending = None;
+    }
+
+    /// The samples accumulated so far.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The spans accumulated so far (empty for [`Self::samples_only`]).
+    pub fn spans(&self) -> &[SampleSpan] {
+        &self.spans
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Copies the contents into an owned [`PowerCapture`].
+    pub fn to_capture(&self) -> PowerCapture {
+        PowerCapture {
+            samples: self.samples.clone(),
+            spans: self.spans.clone(),
+        }
+    }
+
+    /// Consumes the buffer into a [`PowerCapture`] without copying.
+    pub fn into_capture(self) -> PowerCapture {
+        PowerCapture {
+            samples: self.samples,
+            spans: self.spans,
+        }
+    }
+}
+
+impl PowerSink for TraceBuffer {
+    fn begin_record(&mut self, record_index: usize, pc: u32) {
+        if self.record_spans {
+            self.pending = Some((record_index, self.samples.len(), pc));
+        }
+    }
+
+    fn push_sample(&mut self, sample: f64) {
+        self.samples.push(sample);
+    }
+
+    fn end_record(&mut self) {
+        if let Some((record_index, start, pc)) = self.pending.take() {
+            self.spans.push(SampleSpan {
+                record_index,
+                start,
+                end: self.samples.len(),
+                pc,
+            });
+        }
+    }
+}
+
+/// Streaming power-model renderer with a precomputed per-bit weight table.
+///
+/// [`render_power`] recomputes `sin(2.3 b + 1.7)` for every set bit of every
+/// leaked word — roughly one `sin` per set data bit per executed instruction,
+/// which dominates `profile_collect`. The renderer evaluates [`bit_weight`]
+/// once per bit position at construction; the lookups then produce the exact
+/// same floating-point sums (same per-bit values, same ascending-bit
+/// accumulation order), so traces stay bit-identical to the slow path.
+#[derive(Debug, Clone)]
+pub struct PowerRenderer {
+    config: PowerModelConfig,
+    bit_weights: [f64; 32],
+}
+
+impl PowerRenderer {
+    /// Builds a renderer for `config`.
+    pub fn new(config: &PowerModelConfig) -> Self {
+        let mut bit_weights = [0.0; 32];
+        for (b, w) in bit_weights.iter_mut().enumerate() {
+            *w = bit_weight(b as u32, config.bit_weight_variation);
+        }
+        Self {
+            config: *config,
+            bit_weights,
+        }
+    }
+
+    /// The configuration this renderer was built from.
+    pub fn config(&self) -> &PowerModelConfig {
+        &self.config
+    }
+
+    /// Table-driven [`weighted_bit_leakage`]: bit-identical, no `sin` calls.
+    #[inline]
+    pub fn leakage(&self, word: u32) -> f64 {
+        if self.config.bit_weight_variation == 0.0 {
+            return word.count_ones() as f64;
+        }
+        let mut acc = 0.0;
+        let mut w = word;
+        while w != 0 {
+            acc += self.bit_weights[w.trailing_zeros() as usize];
+            w &= w - 1;
+        }
+        acc
+    }
+
+    /// The data-dependent term of one record (lands on the final cycle).
+    #[inline]
+    pub fn data_term(&self, record: &ExecRecord) -> f64 {
+        let config = &self.config;
+        let mut data_term = 0.0;
+        if let Some((_, old, new)) = record.reg_write {
+            data_term += config.alpha_hw * self.leakage(new);
+            data_term += config.beta_hd * (old ^ new).count_ones() as f64;
+        }
+        if let Some((addr, data, _is_write)) = record.mem_access {
+            data_term += config.gamma_mem * self.leakage(data);
+            data_term += config.delta_addr * addr.count_ones() as f64;
+        }
+        if record.branch_taken == Some(true) {
+            data_term += config.epsilon_flush;
+        }
+        data_term
+    }
+
+    /// Renders one record into `sink`, drawing noise from `rng`.
+    ///
+    /// Feeding records of a run in execution order with consecutive
+    /// `record_index` values reproduces [`render_power`] exactly, including
+    /// the order in which noise variates are drawn.
+    pub fn render_record<R: Rng + ?Sized, S: PowerSink>(
+        &self,
+        record_index: usize,
+        record: &ExecRecord,
+        rng: &mut R,
+        sink: &mut S,
+    ) {
+        let config = &self.config;
+        let base = base_level(&record.instruction);
+        let total = record.cycles as usize * config.samples_per_cycle;
+        let data_term = self.data_term(record);
+        sink.begin_record(record_index, record.pc);
+        for k in 0..total {
+            let mut p = base;
+            if k + config.samples_per_cycle >= total {
+                p += data_term;
+            }
+            if config.noise_sigma > 0.0 {
+                p += config.noise_sigma * sample_standard_normal(rng);
+            }
+            sink.push_sample(p);
+        }
+        sink.end_record();
+    }
+
+    /// Renders the noiseless samples of one record into `out`.
+    ///
+    /// Used to build memoized sub-trace templates: the full sample is
+    /// `noiseless + noise_sigma * z`, which associates identically to the
+    /// `(base + data_term) + noise_sigma * z` of the direct path.
+    pub fn render_record_noiseless(&self, record: &ExecRecord, out: &mut Vec<f64>) {
+        let config = &self.config;
+        let base = base_level(&record.instruction);
+        let total = record.cycles as usize * config.samples_per_cycle;
+        let data_term = self.data_term(record);
+        for k in 0..total {
+            let mut p = base;
+            if k + config.samples_per_cycle >= total {
+                p += data_term;
+            }
+            out.push(p);
+        }
+    }
+
+    /// Overlays fresh noise on precomputed noiseless samples of one record.
+    pub fn replay_noiseless<R: Rng + ?Sized, S: PowerSink>(
+        &self,
+        record_index: usize,
+        pc: u32,
+        noiseless: &[f64],
+        rng: &mut R,
+        sink: &mut S,
+    ) {
+        let sigma = self.config.noise_sigma;
+        sink.begin_record(record_index, pc);
+        if sigma > 0.0 {
+            for &p in noiseless {
+                sink.push_sample(p + sigma * sample_standard_normal(rng));
+            }
+        } else {
+            for &p in noiseless {
+                sink.push_sample(p);
+            }
+        }
+        sink.end_record();
+    }
+}
+
 /// Renders execution records into a power trace.
 ///
 /// # Examples
@@ -186,14 +434,28 @@ pub fn render_power<R: Rng + ?Sized>(
     config: &PowerModelConfig,
     rng: &mut R,
 ) -> PowerCapture {
-    let mut samples = Vec::new();
-    let mut spans = Vec::with_capacity(records.len());
+    let renderer = PowerRenderer::new(config);
+    let mut buffer = TraceBuffer::new();
     for (record_index, record) in records.iter().enumerate() {
-        let start = samples.len();
+        renderer.render_record(record_index, record, rng, &mut buffer);
+    }
+    buffer.into_capture()
+}
+
+/// The pre-fast-path renderer, kept verbatim as the benchmark reference: it
+/// recomputes [`weighted_bit_leakage`] — one `sin` per set bit — for every
+/// record instead of using [`PowerRenderer`]'s lookup table. Produces the
+/// exact same capture as [`render_power`]; exists so `bench_pipeline` can
+/// report the fast path's speedup against the implementation it replaced.
+pub fn render_power_reference<R: Rng + ?Sized>(
+    records: &[ExecRecord],
+    config: &PowerModelConfig,
+    rng: &mut R,
+) -> PowerCapture {
+    let mut buffer = TraceBuffer::new();
+    for (record_index, record) in records.iter().enumerate() {
         let base = base_level(&record.instruction);
         let total = record.cycles as usize * config.samples_per_cycle;
-        // Data-dependent leakage lands on the final cycle's samples, which is
-        // when the result is latched into the register file / memory.
         let mut data_term = 0.0;
         if let Some((_, old, new)) = record.reg_write {
             data_term += config.alpha_hw * weighted_bit_leakage(new, config.bit_weight_variation);
@@ -206,6 +468,7 @@ pub fn render_power<R: Rng + ?Sized>(
         if record.branch_taken == Some(true) {
             data_term += config.epsilon_flush;
         }
+        buffer.begin_record(record_index, record.pc);
         for k in 0..total {
             let mut p = base;
             if k + config.samples_per_cycle >= total {
@@ -214,16 +477,11 @@ pub fn render_power<R: Rng + ?Sized>(
             if config.noise_sigma > 0.0 {
                 p += config.noise_sigma * sample_standard_normal(rng);
             }
-            samples.push(p);
+            buffer.push_sample(p);
         }
-        spans.push(SampleSpan {
-            record_index,
-            start,
-            end: samples.len(),
-            pc: record.pc,
-        });
+        buffer.end_record();
     }
-    PowerCapture { samples, spans }
+    buffer.into_capture()
 }
 
 /// Minimal standard-normal sampling (Marsaglia polar), local so the crate
@@ -367,6 +625,85 @@ mod tests {
         let mean_n: f64 = noisy.samples.iter().sum::<f64>() / noisy.samples.len() as f64;
         assert!((mean_c - mean_n).abs() < 0.2);
         assert!(clean.samples != noisy.samples);
+    }
+
+    #[test]
+    fn renderer_lut_matches_weighted_bit_leakage() {
+        let renderer = PowerRenderer::new(&PowerModelConfig::default());
+        for word in [0u32, 1, 2, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0001, 12345] {
+            assert_eq!(
+                renderer.leakage(word),
+                weighted_bit_leakage(word, PowerModelConfig::default().bit_weight_variation),
+                "LUT must be bit-identical for 0x{word:08X}"
+            );
+        }
+        let flat = PowerRenderer::new(&PowerModelConfig {
+            bit_weight_variation: 0.0,
+            ..PowerModelConfig::default()
+        });
+        assert_eq!(
+            flat.leakage(0xF0F0_1234),
+            0xF0F0_1234u32.count_ones() as f64
+        );
+    }
+
+    #[test]
+    fn streaming_render_matches_render_power() {
+        let program = assemble(
+            "li t0, 0x1234\nmul t1, t0, t0\nsw t1, 0(zero)\nbnez t0, done\nnop\ndone: ebreak",
+            0,
+        )
+        .unwrap();
+        let mut bus = Bus::new(64 * 1024, QueueMmio::new());
+        bus.load_words(0, &program.words);
+        let mut cpu = Cpu::new(bus);
+        let (records, _) = cpu.run(100_000);
+        for sigma in [0.0, 0.05] {
+            let config = PowerModelConfig::default().with_noise_sigma(sigma);
+            let mut rng = StdRng::seed_from_u64(42);
+            let direct = render_power(&records, &config, &mut rng);
+
+            let renderer = PowerRenderer::new(&config);
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut buffer = TraceBuffer::new();
+            for (i, record) in records.iter().enumerate() {
+                renderer.render_record(i, record, &mut rng, &mut buffer);
+            }
+            assert_eq!(buffer.to_capture(), direct);
+
+            // Noiseless template + noise overlay is also bit-identical.
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut buffer = TraceBuffer::new();
+            let mut noiseless = Vec::new();
+            for (i, record) in records.iter().enumerate() {
+                noiseless.clear();
+                renderer.render_record_noiseless(record, &mut noiseless);
+                renderer.replay_noiseless(i, record.pc, &noiseless, &mut rng, &mut buffer);
+            }
+            assert_eq!(buffer.into_capture(), direct);
+        }
+    }
+
+    #[test]
+    fn trace_buffer_reuse_and_samples_only() {
+        let mut buffer = TraceBuffer::new();
+        buffer.begin_record(0, 16);
+        buffer.push_sample(1.0);
+        buffer.push_sample(2.0);
+        buffer.end_record();
+        assert_eq!(buffer.len(), 2);
+        assert_eq!(buffer.spans().len(), 1);
+        assert_eq!(buffer.spans()[0].pc, 16);
+        buffer.clear();
+        assert!(buffer.is_empty());
+        assert!(buffer.spans().is_empty());
+
+        let mut bare = TraceBuffer::samples_only();
+        bare.begin_record(0, 16);
+        bare.push_sample(1.0);
+        bare.end_record();
+        assert_eq!(bare.samples(), &[1.0]);
+        assert!(bare.spans().is_empty());
     }
 
     #[test]

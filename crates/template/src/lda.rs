@@ -167,7 +167,10 @@ impl LdaProjection {
         // columns), then form M with the two cache-friendly products: B =
         // L⁻¹·S_b walks rows contiguously in i-k-j order, and B·L⁻ᵀ scans
         // two contiguous rows per inner product instead of striding columns.
-        let linv_columns = reveal_par::par_map_index(dim, |j| {
+        // One column is a ~dim²/2 forward substitution; small systems stay
+        // serial rather than paying per-call thread spawns.
+        let column_min = (131_072 / (dim * dim).max(1)).max(1);
+        let linv_columns = reveal_par::par_map_index_min(dim, column_min, |j| {
             let mut unit = vec![0.0; dim];
             unit[j] = 1.0;
             forward_substitute(&l, dim, &unit)
@@ -232,7 +235,9 @@ impl LdaProjection {
     ///
     /// Panics on dimension mismatch.
     pub fn project_batch<S: AsRef<[f64]> + Sync>(&self, observations: &[S]) -> Vec<Vec<f64>> {
-        reveal_par::par_map(observations, |o| self.project(o.as_ref()))
+        // A projection is a handful of dot products; demand a real batch per
+        // worker before fanning out.
+        reveal_par::par_map_min(observations, 32, |o| self.project(o.as_ref()))
     }
 
     /// Projects an observation onto the discriminant directions.

@@ -217,6 +217,13 @@ pub fn regularize(matrix: &mut [f64], dim: usize, lambda: f64) {
     }
 }
 
+/// Minimum matrix rows per parallel worker: one row costs `dim` inner
+/// products of length `dim`, so small matrices (the common POI-sized fits)
+/// stay serial instead of paying thread handoff for microseconds of work.
+fn min_rows_per_worker(dim: usize) -> usize {
+    (65_536 / (dim * dim).max(1)).max(1)
+}
+
 /// Dense square matrix product `C = A·B` (row-major), in the cache-friendly
 /// **i-k-j** loop order: the inner loop walks row `k` of `B` and row `i` of
 /// `C` contiguously, so wide-window LDA fits stop thrashing the cache the
@@ -230,7 +237,7 @@ pub fn regularize(matrix: &mut [f64], dim: usize, lambda: f64) {
 pub fn mat_mul(a: &[f64], b: &[f64], dim: usize) -> Vec<f64> {
     assert_eq!(a.len(), dim * dim, "left operand must be dim x dim");
     assert_eq!(b.len(), dim * dim, "right operand must be dim x dim");
-    let rows = reveal_par::par_map_index(dim, |i| {
+    let rows = reveal_par::par_map_index_min(dim, min_rows_per_worker(dim), |i| {
         let mut row = vec![0.0; dim];
         for k in 0..dim {
             let aik = a[i * dim + k];
@@ -262,7 +269,7 @@ pub fn mat_mul(a: &[f64], b: &[f64], dim: usize) -> Vec<f64> {
 pub fn mat_mul_transpose_right(a: &[f64], b: &[f64], dim: usize) -> Vec<f64> {
     assert_eq!(a.len(), dim * dim, "left operand must be dim x dim");
     assert_eq!(b.len(), dim * dim, "right operand must be dim x dim");
-    let rows = reveal_par::par_map_index(dim, |i| {
+    let rows = reveal_par::par_map_index_min(dim, min_rows_per_worker(dim), |i| {
         let a_row = &a[i * dim..(i + 1) * dim];
         (0..dim)
             .map(|j| {

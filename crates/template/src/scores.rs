@@ -101,7 +101,9 @@ impl ScoreTable {
             second.len(),
             "fused batches must pair up one-to-one"
         );
-        reveal_par::par_map_index(first.len(), |i| first[i].fuse(&second[i]))
+        // A fuse merges two ~30-label score lists — microscopic work, so
+        // only very large batches leave the serial path.
+        reveal_par::par_map_index_min(first.len(), 256, |i| first[i].fuse(&second[i]))
     }
 
     /// Restricts to a subset of labels (e.g. after the sign classifier has

@@ -269,7 +269,9 @@ impl TemplateSet {
         &self,
         observations: &[S],
     ) -> Result<Vec<ScoreTable>, TemplateError> {
-        reveal_par::par_map(observations, |o| self.classify(o.as_ref()))
+        // One classification is a few Mahalanobis distances; only batches
+        // of dozens of observations justify worker threads.
+        reveal_par::par_map_min(observations, 32, |o| self.classify(o.as_ref()))
             .into_iter()
             .collect()
     }

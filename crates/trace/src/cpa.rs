@@ -78,28 +78,35 @@ pub fn cpa_rank(traces: &[Vec<f64>], hypotheses: &[Vec<f64>]) -> Result<Vec<CpaS
     }
     // Column-major view of the traces for per-sample correlation; the
     // transpose is parallel over sample columns (each column is independent).
+    // One column gathers `traces.len()` values, so demand at least ~8k
+    // gathered values per worker before spawning any.
+    let column_min = (8192 / traces.len().max(1)).max(1);
     let columns: Vec<Vec<f64>> =
-        reveal_par::par_map_index(len, |s| traces.iter().map(|t| t[s]).collect());
+        reveal_par::par_map_index_min(len, column_min, |s| traces.iter().map(|t| t[s]).collect());
     // One candidate's correlation sweep is independent of every other's, so
     // candidates fan out across threads; scores come back in candidate order
-    // and the later sort is stable, keeping the ranking deterministic.
-    let mut scores: Vec<CpaScore> = reveal_par::par_map_index(hypotheses.len(), |candidate| {
-        let hyp = &hypotheses[candidate];
-        let mut peak = 0.0f64;
-        let mut peak_sample = 0usize;
-        for (s, col) in columns.iter().enumerate() {
-            let r = pearson_correlation(col, hyp).abs();
-            if r > peak {
-                peak = r;
-                peak_sample = s;
+    // and the later sort is stable, keeping the ranking deterministic. A
+    // candidate costs `len · traces.len()` multiply-adds — stay serial until
+    // a worker gets ~64k of them.
+    let candidate_min = (65_536 / (len * traces.len()).max(1)).max(1);
+    let mut scores: Vec<CpaScore> =
+        reveal_par::par_map_index_min(hypotheses.len(), candidate_min, |candidate| {
+            let hyp = &hypotheses[candidate];
+            let mut peak = 0.0f64;
+            let mut peak_sample = 0usize;
+            for (s, col) in columns.iter().enumerate() {
+                let r = pearson_correlation(col, hyp).abs();
+                if r > peak {
+                    peak = r;
+                    peak_sample = s;
+                }
             }
-        }
-        CpaScore {
-            candidate,
-            peak_correlation: peak,
-            peak_sample,
-        }
-    });
+            CpaScore {
+                candidate,
+                peak_correlation: peak,
+                peak_sample,
+            }
+        });
     scores.sort_by(|a, b| {
         b.peak_correlation
             .partial_cmp(&a.peak_correlation)

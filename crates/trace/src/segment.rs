@@ -66,6 +66,38 @@ impl fmt::Display for SegmentError {
 
 impl std::error::Error for SegmentError {}
 
+/// The 5th and 95th percentile values of a non-empty finite slice, via two
+/// linear-time selections instead of a full sort. A selection yields exactly
+/// the k-th order statistic, so the returned *values* match the previous
+/// sort-based implementation bit for bit — a full sort per trace was the
+/// single largest cost of segmenting long captures.
+fn percentiles_5_95(scratch: &mut [f64]) -> (f64, f64) {
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
+    let lo_index = (scratch.len() - 1) * 5 / 100;
+    let hi_index = (scratch.len() - 1) * 95 / 100;
+    let (left, &mut hi, _) = scratch.select_nth_unstable_by(hi_index, cmp);
+    // `lo_index < hi_index` whenever the indices differ, so the 5th
+    // percentile lives in the left partition; when they coincide the two
+    // order statistics are the same element.
+    let lo = if lo_index == hi_index {
+        hi
+    } else {
+        *left.select_nth_unstable_by(lo_index, cmp).1
+    };
+    (lo, hi)
+}
+
+/// The pre-fast-path percentile computation — a full sort per trace — kept
+/// verbatim so the benchmark baseline measures what segmentation used to
+/// cost. Returns the same values as [`percentiles_5_95`].
+fn percentiles_5_95_sorted(scratch: &mut [f64]) -> (f64, f64) {
+    scratch.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    (
+        scratch[(scratch.len() - 1) * 5 / 100],
+        scratch[(scratch.len() - 1) * 95 / 100],
+    )
+}
+
 /// Moving-average smoothing (centered, edge-clamped).
 ///
 /// # Errors
@@ -105,12 +137,30 @@ pub fn find_bursts(
     samples: &[f64],
     config: &SegmentConfig,
 ) -> Result<Vec<(usize, usize)>, SegmentError> {
+    find_bursts_impl(samples, config, percentiles_5_95)
+}
+
+/// [`find_bursts`] with the pre-fast-path sort-based percentile pass, kept
+/// as the benchmark baseline. Identical results.
+///
+/// # Errors
+///
+/// Same as [`find_bursts`].
+pub fn find_bursts_reference(
+    samples: &[f64],
+    config: &SegmentConfig,
+) -> Result<Vec<(usize, usize)>, SegmentError> {
+    find_bursts_impl(samples, config, percentiles_5_95_sorted)
+}
+
+fn find_bursts_impl(
+    samples: &[f64],
+    config: &SegmentConfig,
+    percentiles: fn(&mut [f64]) -> (f64, f64),
+) -> Result<Vec<(usize, usize)>, SegmentError> {
     let smoothed = smooth(samples, config.smooth_window)?;
     // Robust low/high levels: 5th and 95th percentiles of the smoothed trace.
-    let mut sorted = smoothed.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let lo = sorted[(sorted.len() - 1) * 5 / 100];
-    let hi = sorted[(sorted.len() - 1) * 95 / 100];
+    let (lo, hi) = percentiles(&mut smoothed.clone());
     if hi - lo < 1e-12 {
         return Err(SegmentError::NoPeaksFound);
     }
@@ -161,15 +211,31 @@ pub fn refine_burst_ends(
     bursts: &[(usize, usize)],
     config: &SegmentConfig,
 ) -> Vec<(usize, usize)> {
+    refine_burst_ends_impl(samples, bursts, config, percentiles_5_95)
+}
+
+/// [`refine_burst_ends`] with the pre-fast-path sort-based percentile pass,
+/// kept as the benchmark baseline. Identical results.
+pub fn refine_burst_ends_reference(
+    samples: &[f64],
+    bursts: &[(usize, usize)],
+    config: &SegmentConfig,
+) -> Vec<(usize, usize)> {
+    refine_burst_ends_impl(samples, bursts, config, percentiles_5_95_sorted)
+}
+
+fn refine_burst_ends_impl(
+    samples: &[f64],
+    bursts: &[(usize, usize)],
+    config: &SegmentConfig,
+    percentiles: fn(&mut [f64]) -> (f64, f64),
+) -> Vec<(usize, usize)> {
     const RUN_LEN: usize = 6;
     const HIGH_FRACTION: f64 = 0.7;
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    if sorted.is_empty() {
+    if samples.is_empty() {
         return bursts.to_vec();
     }
-    let lo = sorted[(sorted.len() - 1) * 5 / 100];
-    let hi = sorted[(sorted.len() - 1) * 95 / 100];
+    let (lo, hi) = percentiles(&mut samples.to_vec());
     let threshold = lo + HIGH_FRACTION * (hi - lo);
     let span = config.smooth_window.max(4);
     bursts
@@ -409,6 +475,44 @@ mod tests {
         let refined = reveal_par::with_threads(4, || refined_bursts_batch(&traces, &config));
         assert_eq!(refined.len(), traces.len());
         assert!(refined.iter().all(|r| r.as_ref().unwrap().len() == 3));
+    }
+
+    #[test]
+    fn selection_percentiles_match_sorted_reference() {
+        // Noisy trace with duplicates and plateaus: the linear-time selection
+        // must reproduce the sort-based order statistics exactly.
+        let traces: Vec<Vec<f64>> = (0..8)
+            .map(|k| {
+                (0..3000)
+                    .map(|i| {
+                        let burst = if (i / 200) % 3 == 0 { 3.0 } else { 1.0 };
+                        burst + 0.1 * (((i * 13 + k * 7) % 17) as f64)
+                    })
+                    .collect()
+            })
+            .collect();
+        let config = SegmentConfig::default();
+        for t in &traces {
+            assert_eq!(
+                percentiles_5_95(&mut t.clone()),
+                percentiles_5_95_sorted(&mut t.clone())
+            );
+            let fast = find_bursts(t, &config).unwrap();
+            let reference = find_bursts_reference(t, &config).unwrap();
+            assert_eq!(fast, reference);
+            assert_eq!(
+                refine_burst_ends(t, &fast, &config),
+                refine_burst_ends_reference(t, &reference, &config)
+            );
+        }
+        // Degenerate lengths.
+        for len in 1..6 {
+            let v: Vec<f64> = (0..len).map(|i| (i * 37 % 5) as f64).collect();
+            assert_eq!(
+                percentiles_5_95(&mut v.clone()),
+                percentiles_5_95_sorted(&mut v.clone())
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Equivalence suite for the rv32 trace-generation fast path.
+//!
+//! The streaming pipeline (predecode cache, `PowerSink` emission, sub-trace
+//! memoization, chunked profiling collection) is a pure performance layer:
+//! every output it produces must be bit-identical to the materializing
+//! baseline for the same inputs and RNG seed. These tests pin that contract
+//! at the kernel level (all three sampler variants, deterministic cases and
+//! a proptest over random coefficient sequences) and at the pipeline level
+//! (profiling collection and the trained attack built from it).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{
+    collect_profiling, collect_profiling_baseline, AttackConfig, Device, TrainedAttack,
+};
+use reveal_rv32::kernel::{KernelRun, KernelVariant, SamplerKernel, SamplerScratch};
+use reveal_rv32::power::PowerModelConfig;
+
+const Q: u64 = 132_120_577;
+const Q2: u64 = 12_289;
+
+const VARIANTS: [KernelVariant; 3] = [
+    KernelVariant::Vulnerable,
+    KernelVariant::Branchless,
+    KernelVariant::MaskedLadder,
+];
+
+/// Runs one input set through both paths and asserts every output matches.
+fn assert_fast_path_identical(
+    kernel: &SamplerKernel,
+    values: &[i64],
+    iterations: &[u32],
+    config: &PowerModelConfig,
+    seed: u64,
+    scratch: &mut SamplerScratch,
+) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let baseline: KernelRun = kernel.run(values, iterations, config, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fast: KernelRun = kernel
+        .run_into(values, iterations, config, &mut rng, scratch)
+        .unwrap();
+    prop_assert_eq!(&fast.capture.samples, &baseline.capture.samples);
+    prop_assert_eq!(&fast.capture.spans, &baseline.capture.spans);
+    prop_assert_eq!(&fast.poly, &baseline.poly);
+    prop_assert_eq!(&fast.shares, &baseline.shares);
+    prop_assert_eq!(&fast.coefficient_windows, &baseline.coefficient_windows);
+    prop_assert_eq!(fast.instruction_count, baseline.instruction_count);
+    Ok(())
+}
+
+#[test]
+fn kernel_fast_path_is_bit_identical_on_all_variants() {
+    let values = [3i64, -2, 0, 1, -1, 41, -41, 14];
+    let iterations = [4u32, 6, 4, 10, 4, 8, 6, 4];
+    let mut scratch = SamplerScratch::new();
+    for variant in VARIANTS {
+        for moduli in [&[Q][..], &[Q, Q2][..]] {
+            let kernel = SamplerKernel::with_variant(8, moduli, variant).unwrap();
+            for sigma in [0.0, 0.05, 0.25] {
+                let config = PowerModelConfig::default().with_noise_sigma(sigma);
+                // Cold memo, then warm memo on a second pass.
+                for pass in 0..2 {
+                    assert_fast_path_identical(
+                        &kernel,
+                        &values,
+                        &iterations,
+                        &config,
+                        0xFA57_0000 + pass,
+                        &mut scratch,
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random coefficient sequences, burst lengths, variants, and noise:
+    /// the memoized composition must never diverge from direct rendering.
+    #[test]
+    fn kernel_fast_path_is_bit_identical_on_random_sequences(
+        values in proptest::collection::vec(-41i64..=41, 8),
+        iterations in proptest::collection::vec(4u32..=20, 8),
+        variant_idx in 0usize..3,
+        noisy in 0u8..2,
+        seed in any::<u64>(),
+    ) {
+        let kernel = SamplerKernel::with_variant(8, &[Q], VARIANTS[variant_idx]).unwrap();
+        let config = if noisy == 1 {
+            PowerModelConfig::default()
+        } else {
+            PowerModelConfig::noiseless()
+        };
+        let mut scratch = SamplerScratch::new();
+        assert_fast_path_identical(&kernel, &values, &iterations, &config, seed, &mut scratch)?;
+    }
+}
+
+#[test]
+fn reference_path_is_bit_identical_too() {
+    // The benchmark reference (per-step decode, materialized records,
+    // sin-per-bit rendering) must agree with both the current run() and the
+    // streaming fast path.
+    let values = [3i64, -2, 0, 1, -1, 41, -41, 14];
+    let iterations = [4u32, 6, 4, 10, 4, 8, 6, 4];
+    let mut scratch = SamplerScratch::new();
+    for variant in VARIANTS {
+        let kernel = SamplerKernel::with_variant(8, &[Q], variant).unwrap();
+        let config = PowerModelConfig::default();
+        let mut rng = StdRng::seed_from_u64(77);
+        let reference = kernel
+            .run_reference(&values, &iterations, &config, &mut rng)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let direct = kernel.run(&values, &iterations, &config, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let fast = kernel
+            .run_into(&values, &iterations, &config, &mut rng, &mut scratch)
+            .unwrap();
+        assert_eq!(reference.capture, direct.capture);
+        assert_eq!(reference.capture, fast.capture);
+        assert_eq!(reference.poly, fast.poly);
+        assert_eq!(reference.coefficient_windows, fast.coefficient_windows);
+        assert_eq!(reference.instruction_count, fast.instruction_count);
+    }
+}
+
+#[test]
+fn profiling_collection_is_bit_identical_to_baseline() {
+    let device = Device::new(32, &[Q], PowerModelConfig::default()).unwrap();
+    let config = AttackConfig::default();
+    // 13 runs: one full 8-run chunk plus a ragged 5-run tail.
+    let fast = collect_profiling(&device, 13, &config, 0x5EA1_BE9C).unwrap();
+    let baseline = collect_profiling_baseline(&device, 13, &config, 0x5EA1_BE9C).unwrap();
+    assert_eq!(fast.total_windows, baseline.total_windows);
+    assert_eq!(fast.sign_set, baseline.sign_set);
+    assert_eq!(fast.pos_set, baseline.pos_set);
+    assert_eq!(fast.neg_set, baseline.neg_set);
+}
+
+#[test]
+fn trained_attack_from_fast_path_matches_baseline_end_to_end() {
+    // Train two attackers — one from each collection path — and verify they
+    // produce identical per-coefficient estimates on the same fresh capture.
+    let device = Device::new(64, &[Q], PowerModelConfig::default()).unwrap();
+    let config = AttackConfig::default();
+    let master_seed = 0xC0DE_F00D;
+
+    let fast_data = collect_profiling(&device, 20, &config, master_seed).unwrap();
+    let baseline_data = collect_profiling_baseline(&device, 20, &config, master_seed).unwrap();
+    let fast_attack = TrainedAttack::fit(
+        config.clone(),
+        fast_data.sign_set,
+        fast_data.pos_set,
+        fast_data.neg_set,
+        fast_data.total_windows,
+    )
+    .unwrap();
+    let baseline_attack = TrainedAttack::fit(
+        config,
+        baseline_data.sign_set,
+        baseline_data.pos_set,
+        baseline_data.neg_set,
+        baseline_data.total_windows,
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let capture = device.capture_fresh(&mut rng).unwrap();
+    let fast_result = fast_attack
+        .attack_trace_expecting(&capture.run.capture.samples, 64)
+        .unwrap();
+    let baseline_result = baseline_attack
+        .attack_trace_expecting(&capture.run.capture.samples, 64)
+        .unwrap();
+    assert_eq!(fast_result, baseline_result);
+}
