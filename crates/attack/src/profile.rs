@@ -7,10 +7,12 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use reveal_rv32::kernel::KernelError;
+use reveal_rv32::PowerCapture;
 use reveal_template::{CovarianceMode, ScoreTable, TemplateError, TemplateSet};
 use reveal_trace::poi::{select_pois, PoiError};
 use reveal_trace::segment::{find_bursts, SegmentError};
 use reveal_trace::{Trace, TraceSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Errors from profiling or attacking.
@@ -603,6 +605,93 @@ impl TrainedAttack {
             probabilities,
         })
     }
+
+    /// The program counters this trained attack actually reads: every
+    /// selected point of interest, in every detected ladder window of
+    /// `capture`, mapped through the capture's per-instruction
+    /// [`SampleSpan`](reveal_rv32::SampleSpan)s to the instruction that
+    /// produced the sample. This is the dynamic half of the
+    /// static-predicts-dynamic contract: the static leakage map's
+    /// top-ranked sites must cover every PC returned here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates segmentation failures; requires a span-annotated capture
+    /// (not [`samples_only`](reveal_rv32::PowerRecorder::samples_only)).
+    pub fn exploited_pcs(&self, capture: &PowerCapture) -> Result<ExploitedPcs, AttackError> {
+        let starts = ladder_window_starts(&capture.samples, &self.config)?;
+        let pcs_for = |pois: &[usize]| -> BTreeSet<u32> {
+            let mut pcs = BTreeSet::new();
+            for &start in &starts {
+                for &poi in pois {
+                    if let Some(pc) = pc_of_sample(capture, start + poi) {
+                        pcs.insert(pc);
+                    }
+                }
+            }
+            pcs
+        };
+        Ok(ExploitedPcs {
+            sign: pcs_for(&self.sign_pois),
+            positive: pcs_for(&self.pos_pois),
+            negative_early: pcs_for(&self.neg_early_pois),
+            negative_late: pcs_for(&self.neg_late_pois),
+        })
+    }
+}
+
+/// Per-class unions of the PCs a trained attack's points of interest land
+/// on (see [`TrainedAttack::exploited_pcs`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploitedPcs {
+    /// PCs observed by the sign classifier.
+    pub sign: BTreeSet<u32>,
+    /// PCs observed by the positive-value templates.
+    pub positive: BTreeSet<u32>,
+    /// PCs observed by the negative-value negation-region templates.
+    pub negative_early: BTreeSet<u32>,
+    /// PCs observed by the negative-value store-region templates.
+    pub negative_late: BTreeSet<u32>,
+}
+
+impl ExploitedPcs {
+    /// Every PC any classifier observes.
+    pub fn union(&self) -> BTreeSet<u32> {
+        let mut all = self.sign.clone();
+        all.extend(&self.positive);
+        all.extend(&self.negative_early);
+        all.extend(&self.negative_late);
+        all
+    }
+}
+
+/// Absolute sample offsets where each full ladder window begins, under the
+/// same burst segmentation [`extract_ladder_windows`] uses.
+///
+/// # Errors
+///
+/// Propagates burst-detection failures.
+pub fn ladder_window_starts(
+    samples: &[f64],
+    config: &AttackConfig,
+) -> Result<Vec<usize>, SegmentError> {
+    let bursts = find_bursts(samples, &config.segment)?;
+    let bursts = reveal_trace::segment::refine_burst_ends(samples, &bursts, &config.segment);
+    Ok(bursts
+        .iter()
+        .map(|&(_, end)| end)
+        .filter(|end| end + config.ladder_window <= samples.len())
+        .collect())
+}
+
+/// The PC whose instruction produced `sample`, via the capture's span
+/// annotations (`None` past the end or for span-less captures).
+fn pc_of_sample(capture: &PowerCapture, sample: usize) -> Option<u32> {
+    // Spans are emitted in execution order with contiguous sample ranges,
+    // so a binary search on `end` finds the unique covering span.
+    let idx = capture.spans.partition_point(|s| s.end <= sample);
+    let span = capture.spans.get(idx)?;
+    (span.start <= sample && sample < span.end).then_some(span.pc)
 }
 
 fn fit_set(

@@ -1,0 +1,650 @@
+//! Quantitative leakage scoring: per-PC bounds on secret-dependent power
+//! variance under the renderer's own model.
+//!
+//! For every reachable instruction the scorer reads the solved VSA/taint
+//! states and asks: *which bits of the operands this instruction puts on a
+//! bus can differ across secret values?* Those effective masks are priced
+//! with the exact coefficients and per-bit weight table
+//! [`reveal_rv32::power::PowerRenderer`] renders with:
+//!
+//! - `direct`  — `alpha_hw · Σ weights[b]` over the defined register's
+//!   effective mask (write-back bus);
+//! - `hamming_distance` — `beta_hd · popcount(mask)` (old→new toggles);
+//! - `memory`  — `gamma_mem · Σ weights[b]` over load/store data masks;
+//! - `address` — `delta_addr · popcount(address mask)`;
+//! - `flush`   — `epsilon_flush` when a branch condition is tainted (the
+//!   flush happens or not depending on the secret);
+//! - `control` — the divergence a tainted branch injects: the summed
+//!   `base_level × cycle_cost` of the instructions only one arm executes.
+//!   This is what makes the sign branch of the ladder the top-ranked site:
+//!   its arms *are* the leak the dynamic templates key on.
+//!
+//! Each tainted branch also carries a **cover set**: the arm-difference
+//! PCs, plus — when the arms provably take different cycle counts — every
+//! PC reachable from the rejoin point, because a secret-dependent duration
+//! time-shifts all later samples (the paper's segmentation signal). The
+//! static-predicts-dynamic contract is [`LeakageMap::covers`]: every PC the
+//! dynamic attack exploits must be the site, or in the cover set, of a
+//! top-ranked entry.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use reveal_rv32::cpu::cycle_cost;
+use reveal_rv32::power::base_level;
+use reveal_rv32::{
+    format_instruction, Cfg, Instruction, PowerModelConfig, PowerRenderer, SamplerKernel,
+};
+
+use crate::analysis::{analyzer_for_kernel, Analyzer};
+use crate::report::{anchor_for, json_str};
+
+/// The additive pieces of one site's score, mirroring the renderer's
+/// data-term components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LeakageComponents {
+    /// `alpha_hw`-weighted write-back leakage.
+    pub direct: f64,
+    /// `beta_hd`-weighted toggle leakage.
+    pub hamming_distance: f64,
+    /// `gamma_mem`-weighted data-bus leakage.
+    pub memory: f64,
+    /// `delta_addr`-weighted address-bus leakage.
+    pub address: f64,
+    /// `epsilon_flush` when the flush itself is secret-conditioned.
+    pub flush: f64,
+    /// Control-divergence energy injected by a tainted branch.
+    pub control: f64,
+}
+
+impl LeakageComponents {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.direct + self.hamming_distance + self.memory + self.address + self.flush + self.control
+    }
+}
+
+/// One ranked leakage site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageSite {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// Its disassembly.
+    pub instruction: String,
+    /// Nearest preceding label, when the program has one.
+    pub anchor: Option<(String, u32)>,
+    /// Union of the effective secret masks feeding the instruction.
+    pub mask: u32,
+    /// Score breakdown.
+    pub components: LeakageComponents,
+    /// PCs whose samples this site's secret dependence modulates or
+    /// time-shifts (beyond the site itself).
+    pub covered: Vec<u32>,
+}
+
+impl LeakageSite {
+    /// Total score (the ranking key).
+    pub fn score(&self) -> f64 {
+        self.components.total()
+    }
+}
+
+/// The ranked per-PC leakage map of one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageMap {
+    /// What was analyzed.
+    pub target: String,
+    /// Sites with nonzero score, best first (ties broken by ascending PC,
+    /// so the ranking is deterministic).
+    pub sites: Vec<LeakageSite>,
+}
+
+impl LeakageMap {
+    /// The `k` best sites (fewer when the map is shorter).
+    pub fn top(&self, k: usize) -> &[LeakageSite] {
+        &self.sites[..k.min(self.sites.len())]
+    }
+
+    /// The static-predicts-dynamic contract: whether `pc` is, or is
+    /// covered by, one of the `top_k` ranked sites.
+    pub fn covers(&self, top_k: usize, pc: u32) -> bool {
+        self.top(top_k)
+            .iter()
+            .any(|s| s.pc == pc || s.covered.contains(&pc))
+    }
+
+    /// The site at `pc`, if it scored at all.
+    pub fn site_at(&self, pc: u32) -> Option<&LeakageSite> {
+        self.sites.iter().find(|s| s.pc == pc)
+    }
+
+    /// The best score in the map (0 when empty — a fully quiet program).
+    pub fn max_score(&self) -> f64 {
+        self.sites.first().map_or(0.0, LeakageSite::score)
+    }
+
+    /// Sum of flush + control energy across the map: zero certifies that
+    /// no secret-dependent control flow exists anywhere.
+    pub fn control_flow_energy(&self) -> f64 {
+        self.sites
+            .iter()
+            .map(|s| s.components.flush + s.components.control)
+            .sum()
+    }
+
+    /// Renders the map as JSON (schema documented in `docs/lint.md`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"target\":{},", json_str(&self.target)));
+        out.push_str(&format!("\"max_score\":{:.6},", self.max_score()));
+        out.push_str(&format!(
+            "\"control_flow_energy\":{:.6},",
+            self.control_flow_energy()
+        ));
+        out.push_str("\"sites\":[");
+        for (rank, s) in self.sites.iter().enumerate() {
+            if rank > 0 {
+                out.push(',');
+            }
+            let c = &s.components;
+            out.push_str(&format!(
+                "{{\"rank\":{},\"pc\":{},\"instruction\":{},\"anchor\":{},\
+                 \"mask\":{},\"score\":{:.6},\"components\":{{\
+                 \"direct\":{:.6},\"hamming_distance\":{:.6},\"memory\":{:.6},\
+                 \"address\":{:.6},\"flush\":{:.6},\"control\":{:.6}}},\
+                 \"covered_pcs\":[{}]}}",
+                rank + 1,
+                s.pc,
+                json_str(&s.instruction),
+                match &s.anchor {
+                    Some((label, delta)) =>
+                        format!("{{\"label\":{},\"offset\":{}}}", json_str(label), delta),
+                    None => "null".to_string(),
+                },
+                s.mask,
+                s.score(),
+                c.direct,
+                c.hamming_distance,
+                c.memory,
+                c.address,
+                c.flush,
+                c.control,
+                s.covered
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Computes the leakage map of a solved analyzer under `config`.
+pub fn compute_leakage_map(
+    analyzer: &mut Analyzer<'_>,
+    config: &PowerModelConfig,
+    target: impl Into<String>,
+) -> LeakageMap {
+    analyzer.solve();
+    let renderer = PowerRenderer::new(config);
+    let cfg = analyzer.cfg();
+    let pd = postdominators(cfg);
+
+    let mut masks: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut comps: BTreeMap<u32, LeakageComponents> = BTreeMap::new();
+    let mut covers: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+
+    let mut bump = |pc: u32, mask: u32, f: &dyn Fn(&mut LeakageComponents)| {
+        *masks.entry(pc).or_insert(0) |= mask;
+        f(comps.entry(pc).or_default());
+    };
+
+    for (pc, instr) in cfg.reachable_instructions() {
+        let Some(in_state) = analyzer.state_at(pc) else {
+            continue;
+        };
+        // Write-back bus: the defined register's effective mask.
+        if let Some(rd) = instr.def() {
+            if let Some(out) = analyzer.out_state(pc) {
+                let eff = out.reg(rd).effective_taint();
+                if eff.is_tainted() {
+                    let direct = config.alpha_hw * renderer.leakage(eff.mask);
+                    let hd = config.beta_hd * f64::from(eff.mask.count_ones());
+                    bump(pc, eff.mask, &move |c| {
+                        c.direct += direct;
+                        c.hamming_distance += hd;
+                    });
+                }
+            }
+        }
+        match instr {
+            Instruction::Load { rd, rs1, .. } => {
+                let addr = in_state.reg(rs1).effective_taint();
+                if addr.is_tainted() {
+                    let a = config.delta_addr * f64::from(addr.mask.count_ones());
+                    bump(pc, addr.mask, &move |c| c.address += a);
+                }
+                // The loaded word crosses the memory bus with the same
+                // mask it lands in the register with.
+                if let Some(out) = analyzer.out_state(pc) {
+                    let eff = out.reg(rd).effective_taint();
+                    if eff.is_tainted() {
+                        let m = config.gamma_mem * renderer.leakage(eff.mask);
+                        bump(pc, eff.mask, &move |c| c.memory += m);
+                    }
+                }
+            }
+            Instruction::Store { rs1, rs2, .. } => {
+                let addr = in_state.reg(rs1).effective_taint();
+                if addr.is_tainted() {
+                    let a = config.delta_addr * f64::from(addr.mask.count_ones());
+                    bump(pc, addr.mask, &move |c| c.address += a);
+                }
+                let data = in_state.reg(rs2).effective_taint();
+                if data.is_tainted() {
+                    let m = config.gamma_mem * renderer.leakage(data.mask);
+                    bump(pc, data.mask, &move |c| c.memory += m);
+                }
+            }
+            Instruction::Branch { rs1, rs2, .. } => {
+                let cond = in_state
+                    .reg(rs1)
+                    .effective_taint()
+                    .join(in_state.reg(rs2).effective_taint());
+                if cond.is_tainted() {
+                    let (control, covered) = branch_divergence(cfg, pc, &pd);
+                    let flush = config.epsilon_flush;
+                    bump(pc, cond.mask, &move |c| {
+                        c.flush += flush;
+                        c.control += control;
+                    });
+                    covers.entry(pc).or_default().extend(covered);
+                }
+            }
+            Instruction::Jalr { rs1, .. } => {
+                let t = in_state.reg(rs1).effective_taint();
+                if t.is_tainted() {
+                    // A secret-steered dispatch displaces everything it can
+                    // reach; score it like a maximal branch.
+                    let reach = reachable_from(cfg, pc);
+                    let control: f64 = reach
+                        .iter()
+                        .filter_map(|&d| cfg.instruction_at(d))
+                        .map(|i| base_level(&i) * f64::from(cycle_cost(&i, true)))
+                        .sum();
+                    let flush = config.epsilon_flush;
+                    bump(pc, t.mask, &move |c| {
+                        c.flush += flush;
+                        c.control += control;
+                    });
+                    covers.entry(pc).or_default().extend(reach);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut sites: Vec<LeakageSite> = comps
+        .into_iter()
+        .filter(|(_, c)| c.total() > 0.0)
+        .map(|(pc, components)| LeakageSite {
+            pc,
+            instruction: cfg
+                .instruction_at(pc)
+                .map(|i| format_instruction(&i))
+                .unwrap_or_default(),
+            anchor: anchor_for(analyzer.program(), analyzer.base(), pc),
+            mask: masks.get(&pc).copied().unwrap_or(0),
+            components,
+            covered: covers
+                .get(&pc)
+                .map(|set| set.iter().copied().filter(|&d| d != pc).collect())
+                .unwrap_or_default(),
+        })
+        .collect();
+    sites.sort_by(|a, b| {
+        b.score()
+            .partial_cmp(&a.score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.pc.cmp(&b.pc))
+    });
+    LeakageMap {
+        target: target.into(),
+        sites,
+    }
+}
+
+/// Computes the leakage map of a [`SamplerKernel`] under `config`, with
+/// its secret sources and load bounds declared.
+pub fn leakage_map_for_kernel(kernel: &SamplerKernel, config: &PowerModelConfig) -> LeakageMap {
+    let mut analyzer = analyzer_for_kernel(kernel);
+    compute_leakage_map(
+        &mut analyzer,
+        config,
+        format!(
+            "kernel[{:?}] n={} moduli={}",
+            kernel.variant(),
+            kernel.degree(),
+            kernel.moduli().len()
+        ),
+    )
+}
+
+/// Control-divergence energy and cover set of the tainted branch at `pc`.
+///
+/// Arm sets are BFS from each successor, bounded at the branch's nearest
+/// common postdominator (the rejoin point). The energy is the summed
+/// `base_level × cycle_cost` of the arm-difference PCs. When the two arms'
+/// straight-line cycle sums differ — or either arm contains further
+/// control flow — the branch also time-shifts everything after the rejoin,
+/// so the cover set widens to all PCs reachable from it.
+fn branch_divergence(
+    cfg: &Cfg,
+    pc: u32,
+    pd: &BTreeMap<u32, BTreeSet<u32>>,
+) -> (f64, BTreeSet<u32>) {
+    let succs = cfg.successors_of(pc);
+    if succs.len() < 2 {
+        return (0.0, BTreeSet::new());
+    }
+    let (t, f) = (succs[0], succs[1]);
+    let join = nearest_common_postdominator(pc, t, f, pd);
+    let arm_t = arm_set(cfg, t, join);
+    let arm_f = arm_set(cfg, f, join);
+    let divergent: BTreeSet<u32> = arm_t.symmetric_difference(&arm_f).copied().collect();
+    let arm_cost = |arm: &BTreeSet<u32>| -> (u64, bool) {
+        let mut cycles = 0u64;
+        let mut has_control = false;
+        for &d in arm {
+            if let Some(i) = cfg.instruction_at(d) {
+                cycles += u64::from(cycle_cost(&i, true));
+                has_control |= matches!(
+                    i,
+                    Instruction::Branch { .. } | Instruction::Jal { .. } | Instruction::Jalr { .. }
+                );
+            }
+        }
+        (cycles, has_control)
+    };
+    let (cyc_t, ctl_t) = arm_cost(&arm_t);
+    let (cyc_f, ctl_f) = arm_cost(&arm_f);
+    // The divergence energy is how different the two arms look on the
+    // trace: the energy over the instructions only one arm executes.
+    let control: f64 = divergent
+        .iter()
+        .filter_map(|&d| cfg.instruction_at(d))
+        .map(|i| base_level(&i) * f64::from(cycle_cost(&i, true)))
+        .sum();
+    let displaced = cyc_t != cyc_f || ctl_t || ctl_f;
+    let mut covered = divergent;
+    if displaced {
+        let from = join.map_or_else(BTreeSet::new, |j| reachable_from_inclusive(cfg, j));
+        covered.extend(from);
+        // A duration difference shifts every later sample of the same
+        // iteration *and* later iterations: cover everything reachable
+        // from the branch itself too.
+        covered.extend(reachable_from(cfg, pc));
+    }
+    (control, covered)
+}
+
+/// All PCs reachable from `pc`'s successors (not necessarily including
+/// `pc`).
+fn reachable_from(cfg: &Cfg, pc: u32) -> BTreeSet<u32> {
+    let mut seen = BTreeSet::new();
+    let mut queue: VecDeque<u32> = cfg.successors_of(pc).iter().copied().collect();
+    while let Some(n) = queue.pop_front() {
+        if seen.insert(n) {
+            queue.extend(cfg.successors_of(n).iter().copied());
+        }
+    }
+    seen
+}
+
+/// All PCs reachable from `pc`, including `pc`.
+fn reachable_from_inclusive(cfg: &Cfg, pc: u32) -> BTreeSet<u32> {
+    let mut seen = reachable_from(cfg, pc);
+    seen.insert(pc);
+    seen
+}
+
+/// BFS from `start`, not expanding (or including) `stop`.
+fn arm_set(cfg: &Cfg, start: u32, stop: Option<u32>) -> BTreeSet<u32> {
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::from([start]);
+    while let Some(n) = queue.pop_front() {
+        if Some(n) == stop || !seen.insert(n) {
+            continue;
+        }
+        queue.extend(cfg.successors_of(n).iter().copied());
+    }
+    seen
+}
+
+/// Iterative postdominator sets over the reachable instructions: `pd[n]` =
+/// the PCs on every path from `n` to a halt.
+fn postdominators(cfg: &Cfg) -> BTreeMap<u32, BTreeSet<u32>> {
+    let nodes: Vec<u32> = cfg.reachable_instructions().map(|(pc, _)| pc).collect();
+    let all: BTreeSet<u32> = nodes.iter().copied().collect();
+    let mut pd: BTreeMap<u32, BTreeSet<u32>> = nodes
+        .iter()
+        .map(|&n| {
+            if cfg.successors_of(n).is_empty() {
+                (n, BTreeSet::from([n]))
+            } else {
+                (n, all.clone())
+            }
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &n in nodes.iter().rev() {
+            let succs = cfg.successors_of(n);
+            if succs.is_empty() {
+                continue;
+            }
+            let mut meet: Option<BTreeSet<u32>> = None;
+            for s in succs {
+                if let Some(ps) = pd.get(s) {
+                    meet = Some(match meet {
+                        None => ps.clone(),
+                        Some(m) => m.intersection(ps).copied().collect(),
+                    });
+                }
+            }
+            let mut new = meet.unwrap_or_default();
+            new.insert(n);
+            if pd.get(&n) != Some(&new) {
+                pd.insert(n, new);
+                changed = true;
+            }
+        }
+    }
+    pd
+}
+
+/// The nearest PC that postdominates both `t` and `f` (excluding the
+/// branch itself), i.e. the rejoin point of the two arms.
+fn nearest_common_postdominator(
+    branch: u32,
+    t: u32,
+    f: u32,
+    pd: &BTreeMap<u32, BTreeSet<u32>>,
+) -> Option<u32> {
+    let (pt, pf) = (pd.get(&t)?, pd.get(&f)?);
+    let candidates: BTreeSet<u32> = pt
+        .intersection(pf)
+        .copied()
+        .filter(|&c| c != branch)
+        .collect();
+    candidates.iter().copied().find(|&j| {
+        candidates
+            .iter()
+            .all(|&k| pd.get(&j).is_some_and(|pj| pj.contains(&k)))
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-zero energy assertions are intentional
+mod tests {
+    use super::*;
+    use reveal_rv32::{assemble, LoadBound};
+
+    fn map_for(src: &str, bound: Option<LoadBound>) -> (LeakageMap, reveal_rv32::Program) {
+        let program = assemble(src, 0).unwrap();
+        let mut analyzer = Analyzer::new(&program, 0).unwrap();
+        for (name, &off) in &program.symbols {
+            if name.starts_with("secret") {
+                analyzer.mark_secret_load(off, "test secret");
+            }
+        }
+        if let Some(b) = bound {
+            analyzer.assume_load_bound(b);
+        }
+        let map = compute_leakage_map(&mut analyzer, &PowerModelConfig::default(), "unit");
+        (map, program)
+    }
+
+    const NOISE_BOUND: LoadBound = LoadBound {
+        base: 0xF000_0000,
+        len: 4,
+        lo: -21,
+        hi: 21,
+        description: "noise port",
+    };
+
+    #[test]
+    fn quiet_program_has_an_empty_map() {
+        let (map, _) = map_for(
+            "
+            li t0, 5
+            loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            ebreak
+            ",
+            None,
+        );
+        assert!(map.sites.is_empty());
+        assert_eq!(map.max_score(), 0.0);
+        assert_eq!(map.control_flow_energy(), 0.0);
+    }
+
+    #[test]
+    fn tainted_branch_tops_the_ranking_and_covers_its_arms() {
+        let (map, program) = map_for(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t2, 0(s0)
+            sign:
+            bgez t2, pos
+            neg:
+            sub t2, zero, t2
+            addi t2, t2, 1
+            pos:
+            li t3, 0x2000
+            sw t2, 0(t3)
+            ebreak
+            ",
+            Some(NOISE_BOUND),
+        );
+        let sign = program.symbol("sign").unwrap();
+        let neg = program.symbol("neg").unwrap();
+        // The sign branch and the full-mask secret load dominate the map.
+        let top_pcs: Vec<u32> = map.top(2).iter().map(|s| s.pc).collect();
+        assert!(
+            top_pcs.contains(&sign),
+            "sign branch in the top 2: {top_pcs:?}"
+        );
+        let branch = map.site_at(sign).unwrap();
+        assert!(branch.components.control > 0.0);
+        assert!(branch.components.flush > 0.0);
+        assert!(map.covers(2, sign));
+        assert!(map.covers(2, neg), "the arm is covered by the branch");
+        // The arms take different cycle counts, so everything after the
+        // rejoin is time-shifted and covered too.
+        let store_pc = program.symbol("pos").unwrap();
+        assert!(map.covers(2, store_pc));
+    }
+
+    #[test]
+    fn refined_magnitude_scores_below_full_mask() {
+        // Same ladder; the secret load (full 32-bit mask) must outscore the
+        // store of the refined magnitude (≤ 6-bit mask after the arms
+        // rejoin: [0, 22]).
+        let (map, program) = map_for(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t2, 0(s0)
+            bgez t2, pos
+            sub t2, zero, t2
+            addi t2, t2, 1
+            pos:
+            li t3, 0x2000
+            store:
+            sw t2, 0(t3)
+            ebreak
+            ",
+            Some(NOISE_BOUND),
+        );
+        let load_pc = program.symbol("secret").unwrap();
+        let store_pc = program.symbol("store").unwrap();
+        let load = map.site_at(load_pc).expect("secret load scores");
+        let store = map.site_at(store_pc).expect("magnitude store scores");
+        assert_eq!(load.mask, u32::MAX, "sign-crossing value: all bits vary");
+        assert!(store.mask <= 0x3F, "refined magnitude: {:#x}", store.mask);
+        assert!(load.score() > store.score());
+    }
+
+    #[test]
+    fn branchless_map_certifies_quiet_control_flow() {
+        // Arithmetic-only sign fold: data leaks (stores), zero control
+        // energy.
+        let (map, _) = map_for(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t2, 0(s0)
+            srai t3, t2, 31
+            xor t2, t2, t3
+            sub t2, t2, t3
+            li t4, 0x2000
+            sw t2, 0(t4)
+            ebreak
+            ",
+            Some(NOISE_BOUND),
+        );
+        assert!(!map.sites.is_empty(), "stores still score");
+        assert_eq!(map.control_flow_energy(), 0.0);
+        assert!(map
+            .sites
+            .iter()
+            .all(|s| s.components.flush == 0.0 && s.components.control == 0.0));
+    }
+
+    #[test]
+    fn json_is_balanced_and_ranked() {
+        let (map, _) = map_for(
+            "
+            li s0, 0xF0000000
+            secret:
+            lw t2, 0(s0)
+            beqz t2, out
+            nop
+            out:
+            ebreak
+            ",
+            Some(NOISE_BOUND),
+        );
+        let json = map.render_json();
+        assert!(json.contains("\"rank\":1"));
+        assert!(json.contains("\"covered_pcs\""));
+        assert!(json.contains("\"control_flow_energy\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

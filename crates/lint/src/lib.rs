@@ -1,26 +1,60 @@
 #![forbid(unsafe_code)]
+#![deny(clippy::pedantic)]
+// A value-set analysis is one big structural case split: the match arms on
+// (lattice element × lattice element) are clearer spelled out than folded,
+// and scores/masks convert between integer widths deliberately.
+#![allow(
+    clippy::match_same_arms,
+    clippy::module_name_repetitions,
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss,
+    clippy::too_many_lines,
+    clippy::missing_panics_doc,
+    clippy::missing_errors_doc,
+    clippy::must_use_candidate,
+    clippy::format_push_string
+)]
 
 //! # reveal-lint
 //!
-//! A static constant-time analyzer for the RV32 sampler kernels: the
-//! "could we have caught Fig. 2 before taping out?" companion to the
+//! A quantitative static leakage certifier for the RV32 sampler kernels:
+//! the "could we have caught Fig. 2 before taping out?" companion to the
 //! dynamic side-channel attack the rest of the workspace mounts.
 //!
-//! The analyzer consumes an assembled [`Program`](reveal_rv32::Program),
-//! reconstructs its control-flow graph ([`reveal_rv32::cfg`]), marks the
-//! declared secret sources (for [`SamplerKernel`](reveal_rv32::SamplerKernel)s,
-//! the noise load from `NOISE_PORT`), and runs a forward taint fixpoint with
-//! a small value lattice for pointer/region reconstruction. Four rules are
-//! checked against the result:
+//! Three layers:
 //!
-//! | rule | severity | fires on |
-//! |------|----------|----------|
-//! | L1   | error    | secret-dependent branch / indirect jump |
-//! | L2   | error    | secret-dependent load/store address |
-//! | L3   | warning  | secret operand to `mul`/`div`-class instructions |
-//! | L4   | info     | secret value stored to memory |
+//! 1. **Value-set analysis** ([`vsa`]) — every register carries a small
+//!    concrete set or a strided signed interval. A worklist fixpoint with
+//!    delayed widening (to program-constant thresholds), branch-edge
+//!    refinement, and a bounded descending/narrowing phase terminates on
+//!    every kernel. Indirect `jalr` targets are resolved from the solved
+//!    value sets and fed back into the CFG, so the shuffled variant's
+//!    dispatch analyzes with **zero** "not analyzed" caveats.
+//! 2. **Bit-level taint** ([`taint`]) — per-bit masks seeded at the
+//!    declared secret loads; the *effective* taint at any site is
+//!    `mask & value.varying_bits()`, so bits the VSA proves constant
+//!    cannot leak. Four verdict rules are checked ([`report`]):
 //!
-//! See `docs/lint.md` for the taint model and worked examples.
+//!    | rule | severity | fires on |
+//!    |------|----------|----------|
+//!    | L1   | error    | secret-dependent branch / indirect jump |
+//!    | L2   | error    | secret-dependent load/store address |
+//!    | L3   | warning  | secret operand to `mul`/`div`-class instructions |
+//!    | L4   | info     | secret value stored to memory |
+//!
+//! 3. **Leakage map** ([`leakage`]) — per-PC upper bounds on
+//!    secret-dependent power variance under the *same* HW/HD model the
+//!    trace renderer uses ([`reveal_rv32::PowerModelConfig`]), ranked into
+//!    a JSON artifact. The crate's integration tests cross-validate the
+//!    ranking against the dynamic CPA/template attack: every PC the
+//!    attack exploits must be covered by the static top sites, and sites
+//!    the certifier calls quiet must stay quiet.
+//!
+//! Reports render as human text, JSON, or SARIF 2.1.0. See `docs/lint.md`
+//! for the abstract domains, the widening rule, and the leakage-map
+//! schema.
 //!
 //! ## Example
 //!
@@ -37,9 +71,13 @@
 //! ```
 
 pub mod analysis;
+pub mod leakage;
 pub mod report;
 pub mod taint;
+pub mod vsa;
 
-pub use analysis::{analyze_kernel, Analyzer};
+pub use analysis::{analyze_kernel, analyzer_for_kernel, Analyzer};
+pub use leakage::{leakage_map_for_kernel, LeakageMap, LeakageSite};
 pub use report::{Finding, Report, Rule, Severity};
-pub use taint::{AbsVal, RegVal, State, Taint};
+pub use taint::{RegVal, State, Taint};
+pub use vsa::Value;

@@ -1,30 +1,55 @@
 #![forbid(unsafe_code)]
+#![deny(clippy::pedantic)]
 
-//! `reveal-lint` — command-line front end for the static constant-time
-//! analyzer.
+//! `reveal-lint` — command-line front end for the static leakage certifier.
 //!
 //! ```text
-//! reveal-lint [--variant vulnerable|branchless|masked] [--n N]
-//!             [--moduli q1,q2,...] [--format human|json]
+//! reveal-lint [--variant vulnerable|branchless|masked|shuffled|ckks]
+//!             [--n N] [--moduli q1,q2,...]
+//!             [--format human|json|sarif]
 //!             [--fail-on error|warning|info|never]
+//!             [--fail-on-caveats]
+//!             [--leakage-map FILE]
+//!             [--max-control-energy X]
 //! ```
 //!
-//! Exit status: 0 when no finding reaches the `--fail-on` threshold
-//! (default `error`), 1 when one does, 2 on usage errors. Designed to gate
-//! CI: `reveal-lint --variant branchless` passes, `--variant vulnerable`
-//! fails.
+//! Exit status: 0 when no gate trips, 1 when one does, 2 on usage errors.
+//! Gates:
+//!
+//! * `--fail-on` — a finding at or above the severity threshold
+//!   (default `error`);
+//! * `--fail-on-caveats` — any analysis caveat, i.e. an indirect jump the
+//!   value-set analysis could not resolve (the certifier refuses to certify
+//!   code it has not fully explored);
+//! * `--max-control-energy` — the summed flush + control components of the
+//!   leakage map exceed the threshold (a branchless kernel must score 0.0).
+//!
+//! `--leakage-map FILE` writes the ranked per-PC leakage map as JSON
+//! regardless of the verdict, so CI can archive it. With `-` the map owns
+//! stdout (pipe it straight into a JSON consumer) and the report moves to
+//! stderr.
 
 use std::process::ExitCode;
 
-use reveal_lint::{analyze_kernel, Severity};
-use reveal_rv32::{KernelVariant, SamplerKernel};
+use reveal_lint::{analyze_kernel, leakage_map_for_kernel, Severity};
+use reveal_rv32::{KernelVariant, PowerModelConfig, SamplerKernel};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Options {
     variant: KernelVariant,
     n: usize,
     moduli: Vec<u64>,
-    json: bool,
+    format: Format,
     fail_on: Option<Severity>,
+    fail_on_caveats: bool,
+    leakage_map: Option<String>,
+    max_control_energy: Option<f64>,
 }
 
 impl Default for Options {
@@ -34,16 +59,20 @@ impl Default for Options {
             n: 8,
             // SEAL's 27-bit NTT prime used throughout the workspace.
             moduli: vec![132_120_577],
-            json: false,
+            format: Format::Human,
             fail_on: Some(Severity::Error),
+            fail_on_caveats: false,
+            leakage_map: None,
+            max_control_energy: None,
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage: reveal-lint [--variant vulnerable|branchless|masked] [--n N]\n\
-     \x20                  [--moduli q1,q2,...] [--format human|json]\n\
-     \x20                  [--fail-on error|warning|info|never]"
+    "usage: reveal-lint [--variant vulnerable|branchless|masked|shuffled|ckks]\n\
+     \x20                  [--n N] [--moduli q1,q2,...] [--format human|json|sarif]\n\
+     \x20                  [--fail-on error|warning|info|never] [--fail-on-caveats]\n\
+     \x20                  [--leakage-map FILE] [--max-control-energy X]"
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -57,6 +86,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     "vulnerable" => KernelVariant::Vulnerable,
                     "branchless" => KernelVariant::Branchless,
                     "masked" | "masked-ladder" => KernelVariant::MaskedLadder,
+                    "shuffled" => KernelVariant::Shuffled,
+                    "ckks" => KernelVariant::Ckks,
                     other => return Err(format!("unknown variant '{other}'")),
                 };
             }
@@ -70,9 +101,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--format" => {
-                opts.json = match value("--format")?.as_str() {
-                    "json" => true,
-                    "human" => false,
+                opts.format = match value("--format")?.as_str() {
+                    "json" => Format::Json,
+                    "human" => Format::Human,
+                    "sarif" => Format::Sarif,
                     other => return Err(format!("unknown format '{other}'")),
                 };
             }
@@ -84,6 +116,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     "never" => None,
                     other => return Err(format!("unknown threshold '{other}'")),
                 };
+            }
+            "--fail-on-caveats" => opts.fail_on_caveats = true,
+            "--leakage-map" => opts.leakage_map = Some(value("--leakage-map")?),
+            "--max-control-energy" => {
+                opts.max_control_energy = Some(
+                    value("--max-control-energy")?
+                        .parse()
+                        .map_err(|e| format!("--max-control-energy: {e}"))?,
+                );
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
@@ -113,19 +154,67 @@ fn main() -> ExitCode {
     };
 
     let report = analyze_kernel(&kernel);
-    if opts.json {
-        println!("{}", report.render_json());
+    // `--leakage-map -` gives the map sole ownership of stdout (so it can be
+    // piped into a JSON consumer); the report moves to stderr.
+    let map_owns_stdout = opts.leakage_map.as_deref() == Some("-");
+    let rendered = match opts.format {
+        Format::Json => format!("{}\n", report.render_json()),
+        Format::Sarif => format!("{}\n", report.render_sarif()),
+        Format::Human => report.render_human(),
+    };
+    if map_owns_stdout {
+        eprint!("{rendered}");
     } else {
-        print!("{}", report.render_human());
+        print!("{rendered}");
     }
 
-    let fail = match opts.fail_on {
-        Some(threshold) => report.has_findings_at_least(threshold),
-        None => false,
-    };
-    if fail {
-        ExitCode::FAILURE
+    // The leakage map is computed lazily: only when a consumer (file or
+    // control-energy gate) asks for it.
+    let map = if opts.leakage_map.is_some() || opts.max_control_energy.is_some() {
+        Some(leakage_map_for_kernel(
+            &kernel,
+            &PowerModelConfig::default(),
+        ))
     } else {
+        None
+    };
+    if let (Some(path), Some(map)) = (&opts.leakage_map, &map) {
+        let json = map.render_json();
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("reveal-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut failures = Vec::new();
+    if let Some(threshold) = opts.fail_on {
+        if report.has_findings_at_least(threshold) {
+            failures.push("findings at or above the --fail-on threshold".to_string());
+        }
+    }
+    if opts.fail_on_caveats && !report.caveats.is_empty() {
+        failures.push(format!(
+            "{} unresolved-analysis caveat(s)",
+            report.caveats.len()
+        ));
+    }
+    if let (Some(limit), Some(map)) = (opts.max_control_energy, &map) {
+        let energy = map.control_flow_energy();
+        if energy > limit {
+            failures.push(format!(
+                "control-flow leakage energy {energy:.3} exceeds --max-control-energy {limit}"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
         ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("reveal-lint: FAIL: {failure}");
+        }
+        ExitCode::FAILURE
     }
 }

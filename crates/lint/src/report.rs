@@ -144,6 +144,18 @@ impl Report {
         !self.has_findings_at_least(Severity::Error) && self.caveats.is_empty()
     }
 
+    /// Canonicalizes the report: findings sorted by `(pc, rule)` and
+    /// deduplicated per `(pc, rule)` (keeping the lowest-origin
+    /// representative, so loop bodies report each violation once with an
+    /// iteration-independent anchor), caveats sorted and deduplicated.
+    pub fn normalize(&mut self) {
+        self.findings.sort_by_key(|a| (a.pc, a.rule, a.origin));
+        self.findings
+            .dedup_by(|b, a| a.pc == b.pc && a.rule == b.rule);
+        self.caveats.sort();
+        self.caveats.dedup();
+    }
+
     /// Renders the report for terminals, `rustc`-diagnostic style.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
@@ -222,6 +234,81 @@ impl Report {
     }
 }
 
+impl Report {
+    /// Renders the report as a SARIF 2.1.0 log (one run, one result per
+    /// finding, caveats as tool-execution notifications) so CI can annotate
+    /// findings in line. Hand-rolled like [`Report::render_json`]; the
+    /// schema smoke test in the CLI crate keeps it honest.
+    pub fn render_sarif(&self) -> String {
+        let level = |s: Severity| match s {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "note",
+        };
+        let mut out = String::from(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+             \"name\":\"reveal-lint\",\"rules\":[",
+        );
+        let rules = [
+            Rule::L1SecretBranch,
+            Rule::L2SecretAddress,
+            Rule::L3VariableLatency,
+            Rule::L4SecretStore,
+        ];
+        for (i, rule) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+                 \"defaultConfiguration\":{{\"level\":{}}}}}",
+                json_str(rule.id()),
+                json_str(rule.description()),
+                json_str(level(rule.severity())),
+            ));
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+                 \"locations\":[{{\"physicalLocation\":{{\
+                 \"artifactLocation\":{{\"uri\":{}}},\
+                 \"region\":{{\"startLine\":{}}}}},\
+                 \"logicalLocations\":[{{\"name\":{}}}]}}],\
+                 \"properties\":{{\"pc\":{},\"origin\":{},\"instruction\":{}}}}}",
+                json_str(f.rule.id()),
+                json_str(level(f.rule.severity())),
+                json_str(&f.message),
+                json_str(&self.target),
+                f.pc / 4 + 1,
+                json_str(&f.location()),
+                f.pc,
+                f.origin,
+                json_str(&f.instruction),
+            ));
+        }
+        out.push_str(
+            "],\"invocations\":[{\"executionSuccessful\":true,\
+                      \"toolExecutionNotifications\":[",
+        );
+        for (i, c) in self.caveats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"level\":\"warning\",\"message\":{{\"text\":{}}}}}",
+                json_str(c)
+            ));
+        }
+        out.push_str("]}]}]}");
+        out
+    }
+}
+
 /// Looks up the nearest-preceding-label anchor for a PC.
 pub(crate) fn anchor_for(program: &Program, base: u32, pc: u32) -> Option<(String, u32)> {
     program
@@ -229,7 +316,7 @@ pub(crate) fn anchor_for(program: &Program, base: u32, pc: u32) -> Option<(Strin
         .map(|(name, delta)| (name.to_string(), delta))
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -311,5 +398,36 @@ mod tests {
     #[test]
     fn json_escapes_specials() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn normalize_dedupes_per_pc_and_rule_and_sorts_caveats() {
+        let mut r = sample_report();
+        let mut dup = r.findings[0].clone();
+        dup.origin = 0x50; // later origin loses
+        dup.message = "duplicate from a later iteration".into();
+        r.findings.push(dup);
+        let mut other = r.findings[0].clone();
+        other.rule = Rule::L4SecretStore; // distinct rule survives
+        r.findings.push(other);
+        r.caveats = vec!["b".into(), "a".into(), "a".into()];
+        r.normalize();
+        assert_eq!(r.findings.len(), 2);
+        assert_eq!(r.findings[0].origin, 0x38, "lowest origin kept");
+        assert_eq!(r.caveats, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let mut r = sample_report();
+        r.caveats.push("unresolved something".into());
+        let sarif = r.render_sarif();
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("sarif-2.1.0.json"));
+        assert!(sarif.contains("\"ruleId\":\"L1\""));
+        assert!(sarif.contains("\"level\":\"error\""));
+        assert!(sarif.contains("toolExecutionNotifications"));
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+        assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
     }
 }

@@ -1,0 +1,56 @@
+//! Golden-report snapshots: the exact human-format certifier output for
+//! every kernel variant at the reference geometry (`n = 8`, one modulus).
+//! Any drift in findings, ordering, anchors, or wording shows up as a
+//! diff against `tests/golden/<variant>.txt`.
+//!
+//! To regenerate after an intentional change:
+//! `cargo run -p reveal-lint -- --variant <v> --fail-on never > crates/lint/tests/golden/<v>.txt`
+
+use reveal_lint::analyze_kernel;
+use reveal_rv32::{KernelVariant, SamplerKernel};
+
+const Q: u64 = 132_120_577;
+
+fn check(variant: KernelVariant, golden: &str) {
+    let kernel = SamplerKernel::with_variant(8, &[Q], variant).unwrap();
+    let report = analyze_kernel(&kernel);
+    let rendered = report.render_human();
+    assert_eq!(
+        rendered, golden,
+        "golden snapshot drift for {variant:?}; regenerate if intentional"
+    );
+}
+
+#[test]
+fn vulnerable_report_matches_golden() {
+    check(
+        KernelVariant::Vulnerable,
+        include_str!("golden/vulnerable.txt"),
+    );
+}
+
+#[test]
+fn branchless_report_matches_golden() {
+    check(
+        KernelVariant::Branchless,
+        include_str!("golden/branchless.txt"),
+    );
+}
+
+#[test]
+fn masked_ladder_report_matches_golden() {
+    check(
+        KernelVariant::MaskedLadder,
+        include_str!("golden/masked.txt"),
+    );
+}
+
+#[test]
+fn shuffled_report_matches_golden() {
+    check(KernelVariant::Shuffled, include_str!("golden/shuffled.txt"));
+}
+
+#[test]
+fn ckks_report_matches_golden() {
+    check(KernelVariant::Ckks, include_str!("golden/ckks.txt"));
+}

@@ -121,6 +121,29 @@ impl Cfg {
     /// Fails when reachable control flow leaves the image or lands on an
     /// undecodable word. Unreachable data words are fine.
     pub fn from_program(program: &Program, base: u32) -> Result<Self, CfgError> {
+        Self::from_program_with_targets(program, base, &BTreeMap::new())
+    }
+
+    /// Builds the CFG with externally resolved indirect-jump target sets —
+    /// typically produced by a value-set analysis over a previous build of
+    /// the same graph, then fed back here until no unresolved sites remain.
+    ///
+    /// `resolved` maps the PC of a `jalr` to its concrete target set. A
+    /// resolved `jalr` contributes exactly those edges (and, when it links
+    /// `ra`, its return point joins the `ret` approximation). A `jalr` with
+    /// no entry — or an empty target set — falls back to the built-in
+    /// handling: the `ret` idiom gets the global return-site approximation,
+    /// anything else lands in [`Cfg::unresolved_indirect`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cfg::from_program`]; resolved targets are validated like
+    /// every other edge.
+    pub fn from_program_with_targets(
+        program: &Program,
+        base: u32,
+        resolved: &BTreeMap<u32, Vec<u32>>,
+    ) -> Result<Self, CfgError> {
         let n = program.words.len();
         let instrs: Vec<Option<Instruction>> = program
             .words
@@ -128,13 +151,21 @@ impl Cfg {
             .map(|&w| Instruction::decode(w).ok())
             .collect();
 
-        // Return-site approximation for `ret`: the PC after every `jal ra`.
+        // Return-site approximation for `ret`: the PC after every `jal ra`
+        // call site — plus every *resolved* indirect call that links `ra`.
         let mut return_sites = Vec::new();
         for (i, instr) in instrs.iter().enumerate() {
-            if let Some(Instruction::Jal { rd, .. }) = instr {
-                if *rd == Reg(1) {
-                    return_sites.push(base + 4 * i as u32 + 4);
+            let pc = base + 4 * i as u32;
+            match instr {
+                Some(Instruction::Jal { rd, .. }) if *rd == Reg(1) => {
+                    return_sites.push(pc + 4);
                 }
+                Some(Instruction::Jalr { rd, .. })
+                    if *rd == Reg(1) && resolved.get(&pc).is_some_and(|t| !t.is_empty()) =>
+                {
+                    return_sites.push(pc + 4);
+                }
+                _ => {}
             }
         }
 
@@ -151,7 +182,9 @@ impl Cfg {
                     fallthrough: pc + 4,
                 },
                 Instruction::Jalr { rd, rs1, offset } => {
-                    if rd == Reg::ZERO && rs1 == Reg(1) && offset == 0 {
+                    if let Some(targets) = resolved.get(&pc).filter(|t| !t.is_empty()) {
+                        Successors::Indirect(targets.clone())
+                    } else if rd == Reg::ZERO && rs1 == Reg(1) && offset == 0 {
                         // `ret`: conservatively, any call site may have
                         // linked here.
                         Successors::Indirect(return_sites.clone())
@@ -374,6 +407,43 @@ mod tests {
         let cfg = cfg_of("jr t0\nebreak");
         assert_eq!(cfg.unresolved_indirect, vec![0]);
         assert_eq!(cfg.successors_of(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn resolved_targets_feed_back_into_the_graph() {
+        let p = assemble(
+            "
+            la   t0, helper
+            jalr ra, t0, 0
+            ebreak
+            helper:
+            addi t1, t1, 1
+            ret
+            ",
+            0,
+        )
+        .unwrap();
+        // `la` expands to two words: jalr at 8, ebreak at 12, helper at 16.
+        let naive = Cfg::from_program(&p, 0).unwrap();
+        assert_eq!(naive.unresolved_indirect, vec![8]);
+        assert!(!naive.is_reachable(16));
+        let mut resolved = BTreeMap::new();
+        resolved.insert(8u32, vec![16u32]);
+        let cfg = Cfg::from_program_with_targets(&p, 0, &resolved).unwrap();
+        assert!(cfg.unresolved_indirect.is_empty());
+        assert_eq!(cfg.successors_of(8), &[16]);
+        // The resolved call's return point joins the `ret` approximation.
+        assert_eq!(cfg.successors_of(20), &[12]);
+        assert!(cfg.is_reachable(12), "ebreak reached through the return");
+    }
+
+    #[test]
+    fn empty_resolved_set_still_counts_as_unresolved() {
+        let p = assemble("jr t0\nebreak", 0).unwrap();
+        let mut resolved = BTreeMap::new();
+        resolved.insert(0u32, Vec::new());
+        let cfg = Cfg::from_program_with_targets(&p, 0, &resolved).unwrap();
+        assert_eq!(cfg.unresolved_indirect, vec![0]);
     }
 
     #[test]

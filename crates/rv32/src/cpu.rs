@@ -216,7 +216,7 @@ impl fmt::Display for Halt {
 /// regular ALU ops take a handful of cycles, memory ops a little more, and
 /// multiplications dominate — which is what makes the distribution call
 /// visible as a peak in the power trace.
-fn cycle_cost(instr: &Instruction, branch_taken: bool) -> u32 {
+pub fn cycle_cost(instr: &Instruction, branch_taken: bool) -> u32 {
     match instr {
         Instruction::Lui { .. } | Instruction::Auipc { .. } => 3,
         Instruction::AluImm { .. } => 3,

@@ -46,6 +46,15 @@ pub const Q_TABLE_BASE: u32 = 0x1000;
 pub const POLY_BASE: u32 = 0x2000;
 /// Base address of the second share buffer (masked variant only).
 pub const SHARE1_BASE: u32 = 0x0010_0000;
+/// Base address of the coefficient-permutation table (shuffled variant only).
+pub const PERM_BASE: u32 = 0x0008_0000;
+/// Base address of the per-coefficient noise-variance scratch (CKKS variant
+/// only) — models the encoder's noise-budget bookkeeping.
+pub const VAR_BASE: u32 = 0x0004_0000;
+/// Magnitude bound on the sampled noise: `ClippedNormalDistribution` clips at
+/// `±6.6σ` with `σ = 3.19` (§II-A), so every coefficient lies in
+/// `[-NOISE_BOUND, NOISE_BOUND]`.
+pub const NOISE_BOUND: i64 = 21;
 
 /// An instruction that introduces secret data into the kernel's data flow.
 ///
@@ -63,6 +72,27 @@ pub struct SecretSource {
     pub description: &'static str,
 }
 
+/// A value range the harness guarantees for loads from one address region.
+///
+/// These are the kernel's *public-input preconditions* — facts about MMIO
+/// ports and harness-initialized tables that hold on every run (the
+/// assume/guarantee contract constant-time verifiers attach to public
+/// inputs). Static analyses consume them via [`SamplerKernel::load_bounds`]
+/// to bound loaded values instead of widening them to ⊤.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadBound {
+    /// First byte address of the region.
+    pub base: u32,
+    /// Region length in bytes.
+    pub len: u32,
+    /// Least value a load can observe (loaded word, sign-extended).
+    pub lo: i64,
+    /// Greatest value a load can observe (inclusive).
+    pub hi: i64,
+    /// What the region holds.
+    pub description: &'static str,
+}
+
 /// Which noise-writer implementation the kernel models (§V-A variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelVariant {
@@ -76,6 +106,16 @@ pub enum KernelVariant {
     /// First-order arithmetic masking of the *stored value only*, keeping
     /// the sign ladder — the half-measure the paper warns about.
     MaskedLadder,
+    /// Coefficient shuffling (§V-A's randomization countermeasure): the sign
+    /// ladder is kept verbatim but the output index is drawn from a fresh
+    /// random permutation, and the store runs through a helper reached by an
+    /// *indirect* call — the shape a compiler gives a function pointer.
+    Shuffled,
+    /// The CKKS encoder's noise path: branchless sign fold plus the
+    /// noise-variance bookkeeping (`noise²`) the encoder keeps per
+    /// coefficient — constant control flow, but the squaring multiplier and
+    /// variance store still touch secret data.
+    Ckks,
 }
 
 /// Errors from building or running the kernel.
@@ -130,6 +170,9 @@ pub struct KernelRun {
     pub poly: Vec<u32>,
     /// The two share polynomials (masked variant only).
     pub shares: Option<(Vec<u32>, Vec<u32>)>,
+    /// The output-index permutation used (shuffled variant only); `poly` is
+    /// already un-permuted back to the `i + j·n` layout.
+    pub permutation: Option<Vec<usize>>,
     /// Ground truth: per-coefficient sample windows `[start, end)` — used by
     /// the *profiling* stage (the attacker controls the device then) and by
     /// tests; the attack stage re-derives windows from the trace itself.
@@ -291,6 +334,84 @@ const MASKED_LADDER: &str = "
                 ret
 ";
 
+/// Shuffling countermeasure: ladder kept, output index permuted, store via
+/// an indirect call (the codegen shape of a writer function pointer).
+const SHUFFLED_LADDER: &str = "
+                # ---- shuffled writer: ladder kept, output index permuted ----
+                li   a1, {perm_base}
+                slli a5, a0, 2
+                add  a1, a1, a5
+                lw   a1, 0(a1)           # i' = perm[i] (public permutation)
+                la   t6, s_store         # writer helper, reached indirectly
+                blez t2, s_not_pos
+                li   t3, 0
+            s_pos_loop:
+                mv   a2, t2              # residue = noise
+                jalr ra, t6, 0
+                addi t3, t3, 1
+                blt  t3, s2, s_pos_loop
+                j    coeff_done
+            s_not_pos:
+                bgez t2, s_zero
+                sub  t2, zero, t2        # negation still executes
+                li   t3, 0
+            s_neg_loop:
+                slli a3, t3, 2
+                add  a3, a3, s3
+                lw   a3, 0(a3)           # q_j
+                sub  a2, a3, t2          # residue = q_j - noise
+                jalr ra, t6, 0
+                addi t3, t3, 1
+                blt  t3, s2, s_neg_loop
+                j    coeff_done
+            s_zero:
+                li   t3, 0
+            s_zero_loop:
+                li   a2, 0
+                jalr ra, t6, 0
+                addi t3, t3, 1
+                blt  t3, s2, s_zero_loop
+                j    coeff_done
+            s_store:                     # a2 = residue, t3 = j, a1 = perm[i]
+                slli t4, t3, {log_n}
+                add  t4, t4, a1          # perm[i] + j*n
+                slli t4, t4, 2
+                add  t4, t4, s4
+                sw   a2, 0(t4)           # poly[perm[i] + j*n] = residue
+                ret
+";
+
+/// CKKS encoder noise path: branchless fold plus per-coefficient variance
+/// bookkeeping.
+const CKKS_LADDER: &str = "
+                # ---- CKKS noise path: branchless fold + variance scratch ----
+                mul  a5, t2, t2          # noise^2 for the budget estimate
+                li   a6, {var_base}
+                slli a7, a0, 2
+                add  a6, a6, a7
+                sw   a5, 0(a6)           # variance[i] = noise^2
+                srai t3, t2, 31          # mask = noise < 0 ? -1 : 0
+                xor  t5, t2, t3
+                sub  t5, t5, t3          # |noise|
+                li   t6, 0               # j = 0
+            ck_loop:
+                slli a2, t6, 2
+                add  a2, a2, s3
+                lw   a2, 0(a2)           # q_j
+                sub  a2, a2, t5          # q_j - |noise|
+                and  a2, a2, t3          # selected when negative
+                xori a3, t3, -1
+                and  a3, t5, a3          # |noise| when non-negative
+                or   a2, a2, a3          # residue
+                slli a4, t6, {log_n}
+                add  a4, a4, a0
+                slli a4, a4, 2
+                add  a4, a4, s4
+                sw   a2, 0(a4)           # poly[i + j*n] = residue
+                addi t6, t6, 1
+                blt  t6, s2, ck_loop
+";
+
 impl SamplerKernel {
     /// Generates and assembles the kernel program.
     ///
@@ -325,6 +446,8 @@ impl SamplerKernel {
             KernelVariant::Vulnerable => VULNERABLE_LADDER,
             KernelVariant::Branchless => BRANCHLESS_LADDER,
             KernelVariant::MaskedLadder => MASKED_LADDER,
+            KernelVariant::Shuffled => SHUFFLED_LADDER,
+            KernelVariant::Ckks => CKKS_LADDER,
         };
         let body = format!(
             "
@@ -369,7 +492,9 @@ impl SamplerKernel {
         let source = body
             .replace("@LADDER@", ladder)
             .replace("{log_n}", &log_n.to_string())
-            .replace("{share1_base}", &SHARE1_BASE.to_string());
+            .replace("{share1_base}", &SHARE1_BASE.to_string())
+            .replace("{perm_base}", &PERM_BASE.to_string())
+            .replace("{var_base}", &VAR_BASE.to_string());
         let program = assemble(&source, 0)?;
         let outer_pc = program.symbol("outer").expect("outer label");
         let dist_done_pc = program.symbol("dist_done").expect("dist_done label");
@@ -426,6 +551,56 @@ impl SamplerKernel {
         }]
     }
 
+    /// The public-input value ranges the run harness guarantees, per address
+    /// region ([`LoadBound`]): the clipped noise magnitude, the
+    /// iteration-count port, the q-table contents, and (per variant) the
+    /// masking randomness and the output-index permutation.
+    pub fn load_bounds(&self) -> Vec<LoadBound> {
+        let min_q = self.moduli.iter().copied().min().unwrap_or(0);
+        let max_q = self.moduli.iter().copied().max().unwrap_or(0);
+        let mut bounds = vec![
+            LoadBound {
+                base: NOISE_PORT,
+                len: 4,
+                lo: -NOISE_BOUND,
+                hi: NOISE_BOUND,
+                description: "sampled noise coefficient (clipped normal)",
+            },
+            LoadBound {
+                base: ITER_PORT,
+                len: 4,
+                lo: 0,
+                hi: 255,
+                description: "distribution-call iteration count",
+            },
+            LoadBound {
+                base: Q_TABLE_BASE,
+                len: 4 * self.moduli.len() as u32,
+                lo: i64::from(min_q),
+                hi: i64::from(max_q),
+                description: "coefficient-modulus table",
+            },
+        ];
+        match self.variant {
+            KernelVariant::MaskedLadder => bounds.push(LoadBound {
+                base: RAND_PORT,
+                len: 4,
+                lo: 0,
+                hi: i64::from(max_q).saturating_sub(1),
+                description: "uniform masking randomness",
+            }),
+            KernelVariant::Shuffled => bounds.push(LoadBound {
+                base: PERM_BASE,
+                len: 4 * self.n as u32,
+                lo: 0,
+                hi: self.n as i64 - 1,
+                description: "output-index permutation",
+            }),
+            _ => {}
+        }
+        bounds
+    }
+
     /// Executes the kernel over `noise_values`, with `dist_iterations[i]`
     /// burst iterations before coefficient `i`, rendering power with
     /// `config`.
@@ -448,11 +623,12 @@ impl SamplerKernel {
 
         let capture = render_power(&records, config, rng);
         let windows = self.ground_truth_windows(&records, &capture);
-        let (poly, shares) = self.read_outputs(&mut cpu);
+        let (poly, shares, permutation) = self.read_outputs(&mut cpu);
         Ok(KernelRun {
             capture,
             poly,
             shares,
+            permutation,
             coefficient_windows: windows,
             instruction_count: records.len(),
         })
@@ -483,11 +659,12 @@ impl SamplerKernel {
 
         let capture = render_power_reference(&records, config, rng);
         let windows = self.ground_truth_windows(&records, &capture);
-        let (poly, shares) = self.read_outputs(&mut cpu);
+        let (poly, shares, permutation) = self.read_outputs(&mut cpu);
         Ok(KernelRun {
             capture,
             poly,
             shares,
+            permutation,
             coefficient_windows: windows,
             instruction_count: records.len(),
         })
@@ -616,11 +793,12 @@ impl SamplerKernel {
 
         let capture = scratch.buffer.to_capture();
         let windows = self.windows_from_starts(window_starts, capture.samples.len());
-        let (poly, shares) = self.read_outputs(&mut cpu);
+        let (poly, shares, permutation) = self.read_outputs(&mut cpu);
         Ok(KernelRun {
             capture,
             poly,
             shares,
+            permutation,
             coefficient_windows: windows,
             instruction_count: record_index,
         })
@@ -699,12 +877,25 @@ impl SamplerKernel {
             KernelVariant::MaskedLadder => {
                 (SHARE1_BASE as usize + 4 * self.n * k + 4096).next_power_of_two()
             }
+            KernelVariant::Shuffled => (PERM_BASE as usize + 4 * self.n + 4096).next_power_of_two(),
+            KernelVariant::Ckks => (VAR_BASE as usize + 4 * self.n + 4096).next_power_of_two(),
             _ => (POLY_BASE as usize + 4 * self.n * k + 4096).next_power_of_two(),
         };
         let mut bus = Bus::new(ram_bytes, mmio);
         bus.load_words(0, &self.program.words);
         for (j, &q) in self.moduli.iter().enumerate() {
             bus.write_u32(Q_TABLE_BASE + 4 * j as u32, q);
+        }
+        if self.variant == KernelVariant::Shuffled {
+            // Fresh Fisher-Yates permutation of the output indices.
+            let mut perm: Vec<u32> = (0..self.n as u32).collect();
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                perm.swap(i, j);
+            }
+            for (i, &p) in perm.iter().enumerate() {
+                bus.write_u32(PERM_BASE + 4 * i as u32, p);
+            }
         }
         Ok(Cpu::new(bus))
     }
@@ -714,12 +905,15 @@ impl SamplerKernel {
         64 * self.n * (self.moduli.len() + 8) + 1024
     }
 
-    /// Reads the polynomial (and shares, for the masked variant) back out of
-    /// the halted CPU's memory.
-    fn read_outputs(&self, cpu: &mut Cpu<QueueMmio>) -> (Vec<u32>, ShareBuffers) {
+    /// Reads the polynomial (and shares / permutation, per variant) back out
+    /// of the halted CPU's memory. The shuffled variant's polynomial is
+    /// un-permuted into SEAL's `poly[i + j·n]` layout so all variants share
+    /// reference semantics; the raw permutation is returned alongside.
+    fn read_outputs(&self, cpu: &mut Cpu<QueueMmio>) -> (Vec<u32>, ShareBuffers, Permutation) {
         let k = self.moduli.len();
         let mut poly = Vec::with_capacity(self.n * k);
         let mut shares = None;
+        let mut permutation = None;
         match self.variant {
             KernelVariant::MaskedLadder => {
                 let mut share0 = Vec::with_capacity(self.n * k);
@@ -734,13 +928,24 @@ impl SamplerKernel {
                 }
                 shares = Some((share0, share1));
             }
+            KernelVariant::Shuffled => {
+                let perm: Vec<usize> = (0..self.n)
+                    .map(|i| cpu.bus.read_u32(PERM_BASE + 4 * i as u32) as usize)
+                    .collect();
+                for idx in 0..self.n * k {
+                    let (j, i) = (idx / self.n, idx % self.n);
+                    let slot = (perm[i] + j * self.n) as u32;
+                    poly.push(cpu.bus.read_u32(POLY_BASE + 4 * slot));
+                }
+                permutation = Some(perm);
+            }
             _ => {
                 for idx in 0..self.n * k {
                     poly.push(cpu.bus.read_u32(POLY_BASE + 4 * idx as u32));
                 }
             }
         }
-        (poly, shares)
+        (poly, shares, permutation)
     }
 
     /// Fingerprint keying the sub-trace memo: kernel program, geometry, and
@@ -810,6 +1015,9 @@ impl SamplerKernel {
 
 /// The two share polynomials of a masked run, when present.
 type ShareBuffers = Option<(Vec<u32>, Vec<u32>)>;
+
+/// The output-index permutation of a shuffled run, when present.
+type Permutation = Option<Vec<usize>>;
 
 /// One memoized distribution burst: the noiseless samples and bookkeeping
 /// of every record from the `li t1` after the iteration-count load through
@@ -1102,6 +1310,95 @@ mod tests {
         assert_eq!(run.poly[4], (q2 as i64 - 3) as u32);
         assert_eq!(run.poly[1], 2);
         assert_eq!(run.poly[5], 2);
+    }
+
+    #[test]
+    fn shuffled_variant_unpermutes_to_reference_output() {
+        let values = [3i64, -2, 0, 1, -1, 41, -41, 14];
+        let kernel = SamplerKernel::with_variant(8, &[Q], KernelVariant::Shuffled).unwrap();
+        let mut rng = StdRng::seed_from_u64(15);
+        let run = kernel
+            .run(&values, &[4; 8], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(
+                run.poly[i],
+                v.rem_euclid(Q as i64) as u32,
+                "coefficient {i}"
+            );
+        }
+        let perm = run.permutation.clone().unwrap();
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "must be a permutation");
+        // Fresh permutations per run; the un-permuted output is unchanged.
+        let run2 = kernel
+            .run(&values, &[4; 8], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        assert_eq!(run2.poly, run.poly);
+    }
+
+    #[test]
+    fn shuffled_variant_multi_modulus() {
+        let q2 = 12289u64;
+        let kernel = SamplerKernel::with_variant(4, &[Q, q2], KernelVariant::Shuffled).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let run = kernel
+            .run(
+                &[-3, 2, 0, -1],
+                &[4; 4],
+                &PowerModelConfig::noiseless(),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(run.poly[0], (Q as i64 - 3) as u32);
+        assert_eq!(run.poly[4], (q2 as i64 - 3) as u32);
+        assert_eq!(run.poly[1], 2);
+        assert_eq!(run.poly[5], 2);
+    }
+
+    #[test]
+    fn ckks_variant_is_branchless_and_correct() {
+        let values = [5i64, -5, 0, 3, -3, 0, 7, -7];
+        let kernel = SamplerKernel::with_variant(8, &[Q], KernelVariant::Ckks).unwrap();
+        let mut rng = StdRng::seed_from_u64(16);
+        let run = kernel
+            .run(&values, &[6; 8], &PowerModelConfig::noiseless(), &mut rng)
+            .unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(
+                run.poly[i],
+                v.rem_euclid(Q as i64) as u32,
+                "coefficient {i}"
+            );
+        }
+        // Constant control flow: equal dist iterations, equal window lengths.
+        let lengths: Vec<usize> = run
+            .coefficient_windows
+            .iter()
+            .map(|&(s, e)| e - s)
+            .collect();
+        assert!(
+            lengths.windows(2).all(|w| w[0] == w[1]),
+            "CKKS windows must have sign-independent length: {lengths:?}"
+        );
+    }
+
+    #[test]
+    fn load_bounds_cover_variant_inputs() {
+        let base = SamplerKernel::new(8, &[Q]).unwrap();
+        let bounds = base.load_bounds();
+        assert!(bounds.iter().any(|b| b.base == NOISE_PORT && b.lo < 0));
+        assert!(bounds.iter().all(|b| b.lo <= b.hi));
+        let shuffled = SamplerKernel::with_variant(8, &[Q], KernelVariant::Shuffled).unwrap();
+        let perm = shuffled
+            .load_bounds()
+            .into_iter()
+            .find(|b| b.base == PERM_BASE)
+            .expect("shuffled kernel bounds its permutation table");
+        assert_eq!((perm.lo, perm.hi), (0, 7));
+        let masked = SamplerKernel::with_variant(8, &[Q], KernelVariant::MaskedLadder).unwrap();
+        assert!(masked.load_bounds().iter().any(|b| b.base == RAND_PORT));
     }
 
     fn assert_runs_equal(fast: &KernelRun, baseline: &KernelRun, context: &str) {

@@ -55,5 +55,5 @@ pub use cfg::{BasicBlock, Cfg, CfgError, Successors};
 pub use cpu::{Bus, Cpu, ExecRecord, Halt, Mmio, QueueMmio};
 pub use disasm::{disassemble, format_instruction, listing};
 pub use isa::{AluOp, BranchCond, Instruction, MemWidth, MulOp, Reg, Uses};
-pub use kernel::{KernelError, KernelRun, KernelVariant, SamplerKernel, SecretSource};
-pub use power::{render_power, PowerCapture, PowerModelConfig, SampleSpan};
+pub use kernel::{KernelError, KernelRun, KernelVariant, LoadBound, SamplerKernel, SecretSource};
+pub use power::{render_power, PowerCapture, PowerModelConfig, PowerRenderer, SampleSpan};

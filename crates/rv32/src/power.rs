@@ -101,7 +101,10 @@ impl PowerModelConfig {
 }
 
 /// Base power level of an instruction class, in arbitrary units.
-fn base_level(instr: &Instruction) -> f64 {
+///
+/// Public so static analyses (`reveal-lint`'s leakage scoring) can weight
+/// instructions exactly as the renderer does.
+pub fn base_level(instr: &Instruction) -> f64 {
     match instr {
         Instruction::MulDiv { .. } => 3.0,
         Instruction::Load { .. } => 2.0,
@@ -300,6 +303,13 @@ impl PowerRenderer {
     /// The configuration this renderer was built from.
     pub fn config(&self) -> &PowerModelConfig {
         &self.config
+    }
+
+    /// The precomputed per-bit weight table (bit 0 first) — the same weights
+    /// [`PowerRenderer::leakage`] sums, exposed so static analyses can bound
+    /// data-dependent power without re-deriving the device profile.
+    pub fn bit_weights(&self) -> &[f64; 32] {
+        &self.bit_weights
     }
 
     /// Table-driven [`weighted_bit_leakage`]: bit-identical, no `sin` calls.

@@ -4,7 +4,7 @@
 //! memoization, chunked profiling collection) is a pure performance layer:
 //! every output it produces must be bit-identical to the materializing
 //! baseline for the same inputs and RNG seed. These tests pin that contract
-//! at the kernel level (all three sampler variants, deterministic cases and
+//! at the kernel level (all five sampler variants, deterministic cases and
 //! a proptest over random coefficient sequences) and at the pipeline level
 //! (profiling collection and the trained attack built from it).
 
@@ -20,10 +20,12 @@ use reveal_rv32::power::PowerModelConfig;
 const Q: u64 = 132_120_577;
 const Q2: u64 = 12_289;
 
-const VARIANTS: [KernelVariant; 3] = [
+const VARIANTS: [KernelVariant; 5] = [
     KernelVariant::Vulnerable,
     KernelVariant::Branchless,
     KernelVariant::MaskedLadder,
+    KernelVariant::Shuffled,
+    KernelVariant::Ckks,
 ];
 
 /// Runs one input set through both paths and asserts every output matches.
@@ -86,7 +88,7 @@ proptest! {
     fn kernel_fast_path_is_bit_identical_on_random_sequences(
         values in proptest::collection::vec(-41i64..=41, 8),
         iterations in proptest::collection::vec(4u32..=20, 8),
-        variant_idx in 0usize..3,
+        variant_idx in 0usize..5,
         noisy in 0u8..2,
         seed in any::<u64>(),
     ) {
