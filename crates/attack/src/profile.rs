@@ -231,12 +231,23 @@ pub struct ProfilingData {
     pub neg_set: TraceSet,
     /// Total windows that survived segmentation.
     pub total_windows: usize,
+    /// Burst-memo lookups served warm across all worker scratches
+    /// (diagnostics: partition-dependent, value-neutral — see
+    /// [`reveal_rv32::kernel::SamplerScratch::memo_hits`]).
+    pub scratch_hits: u64,
+    /// Burst-memo lookups rendered cold across all worker scratches.
+    pub scratch_misses: u64,
 }
 
-/// Runs per worker chunk in [`collect_profiling`]: enough for the sub-trace
-/// memo to pay off within a chunk while still exposing parallelism at the
-/// standard scales (60-215 runs).
-const PROFILE_CHUNK: usize = 8;
+/// Cost model for one profiling capture (capture + segmentation, ~ms each):
+/// items are expensive, so claims are near-singular and the worker count
+/// saturates quickly.
+static PROFILE_RUN_COST: reveal_par::CostModel =
+    reveal_par::CostModel::new("attack.profile.run", 4_000_000.0);
+
+/// Cost model for classifying one ladder window (units: window samples).
+static ATTACK_WINDOW_COST: reveal_par::CostModel =
+    reveal_par::CostModel::new("attack.window.classify", 100.0);
 
 /// What one profiling run yields: its chosen values and ladder windows,
 /// `None` when segmentation found the wrong window count (re-capture).
@@ -287,6 +298,8 @@ fn accumulate_runs(
         pos_set: TraceSet::new(),
         neg_set: TraceSet::new(),
         total_windows: 0,
+        scratch_hits: 0,
+        scratch_misses: 0,
     };
     for run_yield in collected {
         let Some((values, windows)) = run_yield? else {
@@ -313,12 +326,15 @@ fn accumulate_runs(
 /// thread count, and a run's data no longer depends on how much randomness
 /// earlier runs happened to consume.
 ///
-/// Runs go through the rv32 streaming fast path in chunks of
-/// [`PROFILE_CHUNK`]: each chunk owns one
-/// [`reveal_rv32::kernel::SamplerScratch`], so its runs share a trace buffer
-/// and a warm sub-trace memo. Chunking changes scheduling only — each run's
-/// values depend on nothing but its own derived seed, so the collected sets
-/// are bit-identical to [`collect_profiling_baseline`].
+/// Runs go through the rv32 streaming fast path with **worker-pinned
+/// scratch**: every worker owns one long-lived
+/// [`reveal_rv32::kernel::SamplerScratch`] for its entire share of the
+/// collection (serial: one scratch for all runs), so the trace buffer is
+/// allocated once and the sub-trace memo stays warm across every run a
+/// worker touches — no per-chunk cold starts. The partition is scheduling
+/// only: each run's values depend on nothing but its own derived seed, so
+/// the collected sets are bit-identical to [`collect_profiling_baseline`]
+/// for any thread count or chunk plan.
 ///
 /// # Errors
 ///
@@ -332,25 +348,19 @@ pub fn collect_profiling(
     master_seed: u64,
 ) -> Result<ProfilingData, AttackError> {
     let labels = config.value_labels();
-    let chunk_count = runs.div_ceil(PROFILE_CHUNK);
-    let collected: Vec<Vec<RunYield>> = reveal_par::par_map_index(chunk_count, |chunk| {
-        let mut scratch = reveal_rv32::kernel::SamplerScratch::new();
-        let first = chunk * PROFILE_CHUNK;
-        let last = (first + PROFILE_CHUNK).min(runs);
-        (first..last)
-            .map(|run| {
-                profiling_run(
-                    device,
-                    config,
-                    &labels,
-                    master_seed,
-                    run,
-                    Some(&mut scratch),
-                )
-            })
-            .collect()
-    });
-    accumulate_runs(collected.into_iter().flatten())
+    let (collected, scratches) = reveal_par::par_map_index_with_scratch(
+        runs,
+        &PROFILE_RUN_COST,
+        1,
+        reveal_rv32::kernel::SamplerScratch::new,
+        |scratch, run| profiling_run(device, config, &labels, master_seed, run, Some(scratch)),
+    );
+    let mut data = accumulate_runs(collected)?;
+    for scratch in &scratches {
+        data.scratch_hits += scratch.memo_hits();
+        data.scratch_misses += scratch.memo_misses();
+    }
+    Ok(data)
 }
 
 /// The pre-fast-path reference implementation of [`collect_profiling`]: one
@@ -523,12 +533,18 @@ impl TrainedAttack {
         let windows = extract_ladder_windows(samples, &self.config)?;
         // Each window's classification is independent; fan out across
         // threads and keep trace order. The first failing window (in trace
-        // order) determines the error, matching the serial loop. A minimum
-        // of 16 windows per worker keeps short traces serial — a single
-        // classification is far cheaper than a thread handoff.
-        let coefficients = reveal_par::par_map_min(&windows, 16, |w| self.attack_window(w))
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()?;
+        // order) determines the error, matching the serial loop. The cost
+        // model keeps short traces serial — a single classification is far
+        // cheaper than a thread handoff — and sizes claims from measured
+        // per-window cost on longer ones.
+        let coefficients = reveal_par::par_map_modeled(
+            &windows,
+            &ATTACK_WINDOW_COST,
+            windows.first().map_or(1, |w| w.len() as u64),
+            |w| self.attack_window(w),
+        )
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok(SingleTraceAttack { coefficients })
     }
 

@@ -3,9 +3,12 @@
 //! count, plus a bit-identity check between the two runs (the determinism
 //! contract of `docs/performance.md`).
 //!
-//! Emits `BENCH_pipeline.json` under `target/reveal/` with per-stage
-//! timings, speedups, the thread counts compared, and the workload scale.
-//! A committed copy lives in `docs/results/`.
+//! Emits `BENCH_pipeline.json` (schema v3) under `target/reveal/` with
+//! per-stage timings, speedups, the thread counts compared, the workload
+//! scale, honest machine topology (`available_parallelism`, measured spawn
+//! cost), worker-scratch memo hit rates, and a snapshot of every cost model
+//! the run exercised (chosen worker counts and claim chunks). A committed
+//! copy lives in `docs/results/`.
 //!
 //! Run with `cargo run --release -p reveal-bench --bin bench_pipeline`
 //! (honours `REVEAL_QUICK` / `REVEAL_FULL` and `REVEAL_THREADS`).
@@ -240,6 +243,53 @@ fn main() {
     println!("  throughput: {serial_tps:.2} traces/s serial, {parallel_tps:.2} traces/s parallel");
     println!("  deterministic: {deterministic} (recovered coefficients and bikz bit-identical)");
 
+    // Worker-scratch burst-memo hit rates: diagnostics, not a contract —
+    // totals depend on how runs were partitioned across workers, values
+    // never do.
+    let hit_rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    };
+    let serial_hit_rate = hit_rate(
+        serial.profiling.scratch_hits,
+        serial.profiling.scratch_misses,
+    );
+    let parallel_hit_rate = hit_rate(
+        parallel.profiling.scratch_hits,
+        parallel.profiling.scratch_misses,
+    );
+    println!(
+        "  worker scratch: serial memo hit rate {:.3} ({}/{}), parallel {:.3} ({}/{})",
+        serial_hit_rate,
+        serial.profiling.scratch_hits,
+        serial.profiling.scratch_hits + serial.profiling.scratch_misses,
+        parallel_hit_rate,
+        parallel.profiling.scratch_hits,
+        parallel.profiling.scratch_hits + parallel.profiling.scratch_misses,
+    );
+
+    let spawn_cost_ns = reveal_par::spawn_cost_ns();
+    let cost_model_json: Vec<String> = reveal_par::cost_snapshots()
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"name\": \"{}\", \"prior_ns_per_unit\": {:.3}, \"measured_ns_per_unit\": {}, \"last_workers\": {}, \"last_claim_chunk\": {}, \"last_count\": {}, \"calls\": {}}}",
+                m.name,
+                m.prior_ns_per_unit,
+                m.measured_ns_per_unit
+                    .map_or_else(|| "null".to_string(), |v| format!("{v:.3}")),
+                m.last_workers,
+                m.last_claim_chunk,
+                m.last_count,
+                m.calls
+            )
+        })
+        .collect();
+
     let stage_json: Vec<String> = stages
         .iter()
         .map(|s| {
@@ -250,13 +300,14 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"reveal-bench-pipeline/v2\",\n  \"scale\": \"{}\",\n  \"ring_degree\": {},\n  \"profile_runs\": {},\n  \"attack_runs\": {},\n  \"serial_threads\": 1,\n  \"parallel_threads\": {},\n  \"available_parallelism\": {},\n  \"deterministic\": {},\n  \"baseline_bikz\": {:.2},\n  \"with_hints_bikz\": {:.2},\n  \"fast_path\": {{\"profile_collect_baseline_ms\": {:.3}, \"profile_collect_fast_ms\": {:.3}, \"speedup\": {:.3}, \"bit_identical\": {}}},\n  \"throughput\": {{\"profile_traces_per_sec_serial\": {:.3}, \"profile_traces_per_sec_parallel\": {:.3}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n}}\n",
+        "{{\n  \"schema\": \"reveal-bench-pipeline/v3\",\n  \"scale\": \"{}\",\n  \"ring_degree\": {},\n  \"profile_runs\": {},\n  \"attack_runs\": {},\n  \"serial_threads\": 1,\n  \"parallel_threads\": {},\n  \"machine\": {{\"available_parallelism\": {}, \"spawn_cost_ns\": {:.1}}},\n  \"deterministic\": {},\n  \"baseline_bikz\": {:.2},\n  \"with_hints_bikz\": {:.2},\n  \"fast_path\": {{\"profile_collect_baseline_ms\": {:.3}, \"profile_collect_fast_ms\": {:.3}, \"speedup\": {:.3}, \"bit_identical\": {}}},\n  \"throughput\": {{\"profile_traces_per_sec_serial\": {:.3}, \"profile_traces_per_sec_parallel\": {:.3}}},\n  \"worker_scratch\": {{\"serial_hits\": {}, \"serial_misses\": {}, \"serial_hit_rate\": {:.4}, \"parallel_hits\": {}, \"parallel_misses\": {}, \"parallel_hit_rate\": {:.4}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"cost_models\": [\n{}\n  ]\n}}\n",
         scale_name(scale),
         degree,
         profile_runs,
         attack_runs,
         parallel_threads,
         std::thread::available_parallelism().map_or(1, |p| p.get()),
+        spawn_cost_ns,
         deterministic,
         serial.baseline_bikz,
         serial.hinted_bikz,
@@ -266,10 +317,17 @@ fn main() {
         fast_path_identical,
         serial_tps,
         parallel_tps,
+        serial.profiling.scratch_hits,
+        serial.profiling.scratch_misses,
+        serial_hit_rate,
+        parallel.profiling.scratch_hits,
+        parallel.profiling.scratch_misses,
+        parallel_hit_rate,
         stage_json.join(",\n"),
         total.serial_ms,
         total.parallel_ms,
-        total.speedup()
+        total.speedup(),
+        cost_model_json.join(",\n")
     );
     write_artifact("BENCH_pipeline.json", &json);
 

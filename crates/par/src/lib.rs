@@ -1,8 +1,22 @@
 #![forbid(unsafe_code)]
+#![deny(clippy::pedantic)]
+// The runtime is all index arithmetic over f64 payloads: precision-lossy
+// casts between counts and cost estimates are deliberate, and the scalar
+// SIMD references are *defined* as indexed loops.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::needless_range_loop,
+    clippy::must_use_candidate,
+    clippy::missing_panics_doc,
+    clippy::module_name_repetitions,
+    clippy::inline_always
+)]
 
 //! # reveal-par
 //!
-//! A zero-dependency, **deterministic** data-parallel runtime for the RevEAL
+//! A zero-dependency, **deterministic** data-parallel runtime for the `RevEAL`
 //! pipeline, built on [`std::thread::scope`]. The workspace has no crates.io
 //! access, so `rayon` is unavailable; the hot paths of a template attack are
 //! embarrassingly parallel per trace / per window, and this crate provides
@@ -22,6 +36,18 @@
 //!   minimum-work-per-worker heuristic drops tiny batches to the calling
 //!   thread (no spawn) — the worker count depends only on the batch size and
 //!   the configured thread count, so determinism is preserved.
+//! - [`par_map_modeled`] / [`par_map_index_modeled`] /
+//!   [`par_map_index_with_scratch`]: identical output, but the worker count
+//!   and the claim granularity come from a measured [`cost::CostModel`]
+//!   instead of a hard-coded minimum. The plan varies with the machine and
+//!   with past observations — scheduling only; results are still placed by
+//!   index.
+//! - [`par_map_index_with_scratch`] additionally gives each worker one
+//!   long-lived scratch value for its entire share of the work (a warm
+//!   memo cache, a reusable buffer). The caller promises the scratch is
+//!   **value-transparent** — it may change how fast a task runs, never what
+//!   the task returns — which keeps the output independent of how indices
+//!   happen to be partitioned across workers.
 //! - [`par_map_chunks`]: chunk boundaries are `chunk_size`-aligned and
 //!   independent of the thread count.
 //! - [`par_reduce`]: each chunk is folded left-to-right and chunk results are
@@ -45,6 +71,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+pub mod cost;
+pub mod simd;
+
+pub use cost::{snapshots as cost_snapshots, spawn_cost_ns, CostModel, CostSnapshot, Plan};
 
 /// Process-wide thread-count override (0 = unset). Written only under
 /// [`OVERRIDE_LOCK`] by [`with_threads`].
@@ -69,9 +101,7 @@ pub fn max_threads() -> usize {
     {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Runs `body` with the thread count pinned to `threads`, restoring the
@@ -80,7 +110,9 @@ pub fn max_threads() -> usize {
 /// setting into each other. Results are unchanged by construction — this
 /// only controls how much hardware the work is spread over.
 pub fn with_threads<R>(threads: usize, body: impl FnOnce() -> R) -> R {
-    let guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let guard = OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let previous = THREAD_OVERRIDE.swap(threads.max(1), Ordering::Relaxed);
     let result = body();
     THREAD_OVERRIDE.store(previous, Ordering::Relaxed);
@@ -89,7 +121,7 @@ pub fn with_threads<R>(threads: usize, body: impl FnOnce() -> R) -> R {
 }
 
 /// Derives an independent 64-bit seed from a master seed and a task index
-/// (SplitMix64 finalizer over the golden-ratio sequence). Used to give every
+/// (`SplitMix64` finalizer over the golden-ratio sequence). Used to give every
 /// parallel task its own RNG stream: task `i`'s randomness depends only on
 /// `(master, i)`, never on how much randomness other tasks consumed — the
 /// root fix for order-dependent collection.
@@ -103,32 +135,50 @@ pub fn derive_seed(master: u64, index: u64) -> u64 {
 }
 
 /// Core executor: evaluates `task(0..count)` on up to `threads` scoped
-/// workers and returns the results in index order. Work is claimed
-/// dynamically (an atomic cursor), but since every task is a pure function
-/// of its index and results are placed by index, scheduling cannot affect
-/// the output.
-fn run_indexed_capped<R: Send>(
+/// workers and returns the results in index order, along with the final
+/// scratch value each worker carried.
+///
+/// Work is claimed dynamically — an atomic cursor advanced `claim_chunk`
+/// indices at a time — but since every task must be a pure function of its
+/// index (the scratch is value-transparent by the caller's contract) and
+/// results are placed by index, neither scheduling nor the claim granularity
+/// can affect the output.
+///
+/// Each worker builds its scratch with `init` exactly once and keeps it for
+/// every index it claims; the serial path (`threads <= 1`) likewise uses one
+/// scratch for the whole loop, so "one worker" and "the calling thread"
+/// behave identically.
+fn run_indexed_stateful<St: Send, R: Send>(
     count: usize,
     threads: usize,
-    task: &(impl Fn(usize) -> R + Sync),
-) -> Vec<R> {
-    if threads <= 1 {
-        return (0..count).map(task).collect();
+    claim_chunk: usize,
+    init: &(impl Fn() -> St + Sync),
+    task: &(impl Fn(&mut St, usize) -> R + Sync),
+) -> (Vec<R>, Vec<St>) {
+    let claim_chunk = claim_chunk.max(1);
+    if threads <= 1 || count <= 1 {
+        let mut scratch = init();
+        let results = (0..count).map(|i| task(&mut scratch, i)).collect();
+        return (results, vec![scratch]);
     }
     let cursor = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let worker_outputs: Vec<(Vec<(usize, R)>, St)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut scratch = init();
                     let mut produced = Vec::new();
                     loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        if index >= count {
+                        let start = cursor.fetch_add(claim_chunk, Ordering::Relaxed);
+                        if start >= count {
                             break;
                         }
-                        produced.push((index, task(index)));
+                        let end = start.saturating_add(claim_chunk).min(count);
+                        for index in start..end {
+                            produced.push((index, task(&mut scratch, index)));
+                        }
                     }
-                    produced
+                    (produced, scratch)
                 })
             })
             .collect();
@@ -141,15 +191,28 @@ fn run_indexed_capped<R: Send>(
             .collect()
     });
     let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
-    for bucket in buckets {
+    let mut scratches = Vec::with_capacity(worker_outputs.len());
+    for (bucket, scratch) in worker_outputs {
         for (index, value) in bucket {
             slots[index] = Some(value);
         }
+        scratches.push(scratch);
     }
-    slots
+    let results = slots
         .into_iter()
         .map(|slot| slot.expect("every index is claimed exactly once"))
-        .collect()
+        .collect();
+    (results, scratches)
+}
+
+/// Stateless single-claim executor (the pre-cost-model shape), kept as the
+/// engine behind the plain and `_min` primitives.
+fn run_indexed_capped<R: Send>(
+    count: usize,
+    threads: usize,
+    task: &(impl Fn(usize) -> R + Sync),
+) -> Vec<R> {
+    run_indexed_stateful(count, threads, 1, &|| (), &|(): &mut (), i| task(i)).0
 }
 
 fn run_indexed<R: Send>(count: usize, task: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
@@ -209,6 +272,66 @@ pub fn par_map_index_min<R: Send>(
 ) -> Vec<R> {
     let workers = capped_workers(count, min_items_per_worker);
     run_indexed_capped(count, workers, &f)
+}
+
+/// [`par_map_index`] scheduled by a measured [`CostModel`]: the model sizes
+/// the worker count and the claim chunk from `count`, `units_per_item`
+/// (the caller's relative work estimate per item — e.g. `dim²` for a matrix
+/// row) and its observed nanoseconds-per-unit; the call's own wall time is
+/// fed back afterwards. Output is bit-identical to [`par_map_index`] for any
+/// thread count, plan, or timing noise.
+pub fn par_map_index_modeled<R: Send>(
+    count: usize,
+    model: &'static CostModel,
+    units_per_item: u64,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let plan = model.plan(count, units_per_item);
+    let start = Instant::now();
+    let results =
+        run_indexed_stateful(count, plan.workers, plan.claim_chunk, &|| (), &|(), i| f(i)).0;
+    model.record(count, units_per_item, start.elapsed());
+    results
+}
+
+/// [`par_map`] scheduled by a measured [`CostModel`] (see
+/// [`par_map_index_modeled`]).
+pub fn par_map_modeled<T: Sync, R: Send>(
+    items: &[T],
+    model: &'static CostModel,
+    units_per_item: u64,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    par_map_index_modeled(items.len(), model, units_per_item, |i| f(&items[i]))
+}
+
+/// [`par_map_index_modeled`] where every worker owns one long-lived scratch
+/// value for its entire share of the work, built by `init` exactly once per
+/// worker. Returns the results in index order plus each worker's final
+/// scratch (in worker order) for observability — cache hit counters, buffer
+/// high-water marks.
+///
+/// ## Caller contract: the scratch must be value-transparent
+///
+/// `task(&mut scratch, i)` must return the same value whatever state the
+/// scratch is in — the scratch may only make a task *faster* (memoized
+/// noiseless templates, a pre-grown buffer), never change its result. Under
+/// that contract the output is bit-identical for any thread count and any
+/// partition of indices across workers, preserving the crate's determinism
+/// guarantee. The scratch contents themselves are partition-dependent and
+/// must only feed diagnostics.
+pub fn par_map_index_with_scratch<St: Send, R: Send>(
+    count: usize,
+    model: &'static CostModel,
+    units_per_item: u64,
+    init: impl Fn() -> St + Sync,
+    task: impl Fn(&mut St, usize) -> R + Sync,
+) -> (Vec<R>, Vec<St>) {
+    let plan = model.plan(count, units_per_item);
+    let start = Instant::now();
+    let out = run_indexed_stateful(count, plan.workers, plan.claim_chunk, &init, &task);
+    model.record(count, units_per_item, start.elapsed());
+    out
 }
 
 /// Splits `items` into `chunk_size`-aligned chunks (the last may be short),
@@ -280,7 +403,7 @@ mod tests {
 
     #[test]
     fn chunk_boundaries_are_thread_independent() {
-        let items: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let items: Vec<f64> = (0..10_000).map(|i| f64::from(i).sin()).collect();
         let reference = with_threads(1, || {
             par_reduce(&items, 512, 0.0f64, |a, &x| a + x, |a, b| a + b)
         });
@@ -334,6 +457,78 @@ mod tests {
         assert_eq!(with_threads(4, || capped_workers(8, 0)), 4);
         // Empty batches stay serial.
         assert_eq!(with_threads(8, || capped_workers(0, 16)), 1);
+    }
+
+    #[test]
+    fn modeled_maps_match_serial() {
+        static MODEL: CostModel = CostModel::new("par.test.modeled", 50.0);
+        let items: Vec<u64> = (0..777).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 13 + 5).collect();
+        for threads in [1, 2, 4, 8] {
+            // Repeat so the EWMA warms up and plans change between calls —
+            // the output must not.
+            for _ in 0..3 {
+                let out = with_threads(threads, || {
+                    par_map_modeled(&items, &MODEL, 1, |&x| x * 13 + 5)
+                });
+                assert_eq!(out, expected, "threads {threads}");
+                let idx =
+                    with_threads(threads, || par_map_index_modeled(258, &MODEL, 1, |i| i * i));
+                assert_eq!(idx, (0..258).map(|i| i * i).collect::<Vec<_>>());
+            }
+        }
+        let snap = MODEL.snapshot();
+        assert!(snap.calls > 0);
+        assert!(snap.measured_ns_per_unit.is_some());
+    }
+
+    #[test]
+    fn scratch_workers_initialize_once_and_results_stay_ordered() {
+        static MODEL: CostModel = CostModel::new("par.test.scratch", 10_000.0);
+        for threads in [1, 2, 4] {
+            let (results, scratches) = with_threads(threads, || {
+                par_map_index_with_scratch(
+                    100,
+                    &MODEL,
+                    1,
+                    || 0u64, // per-worker counter: how many tasks it ran
+                    |seen, i| {
+                        *seen += 1;
+                        i * 2
+                    },
+                )
+            });
+            assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+            // Every index ran on exactly one worker's scratch.
+            assert_eq!(scratches.iter().sum::<u64>(), 100, "threads {threads}");
+            assert!(!scratches.is_empty() && scratches.len() <= threads.max(1));
+            if threads == 1 {
+                // Serial path: one scratch for the full collection.
+                assert_eq!(scratches, vec![100]);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_path_is_value_transparent_across_thread_counts() {
+        static MODEL: CostModel = CostModel::new("par.test.transparent", 20_000.0);
+        // A memo-like scratch: caches f(i) but never changes the result.
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                par_map_index_with_scratch(
+                    64,
+                    &MODEL,
+                    1,
+                    std::collections::HashMap::<usize, u64>::new,
+                    |memo, i| *memo.entry(i % 7).or_insert_with(|| (i % 7) as u64 * 3),
+                )
+                .0
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads {threads}");
+        }
     }
 
     #[test]
@@ -391,7 +586,7 @@ mod tests {
                     chunk,
                     0i64,
                     |a, &x| a.wrapping_add(x),
-                    |a, b| a.wrapping_add(b),
+                    i64::wrapping_add,
                 )
             });
             prop_assert_eq!(parallel, serial);

@@ -1,0 +1,301 @@
+//! SIMD-shaped `f64` kernels with scalar-identical references.
+//!
+//! The workspace forbids `unsafe` and builds on stable Rust, so there are no
+//! intrinsics and no `std::simd` here. Instead each kernel is written in the
+//! *chunked-lanes* shape LLVM's autovectorizer reliably turns into packed
+//! `f64x4` arithmetic: a fixed-size `[f64; LANES]` accumulator updated from
+//! `chunks_exact(LANES)` windows, with no cross-lane dependence inside the
+//! loop.
+//!
+//! ## The bit-identity contract
+//!
+//! Floating-point addition is not associative, so "vectorize the sum" is a
+//! semantic change unless the lane structure is part of the kernel's
+//! definition. It is, here: every reducing kernel is **defined** by the
+//! recurrence its `_scalar` reference spells out with plain indexed loops —
+//! lane `j` accumulates the elements at `i ≡ j (mod LANES)` over the chunked
+//! prefix, lanes combine pairwise as `(l0+l1) + (l2+l3)`, and the remainder
+//! folds element-by-element onto that total. The vectorized form performs
+//! the exact same operations in the exact same order per lane, so the two
+//! are bit-identical for *every* input and length — including lengths that
+//! leave a 1–3 element remainder — which the proptests below pin down.
+//!
+//! Callers that adopt these kernels therefore change their results relative
+//! to a plain sequential sum (reassociation), but stay deterministic: the
+//! same input gives the same bits on every run, thread count, and machine.
+//! Element-wise kernels ([`axpy`]) involve no reduction and are bit-identical
+//! to any evaluation order by construction.
+
+/// Lanes per accumulator: matches one AVX2 / NEON-pair `f64x4` register.
+pub const LANES: usize = 4;
+
+/// Pairwise combine of one lane accumulator: `(l0 + l1) + (l2 + l3)`.
+#[inline]
+fn combine(acc: [f64; LANES]) -> f64 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Four-lane dot product `Σ a[i]·b[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot operands must match in length");
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f64; LANES];
+    for (ca, cb) in a[..split]
+        .chunks_exact(LANES)
+        .zip(b[..split].chunks_exact(LANES))
+    {
+        for j in 0..LANES {
+            acc[j] += ca[j] * cb[j];
+        }
+    }
+    let mut total = combine(acc);
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        total += x * y;
+    }
+    total
+}
+
+/// The defining recurrence of [`dot`], spelled out scalar-by-scalar.
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot operands must match in length");
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f64; LANES];
+    let mut i = 0;
+    while i < split {
+        acc[i % LANES] += a[i] * b[i];
+        i += 1;
+    }
+    let mut total = combine(acc);
+    while i < a.len() {
+        total += a[i] * b[i];
+        i += 1;
+    }
+    total
+}
+
+/// Four-lane sum `Σ a[i]`.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f64; LANES];
+    for chunk in a[..split].chunks_exact(LANES) {
+        for j in 0..LANES {
+            acc[j] += chunk[j];
+        }
+    }
+    let mut total = combine(acc);
+    for x in &a[split..] {
+        total += x;
+    }
+    total
+}
+
+/// The defining recurrence of [`sum`].
+pub fn sum_scalar(a: &[f64]) -> f64 {
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f64; LANES];
+    let mut i = 0;
+    while i < split {
+        acc[i % LANES] += a[i];
+        i += 1;
+    }
+    let mut total = combine(acc);
+    while i < a.len() {
+        total += a[i];
+        i += 1;
+    }
+    total
+}
+
+/// Four-lane centered dot product `Σ (a[i] − ma)·(b[i] − mb)` — the
+/// covariance kernel of CPA correlation (means precomputed by the caller).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn centered_dot(a: &[f64], ma: f64, b: &[f64], mb: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "centered_dot operands must match");
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f64; LANES];
+    for (ca, cb) in a[..split]
+        .chunks_exact(LANES)
+        .zip(b[..split].chunks_exact(LANES))
+    {
+        for j in 0..LANES {
+            acc[j] += (ca[j] - ma) * (cb[j] - mb);
+        }
+    }
+    let mut total = combine(acc);
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        total += (x - ma) * (y - mb);
+    }
+    total
+}
+
+/// The defining recurrence of [`centered_dot`].
+pub fn centered_dot_scalar(a: &[f64], ma: f64, b: &[f64], mb: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "centered_dot operands must match");
+    let split = a.len() - a.len() % LANES;
+    let mut acc = [0.0f64; LANES];
+    let mut i = 0;
+    while i < split {
+        acc[i % LANES] += (a[i] - ma) * (b[i] - mb);
+        i += 1;
+    }
+    let mut total = combine(acc);
+    while i < a.len() {
+        total += (a[i] - ma) * (b[i] - mb);
+        i += 1;
+    }
+    total
+}
+
+/// Element-wise `y[i] += alpha · x[i]` — the matmul row-update kernel. No
+/// reduction is involved, so this is bit-identical to the plain loop under
+/// any evaluation order; the chunked shape exists to guarantee packed code
+/// without relying on the optimizer seeing through iterator adapters.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy operands must match in length");
+    let split = x.len() - x.len() % LANES;
+    for (cx, cy) in x[..split]
+        .chunks_exact(LANES)
+        .zip(y[..split].chunks_exact_mut(LANES))
+    {
+        for j in 0..LANES {
+            cy[j] += alpha * cx[j];
+        }
+    }
+    for (xv, yv) in x[split..].iter().zip(&mut y[split..]) {
+        *yv += alpha * xv;
+    }
+}
+
+/// The defining loop of [`axpy`].
+pub fn axpy_scalar(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy operands must match in length");
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact comparison is the point of the bit-identity contract.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-1.0e12f64..1.0e12, 0..max_len)
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(centered_dot(&[], 1.0, &[], 2.0), 0.0);
+        // Remainder-only inputs (length < LANES) exercise the tail path.
+        for len in 1..LANES {
+            let a: Vec<f64> = (0..len).map(|i| i as f64 + 0.5).collect();
+            let b: Vec<f64> = (0..len).map(|i| 2.0 - i as f64).collect();
+            assert_eq!(dot(&a, &b).to_bits(), dot_scalar(&a, &b).to_bits());
+            assert_eq!(sum(&a).to_bits(), sum_scalar(&a).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_known_value() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 2.0, 2.0, 2.0, 2.0];
+        assert_eq!(dot(&a, &b), 30.0);
+        assert_eq!(sum(&a), 15.0);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_in_place() {
+        let x: Vec<f64> = (0..37).map(|i| f64::from(i).sin()).collect();
+        let mut y1: Vec<f64> = (0..37).map(|i| f64::from(i).cos()).collect();
+        let mut y2 = y1.clone();
+        axpy(0.37, &x, &mut y1);
+        axpy_scalar(0.37, &x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    proptest! {
+        // The contract of this whole module: vectorized shape ≡ scalar
+        // reference, bit for bit, at every length (remainders included).
+        // Equal-length pairs come from truncating two independent vectors
+        // to their shorter length, which still visits every remainder class.
+        #[test]
+        fn prop_dot_bit_identical(a in finite_vec(130), b in finite_vec(130)) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            prop_assert_eq!(dot(a, b).to_bits(), dot_scalar(a, b).to_bits());
+        }
+
+        #[test]
+        fn prop_sum_bit_identical(a in finite_vec(130)) {
+            prop_assert_eq!(sum(&a).to_bits(), sum_scalar(&a).to_bits());
+        }
+
+        #[test]
+        fn prop_centered_dot_bit_identical(
+            a in finite_vec(130),
+            b in finite_vec(130),
+            ma in -1.0e6f64..1.0e6,
+            mb in -1.0e6f64..1.0e6,
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            prop_assert_eq!(
+                centered_dot(a, ma, b, mb).to_bits(),
+                centered_dot_scalar(a, ma, b, mb).to_bits()
+            );
+        }
+
+        #[test]
+        fn prop_axpy_bit_identical(
+            x in finite_vec(130),
+            y in finite_vec(130),
+            alpha in -1.0e6f64..1.0e6,
+        ) {
+            let n = x.len().min(y.len());
+            let x = &x[..n];
+            let mut fast = y[..n].to_vec();
+            let mut reference = fast.clone();
+            axpy(alpha, x, &mut fast);
+            axpy_scalar(alpha, x, &mut reference);
+            for (a, b) in fast.iter().zip(&reference) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Sanity: the lane-structured sum is a *correct* sum (close to the
+        // sequential one), not just self-consistent.
+        #[test]
+        fn prop_dot_close_to_sequential(
+            a in proptest::collection::vec(-1.0e3f64..1.0e3, 0..64usize),
+            b in proptest::collection::vec(-1.0e3f64..1.0e3, 0..64usize),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let sequential: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let magnitude: f64 = a.iter().zip(b).map(|(x, y)| (x * y).abs()).sum();
+            prop_assert!((dot(a, b) - sequential).abs() <= 1e-12 * (1.0 + magnitude));
+        }
+    }
+}

@@ -721,6 +721,7 @@ impl SamplerKernel {
                 record_index += 1;
                 let key = (m, cpu.reg(T1));
                 if let Some(template) = scratch.memo.get(&key) {
+                    scratch.memo_hits += 1;
                     let mut offset = 0usize;
                     for (i, (&pc, &count)) in template.pcs.iter().zip(&template.counts).enumerate()
                     {
@@ -740,6 +741,7 @@ impl SamplerKernel {
                     cpu.set_pc(self.dist_done_pc);
                     cpu.add_cycles(template.cycles);
                 } else {
+                    scratch.memo_misses += 1;
                     let mut template = BurstTemplate::default();
                     let cycles_before = cpu.cycle();
                     let mut aborted = None;
@@ -1049,6 +1051,8 @@ pub struct SamplerScratch {
     buffer: TraceBuffer,
     memo: HashMap<(u32, u32), BurstTemplate>,
     fingerprint: Option<u64>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl Default for SamplerScratch {
@@ -1064,12 +1068,28 @@ impl SamplerScratch {
             buffer: TraceBuffer::new(),
             memo: HashMap::new(),
             fingerprint: None,
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
     /// Number of memoized burst templates (observability for tests/benches).
     pub fn memo_len(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Burst lookups served from the memo over this scratch's lifetime.
+    ///
+    /// Diagnostics only: the totals depend on how runs were partitioned
+    /// across workers (a warm worker-pinned scratch hits more often than a
+    /// per-chunk one), while the rendered values never do.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Burst lookups that had to render the template cold.
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
     }
 
     /// Clears the buffer; clears the memo too if the fingerprint changed.

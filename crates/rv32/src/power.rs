@@ -175,6 +175,22 @@ pub trait PowerSink {
     fn begin_record(&mut self, record_index: usize, pc: u32);
     /// One power sample.
     fn push_sample(&mut self, sample: f64);
+    /// A block of consecutive samples. Equivalent to pushing each sample in
+    /// order; buffer-backed sinks override this with a bulk copy so the
+    /// noiseless replay path is a `memcpy` instead of a per-sample loop.
+    fn push_samples(&mut self, samples: &[f64]) {
+        for &s in samples {
+            self.push_sample(s);
+        }
+    }
+    /// `count` copies of `value`. Equivalent to pushing `value` repeatedly;
+    /// buffer-backed sinks override this with a vectorizable fill, which is
+    /// the shape of every noiseless record body (constant base level).
+    fn push_fill(&mut self, value: f64, count: usize) {
+        for _ in 0..count {
+            self.push_sample(value);
+        }
+    }
     /// Called after the samples of the current record are pushed.
     fn end_record(&mut self);
 }
@@ -259,6 +275,14 @@ impl PowerSink for TraceBuffer {
 
     fn push_sample(&mut self, sample: f64) {
         self.samples.push(sample);
+    }
+
+    fn push_samples(&mut self, samples: &[f64]) {
+        self.samples.extend_from_slice(samples);
+    }
+
+    fn push_fill(&mut self, value: f64, count: usize) {
+        self.samples.resize(self.samples.len() + count, value);
     }
 
     fn end_record(&mut self) {
@@ -362,16 +386,23 @@ impl PowerRenderer {
         let base = base_level(&record.instruction);
         let total = record.cycles as usize * config.samples_per_cycle;
         let data_term = self.data_term(record);
+        // The per-sample branch `k + samples_per_cycle >= total` splits the
+        // record into a constant body (`base`) and a final-cycle tail
+        // (`base + data_term`); emitting the two blocks directly is
+        // bit-identical and — noiselessly — a pure fill.
+        let body = total.saturating_sub(config.samples_per_cycle);
+        let tail_level = base + data_term;
         sink.begin_record(record_index, record.pc);
-        for k in 0..total {
-            let mut p = base;
-            if k + config.samples_per_cycle >= total {
-                p += data_term;
+        if config.noise_sigma > 0.0 {
+            for _ in 0..body {
+                sink.push_sample(base + config.noise_sigma * sample_standard_normal(rng));
             }
-            if config.noise_sigma > 0.0 {
-                p += config.noise_sigma * sample_standard_normal(rng);
+            for _ in body..total {
+                sink.push_sample(tail_level + config.noise_sigma * sample_standard_normal(rng));
             }
-            sink.push_sample(p);
+        } else {
+            sink.push_fill(base, body);
+            sink.push_fill(tail_level, total - body);
         }
         sink.end_record();
     }
@@ -386,13 +417,12 @@ impl PowerRenderer {
         let base = base_level(&record.instruction);
         let total = record.cycles as usize * config.samples_per_cycle;
         let data_term = self.data_term(record);
-        for k in 0..total {
-            let mut p = base;
-            if k + config.samples_per_cycle >= total {
-                p += data_term;
-            }
-            out.push(p);
-        }
+        // Two fills, not a per-sample loop: the body is constant `base`, the
+        // final cycle is constant `base + data_term` (see `render_record`).
+        let body = total.saturating_sub(config.samples_per_cycle);
+        out.reserve(total);
+        out.resize(out.len() + body, base);
+        out.resize(out.len() + (total - body), base + data_term);
     }
 
     /// Overlays fresh noise on precomputed noiseless samples of one record.
@@ -411,9 +441,7 @@ impl PowerRenderer {
                 sink.push_sample(p + sigma * sample_standard_normal(rng));
             }
         } else {
-            for &p in noiseless {
-                sink.push_sample(p);
-            }
+            sink.push_samples(noiseless);
         }
         sink.end_record();
     }
@@ -728,5 +756,41 @@ mod tests {
         assert_eq!(start, 6);
         assert_eq!(end, 6 + 38);
         assert!(c.span_of_pc_range(100, 200).is_none());
+    }
+
+    proptest::proptest! {
+        // The blocked fill/copy emission of `render_record` must reproduce
+        // the per-sample reference loop bit for bit at every noise level,
+        // sample rate, and seed — including both the constant body and the
+        // data-term tail of every record.
+        #[test]
+        fn prop_blocked_emission_matches_reference(
+            seed in 0u64..1_000,
+            sigma in 0.0f64..0.2,
+            samples_per_cycle in 1usize..4,
+        ) {
+            let program = assemble(
+                "li t0, 0x1234\nmul t1, t0, t0\nsw t1, 0(zero)\nbnez t0, done\nnop\ndone: ebreak",
+                0,
+            )
+            .unwrap();
+            let mut bus = Bus::new(64 * 1024, QueueMmio::new());
+            bus.load_words(0, &program.words);
+            let mut cpu = Cpu::new(bus);
+            let (records, _) = cpu.run(100_000);
+            let mut config = PowerModelConfig::default().with_noise_sigma(sigma);
+            config.samples_per_cycle = samples_per_cycle;
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let blocked = render_power(&records, &config, &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let reference = render_power_reference(&records, &config, &mut rng);
+
+            proptest::prop_assert_eq!(blocked.spans, reference.spans);
+            proptest::prop_assert_eq!(blocked.samples.len(), reference.samples.len());
+            for (a, b) in blocked.samples.iter().zip(&reference.samples) {
+                proptest::prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@
 use crate::matrix::{
     mat_mul, mat_mul_transpose_right, regularize, symmetric_eigen, Cholesky, MatrixError,
 };
+use reveal_par::simd;
 use reveal_trace::TraceSet;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -55,6 +56,14 @@ impl From<MatrixError> for LdaError {
 /// from the thread count) so the merge order — hence every bit of the fitted
 /// projection — is identical for any `REVEAL_THREADS`.
 const SCATTER_CHUNK: usize = 64;
+
+/// Cost model for one column of the `L⁻¹` forward substitution (units:
+/// `dim²` multiply-adds; a column is ~half that, folded into the prior).
+static LINV_COLUMN_COST: reveal_par::CostModel = reveal_par::CostModel::new("lda.linv.column", 0.5);
+
+/// Cost model for projecting one observation (units: `components · dim`
+/// multiply-adds).
+static PROJECT_COST: reveal_par::CostModel = reveal_par::CostModel::new("lda.project", 1.0);
 
 /// A fitted LDA projection (rows of `matrix` are the discriminant
 /// directions in input space).
@@ -128,14 +137,19 @@ impl LdaProjection {
         let partial_scatters =
             reveal_par::par_map_chunks(observations, SCATTER_CHUNK, |_, chunk| {
                 let mut local = vec![0.0; dim * dim];
+                let mut diff = vec![0.0; dim];
                 for (label, v) in chunk {
                     let mean = &class_means[label];
+                    // The centered observation is shared by every row of the
+                    // outer product: computing it once removes dim² redundant
+                    // subtractions (the old inner loop re-centered per row)
+                    // and turns each row update into an axpy — bit-identical,
+                    // same per-slot values and order.
+                    for ((d, x), m) in diff.iter_mut().zip(v.iter()).zip(mean) {
+                        *d = x - m;
+                    }
                     for r in 0..dim {
-                        let dr = v[r] - mean[r];
-                        let row = &mut local[r * dim..(r + 1) * dim];
-                        for ((slot, x), m) in row.iter_mut().zip(v).zip(mean) {
-                            *slot += dr * (x - m);
-                        }
+                        simd::axpy(diff[r], &diff, &mut local[r * dim..(r + 1) * dim]);
                     }
                 }
                 local
@@ -167,10 +181,10 @@ impl LdaProjection {
         // columns), then form M with the two cache-friendly products: B =
         // L⁻¹·S_b walks rows contiguously in i-k-j order, and B·L⁻ᵀ scans
         // two contiguous rows per inner product instead of striding columns.
-        // One column is a ~dim²/2 forward substitution; small systems stay
-        // serial rather than paying per-call thread spawns.
-        let column_min = (131_072 / (dim * dim).max(1)).max(1);
-        let linv_columns = reveal_par::par_map_index_min(dim, column_min, |j| {
+        // One column is a ~dim²/2 forward substitution; the cost model keeps
+        // small systems serial rather than paying per-call thread spawns.
+        let units = (dim * dim) as u64;
+        let linv_columns = reveal_par::par_map_index_modeled(dim, &LINV_COLUMN_COST, units, |j| {
             let mut unit = vec![0.0; dim];
             unit[j] = 1.0;
             forward_substitute(&l, dim, &unit)
@@ -235,9 +249,12 @@ impl LdaProjection {
     ///
     /// Panics on dimension mismatch.
     pub fn project_batch<S: AsRef<[f64]> + Sync>(&self, observations: &[S]) -> Vec<Vec<f64>> {
-        // A projection is a handful of dot products; demand a real batch per
-        // worker before fanning out.
-        reveal_par::par_map_min(observations, 32, |o| self.project(o.as_ref()))
+        // A projection is a handful of dot products; the cost model demands
+        // a real batch per worker before fanning out.
+        let units = (self.components.len() * self.dim) as u64;
+        reveal_par::par_map_modeled(observations, &PROJECT_COST, units, |o| {
+            self.project(o.as_ref())
+        })
     }
 
     /// Projects an observation onto the discriminant directions.
@@ -249,7 +266,7 @@ impl LdaProjection {
         assert_eq!(observation.len(), self.dim, "dimension mismatch");
         self.components
             .iter()
-            .map(|w| w.iter().zip(observation).map(|(a, b)| a * b).sum())
+            .map(|w| simd::dot(w, observation))
             .collect()
     }
 }
@@ -258,10 +275,7 @@ impl LdaProjection {
 fn forward_substitute(l: &[f64], d: usize, b: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; d];
     for i in 0..d {
-        let mut sum = b[i];
-        for k in 0..i {
-            sum -= l[i * d + k] * y[k];
-        }
+        let sum = b[i] - simd::dot(&l[i * d..i * d + i], &y[..i]);
         y[i] = sum / l[i * d + i];
     }
     y
@@ -285,10 +299,7 @@ fn lower_factor(a: &[f64], d: usize) -> Vec<f64> {
     let mut l = vec![0.0; d * d];
     for i in 0..d {
         for j in 0..=i {
-            let mut sum = a[i * d + j];
-            for k in 0..j {
-                sum -= l[i * d + k] * l[j * d + k];
-            }
+            let sum = a[i * d + j] - simd::dot(&l[i * d..i * d + j], &l[j * d..j * d + j]);
             if i == j {
                 l[i * d + j] = sum.max(1e-30).sqrt();
             } else {

@@ -1,6 +1,14 @@
 //! Small dense symmetric-positive-definite matrix routines (Cholesky based)
 //! for multivariate Gaussian templates.
+//!
+//! The contiguous inner products and row updates go through the
+//! [`reveal_par::simd`] kernels: lane-structured, autovectorizable, and
+//! deterministic (the lane recurrence is part of the kernel definition, so
+//! results are identical across thread counts and machines). Strided
+//! accesses (the backward substitution, the Jacobi rotations) stay scalar —
+//! gathering a column defeats packed loads anyway.
 
+use reveal_par::simd;
 use std::fmt;
 
 /// Errors from matrix factorization.
@@ -50,10 +58,9 @@ impl Cholesky {
         let mut l = vec![0.0; dim * dim];
         for i in 0..dim {
             for j in 0..=i {
-                let mut sum = matrix[i * dim + j];
-                for k in 0..j {
-                    sum -= l[i * dim + k] * l[j * dim + k];
-                }
+                // Rows i and j of L are contiguous prefixes — a dot kernel.
+                let sum = matrix[i * dim + j]
+                    - simd::dot(&l[i * dim..i * dim + j], &l[j * dim..j * dim + j]);
                 if i == j {
                     if sum <= 0.0 {
                         return Err(MatrixError::NotPositiveDefinite {
@@ -95,13 +102,11 @@ impl Cholesky {
                 got: b.len(),
             });
         }
-        // Forward: L·y = b.
+        // Forward: L·y = b. Row i of L and the solved prefix of y are both
+        // contiguous, so the inner product vectorizes.
         let mut y = vec![0.0; self.dim];
         for i in 0..self.dim {
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[i * self.dim + k] * y[k];
-            }
+            let sum = b[i] - simd::dot(&self.l[i * self.dim..i * self.dim + i], &y[..i]);
             y[i] = sum / self.l[i * self.dim + i];
         }
         // Backward: Lᵀ·x = y.
@@ -130,7 +135,7 @@ impl Cholesky {
         }
         let diff: Vec<f64> = x.iter().zip(mean).map(|(a, b)| a - b).collect();
         let solved = self.solve(&diff)?;
-        Ok(diff.iter().zip(&solved).map(|(d, s)| d * s).sum())
+        Ok(simd::dot(&diff, &solved))
     }
 }
 
@@ -217,12 +222,12 @@ pub fn regularize(matrix: &mut [f64], dim: usize, lambda: f64) {
     }
 }
 
-/// Minimum matrix rows per parallel worker: one row costs `dim` inner
-/// products of length `dim`, so small matrices (the common POI-sized fits)
-/// stay serial instead of paying thread handoff for microseconds of work.
-fn min_rows_per_worker(dim: usize) -> usize {
-    (65_536 / (dim * dim).max(1)).max(1)
-}
+/// Cost model for one output row of a `dim × dim` product (units: `dim²`
+/// multiply-adds): small matrices (the common POI-sized fits) stay serial
+/// instead of paying thread handoff for microseconds of work, large LDA
+/// fits fan out with measured claim sizes.
+static MATMUL_ROW_COST: reveal_par::CostModel =
+    reveal_par::CostModel::new("matrix.matmul.row", 1.0);
 
 /// Dense square matrix product `C = A·B` (row-major), in the cache-friendly
 /// **i-k-j** loop order: the inner loop walks row `k` of `B` and row `i` of
@@ -237,17 +242,16 @@ fn min_rows_per_worker(dim: usize) -> usize {
 pub fn mat_mul(a: &[f64], b: &[f64], dim: usize) -> Vec<f64> {
     assert_eq!(a.len(), dim * dim, "left operand must be dim x dim");
     assert_eq!(b.len(), dim * dim, "right operand must be dim x dim");
-    let rows = reveal_par::par_map_index_min(dim, min_rows_per_worker(dim), |i| {
+    let units = (dim * dim) as u64;
+    let rows = reveal_par::par_map_index_modeled(dim, &MATMUL_ROW_COST, units, |i| {
         let mut row = vec![0.0; dim];
         for k in 0..dim {
             let aik = a[i * dim + k];
             if aik == 0.0 {
                 continue; // triangular operands skip half the work
             }
-            let b_row = &b[k * dim..(k + 1) * dim];
-            for (c, &bkj) in row.iter_mut().zip(b_row) {
-                *c += aik * bkj;
-            }
+            // axpy is element-wise — bit-identical to the plain loop.
+            simd::axpy(aik, &b[k * dim..(k + 1) * dim], &mut row);
         }
         row
     });
@@ -269,13 +273,11 @@ pub fn mat_mul(a: &[f64], b: &[f64], dim: usize) -> Vec<f64> {
 pub fn mat_mul_transpose_right(a: &[f64], b: &[f64], dim: usize) -> Vec<f64> {
     assert_eq!(a.len(), dim * dim, "left operand must be dim x dim");
     assert_eq!(b.len(), dim * dim, "right operand must be dim x dim");
-    let rows = reveal_par::par_map_index_min(dim, min_rows_per_worker(dim), |i| {
+    let units = (dim * dim) as u64;
+    let rows = reveal_par::par_map_index_modeled(dim, &MATMUL_ROW_COST, units, |i| {
         let a_row = &a[i * dim..(i + 1) * dim];
         (0..dim)
-            .map(|j| {
-                let b_row = &b[j * dim..(j + 1) * dim];
-                a_row.iter().zip(b_row).map(|(x, y)| x * y).sum()
-            })
+            .map(|j| simd::dot(a_row, &b[j * dim..(j + 1) * dim]))
             .collect::<Vec<f64>>()
     });
     let mut out = Vec::with_capacity(dim * dim);
@@ -289,7 +291,7 @@ pub fn mat_mul_transpose_right(a: &[f64], b: &[f64], dim: usize) -> Vec<f64> {
 pub fn mat_vec(matrix: &[f64], dim: usize, v: &[f64]) -> Vec<f64> {
     assert_eq!(v.len(), dim);
     (0..dim)
-        .map(|i| (0..dim).map(|j| matrix[i * dim + j] * v[j]).sum())
+        .map(|i| simd::dot(&matrix[i * dim..(i + 1) * dim], v))
         .collect()
 }
 

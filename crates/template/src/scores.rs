@@ -1,6 +1,12 @@
 //! Per-class score tables: log-likelihoods, softmax probabilities, fusion.
 
+use reveal_par::simd;
 use std::collections::BTreeMap;
+
+/// Cost model for fusing one pair of score tables (units: labels merged). A
+/// fuse merges two ~30-label score lists — microscopic work, so only very
+/// large batches leave the serial path.
+static FUSE_COST: reveal_par::CostModel = reveal_par::CostModel::new("scores.fuse", 20.0);
 
 /// Log-likelihood scores per candidate label, with softmax probabilities.
 ///
@@ -46,7 +52,7 @@ impl ScoreTable {
             .map(|(_, s)| *s)
             .fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = self.scores.iter().map(|(_, s)| (s - max).exp()).collect();
-        let total: f64 = exps.iter().sum();
+        let total = simd::sum(&exps);
         self.scores
             .iter()
             .zip(exps)
@@ -101,9 +107,10 @@ impl ScoreTable {
             second.len(),
             "fused batches must pair up one-to-one"
         );
-        // A fuse merges two ~30-label score lists — microscopic work, so
-        // only very large batches leave the serial path.
-        reveal_par::par_map_index_min(first.len(), 256, |i| first[i].fuse(&second[i]))
+        let units = first.first().map_or(1, |t| t.len().max(1) as u64);
+        reveal_par::par_map_index_modeled(first.len(), &FUSE_COST, units, |i| {
+            first[i].fuse(&second[i])
+        })
     }
 
     /// Restricts to a subset of labels (e.g. after the sign classifier has

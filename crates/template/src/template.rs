@@ -14,6 +14,10 @@ use reveal_trace::TraceSet;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Cost model for classifying one observation (units: `classes · dim²`
+/// multiply-adds across the Mahalanobis solves).
+static CLASSIFY_COST: reveal_par::CostModel = reveal_par::CostModel::new("template.classify", 1.0);
+
 /// Errors from template construction or classification.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TemplateError {
@@ -269,11 +273,14 @@ impl TemplateSet {
         &self,
         observations: &[S],
     ) -> Result<Vec<ScoreTable>, TemplateError> {
-        // One classification is a few Mahalanobis distances; only batches
-        // of dozens of observations justify worker threads.
-        reveal_par::par_map_min(observations, 32, |o| self.classify(o.as_ref()))
-            .into_iter()
-            .collect()
+        // One classification is a few Mahalanobis distances (dim² each); the
+        // cost model keeps small batches serial and sizes claims on big ones.
+        let units = (self.classes.len() * self.dim * self.dim).max(1) as u64;
+        reveal_par::par_map_modeled(observations, &CLASSIFY_COST, units, |o| {
+            self.classify(o.as_ref())
+        })
+        .into_iter()
+        .collect()
     }
 }
 

@@ -5,7 +5,7 @@
 //! to accumulate against — which is exactly why the attack must work from a
 //! single trace.
 
-use crate::stats::pearson_correlation;
+use reveal_par::simd;
 use std::fmt;
 
 /// Errors from CPA.
@@ -48,6 +48,23 @@ pub struct CpaScore {
     pub peak_sample: usize,
 }
 
+/// One sample column with its correlation statistics precomputed: every
+/// candidate shares the same column means and variances, so they are hoisted
+/// out of the per-candidate sweep.
+struct CpaColumn {
+    values: Vec<f64>,
+    mean: f64,
+    var: f64,
+}
+
+/// Cost model for gathering + summarizing one column (units: traces).
+static COLUMN_COST: reveal_par::CostModel = reveal_par::CostModel::new("cpa.column.gather", 10.0);
+
+/// Cost model for one candidate's correlation sweep (units: `len · traces`
+/// multiply-adds).
+static CANDIDATE_COST: reveal_par::CostModel =
+    reveal_par::CostModel::new("cpa.candidate.sweep", 2.0);
+
 /// Runs CPA: for every candidate `c`, correlates its per-trace leakage
 /// hypothesis `hypotheses[c]` against every sample column of `traces`, and
 /// scores the candidate by its peak absolute correlation.
@@ -78,27 +95,43 @@ pub fn cpa_rank(traces: &[Vec<f64>], hypotheses: &[Vec<f64>]) -> Result<Vec<CpaS
     }
     // Column-major view of the traces for per-sample correlation; the
     // transpose is parallel over sample columns (each column is independent).
-    // One column gathers `traces.len()` values, so demand at least ~8k
-    // gathered values per worker before spawning any.
-    let column_min = (8192 / traces.len().max(1)).max(1);
-    let columns: Vec<Vec<f64>> =
-        reveal_par::par_map_index_min(len, column_min, |s| traces.iter().map(|t| t[s]).collect());
+    // Each column's mean and centered variance are hoisted here, once: the
+    // old per-candidate `pearson_correlation` recomputed them for every
+    // candidate — O(candidates · samples · traces) redundant passes.
+    let columns: Vec<CpaColumn> =
+        reveal_par::par_map_index_modeled(len, &COLUMN_COST, traces.len() as u64, |s| {
+            let values: Vec<f64> = traces.iter().map(|t| t[s]).collect();
+            let mean = simd::sum(&values) / values.len() as f64;
+            let var = simd::centered_dot(&values, mean, &values, mean);
+            CpaColumn { values, mean, var }
+        });
     // One candidate's correlation sweep is independent of every other's, so
     // candidates fan out across threads; scores come back in candidate order
     // and the later sort is stable, keeping the ranking deterministic. A
-    // candidate costs `len · traces.len()` multiply-adds — stay serial until
-    // a worker gets ~64k of them.
-    let candidate_min = (65_536 / (len * traces.len()).max(1)).max(1);
+    // candidate costs `len · traces.len()` covariance multiply-adds, which
+    // is what the cost model sizes workers and claims from.
+    let units = (len * traces.len()) as u64;
     let mut scores: Vec<CpaScore> =
-        reveal_par::par_map_index_min(hypotheses.len(), candidate_min, |candidate| {
+        reveal_par::par_map_index_modeled(hypotheses.len(), &CANDIDATE_COST, units, |candidate| {
             let hyp = &hypotheses[candidate];
+            let mh = simd::sum(hyp) / hyp.len() as f64;
+            let vh = simd::centered_dot(hyp, mh, hyp, mh);
             let mut peak = 0.0f64;
             let mut peak_sample = 0usize;
-            for (s, col) in columns.iter().enumerate() {
-                let r = pearson_correlation(col, hyp).abs();
-                if r > peak {
-                    peak = r;
-                    peak_sample = s;
+            if vh > 0.0 {
+                let sh = vh.sqrt();
+                for (s, col) in columns.iter().enumerate() {
+                    if col.var == 0.0 {
+                        // A constant column correlates with nothing
+                        // (`pearson_correlation` convention: ρ = 0).
+                        continue;
+                    }
+                    let cov = simd::centered_dot(&col.values, col.mean, hyp, mh);
+                    let r = (cov / (col.var.sqrt() * sh)).abs();
+                    if r > peak {
+                        peak = r;
+                        peak_sample = s;
+                    }
                 }
             }
             CpaScore {

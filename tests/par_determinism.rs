@@ -61,7 +61,7 @@ fn recovery_and_bikz_are_identical_across_thread_counts() {
         !reference.coefficients.is_empty(),
         "single-worker pipeline must recover coefficients"
     );
-    for threads in [2, 4] {
+    for threads in [2, 4, 8] {
         let (result, baseline, hinted) = run_pipeline(threads);
         assert_eq!(
             result, reference,
