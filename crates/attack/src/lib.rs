@@ -58,6 +58,6 @@ pub use report::{
     ReportError,
 };
 pub use robust::{
-    calibrate, relaxation_schedule, report_robust, Calibration, Diagnostics, HintDecision,
-    RobustAttack, RobustAttackResult, RobustCoefficient, RobustConfig, Suspicion,
+    calibrate, integrate_decision, relaxation_schedule, report_robust, Calibration, Diagnostics,
+    HintDecision, RobustAttack, RobustAttackResult, RobustCoefficient, RobustConfig, Suspicion,
 };

@@ -681,11 +681,42 @@ impl<'a> RobustAttack<'a> {
     }
 }
 
+/// Integrates one ladder decision into `instance` at `coord`, updating the
+/// running summary: perfect hints via `integrate_perfect_hint`, approximate
+/// ones via `integrate_approximate_hint` with the gated ε², skipped ones
+/// only counted. This is the single integration point shared by
+/// [`report_robust`] and `reveal-serve`'s incremental per-key accumulator,
+/// so a served stream folds decisions through exactly the same arithmetic
+/// (and in the same order) as the one-shot report — bit-identity between
+/// the two paths is by construction, not by parallel maintenance.
+///
+/// # Errors
+///
+/// Propagates hint-integration failures (out-of-range or already-eliminated
+/// coordinate, non-positive ε²).
+pub fn integrate_decision(
+    instance: &mut DbddInstance,
+    coord: usize,
+    decision: &HintDecision,
+    summary: &mut HintSummary,
+) -> Result<(), reveal_hints::HintError> {
+    match decision {
+        HintDecision::Perfect { .. } => {
+            instance.integrate_perfect_hint(coord)?;
+            summary.perfect += 1;
+        }
+        HintDecision::Approximate { eps_squared, .. } => {
+            instance.integrate_approximate_hint(coord, *eps_squared)?;
+            summary.approximate += 1;
+        }
+        HintDecision::Skipped => summary.skipped += 1,
+    }
+    Ok(())
+}
+
 /// Builds the security report from robust decisions, mirroring
 /// [`report_full_attack`](crate::report::report_full_attack): coordinates
-/// are integrated in ascending order, perfect hints via
-/// `integrate_perfect_hint`, approximate ones via
-/// `integrate_approximate_hint` with the gated ε².
+/// are integrated in ascending order via [`integrate_decision`].
 ///
 /// # Errors
 ///
@@ -705,17 +736,7 @@ pub fn report_robust(
     let mut hinted = DbddInstance::from_lwe(params);
     let mut hints = HintSummary::default();
     for (coord, coefficient) in result.coefficients.iter().enumerate() {
-        match coefficient.decision {
-            HintDecision::Perfect { .. } => {
-                hinted.integrate_perfect_hint(coord)?;
-                hints.perfect += 1;
-            }
-            HintDecision::Approximate { eps_squared, .. } => {
-                hinted.integrate_approximate_hint(coord, eps_squared)?;
-                hints.approximate += 1;
-            }
-            HintDecision::Skipped => hints.skipped += 1,
-        }
+        integrate_decision(&mut hinted, coord, &coefficient.decision, &mut hints)?;
     }
     Ok(AttackReport {
         baseline,

@@ -1,0 +1,575 @@
+//! **Serve-mode benchmark**: the attack-as-a-service supervisor
+//! (`reveal-serve`) fed the same workload as `bench_pipeline`, measuring
+//! end-to-end throughput and latency while asserting the service's three
+//! operational contracts:
+//!
+//! 1. **Bit-identity** — a zero-fault served stream emits the one-shot
+//!    pipeline's hint counts and bikz bit-for-bit (`f64::to_bits`
+//!    equality, 242.02 at standard scale — the `bench_pipeline` number),
+//!    at worker count 1 and at the machine's full thread count, and both
+//!    runs' hint stores encode identically. The zero-fault phase disables
+//!    the robust per-window suspicion screens (MAD z-tests with a ~0.3%
+//!    false-positive rate on clean paper-scale captures, which would
+//!    conservatively demote a few hints) so the measurement isolates the
+//!    claim under test: the *service machinery* — framing, reassembly,
+//!    queues, scoring — adds zero numerical perturbation. The screened
+//!    one-shot bikz and its suspect count are recorded alongside.
+//! 2. **Crash recovery** — killing the supervisor mid-stream and resuming
+//!    from the periodic checkpoint converges to the same encoded snapshot
+//!    as the uninterrupted run.
+//! 3. **Bounded degradation** — a chaos sweep of frame-fault schedules
+//!    (truncation, duplication, reordering, disconnects) never overflows a
+//!    bounded queue or wedges shutdown; benign schedules (no data loss)
+//!    still produce the exact clean answer.
+//!
+//! Emits `BENCH_serve.json` (schema v1) under `target/reveal/` with the
+//! identity verdicts, per-worker-count throughput and p50/p95/p99 latency,
+//! and one row per chaos intensity. A committed copy lives in
+//! `docs/results/`.
+//!
+//! Run with `cargo run --release -p reveal-bench --bin bench_serve`
+//! (honours `REVEAL_QUICK` / `REVEAL_FULL` and `REVEAL_THREADS`).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reveal_attack::{
+    calibrate, report_full_attack, report_robust, AttackConfig, Capture, RobustAttack,
+    TrainedAttack,
+};
+use reveal_bench::{paper_device, write_artifact, Scale};
+use reveal_chaos::{FrameChunk, FramePlan};
+use reveal_hints::{HintPolicy, LweParameters};
+use reveal_serve::{
+    frame_stream, KeyId, ServeConfig, ShardedAccumulator, Snapshot, Supervisor, TraceFrame,
+};
+use reveal_trace::sanity::percentile;
+
+/// Same master seed as `bench_pipeline`, so the standard-scale served bikz
+/// reproduces that bench's reported value bit for bit.
+const MASTER_SEED: u64 = 0x5EA1_BE9C;
+/// Wire frame size; a paper-scale trace becomes a few dozen frames.
+const FRAME_LEN: usize = 8192;
+/// Victim keys the captures are dealt across (round-robin).
+const VICTIMS: u64 = 3;
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Standard => "standard",
+        Scale::Full => "full",
+    }
+}
+
+/// `(key, trace_seq)` for the i-th capture: dealt round-robin so the
+/// sharded store and the scorer's per-key reorder buffers all get traffic.
+fn layout(i: usize) -> (KeyId, u64) {
+    (1 + (i as u64 % VICTIMS), i as u64 / VICTIMS)
+}
+
+/// The service configuration every run starts from.
+fn base_config(degree: usize, calibration: reveal_attack::Calibration) -> ServeConfig {
+    let mut cfg = ServeConfig::new(
+        LweParameters::seal_128_paper(),
+        degree,
+        HintPolicy::seal_paper(),
+    );
+    cfg.calibration = Some(calibration);
+    // Paper-scale traces are ~10^5 samples; give reassembly room for the
+    // truncated-stream residue the chaos rows leave behind.
+    cfg.reassembly.max_buffered_samples = 1 << 26;
+    cfg.reassembly.stream_deadline = Duration::from_secs(30);
+    cfg
+}
+
+/// Disables the per-window suspicion screens (every z threshold and
+/// tolerance to ∞), leaving segmentation retry, variance inflation, and
+/// the hint ladder intact — the zero-fault phase's "service overhead only"
+/// analysis configuration.
+fn disable_screens(robust: &mut reveal_attack::RobustConfig) {
+    robust.glitch_z = f64::INFINITY;
+    robust.score_z = f64::INFINITY;
+    robust.length_z = f64::INFINITY;
+    robust.gain_tolerance = f64::INFINITY;
+}
+
+/// The chaos phase's ground truth: the captures folded through the fully
+/// screened robust pipeline + accumulator directly, bypassing the service.
+fn folded_reference(attack: &TrainedAttack, cfg: &ServeConfig, captures: &[Capture]) -> String {
+    let mut robust = RobustAttack::new(attack).with_config(cfg.robust.clone());
+    if let Some(cal) = cfg.calibration {
+        robust = robust.with_calibration(cal);
+    }
+    let mut acc = ShardedAccumulator::new(
+        cfg.params,
+        cfg.coefficients,
+        cfg.shards,
+        cfg.quarantine_threshold,
+    );
+    for (i, cap) in captures.iter().enumerate() {
+        let (key, seq) = layout(i);
+        let result = robust
+            .attack_trace(&cap.run.capture.samples, cfg.coefficients, &cfg.policy)
+            .expect("clean capture analyzes");
+        acc.apply_success(key, seq, &result)
+            .expect("reference fold");
+    }
+    Snapshot::capture(&acc, cfg.quarantine_threshold).encode()
+}
+
+/// Everything one served run reports.
+struct ServedRun {
+    snapshot: String,
+    analyzed: u64,
+    failed: u64,
+    retries: u64,
+    elapsed_ms: f64,
+    latencies_ms: Vec<f64>,
+    queue_hw: [(String, u64, u64); 3],
+    queues_bounded: bool,
+    first_update: Option<(u64, usize, usize, usize)>,
+}
+
+/// Serves `captures` through a fresh supervisor and drains it gracefully.
+/// `await_all` polls until every trace is scored before snapshotting (only
+/// valid when every stream terminates, i.e. no data was lost).
+fn serve(
+    attack: &TrainedAttack,
+    cfg: ServeConfig,
+    frames: Vec<TraceFrame>,
+    expect_scored: Option<u64>,
+) -> ServedRun {
+    let sup = Supervisor::start(attack.clone(), cfg);
+    let handle = sup.handle();
+    let start = Instant::now();
+    for frame in frames {
+        handle.submit(frame).expect("block-policy submit");
+    }
+    if let Some(want) = expect_scored {
+        let deadline = Instant::now() + Duration::from_secs(600);
+        loop {
+            let m = sup.metrics();
+            if m.traces_analyzed + m.traces_failed >= want {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "service stalled before scoring {want} traces"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let snapshot = sup.snapshot().encode();
+    let mut updates = sup.drain_updates();
+    let summary = sup.shutdown();
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    updates.extend(summary.updates);
+
+    let m = &summary.metrics;
+    let queue_hw = [
+        (
+            "ingest".to_string(),
+            m.ingest_queue.high_water as u64,
+            m.ingest_queue.capacity as u64,
+        ),
+        (
+            "work".to_string(),
+            m.work_queue.high_water as u64,
+            m.work_queue.capacity as u64,
+        ),
+        (
+            "result".to_string(),
+            m.result_queue.high_water as u64,
+            m.result_queue.capacity as u64,
+        ),
+    ];
+    let queues_bounded = [&m.ingest_queue, &m.work_queue, &m.result_queue]
+        .iter()
+        .all(|q| q.high_water <= q.capacity && q.depth == 0);
+    let first_update = updates
+        .iter()
+        .find(|u| u.key == 1 && u.trace_seq == 0 && u.failed.is_none())
+        .map(|u| (u.bikz.to_bits(), u.perfect, u.approximate, u.skipped));
+    ServedRun {
+        snapshot,
+        analyzed: m.traces_analyzed,
+        failed: m.traces_failed,
+        retries: m.retries,
+        elapsed_ms,
+        latencies_ms: summary.latencies_ms,
+        queue_hw,
+        queues_bounded,
+        first_update,
+    }
+}
+
+fn wire_frames(captures: &[Capture]) -> Vec<TraceFrame> {
+    captures
+        .iter()
+        .enumerate()
+        .flat_map(|(i, cap)| {
+            let (key, seq) = layout(i);
+            frame_stream(key, seq, &cap.run.capture.samples, FRAME_LEN)
+        })
+        .collect()
+}
+
+/// One chaos row: every stream scrambled by `FramePlan::standard_sweep`.
+struct ChaosRow {
+    intensity: f64,
+    seed: u64,
+    data_lost: bool,
+    frames_submitted: usize,
+    analyzed: u64,
+    failed: u64,
+    retries: u64,
+    elapsed_ms: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    queues_bounded: bool,
+    benign_exact: Option<bool>,
+}
+
+fn chaos_row(
+    attack: &TrainedAttack,
+    cfg: &ServeConfig,
+    captures: &[Capture],
+    reference: &str,
+    seed: u64,
+    intensity: f64,
+) -> ChaosRow {
+    let plan = FramePlan::standard_sweep(seed, intensity);
+    let mut frames = Vec::new();
+    let mut any_data_lost = false;
+    for (i, cap) in captures.iter().enumerate() {
+        let (key, seq) = layout(i);
+        let chunks: Vec<FrameChunk> = frame_stream(key, seq, &cap.run.capture.samples, FRAME_LEN)
+            .into_iter()
+            .map(|f| FrameChunk {
+                seq: f.frame_seq,
+                last: f.last,
+                samples: f.samples,
+            })
+            .collect();
+        let scrambled = plan.scramble(i as u64, chunks);
+        any_data_lost |= scrambled.log.data_lost;
+        frames.extend(scrambled.frames.into_iter().map(|chunk| TraceFrame {
+            key,
+            trace_seq: seq,
+            frame_seq: chunk.seq,
+            last: chunk.last,
+            samples: chunk.samples,
+        }));
+    }
+    let frames_submitted = frames.len();
+    // Benign schedules terminate every stream, so wait for all of them to
+    // score before snapshotting; lossy ones rely on the shutdown drain.
+    let expect = (!any_data_lost).then_some(captures.len() as u64);
+    let run = serve(attack, cfg.clone(), frames, expect);
+    let benign_exact = (!any_data_lost).then(|| run.snapshot == reference);
+    ChaosRow {
+        intensity,
+        seed,
+        data_lost: any_data_lost,
+        frames_submitted,
+        analyzed: run.analyzed,
+        failed: run.failed,
+        retries: run.retries,
+        elapsed_ms: run.elapsed_ms,
+        p50: percentile(&run.latencies_ms, 50.0),
+        p95: percentile(&run.latencies_ms, 95.0),
+        p99: percentile(&run.latencies_ms, 99.0),
+        queues_bounded: run.queues_bounded,
+        benign_exact,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let scale = Scale::from_env();
+    let (profile_runs, attack_runs, degree) = scale.attack_workload();
+    let parallel_workers = reveal_par::max_threads().max(2);
+    let device = paper_device(degree, 0.05);
+    let config = AttackConfig::default();
+
+    println!(
+        "serve bench: scale={} n={degree} profile_runs={profile_runs} traces={attack_runs} \
+         | workers 1 vs {parallel_workers}",
+        scale_name(scale)
+    );
+
+    let attack = TrainedAttack::profile_seeded(&device, profile_runs, &config, MASTER_SEED)
+        .expect("profiling");
+    let mut rng = StdRng::seed_from_u64(MASTER_SEED ^ 1);
+    let captures: Vec<Capture> = (0..attack_runs)
+        .map(|_| device.capture_fresh(&mut rng).expect("capture"))
+        .collect();
+    let mut cal_rng = StdRng::seed_from_u64(MASTER_SEED ^ 2);
+    let clean = device
+        .capture_fresh(&mut cal_rng)
+        .expect("calibration capture");
+    let calibration = calibrate(&clean.run.capture.samples, attack.config()).expect("calibration");
+    let cfg = base_config(degree, calibration);
+
+    // One-shot reference: the plain pipeline on the first capture, scored
+    // through the same report the paper's tables use.
+    let plain = attack
+        .attack_trace_expecting(&captures[0].run.capture.samples, degree)
+        .expect("one-shot attack");
+    let plain_report = report_full_attack(&plain, &cfg.params, &cfg.policy).expect("report");
+    println!(
+        "  one-shot reference: bikz {:.2} (perfect {}, approximate {}, skipped {})",
+        plain_report.with_hints.bikz,
+        plain_report.hints.perfect,
+        plain_report.hints.approximate,
+        plain_report.hints.skipped
+    );
+
+    // The fully screened robust one-shot on the same capture, for the
+    // record: its conservative demotions are the gap between the service's
+    // chaos-phase answer and the plain pipeline.
+    let mut screened_robust = RobustAttack::new(&attack).with_config(cfg.robust.clone());
+    screened_robust = screened_robust.with_calibration(calibration);
+    let screened = screened_robust
+        .attack_trace(&captures[0].run.capture.samples, degree, &cfg.policy)
+        .expect("screened one-shot");
+    let screened_report = report_robust(&screened, &cfg.params).expect("screened report");
+    println!(
+        "  screened one-shot: bikz {:.2}, {} suspect windows",
+        screened_report.with_hints.bikz, screened.diagnostics.suspect_windows
+    );
+
+    // Service config for the bit-identity phases: screens off, so every
+    // hint decision is exactly the plain pipeline's.
+    let mut clean_cfg = cfg.clone();
+    disable_screens(&mut clean_cfg.robust);
+
+    // Phase 1: zero-fault serving at both worker counts.
+    let mut clean_runs = Vec::new();
+    for workers in [1usize, parallel_workers] {
+        let mut c = clean_cfg.clone();
+        c.workers = workers;
+        let run = serve(&attack, c, wire_frames(&captures), Some(attack_runs as u64));
+        println!(
+            "  zero-fault workers={workers}: {:.1} ms, {:.2} traces/s, \
+             latency p50 {:.1} / p95 {:.1} / p99 {:.1} ms",
+            run.elapsed_ms,
+            run.analyzed as f64 / (run.elapsed_ms / 1e3).max(1e-9),
+            percentile(&run.latencies_ms, 50.0),
+            percentile(&run.latencies_ms, 95.0),
+            percentile(&run.latencies_ms, 99.0),
+        );
+        clean_runs.push((workers, run));
+    }
+    let reference_snapshot = clean_runs[0].1.snapshot.clone();
+    let first = clean_runs[0]
+        .1
+        .first_update
+        .expect("update for victim 1 trace 0");
+    let bit_identity = clean_runs.iter().all(|(_, r)| {
+        r.first_update
+            == Some((
+                plain_report.with_hints.bikz.to_bits(),
+                plain_report.hints.perfect,
+                plain_report.hints.approximate,
+                plain_report.hints.skipped,
+            ))
+            && r.snapshot == reference_snapshot
+            && r.analyzed == attack_runs as u64
+            && r.failed == 0
+            && r.retries == 0
+    });
+    println!(
+        "  bit-identity vs one-shot pipeline: {bit_identity} (served bikz {:.2})",
+        f64::from_bits(first.0)
+    );
+
+    // Phase 2: kill mid-stream, restore from the periodic checkpoint,
+    // replay the full stream, and require the exact clean snapshot.
+    std::fs::create_dir_all("target/reveal").expect("artifact dir");
+    let ckpt = std::path::PathBuf::from("target/reveal/bench_serve.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let restore_start = Instant::now();
+    let mut c = clean_cfg.clone();
+    c.workers = parallel_workers;
+    c.checkpoint_every = 1;
+    c.checkpoint_path = Some(ckpt.clone());
+    let sup = Supervisor::start(attack.clone(), c.clone());
+    let handle = sup.handle();
+    let half = captures.len().div_ceil(2);
+    for frame in wire_frames(&captures[..half]) {
+        handle.submit(frame).expect("submit");
+    }
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while sup.metrics().checkpoints_written == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no periodic checkpoint before kill"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    sup.kill();
+    let snapshot = Snapshot::load(&ckpt).expect("crash left a loadable checkpoint");
+    let already: u64 = snapshot
+        .victims
+        .iter()
+        .map(|(_, v)| v.traces_processed)
+        .sum();
+    let sup = Supervisor::resume(attack.clone(), c, &snapshot).expect("resume");
+    for frame in wire_frames(&captures) {
+        sup.handle().submit(frame).expect("submit");
+    }
+    let want = attack_runs as u64 - already;
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let m = sup.metrics();
+        if m.traces_analyzed + m.traces_failed >= want {
+            break;
+        }
+        assert!(Instant::now() < deadline, "resume did not catch up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let restored_snapshot = sup.snapshot().encode();
+    let restore_summary = sup.shutdown();
+    let restore_ms = restore_start.elapsed().as_secs_f64() * 1e3;
+    let restore_identity =
+        restored_snapshot == reference_snapshot && restore_summary.metrics.traces_failed == 0;
+    println!(
+        "  kill+restore: scored {already} before crash, replayed to {attack_runs}, \
+         bit-identical: {restore_identity} ({restore_ms:.1} ms)"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Phase 3: chaos sweep under tight queues, with the full suspicion
+    // screens back on — this is the service as deployed.
+    let mut chaos_cfg = cfg.clone();
+    chaos_cfg.workers = parallel_workers;
+    chaos_cfg.ingest_capacity = 64;
+    chaos_cfg.work_capacity = 8;
+    chaos_cfg.result_capacity = 16;
+    chaos_cfg.gap_limit = 8;
+    let chaos_reference = folded_reference(&attack, &chaos_cfg, &captures);
+    let rows: Vec<ChaosRow> = [0.0f64, 0.35, 0.7, 1.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &intensity)| {
+            let row = chaos_row(
+                &attack,
+                &chaos_cfg,
+                &captures,
+                &chaos_reference,
+                0x5EA1 + i as u64,
+                intensity,
+            );
+            println!(
+                "  chaos intensity {:.2}: {} frames, analyzed {}, failed {}, retries {}, \
+                 data_lost {}, {:.1} ms, p99 {:.1} ms, bounded {}{}",
+                row.intensity,
+                row.frames_submitted,
+                row.analyzed,
+                row.failed,
+                row.retries,
+                row.data_lost,
+                row.elapsed_ms,
+                row.p99,
+                row.queues_bounded,
+                match row.benign_exact {
+                    Some(exact) => format!(", benign_exact {exact}"),
+                    None => String::new(),
+                }
+            );
+            row
+        })
+        .collect();
+    let queues_bounded =
+        clean_runs.iter().all(|(_, r)| r.queues_bounded) && rows.iter().all(|r| r.queues_bounded);
+    let benign_exact = rows.iter().all(|r| r.benign_exact.unwrap_or(true));
+
+    let worker_json: Vec<String> = clean_runs
+        .iter()
+        .map(|(workers, r)| {
+            format!(
+                "    {{\"workers\": {}, \"elapsed_ms\": {:.3}, \"traces_per_sec\": {:.3}, \
+                 \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}}, \
+                 \"queue_high_water\": {{{}}}}}",
+                workers,
+                r.elapsed_ms,
+                r.analyzed as f64 / (r.elapsed_ms / 1e3).max(1e-9),
+                percentile(&r.latencies_ms, 50.0),
+                percentile(&r.latencies_ms, 95.0),
+                percentile(&r.latencies_ms, 99.0),
+                r.queue_hw
+                    .iter()
+                    .map(|(name, hw, cap)| format!("\"{name}\": [{hw}, {cap}]"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+        .collect();
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"intensity\": {:.2}, \"seed\": {}, \"frames_submitted\": {}, \
+                 \"data_lost\": {}, \"traces_analyzed\": {}, \"traces_failed\": {}, \
+                 \"retries\": {}, \"elapsed_ms\": {:.3}, \
+                 \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}}, \
+                 \"queues_bounded\": {}, \"benign_exact\": {}}}",
+                r.intensity,
+                r.seed,
+                r.frames_submitted,
+                r.data_lost,
+                r.analyzed,
+                r.failed,
+                r.retries,
+                r.elapsed_ms,
+                r.p50,
+                r.p95,
+                r.p99,
+                r.queues_bounded,
+                r.benign_exact.map_or("null".to_string(), |b| b.to_string())
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"reveal-bench-serve/v1\",\n  \"scale\": \"{}\",\n  \"ring_degree\": {},\n  \"profile_runs\": {},\n  \"traces\": {},\n  \"victims\": {},\n  \"frame_len\": {},\n  \"one_shot_bikz\": {:.2},\n  \"served_bikz\": {:.2},\n  \"bit_identity\": {},\n  \"zero_fault_screens_disabled\": true,\n  \"screened_one_shot\": {{\"bikz\": {:.2}, \"suspect_windows\": {}}},\n  \"restore\": {{\"scored_before_crash\": {}, \"elapsed_ms\": {:.3}, \"bit_identity\": {}}},\n  \"queues_bounded\": {},\n  \"benign_exact\": {},\n  \"zero_fault\": [\n{}\n  ],\n  \"chaos\": [\n{}\n  ]\n}}\n",
+        scale_name(scale),
+        degree,
+        profile_runs,
+        attack_runs,
+        VICTIMS,
+        FRAME_LEN,
+        plain_report.with_hints.bikz,
+        f64::from_bits(first.0),
+        bit_identity,
+        screened_report.with_hints.bikz,
+        screened.diagnostics.suspect_windows,
+        already,
+        restore_ms,
+        restore_identity,
+        queues_bounded,
+        benign_exact,
+        worker_json.join(",\n"),
+        row_json.join(",\n")
+    );
+    write_artifact("BENCH_serve.json", &json);
+
+    assert!(
+        bit_identity,
+        "served zero-fault stream must match the one-shot pipeline bit for bit"
+    );
+    assert!(
+        restore_identity,
+        "kill + checkpoint restore must converge bit-identically"
+    );
+    assert!(
+        queues_bounded,
+        "every queue must respect its bound and drain at shutdown"
+    );
+    assert!(
+        benign_exact,
+        "benign fault schedules must not change the answer"
+    );
+}

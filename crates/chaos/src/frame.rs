@@ -1,0 +1,555 @@
+//! Frame-level stream faults: what goes wrong *between* the probe and the
+//! analysis service.
+//!
+//! The sample-level taxonomy in [`crate::fault`] corrupts the physics of a
+//! capture; this module corrupts its **transport**. A serving pipeline
+//! receives traces chopped into frames over a lossy link, and the four
+//! classic failure modes are: a frame arrives cut short, a frame arrives
+//! twice, frames arrive out of order, and the stream dies mid-flight.
+//!
+//! The ground-truth contract mirrors [`crate::inject::InjectionLog`]:
+//! [`FramePlan::scramble`] returns both the perturbed arrival sequence and
+//! a [`FrameLog`] recording exactly which frames were touched and —
+//! crucially — whether any *data* was lost. Duplication and reordering are
+//! **benign**: a correct reassembler must recover the original trace
+//! bit-identically. Truncation and disconnect are **lossy**: the service
+//! must degrade (or quarantine), never panic. Tests key off
+//! [`FrameLog::data_lost`] to assert exactly that split.
+//!
+//! Seeding follows the sample-level injector: every fault kind has a stable
+//! [`FrameFault::seed_tag`] (disjoint from the [`crate::Fault`] tags), and
+//! the per-stream RNG is `derive_seed(derive_seed(derive_seed(seed, tag),
+//! stream_id), occurrence)`, so one plan drives an entire many-victim load
+//! test reproducibly while every stream sees independent randomness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reveal_par::derive_seed;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One frame of a trace stream: `samples[..]` is the payload carrying the
+/// contiguous slice of the capture at position `seq` of the stream, and
+/// `last` marks the final frame (so a receiver knows the expected count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameChunk {
+    /// Zero-based position of this frame in the original stream.
+    pub seq: u32,
+    /// Whether this is the final frame of the trace.
+    pub last: bool,
+    /// The payload samples.
+    pub samples: Vec<f64>,
+}
+
+/// Splits a capture into frames of `frame_len` samples (the final frame
+/// carries the remainder and is marked `last`). `frame_len` is floored at 1;
+/// an empty capture yields a single empty last frame so the stream still
+/// terminates.
+pub fn split_frames(samples: &[f64], frame_len: usize) -> Vec<FrameChunk> {
+    let frame_len = frame_len.max(1);
+    if samples.is_empty() {
+        return vec![FrameChunk {
+            seq: 0,
+            last: true,
+            samples: Vec::new(),
+        }];
+    }
+    let count = samples.len().div_ceil(frame_len);
+    (0..count)
+        .map(|i| {
+            let start = i * frame_len;
+            let end = (start + frame_len).min(samples.len());
+            FrameChunk {
+                seq: i as u32,
+                last: i + 1 == count,
+                samples: samples[start..end].to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// One transport fault. As with [`crate::Fault`], the zero value of every
+/// knob is a no-op so intensity sweeps start provably clean.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameFault {
+    /// Each frame is independently cut short with probability `rate`,
+    /// keeping `keep_fraction` of its payload (at least one sample).
+    /// **Lossy**: samples are gone.
+    TruncatedFrame { rate: f64, keep_fraction: f64 },
+    /// Each frame is independently retransmitted with probability `rate`:
+    /// an identical copy arrives right after the original. **Benign**: a
+    /// deduplicating reassembler recovers the stream exactly.
+    DuplicatedFrame { rate: f64 },
+    /// Each arrival position is independently swapped `distance` places
+    /// forward with probability `rate`. **Benign**: a sequence-numbered
+    /// reassembler recovers the stream exactly.
+    OutOfOrderArrival { rate: f64, distance: usize },
+    /// With probability `rate` (one draw per stream) the connection dies at
+    /// a seeded cut point: at least one frame is delivered, the rest never
+    /// arrive. **Lossy**: the trace can never complete.
+    MidStreamDisconnect { rate: f64 },
+}
+
+impl FrameFault {
+    /// Stable short name, used in logs and the bench artifact.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FrameFault::TruncatedFrame { .. } => "truncated_frame",
+            FrameFault::DuplicatedFrame { .. } => "duplicated_frame",
+            FrameFault::OutOfOrderArrival { .. } => "out_of_order_arrival",
+            FrameFault::MidStreamDisconnect { .. } => "mid_stream_disconnect",
+        }
+    }
+
+    /// Stable per-kind tag mixed into the RNG seed derivation; disjoint
+    /// from every [`crate::Fault::seed_tag`] so frame- and sample-level
+    /// faults sharing one master seed stay decorrelated.
+    pub fn seed_tag(&self) -> u64 {
+        match self {
+            FrameFault::TruncatedFrame { .. } => 0x7F4A,
+            FrameFault::DuplicatedFrame { .. } => 0xA0D5,
+            FrameFault::OutOfOrderArrival { .. } => 0x0F0E,
+            FrameFault::MidStreamDisconnect { .. } => 0xD15C,
+        }
+    }
+
+    /// Whether every knob is at its no-op value.
+    pub fn is_noop(&self) -> bool {
+        match *self {
+            FrameFault::TruncatedFrame {
+                rate,
+                keep_fraction,
+            } => rate <= 0.0 || keep_fraction >= 1.0,
+            FrameFault::DuplicatedFrame { rate }
+            | FrameFault::OutOfOrderArrival { rate, .. }
+            | FrameFault::MidStreamDisconnect { rate } => rate <= 0.0,
+        }
+    }
+
+    /// Whether this fault can destroy payload data (as opposed to merely
+    /// permuting or repeating it).
+    pub fn is_lossy(&self) -> bool {
+        matches!(
+            self,
+            FrameFault::TruncatedFrame { .. } | FrameFault::MidStreamDisconnect { .. }
+        )
+    }
+}
+
+impl fmt::Display for FrameFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameFault::TruncatedFrame {
+                rate,
+                keep_fraction,
+            } => write!(f, "truncated_frame(rate={rate}, keep={keep_fraction})"),
+            FrameFault::DuplicatedFrame { rate } => write!(f, "duplicated_frame(rate={rate})"),
+            FrameFault::OutOfOrderArrival { rate, distance } => {
+                write!(f, "out_of_order_arrival(rate={rate}, d={distance})")
+            }
+            FrameFault::MidStreamDisconnect { rate } => {
+                write!(f, "mid_stream_disconnect(rate={rate})")
+            }
+        }
+    }
+}
+
+/// One applied frame fault: which fault hit which original frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameEvent {
+    /// The fault that ran.
+    pub fault: FrameFault,
+    /// The original sequence number it landed on.
+    pub seq: u32,
+}
+
+/// Ground truth for one scrambled stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameLog {
+    /// Every fault application, in application order.
+    pub events: Vec<FrameEvent>,
+    /// Sequence numbers whose payload was cut short.
+    pub truncated: Vec<u32>,
+    /// Sequence numbers that arrived more than once.
+    pub duplicated: Vec<u32>,
+    /// Number of arrival-order swaps performed.
+    pub reordered: usize,
+    /// First original sequence number lost to a disconnect, if one fired.
+    pub disconnected_at: Option<u32>,
+    /// Whether any payload data is unrecoverable (truncation or
+    /// disconnect). When `false`, a correct reassembler must reproduce the
+    /// original trace bit-identically.
+    pub data_lost: bool,
+}
+
+/// The scrambled arrival sequence plus its ground-truth log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrambledFrames {
+    /// Frames in arrival order (possibly truncated, duplicated, reordered,
+    /// or cut short by a disconnect).
+    pub frames: Vec<FrameChunk>,
+    /// What was done to them.
+    pub log: FrameLog,
+}
+
+/// A seeded list of frame faults applied to trace streams. The transport
+/// counterpart of [`crate::ChaosPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FramePlan {
+    /// Master seed; combined with each fault's tag and the caller's
+    /// `stream_id` for per-stream reproducible randomness.
+    pub seed: u64,
+    /// The faults, applied in order.
+    pub faults: Vec<FrameFault>,
+}
+
+impl FramePlan {
+    /// A plan that scrambles nothing.
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// The standard transport sweep at `intensity` ∈ [0, 1] (clamped), the
+    /// frame-level sibling of [`crate::ChaosPlan::standard_sweep`]: all
+    /// four fault kinds with rates scaling linearly in the intensity,
+    /// no-ops filtered out so intensity 0 is provably clean.
+    pub fn standard_sweep(seed: u64, intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        let faults = vec![
+            FrameFault::TruncatedFrame {
+                rate: 0.08 * i,
+                keep_fraction: 0.5,
+            },
+            FrameFault::DuplicatedFrame { rate: 0.12 * i },
+            FrameFault::OutOfOrderArrival {
+                rate: 0.15 * i,
+                distance: 2,
+            },
+            FrameFault::MidStreamDisconnect { rate: 0.20 * i },
+        ];
+        Self {
+            seed,
+            faults: faults.into_iter().filter(|f| !f.is_noop()).collect(),
+        }
+    }
+
+    /// Applies the plan to one stream's frames. `stream_id` decorrelates
+    /// streams sharing a plan (hash the victim key and trace number into
+    /// it); the same `(seed, stream_id, frames)` triple always produces the
+    /// same scramble.
+    pub fn scramble(&self, stream_id: u64, frames: Vec<FrameChunk>) -> ScrambledFrames {
+        let mut arrival = frames;
+        let mut log = FrameLog::default();
+        let mut occurrences: BTreeMap<u64, u64> = BTreeMap::new();
+        for fault in &self.faults {
+            if fault.is_noop() {
+                continue;
+            }
+            let tag = fault.seed_tag();
+            let occurrence = occurrences.entry(tag).or_insert(0);
+            let seed = derive_seed(
+                derive_seed(derive_seed(self.seed, tag), stream_id),
+                *occurrence,
+            );
+            *occurrence += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            match *fault {
+                FrameFault::TruncatedFrame {
+                    rate,
+                    keep_fraction,
+                } => {
+                    for frame in &mut arrival {
+                        if frame.samples.len() > 1 && rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                            let keep = ((frame.samples.len() as f64
+                                * keep_fraction.clamp(0.0, 1.0))
+                            .ceil() as usize)
+                                .max(1);
+                            if keep < frame.samples.len() {
+                                frame.samples.truncate(keep);
+                                log.truncated.push(frame.seq);
+                                log.events.push(FrameEvent {
+                                    fault: fault.clone(),
+                                    seq: frame.seq,
+                                });
+                            }
+                        }
+                    }
+                }
+                FrameFault::DuplicatedFrame { rate } => {
+                    let mut duplicated = Vec::new();
+                    let mut i = 0;
+                    while i < arrival.len() {
+                        if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                            let copy = arrival[i].clone();
+                            log.duplicated.push(copy.seq);
+                            log.events.push(FrameEvent {
+                                fault: fault.clone(),
+                                seq: copy.seq,
+                            });
+                            duplicated.push((i + 1, copy));
+                        }
+                        i += 1;
+                    }
+                    // Insert back-to-front so earlier indices stay valid.
+                    for (at, copy) in duplicated.into_iter().rev() {
+                        arrival.insert(at, copy);
+                    }
+                }
+                FrameFault::OutOfOrderArrival { rate, distance } => {
+                    if distance > 0 {
+                        let mut i = 0;
+                        while i + 1 < arrival.len() {
+                            if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                                let target = (i + distance).min(arrival.len() - 1);
+                                if target > i {
+                                    log.events.push(FrameEvent {
+                                        fault: fault.clone(),
+                                        seq: arrival[i].seq,
+                                    });
+                                    arrival.swap(i, target);
+                                    log.reordered += 1;
+                                    // Skip past the displaced frame so one
+                                    // pass cannot cascade a frame to the end.
+                                    i = target;
+                                    continue;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                FrameFault::MidStreamDisconnect { rate } => {
+                    if arrival.len() >= 2 && rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                        let cut = rng.gen_range(1..arrival.len());
+                        let lost_seq = arrival[cut].seq;
+                        log.events.push(FrameEvent {
+                            fault: fault.clone(),
+                            seq: lost_seq,
+                        });
+                        arrival.truncate(cut);
+                        log.disconnected_at = Some(lost_seq);
+                    }
+                }
+            }
+        }
+        log.data_lost = !log.truncated.is_empty() || log.disconnected_at.is_some();
+        ScrambledFrames {
+            frames: arrival,
+            log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fault;
+    use std::collections::BTreeSet;
+
+    fn trace(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 * 0.25).collect()
+    }
+
+    /// Reference reassembler: dedup by seq, order by seq, concatenate.
+    fn reassemble(frames: &[FrameChunk]) -> Vec<f64> {
+        let mut by_seq: BTreeMap<u32, &FrameChunk> = BTreeMap::new();
+        for f in frames {
+            by_seq.entry(f.seq).or_insert(f);
+        }
+        by_seq
+            .values()
+            .flat_map(|f| f.samples.iter().copied())
+            .collect()
+    }
+
+    fn all_faults() -> Vec<FrameFault> {
+        vec![
+            FrameFault::TruncatedFrame {
+                rate: 1.0,
+                keep_fraction: 0.5,
+            },
+            FrameFault::DuplicatedFrame { rate: 1.0 },
+            FrameFault::OutOfOrderArrival {
+                rate: 1.0,
+                distance: 2,
+            },
+            FrameFault::MidStreamDisconnect { rate: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn split_frames_round_trips() {
+        let samples = trace(1000);
+        let frames = split_frames(&samples, 256);
+        assert_eq!(frames.len(), 4);
+        assert!(frames[..3]
+            .iter()
+            .all(|f| f.samples.len() == 256 && !f.last));
+        assert_eq!(frames[3].samples.len(), 232);
+        assert!(frames[3].last);
+        assert_eq!(reassemble(&frames), samples);
+        // Degenerate inputs still terminate the stream.
+        assert!(split_frames(&[], 64)[0].last);
+        assert_eq!(split_frames(&samples, 0).len(), 1000);
+    }
+
+    #[test]
+    fn seed_tags_are_distinct_including_sample_level() {
+        let frame_tags: Vec<u64> = all_faults().iter().map(FrameFault::seed_tag).collect();
+        let sample_tags = [
+            Fault::ClockJitter {
+                drop_rate: 0.0,
+                dup_rate: 0.0,
+            }
+            .seed_tag(),
+            Fault::AmplitudeDrift {
+                per_kilosample: 0.0,
+            }
+            .seed_tag(),
+            Fault::GainWander {
+                amplitude: 0.0,
+                period: 1,
+            }
+            .seed_tag(),
+            Fault::GlitchSpikes {
+                rate: 0.0,
+                magnitude: 0.0,
+            }
+            .seed_tag(),
+            Fault::Clipping {
+                lower_fraction: 0.0,
+                upper_fraction: 1.0,
+            }
+            .seed_tag(),
+            Fault::BurstMerge { pairs: 0 }.seed_tag(),
+            Fault::BurstSplit {
+                count: 0,
+                notch_len: 0,
+            }
+            .seed_tag(),
+            Fault::GaussianNoise { sigma: 0.0 }.seed_tag(),
+        ];
+        let mut all: BTreeSet<u64> = frame_tags.iter().copied().collect();
+        assert_eq!(all.len(), frame_tags.len());
+        all.extend(sample_tags);
+        assert_eq!(all.len(), frame_tags.len() + sample_tags.len());
+    }
+
+    #[test]
+    fn zero_intensity_sweep_is_provably_clean() {
+        let plan = FramePlan::standard_sweep(9, 0.0);
+        assert!(plan.faults.is_empty());
+        let frames = split_frames(&trace(512), 128);
+        let out = plan.scramble(0, frames.clone());
+        assert_eq!(out.frames, frames);
+        assert_eq!(out.log, FrameLog::default());
+        assert!(!out.log.data_lost);
+    }
+
+    #[test]
+    fn full_intensity_sweep_has_all_four_faults() {
+        let plan = FramePlan::standard_sweep(9, 1.0);
+        let names: BTreeSet<&str> = plan.faults.iter().map(FrameFault::name).collect();
+        assert_eq!(names.len(), 4);
+        // Clamping: over-unity intensity is the same plan.
+        assert_eq!(plan.faults, FramePlan::standard_sweep(9, 7.0).faults);
+    }
+
+    #[test]
+    fn scramble_is_deterministic_per_stream() {
+        let plan = FramePlan::standard_sweep(42, 0.9);
+        let frames = split_frames(&trace(2048), 128);
+        let a = plan.scramble(3, frames.clone());
+        let b = plan.scramble(3, frames.clone());
+        assert_eq!(a, b);
+        let c = plan.scramble(4, frames);
+        assert_ne!(a.frames, c.frames);
+    }
+
+    #[test]
+    fn benign_faults_reassemble_bit_identically() {
+        let samples = trace(4096);
+        let frames = split_frames(&samples, 256);
+        let plan = FramePlan {
+            seed: 7,
+            faults: vec![
+                FrameFault::DuplicatedFrame { rate: 0.8 },
+                FrameFault::OutOfOrderArrival {
+                    rate: 0.8,
+                    distance: 3,
+                },
+            ],
+        };
+        let out = plan.scramble(1, frames);
+        assert!(!out.log.data_lost);
+        assert!(!out.log.duplicated.is_empty());
+        assert!(out.log.reordered > 0);
+        let rebuilt = reassemble(&out.frames);
+        assert_eq!(rebuilt.len(), samples.len());
+        assert!(rebuilt
+            .iter()
+            .zip(&samples)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn truncation_loses_samples_and_is_logged() {
+        let samples = trace(1024);
+        let frames = split_frames(&samples, 128);
+        let plan = FramePlan {
+            seed: 11,
+            faults: vec![FrameFault::TruncatedFrame {
+                rate: 1.0,
+                keep_fraction: 0.25,
+            }],
+        };
+        let out = plan.scramble(0, frames);
+        assert!(out.log.data_lost);
+        assert_eq!(out.log.truncated.len(), 8);
+        assert!(reassemble(&out.frames).len() < samples.len());
+        assert!(out
+            .log
+            .events
+            .iter()
+            .all(|e| e.fault.name() == "truncated_frame" && e.fault.is_lossy()));
+    }
+
+    #[test]
+    fn disconnect_cuts_the_tail() {
+        let frames = split_frames(&trace(1024), 128);
+        let plan = FramePlan {
+            seed: 13,
+            faults: vec![FrameFault::MidStreamDisconnect { rate: 1.0 }],
+        };
+        let out = plan.scramble(5, frames.clone());
+        assert!(out.log.data_lost);
+        assert!(out.frames.len() < frames.len());
+        assert!(!out.frames.is_empty());
+        let lost = out.log.disconnected_at.expect("disconnect fired");
+        assert!(out.frames.iter().all(|f| f.seq != lost));
+    }
+
+    #[test]
+    fn noop_knobs_are_noops() {
+        assert!(FrameFault::TruncatedFrame {
+            rate: 0.0,
+            keep_fraction: 0.5
+        }
+        .is_noop());
+        assert!(FrameFault::TruncatedFrame {
+            rate: 1.0,
+            keep_fraction: 1.0
+        }
+        .is_noop());
+        assert!(FrameFault::DuplicatedFrame { rate: 0.0 }.is_noop());
+        assert!(FrameFault::OutOfOrderArrival {
+            rate: 0.0,
+            distance: 2
+        }
+        .is_noop());
+        assert!(FrameFault::MidStreamDisconnect { rate: 0.0 }.is_noop());
+    }
+}

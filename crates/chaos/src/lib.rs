@@ -30,9 +30,13 @@
 //! ```
 
 pub mod fault;
+pub mod frame;
 pub mod inject;
 
 pub use fault::Fault;
+pub use frame::{
+    split_frames, FrameChunk, FrameEvent, FrameFault, FrameLog, FramePlan, ScrambledFrames,
+};
 pub use inject::{
     ChaosPlan, FaultEvent, Injected, InjectionLog, GAIN_CORRUPTION_TOLERANCE, ZONE_MARGIN,
 };

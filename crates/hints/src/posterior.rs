@@ -68,13 +68,24 @@ impl Posterior {
         &self.entries
     }
 
-    /// The most likely value.
+    /// The most likely value. Ties keep the later (larger) value, matching
+    /// `Iterator::max_by` semantics; a panic-free fold is used because the
+    /// service path must never be able to unwrap, even though `entries` is
+    /// non-empty by construction.
     pub fn mode(&self) -> i64 {
-        self.entries
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("non-empty posterior")
-            .0
+        let mut best: Option<(i64, f64)> = None;
+        for &(value, p) in &self.entries {
+            best = match best {
+                Some((_, bp))
+                    if p.partial_cmp(&bp).unwrap_or(std::cmp::Ordering::Equal)
+                        == std::cmp::Ordering::Less =>
+                {
+                    best
+                }
+                _ => Some((value, p)),
+            };
+        }
+        best.map_or(0, |(value, _)| value)
     }
 
     /// The probability of the mode.

@@ -1,0 +1,458 @@
+//! A bounded multi-producer single-consumer channel with explicit overflow
+//! policy and occupancy metrics.
+//!
+//! `std::sync::mpsc::sync_channel` blocks producers when full and reports
+//! nothing about how full it ever got. A long-running service needs both
+//! choices to be explicit: **block** (propagate backpressure upstream) or
+//! **shed** (reject the item now, count it, keep latency bounded), and it
+//! needs the high-water mark to prove its queues stayed bounded. This
+//! module provides exactly that on `Mutex` + `Condvar` — no unsafe, no
+//! spinning.
+//!
+//! ## Semantics
+//!
+//! - Capacity is a hard bound: the queue never holds more than `capacity`
+//!   items, and [`QueueMetrics::high_water`] records the deepest it got.
+//! - [`Sender::send`] honours an [`OverflowPolicy`]: `Block` waits for
+//!   space (or channel close), `Shed` fails fast with the item returned.
+//! - Dropping the last [`Sender`] closes the channel: the receiver drains
+//!   what is buffered, then sees [`RecvError::Closed`]. Dropping the
+//!   [`Receiver`] also closes it, so blocked producers always wake up.
+//! - FIFO order is preserved (single consumer).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// What a producer does when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Wait until space frees up (backpressure propagates upstream).
+    Block,
+    /// Reject the item immediately and count it as shed.
+    Shed,
+}
+
+impl std::fmt::Display for OverflowPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverflowPolicy::Block => write!(f, "block"),
+            OverflowPolicy::Shed => write!(f, "shed"),
+        }
+    }
+}
+
+/// Why a send did not enqueue. The item is always handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendError<T> {
+    /// The channel is closed (receiver dropped or explicitly closed).
+    Closed(T),
+    /// The queue was full under [`OverflowPolicy::Shed`].
+    Full(T),
+}
+
+impl<T> SendError<T> {
+    /// Recovers the item that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendError::Closed(item) | SendError::Full(item) => item,
+        }
+    }
+}
+
+/// Why a receive returned no item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The deadline passed with the queue still empty.
+    Timeout,
+    /// The channel is closed and fully drained.
+    Closed,
+}
+
+/// Occupancy counters for one channel, taken atomically under the lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueMetrics {
+    /// The configured hard bound.
+    pub capacity: usize,
+    /// Deepest occupancy ever observed (never exceeds `capacity`).
+    pub high_water: usize,
+    /// Current occupancy.
+    pub depth: usize,
+    /// Items accepted into the queue.
+    pub pushed: u64,
+    /// Items handed to the consumer.
+    pub popped: u64,
+    /// Items rejected under [`OverflowPolicy::Shed`].
+    pub shed: u64,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    senders: usize,
+    high_water: usize,
+    pushed: u64,
+    popped: u64,
+    shed: u64,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn metrics(&self) -> QueueMetrics {
+        let state = self.lock();
+        QueueMetrics {
+            capacity: self.capacity,
+            high_water: state.high_water,
+            depth: state.queue.len(),
+            pushed: state.pushed,
+            popped: state.popped,
+            shed: state.shed,
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// The producing half. Cloneable; the channel closes when the last clone
+/// is dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half. Dropping it closes the channel so blocked
+/// producers wake with [`SendError::Closed`].
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel with the given hard capacity (floored at 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            closed: false,
+            senders: 1,
+            high_water: 0,
+            pushed: 0,
+            popped: 0,
+            shed: 0,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            state.closed = true;
+            drop(state);
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `item` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] when the channel is closed;
+    /// [`SendError::Full`] when the queue is at capacity under
+    /// [`OverflowPolicy::Shed`] (the shed counter is incremented).
+    pub fn send(&self, item: T, policy: OverflowPolicy) -> Result<(), SendError<T>> {
+        let mut state = self.shared.lock();
+        loop {
+            if state.closed {
+                return Err(SendError::Closed(item));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(item);
+                state.pushed += 1;
+                state.high_water = state.high_water.max(state.queue.len());
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            match policy {
+                OverflowPolicy::Shed => {
+                    state.shed += 1;
+                    return Err(SendError::Full(item));
+                }
+                OverflowPolicy::Block => {
+                    state = self
+                        .shared
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// [`Sender::send`] with [`OverflowPolicy::Block`], but giving up after
+    /// `deadline` — the typed stall detector for a stage that stops
+    /// draining.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] when the channel is closed; [`SendError::Full`]
+    /// when the deadline passed with the queue still at capacity.
+    pub fn send_deadline(&self, item: T, deadline: Duration) -> Result<(), SendError<T>> {
+        let start = Instant::now();
+        let mut state = self.shared.lock();
+        loop {
+            if state.closed {
+                return Err(SendError::Closed(item));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(item);
+                state.pushed += 1;
+                state.high_water = state.high_water.max(state.queue.len());
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                state.shed += 1;
+                return Err(SendError::Full(item));
+            }
+            let (guard, _) = self
+                .shared
+                .not_full
+                .wait_timeout(state, deadline.saturating_sub(elapsed))
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Marks the channel closed without consuming the sender; later sends
+    /// fail with [`SendError::Closed`] and the receiver drains then stops.
+    pub fn close(&self) {
+        self.shared.close();
+    }
+
+    /// A snapshot of the channel's occupancy counters.
+    pub fn metrics(&self) -> QueueMetrics {
+        self.shared.metrics()
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Waits until an item arrives or the channel closes and drains.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Closed`] once the channel is closed and empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                state.popped += 1;
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.closed {
+                return Err(RecvError::Closed);
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// [`Receiver::recv`] with a deadline, so consumer loops can interleave
+    /// periodic work (expiry sweeps, kill-flag checks) with draining.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] when the deadline passes with the queue still
+    /// empty; [`RecvError::Closed`] once the channel is closed and empty.
+    pub fn recv_timeout(&self, deadline: Duration) -> Result<T, RecvError> {
+        let start = Instant::now();
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                state.popped += 1;
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.closed {
+                return Err(RecvError::Closed);
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline.saturating_sub(elapsed))
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// A snapshot of the channel's occupancy counters.
+    pub fn metrics(&self) -> QueueMetrics {
+        self.shared.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = bounded(8);
+        for i in 0..8 {
+            tx.send(i, OverflowPolicy::Block).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn shed_policy_rejects_at_capacity_and_counts() {
+        let (tx, rx) = bounded(2);
+        tx.send(1, OverflowPolicy::Shed).unwrap();
+        tx.send(2, OverflowPolicy::Shed).unwrap();
+        assert_eq!(tx.send(3, OverflowPolicy::Shed), Err(SendError::Full(3)));
+        let m = tx.metrics();
+        assert_eq!((m.depth, m.high_water, m.shed), (2, 2, 1));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.send(4, OverflowPolicy::Shed).unwrap();
+        assert_eq!(tx.metrics().high_water, 2);
+    }
+
+    #[test]
+    fn block_policy_waits_for_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1, OverflowPolicy::Block).unwrap();
+        let producer = thread::spawn(move || tx.send(2, OverflowPolicy::Block));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn close_unblocks_both_sides() {
+        let (tx, rx) = bounded(1);
+        tx.send(1, OverflowPolicy::Block).unwrap();
+        let tx2 = tx.clone();
+        let producer = thread::spawn(move || tx2.send(2, OverflowPolicy::Block));
+        thread::sleep(Duration::from_millis(20));
+        tx.close();
+        assert_eq!(producer.join().unwrap(), Err(SendError::Closed(2)));
+        // Buffered item still drains, then Closed.
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError::Closed));
+    }
+
+    #[test]
+    fn dropping_last_sender_closes() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(7, OverflowPolicy::Block).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(50)),
+            Err(RecvError::Timeout)
+        );
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError::Closed));
+    }
+
+    #[test]
+    fn dropping_receiver_fails_sends() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.send(1, OverflowPolicy::Block), Err(SendError::Closed(1)));
+    }
+
+    #[test]
+    fn send_deadline_times_out_when_stalled() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1, OverflowPolicy::Block).unwrap();
+        let err = tx.send_deadline(2, Duration::from_millis(30));
+        assert_eq!(err, Err(SendError::Full(2)));
+        assert_eq!(tx.metrics().shed, 1);
+    }
+
+    proptest! {
+        /// Under any interleaving of sends (either policy) and receives,
+        /// occupancy never exceeds capacity, the high-water mark is honest,
+        /// and conservation holds: pushed = popped + depth.
+        #[test]
+        fn capacity_is_a_hard_bound(
+            capacity in 1usize..6,
+            ops in proptest::collection::vec(0u8..3, 1..80),
+        ) {
+            let (tx, rx) = bounded(capacity);
+            let mut max_seen = 0usize;
+            for op in ops {
+                match op {
+                    0 => { let _ = tx.send(op, OverflowPolicy::Shed); }
+                    1 => { let _ = tx.send_deadline(op, Duration::from_millis(1)); }
+                    _ => { let _ = rx.recv_timeout(Duration::from_millis(1)); }
+                }
+                let m = tx.metrics();
+                max_seen = max_seen.max(m.depth);
+                prop_assert!(m.depth <= capacity);
+                prop_assert!(m.high_water <= capacity);
+                prop_assert_eq!(m.pushed, m.popped + m.depth as u64);
+            }
+            prop_assert!(tx.metrics().high_water >= max_seen);
+        }
+    }
+}

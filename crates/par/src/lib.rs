@@ -73,9 +73,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+pub mod channel;
 pub mod cost;
 pub mod simd;
 
+pub use channel::{bounded, OverflowPolicy, QueueMetrics, RecvError, SendError};
 pub use cost::{snapshots as cost_snapshots, spawn_cost_ns, CostModel, CostSnapshot, Plan};
 
 /// Process-wide thread-count override (0 = unset). Written only under

@@ -47,6 +47,26 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// The `p`-th percentile (`0.0 ≤ p ≤ 100.0`, clamped) of a slice by linear
+/// interpolation between order statistics (0.0 for an empty slice).
+/// `percentile(xs, 50.0)` agrees with [`median`] for every length.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
 /// The median absolute deviation from the median (0.0 for an empty slice).
 pub fn median_abs_deviation(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -102,6 +122,23 @@ mod tests {
         assert_eq!(median(&[3.0]), 3.0);
         assert_eq!(median(&[1.0, 3.0, 2.0]), 2.0);
         assert_eq!(median(&[1.0, 2.0, 3.0, 10.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates_and_matches_median() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), median(&xs));
+        // rank 0.25·3 = 0.75 → 1.0 + 0.75·(2.0 − 1.0).
+        assert_eq!(percentile(&xs, 25.0), 1.75);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 400.0), 4.0);
+        let odd = [9.0, 5.0, 1.0];
+        assert_eq!(percentile(&odd, 50.0), median(&odd));
     }
 
     #[test]
