@@ -47,7 +47,7 @@ pub use device::{burst_iterations, Capture, Device};
 pub use profile::{
     collect_profiling, collect_profiling_baseline, extract_ladder_windows,
     extract_ladder_windows_reference, ladder_window_starts, AttackError, CoefficientEstimate,
-    ExploitedPcs, ProfilingData, SingleTraceAttack, TrainedAttack,
+    ExploitedPcs, LearnedRail, ProfilingData, SingleTraceAttack, TrainedAttack,
 };
 pub use recover::{
     recover_adaptive, recover_message, recover_message_from_u, recover_message_partial,
@@ -59,5 +59,9 @@ pub use report::{
 };
 pub use robust::{
     calibrate, integrate_decision, relaxation_schedule, report_robust, Calibration, Diagnostics,
-    HintDecision, RobustAttack, RobustAttackResult, RobustCoefficient, RobustConfig, Suspicion,
+    HintDecision, Rail, RailDiagnostics, RobustAttack, RobustAttackResult, RobustCoefficient,
+    RobustConfig, Suspicion,
 };
+// The learned rail's knobs and typed failures, so two-rail consumers need
+// only this crate.
+pub use reveal_template::{LearnedConfig, LearnedError};

@@ -8,7 +8,10 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use reveal_rv32::kernel::KernelError;
 use reveal_rv32::PowerCapture;
-use reveal_template::{CovarianceMode, ScoreTable, TemplateError, TemplateSet};
+use reveal_template::{
+    CovarianceMode, LearnedClassifier, LearnedConfig, LearnedError, ScoreTable, TemplateError,
+    TemplateSet,
+};
 use reveal_trace::poi::{select_pois, PoiError};
 use reveal_trace::segment::{find_bursts, SegmentError};
 use reveal_trace::{Trace, TraceSet};
@@ -128,7 +131,9 @@ fn windows_after_bursts(
 }
 
 /// The trained single-trace attacker: sign templates plus sign-conditional
-/// value templates (with negation/store fusion for the negative class).
+/// value templates (with negation/store fusion for the negative class),
+/// optionally carrying the learned second rail for per-burst arbitration
+/// in the robust driver.
 #[derive(Debug, Clone)]
 pub struct TrainedAttack {
     config: AttackConfig,
@@ -141,6 +146,72 @@ pub struct TrainedAttack {
     neg_late_pois: Vec<usize>,
     neg_late_templates: TemplateSet,
     profiling_windows: usize,
+    learned: Option<LearnedRail>,
+}
+
+/// The learned classification rail: seeded logistic-regression classifiers
+/// over the *same* POI projections the pooled-Gaussian templates read,
+/// trained from the same profiling captures
+/// ([`TrainedAttack::fit_learned_rail`]) with noise augmentation and
+/// held-out temperature calibration. The negative class uses one classifier
+/// over the concatenated negation-region and store-region projections —
+/// the learned analogue of the template rail's score fusion.
+#[derive(Debug, Clone)]
+pub struct LearnedRail {
+    sign_pois: Vec<usize>,
+    pos_pois: Vec<usize>,
+    /// Negation-region POIs followed by store-region POIs.
+    neg_pois: Vec<usize>,
+    sign: LearnedClassifier,
+    pos: LearnedClassifier,
+    neg: LearnedClassifier,
+}
+
+impl LearnedRail {
+    /// Classifies one ladder window through the learned rail, mirroring
+    /// [`TrainedAttack::attack_window`]: sign first, then the
+    /// sign-conditional value classifier. The probabilities are the
+    /// temperature-calibrated softmax.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learned-classifier failures (never panics on finite
+    /// windows of the trained length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is shorter than the trained ladder window (same
+    /// contract as the template rail).
+    pub fn attack_window(&self, window: &[f64]) -> Result<CoefficientEstimate, LearnedError> {
+        let project = |pois: &[usize]| -> Vec<f64> { pois.iter().map(|&i| window[i]).collect() };
+        let sign = self.sign.classify(&project(&self.sign_pois))?.best_label();
+        let (predicted, probabilities) = match sign {
+            0 => (0, vec![(0, 1.0)]),
+            s if s > 0 => {
+                let scores = self.pos.classify(&project(&self.pos_pois))?;
+                (scores.best_label(), scores.probabilities())
+            }
+            _ => {
+                let scores = self.neg.classify(&project(&self.neg_pois))?;
+                (scores.best_label(), scores.probabilities())
+            }
+        };
+        Ok(CoefficientEstimate {
+            sign,
+            predicted,
+            probabilities,
+        })
+    }
+
+    /// Calibrated temperatures of the (sign, positive, negative)
+    /// classifiers — diagnostics for the robust report.
+    pub fn temperatures(&self) -> (f64, f64, f64) {
+        (
+            self.sign.temperature(),
+            self.pos.temperature(),
+            self.neg.temperature(),
+        )
+    }
 }
 
 /// The per-coefficient outcome of a single-trace attack.
@@ -510,7 +581,108 @@ impl TrainedAttack {
             neg_late_pois,
             neg_late_templates,
             profiling_windows,
+            learned: None,
         })
+    }
+
+    /// Seed-explicit **two-rail** profiling: collects one profiling
+    /// campaign, fits the pooled-Gaussian templates, then trains the
+    /// learned rail from the *same* labelled windows and attaches it.
+    ///
+    /// The learned rail's failure is **not** fatal: a diverged or
+    /// degenerate training run returns the template-only attacker plus the
+    /// typed [`LearnedError`] so the caller can record the LDA-only
+    /// fallback in its report — the driver degrades, it never panics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrainedAttack::profile_seeded`] (template-rail failures
+    /// are still fatal: without templates there is no attack at all).
+    pub fn profile_seeded_two_rail(
+        device: &Device,
+        runs: usize,
+        config: &AttackConfig,
+        master_seed: u64,
+        learned: &LearnedConfig,
+    ) -> Result<(Self, Option<LearnedError>), AttackError> {
+        let data = collect_profiling(device, runs, config, master_seed)?;
+        let mut attack = Self::fit(
+            config.clone(),
+            data.sign_set.clone(),
+            data.pos_set.clone(),
+            data.neg_set.clone(),
+            data.total_windows,
+        )?;
+        match attack.fit_learned_rail(&data, learned) {
+            Ok(rail) => {
+                attack.learned = Some(rail);
+                Ok((attack, None))
+            }
+            Err(e) => Ok((attack, Some(e))),
+        }
+    }
+
+    /// Trains the learned rail from a profiling campaign's labelled
+    /// windows, projected onto this attacker's already-selected POIs (the
+    /// rails therefore read identical evidence). Per-classifier seeds are
+    /// derived from `config.seed` so the three problems get independent
+    /// deterministic streams.
+    ///
+    /// # Errors
+    ///
+    /// Propagates typed learned-training failures; the attacker itself is
+    /// untouched on error.
+    pub fn fit_learned_rail(
+        &self,
+        data: &ProfilingData,
+        config: &LearnedConfig,
+    ) -> Result<LearnedRail, LearnedError> {
+        let project = |set: &TraceSet, pois: &[usize]| -> Vec<(i64, Vec<f64>)> {
+            set.iter()
+                .map(|t| (t.label().unwrap_or(0), t.project(pois)))
+                .collect()
+        };
+        let neg_pois: Vec<usize> = self
+            .neg_early_pois
+            .iter()
+            .chain(&self.neg_late_pois)
+            .copied()
+            .collect();
+        let seeded = |stream: u64| {
+            config
+                .clone()
+                .with_seed(reveal_par::derive_seed(config.seed, stream))
+        };
+        let sign = LearnedClassifier::fit(&project(&data.sign_set, &self.sign_pois), &seeded(1))?;
+        let pos = LearnedClassifier::fit(&project(&data.pos_set, &self.pos_pois), &seeded(2))?;
+        let neg = LearnedClassifier::fit(&project(&data.neg_set, &neg_pois), &seeded(3))?;
+        Ok(LearnedRail {
+            sign_pois: self.sign_pois.clone(),
+            pos_pois: self.pos_pois.clone(),
+            neg_pois,
+            sign,
+            pos,
+            neg,
+        })
+    }
+
+    /// Attaches (or replaces) the learned rail.
+    #[must_use]
+    pub fn with_learned_rail(mut self, rail: LearnedRail) -> Self {
+        self.learned = Some(rail);
+        self
+    }
+
+    /// Drops the learned rail (template-only attacker).
+    #[must_use]
+    pub fn without_learned_rail(mut self) -> Self {
+        self.learned = None;
+        self
+    }
+
+    /// The attached learned rail, if any.
+    pub fn learned_rail(&self) -> Option<&LearnedRail> {
+        self.learned.as_ref()
     }
 
     /// The configuration the attacker was trained with.

@@ -63,6 +63,13 @@ pub struct RobustConfig {
     /// Posterior-variance floor assigned when a suspect window's hint is
     /// demoted from perfect to approximate.
     pub demoted_variance_floor: f64,
+    /// Enables per-burst rail arbitration when the attacker carries a
+    /// learned rail ([`TrainedAttack::learned_rail`]). Arbitration arms
+    /// only on *degraded* evidence (noise inflation, relaxed segmentation,
+    /// healing, or a soft-suspect window), so a clean capture never
+    /// consults the learned rail and stays bit-identical to the plain
+    /// pipeline whether this is on or off.
+    pub arbitration: bool,
 }
 
 impl Default for RobustConfig {
@@ -75,6 +82,7 @@ impl Default for RobustConfig {
             length_z: 8.0,
             inflation_knee: 1.5,
             demoted_variance_floor: 0.25,
+            arbitration: true,
         }
     }
 }
@@ -180,19 +188,34 @@ pub enum HintDecision {
     Skipped,
 }
 
+/// Which classification rail produced a coefficient's decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Rail {
+    /// The pooled-Gaussian template rail (the default, and the only rail
+    /// on clean captures).
+    #[default]
+    Lda,
+    /// The learned logistic-regression rail won the per-burst arbitration.
+    Learned,
+}
+
 /// One coefficient's robust outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RobustCoefficient {
-    /// The template estimate (`None` when no usable window existed).
+    /// The winning rail's estimate (`None` when no usable window existed).
     pub estimate: Option<CoefficientEstimate>,
     /// Derated confidence in `[0, 1]`: the posterior top probability times
     /// the noise derating, zeroed for hard-suspect windows. Monotonically
-    /// non-increasing in the injected noise level by construction.
+    /// non-increasing in the injected noise level by construction on the
+    /// template rail; the learned rail reports its calibrated confidence
+    /// instead.
     pub confidence: f64,
     /// Which sanity screens fired.
     pub suspicion: Suspicion,
     /// The hint-ladder decision.
     pub decision: HintDecision,
+    /// Which rail the decision came from.
+    pub rail: Rail,
 }
 
 /// Pipeline observability: what the driver had to do to get a result.
@@ -215,6 +238,28 @@ pub struct Diagnostics {
     pub noise_variance_floor: f64,
     /// Windows with at least one soft suspicion.
     pub suspect_windows: usize,
+    /// Two-rail arbitration observability.
+    pub rail: RailDiagnostics,
+}
+
+/// How the per-burst classifier arbitration went (all zeros/false for a
+/// template-only attacker or a clean capture).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RailDiagnostics {
+    /// The attacker carried a trained learned rail.
+    pub attached: bool,
+    /// Arbitration was enabled *and* a rail was attached (a failed/NaN
+    /// training run leaves this false — the recorded LDA-only fallback).
+    pub arbitrated: bool,
+    /// Windows where degradation armed the arbiter and both rails scored.
+    pub armed_windows: usize,
+    /// Armed windows the learned rail won on calibrated margin.
+    pub learned_wins: usize,
+    /// Armed windows the template rail kept.
+    pub lda_wins: usize,
+    /// Learned-rail scoring failures (window fell back to the template
+    /// rail).
+    pub learned_errors: usize,
 }
 
 /// The robust single-trace result.
@@ -357,18 +402,82 @@ impl<'a> RobustAttack<'a> {
         let suspicions = self.screen(samples, &segmented)?;
         diagnostics.suspect_windows = suspicions.iter().filter(|s| s.soft()).count();
 
+        // Per-burst rail arbitration arms only on degraded evidence: a
+        // trace-level degradation signal (the same ones that arm variance
+        // inflation and healing) or a window's own soft suspicion. On a
+        // clean capture nothing below fires, the learned rail is never
+        // consulted, and the template path runs verbatim — that is how
+        // arbitration coexists with the zero-fault bit-identity contract.
+        diagnostics.rail.attached = self.attack.learned_rail().is_some();
+        let learned_rail = if self.config.arbitration {
+            self.attack.learned_rail()
+        } else {
+            None
+        };
+        diagnostics.rail.arbitrated = learned_rail.is_some();
+        let trace_degraded = diagnostics.variance_inflation > 1.0
+            || diagnostics.noise_variance_floor > 0.0
+            || diagnostics.relaxation_rung > 0
+            || diagnostics.healed_merges + diagnostics.healed_splits > 0
+            || diagnostics.missing_windows > 0;
+
         // Classify windows (deterministically parallel, like the plain
-        // pipeline).
-        let estimates: Vec<Option<CoefficientEstimate>> =
-            reveal_par::par_map(&segmented, |sw| match &sw.window {
+        // pipeline); armed windows are scored by both rails in the same
+        // fan-out.
+        struct WindowScores {
+            lda: Option<CoefficientEstimate>,
+            learned: Option<CoefficientEstimate>,
+            armed: bool,
+            learned_error: bool,
+        }
+        let scored: Vec<WindowScores> = reveal_par::par_map_index(segmented.len(), |i| {
+            let sw = &segmented[i];
+            let suspicion = &suspicions[i];
+            let lda = match &sw.window {
                 Some(w) => self.attack.attack_window(w).ok(),
                 None => None,
-            });
+            };
+            let armed = learned_rail.is_some()
+                && sw.window.is_some()
+                && !suspicion.hard()
+                && (trace_degraded || suspicion.soft());
+            let (learned, learned_error) = match (learned_rail, &sw.window) {
+                (Some(rail), Some(w)) if armed => match rail.attack_window(w) {
+                    Ok(e) => (Some(e), false),
+                    Err(_) => (None, true),
+                },
+                _ => (None, false),
+            };
+            WindowScores {
+                lda,
+                learned,
+                armed,
+                learned_error,
+            }
+        });
 
         let effective = policy.with_variance_inflation(diagnostics.variance_inflation);
         let mut coefficients = Vec::with_capacity(n);
-        for (estimate, suspicion) in estimates.into_iter().zip(suspicions) {
-            coefficients.push(self.gate(estimate, suspicion, &effective, derate, noise_floor));
+        for (scores, suspicion) in scored.into_iter().zip(suspicions) {
+            diagnostics.rail.armed_windows += usize::from(scores.armed);
+            diagnostics.rail.learned_errors += usize::from(scores.learned_error);
+            let learned_scored = scores.learned.is_some();
+            let coefficient = self.gate(
+                scores.lda,
+                scores.learned,
+                suspicion,
+                &effective,
+                policy,
+                derate,
+                noise_floor,
+            );
+            if learned_scored {
+                match coefficient.rail {
+                    Rail::Learned => diagnostics.rail.learned_wins += 1,
+                    Rail::Lda => diagnostics.rail.lda_wins += 1,
+                }
+            }
+            coefficients.push(coefficient);
         }
         Ok(RobustAttackResult {
             coefficients,
@@ -600,12 +709,25 @@ impl<'a> RobustAttack<'a> {
         Ok(suspicions)
     }
 
-    /// Stage 3: the degradation ladder for one coefficient.
+    /// Stage 3: the degradation ladder for one coefficient, with per-burst
+    /// rail arbitration. The template leg runs exactly as it always has
+    /// (inflated variance, noise floor, suspicion demotion); when the
+    /// learned rail also scored the window, its *calibrated* posterior is
+    /// classified against the caller's uninflated policy — the calibration
+    /// already priced the noise in, that is what the augmented training and
+    /// temperature scaling are for — but capped at an approximate hint
+    /// (arbitration only arms on degraded evidence, and a degraded window
+    /// must never claim a perfect hint). The rail with the better
+    /// calibrated margin (top-probability confidence, after the same
+    /// suspicion halving) wins the burst.
+    #[allow(clippy::too_many_arguments)]
     fn gate(
         &self,
         estimate: Option<CoefficientEstimate>,
+        learned: Option<CoefficientEstimate>,
         suspicion: Suspicion,
         policy: &HintPolicy,
+        base_policy: &HintPolicy,
         derate: f64,
         noise_floor: f64,
     ) -> RobustCoefficient {
@@ -615,6 +737,7 @@ impl<'a> RobustAttack<'a> {
                 confidence: 0.0,
                 suspicion,
                 decision: HintDecision::Skipped,
+                rail: Rail::Lda,
             };
         };
         if suspicion.hard() {
@@ -623,6 +746,7 @@ impl<'a> RobustAttack<'a> {
                 confidence: 0.0,
                 suspicion,
                 decision: HintDecision::Skipped,
+                rail: Rail::Lda,
             };
         }
         let posterior = Posterior::new(estimate.probabilities.clone()).ok();
@@ -672,11 +796,69 @@ impl<'a> RobustAttack<'a> {
                 };
             }
         }
+
+        // The learned leg: calibrated posterior variance, floored at the
+        // demotion level and never promoted past an approximate hint.
+        if let Some(learned_estimate) = learned {
+            let learned_variance = Posterior::new(learned_estimate.probabilities.clone())
+                .ok()
+                .map_or(f64::INFINITY, |p| p.variance());
+            let floored = learned_variance.max(self.config.demoted_variance_floor);
+            let learned_decision = match base_policy.classify_variance(floored) {
+                HintClass::Perfect | HintClass::Approximate { .. } => {
+                    let prior = base_policy.prior_variance;
+                    HintDecision::Approximate {
+                        value: learned_estimate.predicted,
+                        eps_squared: floored * prior / (prior - floored).max(1e-9),
+                    }
+                }
+                HintClass::Skipped => HintDecision::Skipped,
+            };
+            let mut learned_confidence = learned_estimate.confidence();
+            if suspicion.soft() {
+                learned_confidence *= 0.5;
+            }
+            // Switching rails must never weaken the hint: the learned
+            // decision has to dominate the template one — a higher ladder
+            // rung, or the same approximate rung at no worse ε². In the
+            // transition band where LDA is degraded-but-usable this keeps
+            // its sharper hints; once inflation has pushed LDA to skipped,
+            // any learned approximate dominates. Per-window dominance makes
+            // the arbitrated hint set at least as strong as LDA-only's, so
+            // the resulting bikz can only improve.
+            let ladder_rank = |d: &HintDecision| match d {
+                HintDecision::Perfect { .. } => 2u8,
+                HintDecision::Approximate { .. } => 1,
+                HintDecision::Skipped => 0,
+            };
+            let dominates = match (&learned_decision, &decision) {
+                (
+                    HintDecision::Approximate {
+                        eps_squared: le, ..
+                    },
+                    HintDecision::Approximate {
+                        eps_squared: de, ..
+                    },
+                ) => le <= de,
+                (l, d) => ladder_rank(l) >= ladder_rank(d),
+            };
+            if learned_confidence > confidence && dominates {
+                return RobustCoefficient {
+                    estimate: Some(learned_estimate),
+                    confidence: learned_confidence,
+                    suspicion,
+                    decision: learned_decision,
+                    rail: Rail::Learned,
+                };
+            }
+        }
+
         RobustCoefficient {
             estimate: Some(estimate),
             confidence,
             suspicion,
             decision,
+            rail: Rail::Lda,
         }
     }
 }
@@ -751,7 +933,7 @@ mod tests {
     use super::*;
     use crate::device::Device;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use reveal_rv32::power::PowerModelConfig;
 
     const Q: u64 = 3329;
@@ -811,6 +993,156 @@ mod tests {
         let flat = vec![1.0; 5000];
         let err = robust.attack_trace(&flat, 16, &HintPolicy::seal_paper());
         assert!(matches!(err, Err(AttackError::Segment(_))));
+    }
+
+    fn trained_two_rail(n: usize, seed: u64) -> (Device, TrainedAttack) {
+        let device =
+            Device::new(n, &[Q], PowerModelConfig::default().with_noise_sigma(0.05)).unwrap();
+        let learned = crate::LearnedConfig::default();
+        let (attack, err) = TrainedAttack::profile_seeded_two_rail(
+            &device,
+            30,
+            &AttackConfig::default(),
+            seed,
+            &learned,
+        )
+        .unwrap();
+        assert!(err.is_none(), "learned rail must train: {err:?}");
+        (device, attack)
+    }
+
+    #[test]
+    fn clean_capture_never_consults_the_learned_rail() {
+        let (device, attack) = trained_two_rail(16, 0xA11CE);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cal_capture = device.capture_fresh(&mut rng).unwrap();
+        let calibration = calibrate(&cal_capture.run.capture.samples, attack.config()).unwrap();
+        let capture = device.capture_fresh(&mut rng).unwrap();
+
+        let lda_only = attack.clone().without_learned_rail();
+        let reference = RobustAttack::new(&lda_only)
+            .with_calibration(calibration)
+            .attack_trace(&capture.run.capture.samples, 16, &HintPolicy::seal_paper())
+            .unwrap();
+        let arbitrated = RobustAttack::new(&attack)
+            .with_calibration(calibration)
+            .attack_trace(&capture.run.capture.samples, 16, &HintPolicy::seal_paper())
+            .unwrap();
+
+        // On a clean capture arbitration never arms, so the outcome is the
+        // template rail's, bit for bit.
+        assert!(arbitrated.diagnostics.rail.attached);
+        assert!(arbitrated.diagnostics.rail.arbitrated);
+        if arbitrated.coefficients.iter().all(|c| c.suspicion.clean()) {
+            assert_eq!(arbitrated.diagnostics.rail.armed_windows, 0);
+        }
+        for (a, r) in arbitrated.coefficients.iter().zip(&reference.coefficients) {
+            if a.suspicion.clean() {
+                assert_eq!(a.rail, Rail::Lda);
+                assert_eq!(a.decision, r.decision);
+                assert_eq!(a.confidence.to_bits(), r.confidence.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn arbitration_keeps_hints_on_noisy_captures() {
+        let (device, attack) = trained_two_rail(16, 0x5EED);
+        let mut rng = StdRng::seed_from_u64(9);
+        let cal_capture = device.capture_fresh(&mut rng).unwrap();
+        let calibration = calibrate(&cal_capture.run.capture.samples, attack.config()).unwrap();
+        let capture = device.capture_fresh(&mut rng).unwrap();
+
+        // Inject ~3x the calibrated noise (in quadrature), well past the
+        // inflation knee: the template rail's floor skips everything.
+        let sigma = calibration.reference_noise_sigma * 3.0;
+        let mut noise_rng = StdRng::seed_from_u64(77);
+        let noisy: Vec<f64> = capture
+            .run
+            .capture
+            .samples
+            .iter()
+            .map(|s| {
+                let u1: f64 = (1.0 - noise_rng.gen::<f64>()).max(1e-300);
+                let u2: f64 = noise_rng.gen();
+                s + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+
+        let policy = HintPolicy::seal_paper();
+        let lda_only = attack.clone().without_learned_rail();
+        let reference = RobustAttack::new(&lda_only)
+            .with_calibration(calibration)
+            .attack_trace(&noisy, 16, &policy)
+            .unwrap();
+        let arbitrated = RobustAttack::new(&attack)
+            .with_calibration(calibration)
+            .attack_trace(&noisy, 16, &policy)
+            .unwrap();
+
+        assert!(arbitrated.diagnostics.variance_inflation > 1.0);
+        assert!(arbitrated.diagnostics.rail.armed_windows > 0);
+        assert!(arbitrated.diagnostics.rail.learned_wins > 0);
+        // The learned rail never claims a perfect hint.
+        assert!(arbitrated
+            .coefficients
+            .iter()
+            .filter(|c| c.rail == Rail::Learned)
+            .all(|c| !matches!(c.decision, HintDecision::Perfect { .. })));
+        // Graceful degradation: strictly more usable hints than LDA-only.
+        let (_, ref_approx, ref_skipped) = reference.decision_counts();
+        let (_, arb_approx, arb_skipped) = arbitrated.decision_counts();
+        assert!(
+            arb_approx > ref_approx && arb_skipped < ref_skipped,
+            "arbitrated approx {arb_approx} (lda {ref_approx}), skipped {arb_skipped} (lda {ref_skipped})"
+        );
+    }
+
+    #[test]
+    fn disabled_arbitration_stays_on_the_template_rail() {
+        let (device, attack) = trained_two_rail(16, 0xD15AB);
+        let mut rng = StdRng::seed_from_u64(4);
+        let capture = device.capture_fresh(&mut rng).unwrap();
+        let config = RobustConfig {
+            arbitration: false,
+            ..RobustConfig::default()
+        };
+        let result = RobustAttack::new(&attack)
+            .with_config(config)
+            .attack_trace(&capture.run.capture.samples, 16, &HintPolicy::seal_paper())
+            .unwrap();
+        assert!(result.diagnostics.rail.attached);
+        assert!(!result.diagnostics.rail.arbitrated);
+        assert_eq!(result.diagnostics.rail.armed_windows, 0);
+        assert!(result.coefficients.iter().all(|c| c.rail == Rail::Lda));
+    }
+
+    #[test]
+    fn failed_training_degrades_to_lda_only_with_typed_error() {
+        let device =
+            Device::new(16, &[Q], PowerModelConfig::default().with_noise_sigma(0.05)).unwrap();
+        let hot = crate::LearnedConfig {
+            learning_rate: 1e12,
+            ..crate::LearnedConfig::default()
+        };
+        let (attack, err) = TrainedAttack::profile_seeded_two_rail(
+            &device,
+            30,
+            &AttackConfig::default(),
+            0xBAD,
+            &hot,
+        )
+        .unwrap();
+        assert!(err.is_some(), "hot learning rate must fail training");
+        assert!(attack.learned_rail().is_none());
+        // The degraded attacker still attacks, LDA-only, and records it.
+        let mut rng = StdRng::seed_from_u64(5);
+        let capture = device.capture_fresh(&mut rng).unwrap();
+        let result = RobustAttack::new(&attack)
+            .attack_trace(&capture.run.capture.samples, 16, &HintPolicy::seal_paper())
+            .unwrap();
+        assert!(!result.diagnostics.rail.attached);
+        assert!(!result.diagnostics.rail.arbitrated);
     }
 
     #[test]

@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Ablation A5**: POI templates versus Fisher-LDA templates on the same
 //! ladder windows — the dimensionality-reduction alternative to the paper's
 //! SOSD point picking (\[36\] discusses the trade-off).

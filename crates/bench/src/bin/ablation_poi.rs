@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Ablation A2**: POI selection — method (SOSD as in the paper, SOST,
 //! plain mean-variance) and POI count versus attack accuracy, quantifying
 //! the "curse of dimensionality" trade-off (§V-B).

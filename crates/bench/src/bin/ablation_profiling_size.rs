@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Ablation A3**: how much profiling data the templates need — the paper
 //! used 220 000 profiling measurements; this sweep shows the accuracy curve
 //! from a few hundred windows up ("Template attacks need profiling … may

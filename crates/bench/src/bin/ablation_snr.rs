@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Ablation A1**: attack accuracy versus measurement noise (SNR sweep) —
 //! the knob a simulated bench has and a physical one does not. Shows where
 //! the paper's "100% sign success" regime ends.

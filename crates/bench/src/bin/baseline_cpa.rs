@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Multi-trace baseline**: correlation power analysis against the sampler,
 //! demonstrating the premise of §II-B — "since secret and error values are
 //! freshly computed for each new encryption operation, the adversary has to

@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Chaos robustness sweep**: runs the self-healing attack driver against
 //! `reveal-chaos` fault plans of increasing intensity and records how the
 //! hint ladder degrades — perfect hints must fall, approximate/skipped

@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Pipeline timing harness**: wall-clock of each attack stage with the
 //! `reveal-par` runtime pinned to one worker vs the machine's full thread
 //! count, plus a bit-identity check between the two runs (the determinism
@@ -106,9 +109,9 @@ fn run_pipeline(
     let windows: Vec<Vec<f64>> = captures
         .iter()
         .map(|cap| {
-            let all =
-                reveal_attack::extract_ladder_windows(&cap.run.capture.samples, config).unwrap();
-            all.into_iter().next().unwrap()
+            let all = reveal_attack::extract_ladder_windows(&cap.run.capture.samples, config)
+                .expect("clean capture segments");
+            all.into_iter().next().expect("at least one window")
         })
         .collect();
     let hypotheses: Vec<Vec<f64>> = (-14i64..=14)

@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Serve-mode benchmark**: the attack-as-a-service supervisor
 //! (`reveal-serve`) fed the same workload as `bench_pipeline`, measuring
 //! end-to-end throughput and latency while asserting the service's three

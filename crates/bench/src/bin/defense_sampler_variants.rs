@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **§V-A sampler-variant study**: how the single-trace attack fares against
 //! the three countermeasure candidates the paper discusses —
 //!

@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Ablation A4 / §V-A**: quantitative evaluation of the shuffling
 //! countermeasure the paper recommends — coefficient-order randomization
 //! keeps the per-window leakage but destroys the coordinate assignment the

@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **E9** generator: end-to-end message recovery on reduced-dimension
 //! parameters — the step the paper only *estimates* (via bikz), executed for
 //! real: single trace → coefficient posteriors → exact relations from the

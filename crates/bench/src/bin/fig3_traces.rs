@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Figure 3** generator: (a) a full-trace portion covering three
 //! coefficient samplings (noise > 0, < 0, = 0) with the distribution-call
 //! peaks visible, and (b) the three branch sub-traces whose distinct power
@@ -18,14 +21,14 @@ fn main() {
     // A fourth dummy coefficient ensures the zero window has a successor
     // burst (on the real device the encryption continues anyway).
     let values = [5i64, -3, 0, 1];
-    let device = Device::new(4, &[PAPER_Q], PowerModelConfig::default()).unwrap();
+    let device = Device::new(4, &[PAPER_Q], PowerModelConfig::default()).expect("device");
     let mut rng = StdRng::seed_from_u64(2022);
-    let capture = device.capture_chosen(&values, &mut rng).unwrap();
+    let capture = device.capture_chosen(&values, &mut rng).expect("capture");
     let samples = &capture.run.capture.samples;
 
     println!("=== Fig. 3(a): full power trace, three coefficient samplings ===");
     println!("{}", ascii_plot(samples, 110, 12));
-    let bursts = find_bursts(samples, &SegmentConfig::default()).unwrap();
+    let bursts = find_bursts(samples, &SegmentConfig::default()).expect("burst detection");
     println!(
         "distribution-call peaks found at sample offsets: {:?}",
         bursts.iter().map(|b| b.0).collect::<Vec<_>>()
@@ -41,7 +44,7 @@ fn main() {
 
     println!("\n=== Fig. 3(b): per-branch sub-traces (noise > 0, < 0, = 0) ===");
     let config = AttackConfig::default();
-    let windows = extract_ladder_windows(samples, &config).unwrap();
+    let windows = extract_ladder_windows(samples, &config).expect("segmentation");
     assert_eq!(windows.len(), 4);
     let names = ["noise_positive", "noise_negative", "noise_zero"];
     for (name, window) in names.iter().zip(&windows) {

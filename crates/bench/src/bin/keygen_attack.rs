@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Key-generation attack**: the paper attacks `Encrypt` (one trace → one
 //! message), but SEAL's `KeyGen` draws its noise `e` through the *same*
 //! vulnerable routine — so one trace of key generation yields the long-term

@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Generality check**: the paper claims the attack "is applicable to all
 //! security levels and values of n". Larger SEAL degrees use multi-prime RNS
 //! chains, which change the vulnerable ladder's shape: the store loop runs

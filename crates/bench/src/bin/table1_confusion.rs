@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Table I** generator: attack success percentages per coefficient.
 //! Columns are the actual sampled coefficients, rows the predictions;
 //! the paper prints the [-7, 7] view, the full matrix goes to CSV.

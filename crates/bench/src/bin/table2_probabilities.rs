@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Table II** generator: guessing probabilities derived from selected
 //! measurements — the per-secret softmax rows (with "centered" mean and
 //! "variance" columns) that the LWE-with-hints framework consumes as

@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Table III** generator: cost of the primal attack with and without the
 //! single-trace hints for the SEAL-128 parameter set (q = 132120577,
 //! n = 1024, σ = 3.2). This is the paper's headline: 382.25 bikz (≈ 2^128)

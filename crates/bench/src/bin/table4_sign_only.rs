@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **Table IV** generator: cost of the attack when only the *branch*
 //! vulnerability is exploited — the adversary learns each coefficient's sign
 //! (and whether it is zero) with 100% success, but not its value. The paper:
@@ -101,7 +104,7 @@ fn main() {
                     let best = prior
                         .iter()
                         .filter(|(v, _)| v.signum() == s.signum())
-                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                         .map(|(v, _)| *v)
                         .unwrap_or(s.signum());
                     guess_hits += (best == s) as usize;

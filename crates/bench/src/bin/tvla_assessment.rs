@@ -1,3 +1,6 @@
+// Generator binaries must fail with a message naming the broken stage,
+// not a bare unwrap panic; tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! **TVLA certification run**: grading the sampler variants the way an
 //! evaluation lab would — fixed-vs-random Welch t-tests on the ladder
 //! windows. A certified-constant-leakage implementation must keep every

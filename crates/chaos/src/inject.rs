@@ -99,6 +99,32 @@ impl ChaosPlan {
         }
     }
 
+    /// The desync / low-SNR sweep at `intensity ∈ [0, 1]`: the regime the
+    /// two-rail arbitration targets. No structural faults (no merges,
+    /// splits, glitches, or clipping) — just the gradual degradations a
+    /// drifting acquisition produces: broadband noise, slow gain wander,
+    /// and sampling-clock jitter. Segmentation keeps finding every burst;
+    /// what erodes is the per-window SNR and alignment the pooled-LDA
+    /// templates were profiled at.
+    pub fn desync_sweep(seed: u64, intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        let faults = vec![
+            Fault::GaussianNoise { sigma: 0.6 * i },
+            Fault::GainWander {
+                amplitude: 0.03 * i,
+                period: 900,
+            },
+            Fault::ClockJitter {
+                drop_rate: 0.002 * i,
+                dup_rate: 0.002 * i,
+            },
+        ];
+        Self {
+            seed,
+            faults: faults.into_iter().filter(|f| !f.is_noop()).collect(),
+        }
+    }
+
     /// Applies the plan to `samples`, using the capture's ground-truth
     /// per-coefficient `windows` to attribute corruption. Returns the
     /// corrupted trace plus the injection log (window/event spans in output
@@ -672,6 +698,31 @@ mod tests {
         // stays clean, the last is corrupted.
         assert!(!injected.log.is_corrupted(0));
         assert!(injected.log.is_corrupted(windows.len() - 1));
+    }
+
+    #[test]
+    fn desync_sweep_degrades_without_structural_damage() {
+        let (samples, windows) = synthetic();
+        assert!(ChaosPlan::desync_sweep(6, 0.0).faults.is_empty());
+        let plan = ChaosPlan::desync_sweep(6, 1.0);
+        assert!(plan.faults.iter().all(|f| matches!(
+            f,
+            Fault::GaussianNoise { .. } | Fault::GainWander { .. } | Fault::ClockJitter { .. }
+        )));
+        let mild = ChaosPlan::desync_sweep(6, 0.3).inject(&samples, &windows);
+        let harsh = plan.inject(&samples, &windows);
+        assert!(harsh.log.injected_noise_sigma > mild.log.injected_noise_sigma);
+        // Every window survives as a non-empty, ordered span.
+        assert_eq!(harsh.log.windows.len(), windows.len());
+        for (i, &(s, e)) in harsh.log.windows.iter().enumerate() {
+            assert!(s < e, "window {i} collapsed");
+            if i > 0 {
+                assert!(s >= harsh.log.windows[i - 1].1);
+            }
+        }
+        // Deterministic per seed.
+        let again = ChaosPlan::desync_sweep(6, 1.0).inject(&samples, &windows);
+        assert_eq!(harsh, again);
     }
 
     #[test]

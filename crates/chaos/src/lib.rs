@@ -1,4 +1,7 @@
 #![forbid(unsafe_code)]
+// Fault injection must corrupt traces, never the injector: malformed
+// spans and degenerate captures get typed handling, not panics.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![allow(clippy::needless_range_loop)]
 
 //! # reveal-chaos

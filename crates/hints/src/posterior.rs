@@ -361,4 +361,70 @@ mod tests {
         let fuzzy = run(0.7);
         assert!(sharp < fuzzy, "sharp {sharp} vs fuzzy {fuzzy}");
     }
+
+    /// Rank of a class on the degradation ladder (higher = stronger hint).
+    fn class_rank(c: &HintClass) -> u8 {
+        match c {
+            HintClass::Perfect => 2,
+            HintClass::Approximate { .. } => 1,
+            HintClass::Skipped => 0,
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The robust driver's central safety property: raising the
+        /// variance inflation can only degrade a classification — the
+        /// class never climbs the ladder, and while both classifications
+        /// stay approximate the claimed hint sharpness (ε²) never
+        /// improves.
+        #[test]
+        fn prop_inflation_never_improves_a_classification(
+            variance in 0.0f64..20.0,
+            a in 1.0f64..50.0,
+            extra in 0.0f64..50.0,
+        ) {
+            let b = a + extra;
+            let policy = HintPolicy::seal_paper();
+            let low = policy.with_variance_inflation(a).classify_variance(variance);
+            let high = policy.with_variance_inflation(b).classify_variance(variance);
+            prop_assert!(
+                class_rank(&high) <= class_rank(&low),
+                "inflation {a} -> {b} promoted {low:?} to {high:?} at variance {variance}"
+            );
+            if let (
+                HintClass::Approximate { eps_squared: el },
+                HintClass::Approximate { eps_squared: eh },
+            ) = (&low, &high)
+            {
+                prop_assert!(
+                    eh >= el,
+                    "inflation {a} -> {b} sharpened eps² {el} to {eh} at variance {variance}"
+                );
+            }
+        }
+
+        /// Classification is also monotone in the variance itself at any
+        /// fixed inflation: a fuzzier posterior never earns a stronger
+        /// hint.
+        #[test]
+        fn prop_fuzzier_posterior_never_earns_a_stronger_hint(
+            variance in 0.0f64..20.0,
+            widen in 0.0f64..20.0,
+            inflation in 1.0f64..10.0,
+        ) {
+            let policy = HintPolicy::seal_paper().with_variance_inflation(inflation);
+            let sharp = policy.classify_variance(variance);
+            let fuzzy = policy.classify_variance(variance + widen);
+            prop_assert!(class_rank(&fuzzy) <= class_rank(&sharp));
+            if let (
+                HintClass::Approximate { eps_squared: es },
+                HintClass::Approximate { eps_squared: ef },
+            ) = (&sharp, &fuzzy)
+            {
+                prop_assert!(ef >= es);
+            }
+        }
+    }
 }

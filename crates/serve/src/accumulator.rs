@@ -23,7 +23,7 @@
 //! multi-scorer deployment would lock.
 
 use crate::{KeyId, ServeError};
-use reveal_attack::{integrate_decision, HintDecision, RobustAttackResult};
+use reveal_attack::{integrate_decision, HintDecision, Rail, RobustAttackResult};
 use reveal_hints::{DbddInstance, HintSummary, LweParameters, SecurityEstimate};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -72,6 +72,12 @@ pub struct VictimState {
     pub last_estimate: Option<SecurityEstimate>,
     /// Hint counts from the last fold.
     pub summary: HintSummary,
+    /// Cumulative coefficient decisions scored by the template (LDA) rail
+    /// across this victim's successful traces.
+    pub lda_coefficients: u64,
+    /// Cumulative coefficient decisions won by the learned rail under
+    /// per-burst arbitration.
+    pub learned_coefficients: u64,
 }
 
 impl VictimState {
@@ -84,6 +90,8 @@ impl VictimState {
             status: VictimStatus::Active,
             last_estimate: None,
             summary: HintSummary::default(),
+            lda_coefficients: 0,
+            learned_coefficients: 0,
         }
     }
 }
@@ -111,6 +119,12 @@ pub struct VictimUpdate {
     pub failed: Option<ServeError>,
     /// Whether this update quarantined the key.
     pub quarantined: bool,
+    /// Coefficients of this trace scored by the template (LDA) rail
+    /// (0 for failed traces).
+    pub lda_coefficients: u64,
+    /// Coefficients of this trace won by the learned rail (0 for failed
+    /// traces).
+    pub learned_coefficients: u64,
 }
 
 /// Decision rank for the monotone merge.
@@ -277,6 +291,12 @@ impl ShardedAccumulator {
                 .map(|(current, c)| merge_decision(current, &c.decision))
                 .collect()
         };
+        let lda = result
+            .coefficients
+            .iter()
+            .filter(|c| c.rail == Rail::Lda)
+            .count() as u64;
+        let learned = result.coefficients.len() as u64 - lda;
         let (estimate, summary) = self.fold(&merged)?;
         let state = self.entry(key);
         state.decisions = merged;
@@ -284,6 +304,8 @@ impl ShardedAccumulator {
         state.consecutive_failures = 0;
         state.last_estimate = Some(estimate);
         state.summary = summary;
+        state.lda_coefficients += lda;
+        state.learned_coefficients += learned;
         Ok(VictimUpdate {
             key,
             trace_seq,
@@ -294,6 +316,8 @@ impl ShardedAccumulator {
             skipped: summary.skipped,
             failed: None,
             quarantined: false,
+            lda_coefficients: lda,
+            learned_coefficients: learned,
         })
     }
 
@@ -325,6 +349,8 @@ impl ShardedAccumulator {
             skipped: summary.skipped,
             failed: Some(error),
             quarantined: newly_quarantined,
+            lda_coefficients: 0,
+            learned_coefficients: 0,
         }
     }
 }
@@ -346,6 +372,7 @@ mod tests {
                     confidence: 0.0,
                     suspicion: reveal_attack::Suspicion::default(),
                     decision,
+                    rail: Rail::Lda,
                 })
                 .collect(),
             diagnostics: reveal_attack::Diagnostics::default(),
@@ -487,6 +514,28 @@ mod tests {
         assert_eq!(keys[..4], [0, 4, 8, 12]);
         assert_eq!(acc.next_trace_seq(3), 1);
         assert_eq!(acc.next_trace_seq(99), 0);
+    }
+
+    #[test]
+    fn rail_counts_accumulate_per_victim() {
+        let mut acc = ShardedAccumulator::new(params(), 32, 4, 3);
+        let mut result = result_with(vec![HintDecision::Skipped; 32]);
+        for c in result.coefficients.iter_mut().take(5) {
+            c.rail = Rail::Learned;
+        }
+        let u0 = acc.apply_success(9, 0, &result).unwrap();
+        assert_eq!((u0.lda_coefficients, u0.learned_coefficients), (27, 5));
+        let u1 = acc.apply_success(9, 1, &result).unwrap();
+        assert_eq!((u1.lda_coefficients, u1.learned_coefficients), (27, 5));
+        let state = acc.victim(9).unwrap();
+        assert_eq!(
+            (state.lda_coefficients, state.learned_coefficients),
+            (54, 10)
+        );
+        // Failures contribute no rail counts.
+        let f = acc.apply_failure(9, 2, ServeError::GapAbandoned);
+        assert_eq!((f.lda_coefficients, f.learned_coefficients), (0, 0));
+        assert_eq!(acc.victim(9).unwrap().lda_coefficients, 54);
     }
 
     #[test]

@@ -14,10 +14,15 @@
 //! params <n> <m> <q:hex64> <sigma:hex64>
 //! coefficients <count> shards <count> quarantine-threshold <count>
 //! victims <count>
-//! victim <key> traces <processed> failed <failed> run <consecutive> status <active|quarantined:<n>>
+//! victim <key> traces <processed> failed <failed> run <consecutive> rails <lda> <learned> status <active|quarantined:<n>>
 //! decisions P:<value> A:<value>:<eps-hex64> S …
 //! end
 //! ```
+//!
+//! The `rails <lda> <learned>` field (cumulative per-rail coefficient
+//! counts under two-rail arbitration) was added after v1 shipped; the
+//! decoder still accepts the original victim line without it, restoring
+//! zero counts, so pre-arbitration checkpoints remain loadable.
 //!
 //! Writes are atomic: the snapshot lands in `<path>.tmp` and is renamed
 //! over the target, so a crash mid-write leaves the previous checkpoint
@@ -131,8 +136,12 @@ impl Snapshot {
                 }
             };
             out.push_str(&format!(
-                "victim {key} traces {} failed {} run {} status {status}\n",
-                v.traces_processed, v.traces_failed, v.consecutive_failures
+                "victim {key} traces {} failed {} run {} rails {} {} status {status}\n",
+                v.traces_processed,
+                v.traces_failed,
+                v.consecutive_failures,
+                v.lda_coefficients,
+                v.learned_coefficients
             ));
             out.push_str("decisions");
             for d in &v.decisions {
@@ -223,23 +232,39 @@ impl Snapshot {
                 .next()
                 .ok_or_else(|| CheckpointError::BadHeader("truncated victim block".into()))?;
             let w: Vec<&str> = victim_line.split_whitespace().collect();
-            if w.len() != 10
+            // Two accepted shapes: the extended line with `rails <l> <n>`
+            // and the legacy line without it (restores zero rail counts).
+            let (has_rails, status_idx) = match w.len() {
+                13 if w[8] == "rails" && w[11] == "status" => (true, 12),
+                10 if w[8] == "status" => (false, 9),
+                _ => (false, 0),
+            };
+            if status_idx == 0
                 || w[0] != "victim"
                 || w[2] != "traces"
                 || w[4] != "failed"
                 || w[6] != "run"
-                || w[8] != "status"
             {
                 return Err(bad(
                     ln,
-                    "expected `victim <key> traces <p> failed <f> run <r> status <s>`",
+                    "expected `victim <key> traces <p> failed <f> run <r> [rails <l> <n>] status <s>`",
                 ));
             }
             let key: KeyId = w[1].parse().map_err(|_| bad(ln, "bad key"))?;
             let traces_processed: u64 = w[3].parse().map_err(|_| bad(ln, "bad traces"))?;
             let traces_failed: u64 = w[5].parse().map_err(|_| bad(ln, "bad failed"))?;
             let consecutive_failures: u32 = w[7].parse().map_err(|_| bad(ln, "bad run"))?;
-            let status = match w[9] {
+            let (lda_coefficients, learned_coefficients) = if has_rails {
+                (
+                    w[9].parse().map_err(|_| bad(ln, "bad lda rail count"))?,
+                    w[10]
+                        .parse()
+                        .map_err(|_| bad(ln, "bad learned rail count"))?,
+                )
+            } else {
+                (0, 0)
+            };
+            let status = match w[status_idx] {
                 "active" => VictimStatus::Active,
                 other => match other.strip_prefix("quarantined:") {
                     Some(nstr) => VictimStatus::Quarantined(QuarantineReason::ConsecutiveFailures(
@@ -304,6 +329,8 @@ impl Snapshot {
                     status,
                     last_estimate: None,
                     summary,
+                    lda_coefficients,
+                    learned_coefficients,
                 },
             ));
         }
@@ -407,6 +434,11 @@ mod tests {
                         },
                         _ => HintDecision::Skipped,
                     },
+                    rail: if i % 4 == 0 {
+                        reveal_attack::Rail::Learned
+                    } else {
+                        reveal_attack::Rail::Lda
+                    },
                 })
                 .collect(),
             diagnostics: reveal_attack::Diagnostics::default(),
@@ -448,6 +480,7 @@ mod tests {
                     confidence: 0.0,
                     suspicion: Suspicion::default(),
                     decision: HintDecision::Perfect { value: 1 },
+                    rail: reveal_attack::Rail::Lda,
                 };
                 16
             ],
@@ -490,6 +523,47 @@ mod tests {
             Snapshot::decode(&corrupt),
             Err(CheckpointError::BadLine { .. })
         ));
+    }
+
+    #[test]
+    fn rail_counts_round_trip_and_legacy_lines_restore_zero() {
+        let acc = populated();
+        let snap = Snapshot::capture(&acc, 3);
+        let state = acc.victim(11).unwrap();
+        assert_eq!(
+            (state.lda_coefficients, state.learned_coefficients),
+            (12, 4)
+        );
+        let text = snap.encode();
+        let back = Snapshot::decode(&text).unwrap();
+        let (_, restored) = back.victims.iter().find(|(k, _)| *k == 11).unwrap();
+        assert_eq!(
+            (restored.lda_coefficients, restored.learned_coefficients),
+            (12, 4)
+        );
+        // A pre-arbitration checkpoint (no `rails` field) still loads,
+        // with zeroed counts.
+        let legacy: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("victim ") {
+                    let w: Vec<&str> = l.split_whitespace().collect();
+                    format!(
+                        "{} {} {} {} {} {} {} {} {} {}\n",
+                        w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], w[11], w[12]
+                    )
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let old = Snapshot::decode(&legacy).unwrap();
+        let (_, restored) = old.victims.iter().find(|(k, _)| *k == 11).unwrap();
+        assert_eq!(
+            (restored.lda_coefficients, restored.learned_coefficients),
+            (0, 0)
+        );
+        assert_eq!(restored.traces_processed, 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 // Indexed loops are the clearest notation for the dense numeric kernels
 // in this workspace (convolutions, scatter matrices, lattice bases).
 #![allow(clippy::needless_range_loop)]
@@ -33,12 +34,14 @@
 
 pub mod confusion;
 pub mod lda;
+pub mod learned;
 pub mod matrix;
 pub mod scores;
 pub mod template;
 
 pub use confusion::ConfusionMatrix;
 pub use lda::{LdaError, LdaProjection};
+pub use learned::{LearnedClassifier, LearnedConfig, LearnedError};
 pub use matrix::{Cholesky, MatrixError};
 pub use scores::ScoreTable;
 pub use template::{CovarianceMode, TemplateError, TemplateSet};

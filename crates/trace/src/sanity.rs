@@ -47,16 +47,35 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
-/// The `p`-th percentile (`0.0 ≤ p ≤ 100.0`, clamped) of a slice by linear
-/// interpolation between order statistics (0.0 for an empty slice).
-/// `percentile(xs, 50.0)` agrees with [`median`] for every length.
+/// The `p`-th percentile (`0.0 ≤ p ≤ 100.0`, clamped; a NaN `p` is treated
+/// as the median request) of a slice by linear interpolation between order
+/// statistics (0.0 for an empty slice). `percentile(xs, 50.0)` agrees with
+/// [`median`] for every length; the `p = 0` / `p = 100` extremes return
+/// the exact minimum / maximum order statistic with no interpolation
+/// arithmetic in between.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
+    // A NaN p would poison the rank arithmetic below (NaN survives clamp);
+    // the least surprising robust reading of "no particular percentile" is
+    // the median.
+    let p = if p.is_nan() {
+        50.0
+    } else {
+        p.clamp(0.0, 100.0)
+    };
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let last = sorted.len() - 1;
+    if last == 0 || p == 0.0 {
+        return sorted[0];
+    }
+    if p == 100.0 {
+        return sorted[last];
+    }
+    let rank = (p / 100.0) * last as f64;
+    // p < 100 keeps rank < last, so hi is always in bounds.
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
@@ -139,6 +158,30 @@ mod tests {
         assert_eq!(percentile(&xs, 400.0), 4.0);
         let odd = [9.0, 5.0, 1.0];
         assert_eq!(percentile(&odd, 50.0), median(&odd));
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_explicit() {
+        // Empty slice: the documented 0.0 sentinel, at every p.
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+        assert_eq!(percentile(&[], f64::NAN), 0.0);
+        // Single element: that element, at every p including the extremes.
+        for p in [0.0, 13.7, 50.0, 100.0, -3.0, 250.0, f64::NAN] {
+            assert_eq!(percentile(&[42.5], p), 42.5);
+        }
+        // p = 0 / p = 100 are the exact order-statistic extremes.
+        let xs = [2.0, -7.5, 11.0, 0.25];
+        assert_eq!(percentile(&xs, 0.0), -7.5);
+        assert_eq!(percentile(&xs, 100.0), 11.0);
+        // NaN p degrades to the median instead of poisoning the rank.
+        assert_eq!(percentile(&xs, f64::NAN), median(&xs));
+        // Infinite p clamps like any out-of-range value.
+        assert_eq!(percentile(&xs, f64::INFINITY), 11.0);
+        assert_eq!(percentile(&xs, f64::NEG_INFINITY), -7.5);
+        // Two elements interpolate linearly across the whole range.
+        assert_eq!(percentile(&[10.0, 20.0], 25.0), 12.5);
+        assert_eq!(percentile(&[10.0, 20.0], 75.0), 17.5);
     }
 
     #[test]
