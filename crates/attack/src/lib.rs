@@ -46,8 +46,9 @@ pub use defense::{evaluate_against_shuffling, DefenseEvaluation, ShuffledDevice}
 pub use device::{burst_iterations, Capture, Device};
 pub use profile::{
     collect_profiling, collect_profiling_baseline, extract_ladder_windows,
-    extract_ladder_windows_reference, ladder_window_starts, AttackError, CoefficientEstimate,
-    ExploitedPcs, LearnedRail, ProfilingData, SingleTraceAttack, TrainedAttack,
+    extract_ladder_windows_into, extract_ladder_windows_reference, ladder_window_starts,
+    AttackError, CoefficientEstimate, ExploitedPcs, LearnedRail, ProfilingData, SingleTraceAttack,
+    TrainedAttack,
 };
 pub use recover::{
     recover_adaptive, recover_message, recover_message_from_u, recover_message_partial,

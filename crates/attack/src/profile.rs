@@ -7,13 +7,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use reveal_rv32::kernel::KernelError;
+use reveal_rv32::BlockCacheStats;
 use reveal_rv32::PowerCapture;
 use reveal_template::{
     CovarianceMode, LearnedClassifier, LearnedConfig, LearnedError, ScoreTable, TemplateError,
     TemplateSet,
 };
 use reveal_trace::poi::{select_pois, PoiError};
-use reveal_trace::segment::{find_bursts, SegmentError};
+use reveal_trace::segment::{find_bursts, refined_bursts_into, SegmentError, SegmentScratch};
 use reveal_trace::{Trace, TraceSet};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -89,8 +90,25 @@ pub fn extract_ladder_windows(
     samples: &[f64],
     config: &AttackConfig,
 ) -> Result<Vec<Vec<f64>>, SegmentError> {
-    let bursts = find_bursts(samples, &config.segment)?;
-    let bursts = reveal_trace::segment::refine_burst_ends(samples, &bursts, &config.segment);
+    extract_ladder_windows_into(samples, config, &mut SegmentScratch::new())
+}
+
+/// [`extract_ladder_windows`] with caller-provided segmentation scratch:
+/// burst finding and end refinement run through the fused four-pass
+/// segmenter ([`refined_bursts_into`]), reusing the scratch's buffers, so a
+/// warm worker segments each capture without large allocations. Identical
+/// windows (this *is* [`extract_ladder_windows`], which passes a cold
+/// scratch).
+///
+/// # Errors
+///
+/// Same as [`extract_ladder_windows`].
+pub fn extract_ladder_windows_into(
+    samples: &[f64],
+    config: &AttackConfig,
+    scratch: &mut SegmentScratch,
+) -> Result<Vec<Vec<f64>>, SegmentError> {
+    let bursts = refined_bursts_into(samples, &config.segment, scratch)?;
     windows_after_bursts(samples, &bursts, config)
 }
 
@@ -308,6 +326,29 @@ pub struct ProfilingData {
     pub scratch_hits: u64,
     /// Burst-memo lookups rendered cold across all worker scratches.
     pub scratch_misses: u64,
+    /// Superinstruction-block compilation/dispatch statistics merged across
+    /// all worker scratches (diagnostics: partition-dependent,
+    /// value-neutral).
+    pub block_stats: BlockCacheStats,
+}
+
+/// One profiling worker's reusable state: the rv32 sampler scratch (trace
+/// buffer, burst memo, compiled-block cache) plus the segmentation scratch.
+/// Profiling never reads per-instruction spans, so the sampler side is
+/// [`samples_only`](reveal_rv32::kernel::SamplerScratch::samples_only).
+#[derive(Debug, Clone)]
+struct ProfileScratch {
+    sampler: reveal_rv32::kernel::SamplerScratch,
+    segment: SegmentScratch,
+}
+
+impl ProfileScratch {
+    fn new() -> Self {
+        Self {
+            sampler: reveal_rv32::kernel::SamplerScratch::samples_only(),
+            segment: SegmentScratch::new(),
+        }
+    }
 }
 
 /// Cost model for one profiling capture (capture + segmentation, ~ms each):
@@ -333,7 +374,7 @@ fn profiling_run(
     labels: &[i64],
     master_seed: u64,
     run: usize,
-    scratch: Option<&mut reveal_rv32::kernel::SamplerScratch>,
+    scratch: Option<&mut ProfileScratch>,
 ) -> RunYield {
     let n = device.degree();
     let mut rng = StdRng::seed_from_u64(reveal_par::derive_seed(master_seed, run as u64));
@@ -345,8 +386,8 @@ fn profiling_run(
     values.shuffle(&mut rng);
     let windows = match scratch {
         Some(scratch) => {
-            let capture = device.capture_chosen_into(&values, &mut rng, scratch)?;
-            extract_ladder_windows(&capture.run.capture.samples, config)?
+            let capture = device.capture_chosen_into(&values, &mut rng, &mut scratch.sampler)?;
+            extract_ladder_windows_into(&capture.run.capture.samples, config, &mut scratch.segment)?
         }
         None => {
             let capture = device.capture_chosen_reference(&values, &mut rng)?;
@@ -371,6 +412,7 @@ fn accumulate_runs(
         total_windows: 0,
         scratch_hits: 0,
         scratch_misses: 0,
+        block_stats: BlockCacheStats::default(),
     };
     for run_yield in collected {
         let Some((values, windows)) = run_yield? else {
@@ -423,13 +465,14 @@ pub fn collect_profiling(
         runs,
         &PROFILE_RUN_COST,
         1,
-        reveal_rv32::kernel::SamplerScratch::new,
+        ProfileScratch::new,
         |scratch, run| profiling_run(device, config, &labels, master_seed, run, Some(scratch)),
     );
     let mut data = accumulate_runs(collected)?;
     for scratch in &scratches {
-        data.scratch_hits += scratch.memo_hits();
-        data.scratch_misses += scratch.memo_misses();
+        data.scratch_hits += scratch.sampler.memo_hits();
+        data.scratch_misses += scratch.sampler.memo_misses();
+        data.block_stats.merge(&scratch.sampler.block_stats());
     }
     Ok(data)
 }
@@ -805,7 +848,9 @@ impl TrainedAttack {
     /// # Errors
     ///
     /// Propagates segmentation failures; requires a span-annotated capture
-    /// (not [`samples_only`](reveal_rv32::PowerRecorder::samples_only)).
+    /// (not one rendered through a
+    /// [`samples_only`](reveal_rv32::kernel::SamplerScratch::samples_only)
+    /// scratch).
     pub fn exploited_pcs(&self, capture: &PowerCapture) -> Result<ExploitedPcs, AttackError> {
         let starts = ladder_window_starts(&capture.samples, &self.config)?;
         let pcs_for = |pois: &[usize]| -> BTreeSet<u32> {

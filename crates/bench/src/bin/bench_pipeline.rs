@@ -6,12 +6,14 @@
 //! count, plus a bit-identity check between the two runs (the determinism
 //! contract of `docs/performance.md`).
 //!
-//! Emits `BENCH_pipeline.json` (schema v3) under `target/reveal/` with
+//! Emits `BENCH_pipeline.json` (schema v4) under `target/reveal/` with
 //! per-stage timings, speedups, the thread counts compared, the workload
 //! scale, honest machine topology (`available_parallelism`, measured spawn
-//! cost), worker-scratch memo hit rates, and a snapshot of every cost model
-//! the run exercised (chosen worker counts and claim chunks). A committed
-//! copy lives in `docs/results/`.
+//! cost), worker-scratch memo hit rates, superinstruction block-cache
+//! statistics (blocks compiled, dispatch hits, invalidations, fused-emit
+//! samples), and a snapshot of every cost model the run exercised (chosen
+//! worker counts and claim chunks). A committed copy lives in
+//! `docs/results/`.
 //!
 //! Run with `cargo run --release -p reveal-bench --bin bench_pipeline`
 //! (honours `REVEAL_QUICK` / `REVEAL_FULL` and `REVEAL_THREADS`).
@@ -170,6 +172,28 @@ fn main() {
     let serial = reveal_par::with_threads(1, || {
         run_pipeline(&device, &config, profile_runs, &captures, degree)
     });
+
+    // Opt-in ziggurat noise sampler: the corpus-generation profile. Same
+    // exact N(0,1) law, different RNG stream — so it is timed as its own
+    // profile and never compared bit-wise against the pinned
+    // Marsaglia-polar runs. Measured immediately after the serial pipeline
+    // run so the two quoted (and CI-gated) serial throughput numbers come
+    // from adjacent, equally-loaded measurement windows — on shared
+    // runners, late-process measurements can run into CPU-quota
+    // throttling that would misattribute machine slowdown to the sampler.
+    let mut zig_device = device.clone();
+    zig_device.set_power_config(
+        device
+            .power_config()
+            .with_noise_sampler(reveal_rv32::NoiseSampler::Ziggurat),
+    );
+    let (zig_profiling, zig_ms) = reveal_par::with_threads(1, || {
+        time_ms(|| {
+            collect_profiling(&zig_device, profile_runs, &config, MASTER_SEED)
+                .expect("ziggurat profiling collection")
+        })
+    });
+
     let parallel = reveal_par::with_threads(parallel_threads, || {
         run_pipeline(&device, &config, profile_runs, &captures, degree)
     });
@@ -229,6 +253,8 @@ fn main() {
     let serial_tps = traces_per_sec(profile_fast_ms);
     let parallel_tps = traces_per_sec(parallel.stage_ms[0].1);
 
+    let zig_tps = traces_per_sec(zig_ms);
+
     for stage in stages.iter().chain(std::iter::once(&total)) {
         println!(
             "  {:<16} serial {:>9.1} ms   {}-thread {:>9.1} ms   speedup {:.2}x",
@@ -244,6 +270,10 @@ fn main() {
          {profile_baseline_ms:.1} ms ({fast_path_speedup:.2}x, identical: {fast_path_identical})"
     );
     println!("  throughput: {serial_tps:.2} traces/s serial, {parallel_tps:.2} traces/s parallel");
+    println!(
+        "  ziggurat corpus profile: {zig_ms:.1} ms serial, {zig_tps:.2} traces/s ({} windows)",
+        zig_profiling.total_windows
+    );
     println!("  deterministic: {deterministic} (recovered coefficients and bikz bit-identical)");
 
     // Worker-scratch burst-memo hit rates: diagnostics, not a contract —
@@ -275,6 +305,23 @@ fn main() {
         parallel.profiling.scratch_hits + parallel.profiling.scratch_misses,
     );
 
+    // Block-cache statistics: how much of the fast path's work the
+    // superinstruction compiler absorbed. Partition-dependent diagnostics
+    // (like the memo hit rates), never value-affecting.
+    let block_json = |stats: &reveal_rv32::BlockCacheStats| {
+        format!(
+            "{{\"blocks_compiled\": {}, \"dispatch_hits\": {}, \"invalidations\": {}, \"fused_samples\": {}}}",
+            stats.blocks_compiled, stats.dispatch_hits, stats.invalidations, stats.fused_samples
+        )
+    };
+    println!(
+        "  block cache: serial compiled={} hits={} invalidations={} fused_samples={}",
+        serial.profiling.block_stats.blocks_compiled,
+        serial.profiling.block_stats.dispatch_hits,
+        serial.profiling.block_stats.invalidations,
+        serial.profiling.block_stats.fused_samples,
+    );
+
     let spawn_cost_ns = reveal_par::spawn_cost_ns();
     let cost_model_json: Vec<String> = reveal_par::cost_snapshots()
         .iter()
@@ -303,7 +350,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"reveal-bench-pipeline/v3\",\n  \"scale\": \"{}\",\n  \"ring_degree\": {},\n  \"profile_runs\": {},\n  \"attack_runs\": {},\n  \"serial_threads\": 1,\n  \"parallel_threads\": {},\n  \"machine\": {{\"available_parallelism\": {}, \"spawn_cost_ns\": {:.1}}},\n  \"deterministic\": {},\n  \"baseline_bikz\": {:.2},\n  \"with_hints_bikz\": {:.2},\n  \"fast_path\": {{\"profile_collect_baseline_ms\": {:.3}, \"profile_collect_fast_ms\": {:.3}, \"speedup\": {:.3}, \"bit_identical\": {}}},\n  \"throughput\": {{\"profile_traces_per_sec_serial\": {:.3}, \"profile_traces_per_sec_parallel\": {:.3}}},\n  \"worker_scratch\": {{\"serial_hits\": {}, \"serial_misses\": {}, \"serial_hit_rate\": {:.4}, \"parallel_hits\": {}, \"parallel_misses\": {}, \"parallel_hit_rate\": {:.4}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"cost_models\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"reveal-bench-pipeline/v4\",\n  \"scale\": \"{}\",\n  \"ring_degree\": {},\n  \"profile_runs\": {},\n  \"attack_runs\": {},\n  \"serial_threads\": 1,\n  \"parallel_threads\": {},\n  \"machine\": {{\"available_parallelism\": {}, \"spawn_cost_ns\": {:.1}}},\n  \"deterministic\": {},\n  \"baseline_bikz\": {:.2},\n  \"with_hints_bikz\": {:.2},\n  \"fast_path\": {{\"profile_collect_baseline_ms\": {:.3}, \"profile_collect_fast_ms\": {:.3}, \"speedup\": {:.3}, \"bit_identical\": {}}},\n  \"throughput\": {{\"profile_traces_per_sec_serial\": {:.3}, \"profile_traces_per_sec_parallel\": {:.3}}},\n  \"noise_sampler\": {{\"default\": \"marsaglia_polar\", \"ziggurat_profile_collect_ms\": {:.3}, \"ziggurat_traces_per_sec\": {:.3}}},\n  \"worker_scratch\": {{\"serial_hits\": {}, \"serial_misses\": {}, \"serial_hit_rate\": {:.4}, \"parallel_hits\": {}, \"parallel_misses\": {}, \"parallel_hit_rate\": {:.4}}},\n  \"block_cache\": {{\"serial\": {}, \"parallel\": {}}},\n  \"stages\": [\n{}\n  ],\n  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"cost_models\": [\n{}\n  ]\n}}\n",
         scale_name(scale),
         degree,
         profile_runs,
@@ -320,12 +367,16 @@ fn main() {
         fast_path_identical,
         serial_tps,
         parallel_tps,
+        zig_ms,
+        zig_tps,
         serial.profiling.scratch_hits,
         serial.profiling.scratch_misses,
         serial_hit_rate,
         parallel.profiling.scratch_hits,
         parallel.profiling.scratch_misses,
         parallel_hit_rate,
+        block_json(&serial.profiling.block_stats),
+        block_json(&parallel.profiling.block_stats),
         stage_json.join(",\n"),
         total.serial_ms,
         total.parallel_ms,

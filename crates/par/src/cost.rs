@@ -15,8 +15,11 @@
 //!
 //! - **workers**: enough that each worker's share of the estimated total
 //!   work amortizes one measured thread-spawn (see [`spawn_cost_ns`]), capped
-//!   by [`max_threads`](crate::max_threads). Batches too small to pay for a
-//!   single spawn stay on the calling thread.
+//!   by [`max_threads`](crate::max_threads) *and* by the machine's
+//!   [`hardware_threads`] — a requested thread count above the hardware
+//!   (benchmarks pinning "parallel = 2" on a 1-core runner) must not spawn
+//!   workers that can only time-slice each other. Batches too small to pay
+//!   for a single spawn stay on the calling thread.
 //! - **claim chunk**: how many indices a worker claims per atomic
 //!   `fetch_add`. Cheap items are claimed in blocks (so the cursor is not
 //!   hammered once per microsecond of work), expensive items one at a time
@@ -54,6 +57,19 @@ const CLAIM_TARGET_NS: f64 = 20_000.0;
 /// a couple of calls but one wildly descheduled run cannot wreck the model.
 const EWMA_ALPHA: f64 = 0.5;
 
+/// Hardware threads actually available to this process, sampled once.
+///
+/// Plans never exceed this, no matter what `REVEAL_THREADS` or
+/// [`with_threads`](crate::with_threads) request: the modeled workloads are
+/// compute-bound, so workers beyond the hardware merely time-slice one
+/// another and pay the context-switch tax — the committed 0.936×
+/// `attack_traces` "speedup" came from exactly that, a benchmark forcing two
+/// workers onto a single-core runner.
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
 /// The measured cost of spawning one scoped worker thread, sampled once per
 /// process on first use (median-of-3 spawn/join rounds). Everything the
 /// planner compares against work estimates flows from this number, so it is
@@ -76,6 +92,22 @@ pub fn spawn_cost_ns() -> f64 {
         // Floor: even if the probe got lucky, a spawn is never free.
         rounds[1].max(1_000.0)
     })
+}
+
+/// Claim granularity for a plan of `workers` over `count` items costing
+/// `per_item_ns` each: serial plans claim everything at once; parallel plans
+/// claim ~[`CLAIM_TARGET_NS`] of work per cursor `fetch_add`, but never so
+/// coarsely that a worker cannot get at least 4 claims (load balance on
+/// tails). Pure, so the sizing arithmetic is testable on any machine
+/// regardless of how many hardware threads the test runner has.
+fn claim_chunk_for(per_item_ns: f64, count: usize, workers: usize) -> usize {
+    if workers <= 1 {
+        count.max(1)
+    } else {
+        let by_cost = (CLAIM_TARGET_NS / per_item_ns.max(1e-3)).floor() as usize;
+        let by_balance = count / (workers * 4);
+        by_cost.clamp(1, by_balance.max(1))
+    }
 }
 
 /// The scheduling decision for one modeled call.
@@ -163,22 +195,17 @@ impl CostModel {
     /// machine and with what the model has observed, which is the point.
     pub fn plan(&'static self, count: usize, units_per_item: u64) -> Plan {
         self.register();
-        let threads = crate::max_threads().min(count).max(1);
+        let threads = crate::max_threads()
+            .min(hardware_threads())
+            .min(count)
+            .max(1);
         let per_item_ns = self.ns_per_unit() * units_per_item.max(1) as f64;
         let total_ns = per_item_ns * count as f64;
         let spawn_budget = SPAWN_AMORTIZATION * spawn_cost_ns();
         // Each of w workers gets total/w of work; demand total/w ≥ budget.
         let affordable = (total_ns / spawn_budget).floor() as usize;
         let workers = threads.min(affordable).max(1);
-        let claim_chunk = if workers <= 1 {
-            count.max(1)
-        } else {
-            // Claims of ~CLAIM_TARGET_NS of work, but never so coarse that a
-            // worker cannot get at least 4 claims (load balance on tails).
-            let by_cost = (CLAIM_TARGET_NS / per_item_ns.max(1e-3)).floor() as usize;
-            let by_balance = count / (workers * 4);
-            by_cost.clamp(1, by_balance.max(1))
-        };
+        let claim_chunk = claim_chunk_for(per_item_ns, count, workers);
         let plan = Plan {
             workers,
             claim_chunk,
@@ -275,13 +302,47 @@ mod tests {
     #[test]
     fn huge_batches_fan_out_and_chunk() {
         // 1e6 items at ~100ns each = 100ms of work: far beyond any spawn
-        // budget, so the full thread count is used and claims are blocks.
+        // budget, so the plan uses every thread the *hardware* has, up to
+        // the requested 4. On a single-core runner that is 1 — the requested
+        // count must not leak through (that oversubscription was the 0.936×
+        // attack_traces regression).
+        let expected = 4.min(hardware_threads());
         let plan = with_threads(4, || TEST_MODEL.plan(1_000_000, 1));
-        assert_eq!(plan.workers, 4);
-        assert!(plan.claim_chunk > 1, "chunk {}", plan.claim_chunk);
-        // Expensive items claim singly: 1 item ≥ the 20µs claim target.
-        let plan = with_threads(4, || TEST_MODEL.plan(1_000, 1_000_000));
-        assert_eq!(plan.claim_chunk, 1);
+        assert_eq!(plan.workers, expected);
+        if expected > 1 {
+            assert!(plan.claim_chunk > 1, "chunk {}", plan.claim_chunk);
+            // Expensive items claim singly: 1 item ≥ the 20µs claim target.
+            let plan = with_threads(4, || TEST_MODEL.plan(1_000, 1_000_000));
+            assert_eq!(plan.claim_chunk, 1);
+        } else {
+            // Serial plans claim the whole range in one go.
+            assert_eq!(plan.claim_chunk, 1_000_000);
+        }
+    }
+
+    #[test]
+    fn plans_never_oversubscribe_hardware() {
+        // Even an absurd requested thread count caps at the machine.
+        let plan = with_threads(64, || TEST_MODEL.plan(10_000_000, 1));
+        assert!(
+            plan.workers <= hardware_threads(),
+            "plan spawned {} workers on {} hardware threads",
+            plan.workers,
+            hardware_threads()
+        );
+    }
+
+    #[test]
+    fn claim_chunks_size_from_cost_and_balance() {
+        // Serial: one claim covering everything.
+        assert_eq!(claim_chunk_for(100.0, 1_000, 1), 1_000);
+        assert_eq!(claim_chunk_for(100.0, 0, 1), 1);
+        // 100ns items, 20µs target → 200-item claims; balance cap allows it.
+        assert_eq!(claim_chunk_for(100.0, 1_000_000, 4), 200);
+        // Expensive items (1ms each) claim singly.
+        assert_eq!(claim_chunk_for(1e6, 1_000, 4), 1);
+        // Balance cap: claims shrink so each of 4 workers gets ≥4 claims.
+        assert_eq!(claim_chunk_for(1.0, 64, 4), 4);
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub mod cost;
 pub mod simd;
 
 pub use channel::{bounded, OverflowPolicy, QueueMetrics, RecvError, SendError};
-pub use cost::{snapshots as cost_snapshots, spawn_cost_ns, CostModel, CostSnapshot, Plan};
+pub use cost::{
+    hardware_threads, snapshots as cost_snapshots, spawn_cost_ns, CostModel, CostSnapshot, Plan,
+};
 
 /// Process-wide thread-count override (0 = unset). Written only under
 /// [`OVERRIDE_LOCK`] by [`with_threads`].

@@ -294,38 +294,34 @@ impl Cfg {
     }
 
     /// Partitions the reachable instructions into basic blocks.
+    ///
+    /// Block boundaries come from the same
+    /// [`static_leaders`](crate::block::static_leaders) /
+    /// [`block_extent`](crate::block::block_extent) pair the interpreter's
+    /// superinstruction compiler uses, with the CFG's resolved
+    /// indirect-jump edges fed in as extra leaders — so the static analyzer
+    /// and the block cache can never disagree about where a block begins or
+    /// ends.
     pub fn basic_blocks(&self) -> Vec<BasicBlock> {
-        let mut leaders: Vec<u32> = Vec::new();
-        for (pc, _) in self.reachable_instructions() {
-            let is_leader = pc == self.base
-                || self.predecessors_of(pc).len() != 1
-                || self
-                    .predecessors_of(pc)
-                    .first()
-                    .map(|&p| self.successors_of(p).len() != 1 || p + 4 != pc)
-                    .unwrap_or(true);
-            if is_leader {
-                leaders.push(pc);
+        // Indirect targets (`ret` return sites, resolved `jalr` edges) are
+        // invisible to the static scan; they enter as extra leaders.
+        let mut extra: Vec<u32> = Vec::new();
+        for (pc, instr) in self.reachable_instructions() {
+            if matches!(instr, Instruction::Jalr { .. }) {
+                extra.extend_from_slice(self.successors_of(pc));
             }
         }
-        leaders.sort_unstable();
+        let leaders = crate::block::static_leaders(&self.instrs, self.base, &extra);
         let mut blocks = Vec::with_capacity(leaders.len());
         for &start in &leaders {
-            let mut pc = start;
-            loop {
-                let succ = self.successors_of(pc);
-                let straight = succ.len() == 1
-                    && succ[0] == pc + 4
-                    && leaders.binary_search(&(pc + 4)).is_err();
-                if !straight {
-                    break;
-                }
-                pc += 4;
+            if !self.is_reachable(start) {
+                continue;
             }
-            let successors = self.successors_of(pc).to_vec();
+            let end = crate::block::block_extent(&self.instrs, self.base, start, &leaders);
+            let successors = self.successors_of(end - 4).to_vec();
             blocks.push(BasicBlock {
                 start,
-                end: pc + 4,
+                end,
                 successors,
             });
         }
@@ -490,6 +486,40 @@ mod tests {
         }
         for w in blocks.windows(2) {
             assert!(w[0].start < w[1].start);
+        }
+    }
+
+    #[test]
+    fn basic_blocks_agree_with_the_superinstruction_compiler() {
+        // The analyzer and the interpreter derive block extents from the
+        // same leader set; a block the compiler would form at any CFG block
+        // start must span exactly the CFG block. (`compile_block` walks the
+        // image with its own loop, so this is a real cross-check, not a
+        // tautology.)
+        let kernel = crate::kernel::SamplerKernel::new(8, &[132120577]).unwrap();
+        let program = kernel.program();
+        let cfg = Cfg::from_program(program, 0).unwrap();
+        let mut extra: Vec<u32> = Vec::new();
+        for (pc, instr) in cfg.reachable_instructions() {
+            if matches!(instr, Instruction::Jalr { .. }) {
+                extra.extend_from_slice(cfg.successors_of(pc));
+            }
+        }
+        let instrs: Vec<Option<Instruction>> = program
+            .words
+            .iter()
+            .map(|&w| Instruction::decode(w).ok())
+            .collect();
+        let leaders = crate::block::static_leaders(&instrs, 0, &extra);
+        for block in cfg.basic_blocks() {
+            let compiled = crate::block::compile_block(&program.words, 0, block.start, &leaders)
+                .expect("reachable block entry must compile");
+            assert_eq!(
+                (compiled.start, compiled.end),
+                (block.start, block.end),
+                "extent mismatch at {:#010x}",
+                block.start
+            );
         }
     }
 }

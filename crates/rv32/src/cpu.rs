@@ -120,7 +120,7 @@ impl<M: Mmio> Bus<M> {
         self.ram[a..a + 4].copy_from_slice(&value.to_le_bytes());
     }
 
-    fn read_width(&mut self, addr: u32, width: MemWidth, signed: bool) -> u32 {
+    pub(crate) fn read_width(&mut self, addr: u32, width: MemWidth, signed: bool) -> u32 {
         match width {
             MemWidth::Word => self.read_u32(addr),
             MemWidth::Half => {
@@ -148,7 +148,7 @@ impl<M: Mmio> Bus<M> {
         }
     }
 
-    fn write_width(&mut self, addr: u32, value: u32, width: MemWidth) {
+    pub(crate) fn write_width(&mut self, addr: u32, value: u32, width: MemWidth) {
         match width {
             MemWidth::Word => self.write_u32(addr, value),
             MemWidth::Half => {
@@ -310,7 +310,7 @@ impl<M: Mmio> Cpu<M> {
     /// Drops any slot of the predecode cache that a store to `addr` may have
     /// overwritten (at most two word-aligned slots for unaligned accesses).
     #[inline]
-    fn invalidate_predecoded(&mut self, addr: u32) {
+    pub(crate) fn invalidate_predecoded(&mut self, addr: u32) {
         if let Some(cache) = &mut self.decode_cache {
             for word_addr in [addr & !3, addr.wrapping_add(3) & !3] {
                 if let Some(index) = cache.slot_of(word_addr) {
@@ -496,7 +496,7 @@ impl<M: Mmio> Cpu<M> {
     }
 }
 
-fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+pub(crate) fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -511,7 +511,7 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     }
 }
 
-fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
+pub(crate) fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
     match op {
         MulOp::Mul => a.wrapping_mul(b),
         MulOp::Mulh => ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32,

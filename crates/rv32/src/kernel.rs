@@ -19,8 +19,9 @@
 //! SEAL encryption would.
 
 use crate::asm::{assemble, AssembleError, Program};
+use crate::block::{self, BlockCache, BlockCacheStats, BlockExit};
 use crate::cpu::{Bus, Cpu, ExecRecord, Halt, QueueMmio};
-use crate::isa::Reg;
+use crate::isa::{Instruction, Reg};
 use crate::power::{
     render_power, render_power_reference, PowerCapture, PowerModelConfig, PowerRenderer,
     TraceBuffer,
@@ -695,6 +696,24 @@ impl SamplerKernel {
     ) -> Result<KernelRun, KernelError> {
         let mut cpu = self.prepare_cpu(noise_values, dist_iterations, rng)?;
         scratch.ensure(self.memo_fingerprint(config));
+        if !scratch.block_cache.covers(0, self.program.words.len()) {
+            // Fresh scratch (or fingerprint change dropped the cache):
+            // compute the static leader set once — the memoization hook PCs
+            // are leaders so no compiled block ever spans the window-start
+            // or burst-exit dispatch points below.
+            let instrs: Vec<Option<Instruction>> = self
+                .program
+                .words
+                .iter()
+                .map(|&w| Instruction::decode(w).ok())
+                .collect();
+            scratch.leaders =
+                block::static_leaders(&instrs, 0, &[self.outer_pc, self.dist_done_pc]);
+            scratch
+                .block_cache
+                .reset_program(0, self.program.words.len());
+        }
+        let image = scratch.block_cache.image_range();
         let renderer = PowerRenderer::new(config);
         let fuel = self.fuel();
         let mut record_index = 0usize;
@@ -781,12 +800,51 @@ impl SamplerKernel {
                 }
                 continue;
             }
-            match cpu.step() {
-                Ok(record) => {
-                    renderer.render_record(record_index, &record, rng, &mut scratch.buffer);
-                    record_index += 1;
+            // Superinstruction dispatch: decode once per block, execute the
+            // flat op array with power emission fused into the same loop.
+            let pc = cpu.pc();
+            if scratch.block_cache.get(pc).is_some() {
+                scratch.block_cache.stats.dispatch_hits += 1;
+            } else {
+                // First execution (or recompile after invalidation):
+                // compile from the *current* memory image so self-modified
+                // code is captured faithfully.
+                let words: Vec<u32> = (0..self.program.words.len())
+                    .map(|i| cpu.bus.read_u32(4 * i as u32))
+                    .collect();
+                scratch.block_cache.insert(&words, pc, &scratch.leaders);
+            }
+            let run = match scratch.block_cache.get(pc) {
+                Some(compiled) => block::run_block(
+                    &mut cpu,
+                    compiled,
+                    &renderer,
+                    rng,
+                    &mut scratch.buffer,
+                    record_index,
+                    fuel,
+                    &image,
+                ),
+                None => {
+                    // The entry word does not compile (undecodable or out of
+                    // image): take one interpreter step, which renders or
+                    // faults exactly as the pre-block path did.
+                    match cpu.step() {
+                        Ok(record) => {
+                            renderer.render_record(record_index, &record, rng, &mut scratch.buffer);
+                            record_index += 1;
+                        }
+                        Err(halt) => break halt,
+                    }
+                    continue;
                 }
-                Err(halt) => break halt,
+            };
+            record_index += run.executed;
+            scratch.block_cache.stats.fused_samples += run.samples as u64;
+            match run.exit {
+                BlockExit::Completed | BlockExit::OutOfFuel => {}
+                BlockExit::Halted(halt) => break halt,
+                BlockExit::SelfModified { addr } => scratch.block_cache.invalidate(addr),
             }
         };
         if halt != Halt::Ebreak {
@@ -975,6 +1033,7 @@ impl SamplerKernel {
         mix(config.bit_weight_variation.to_bits());
         mix(config.noise_sigma.to_bits());
         mix(config.samples_per_cycle as u64);
+        mix(config.noise_sampler as u64);
         hash
     }
 
@@ -1053,6 +1112,8 @@ pub struct SamplerScratch {
     fingerprint: Option<u64>,
     memo_hits: u64,
     memo_misses: u64,
+    block_cache: BlockCache,
+    leaders: Vec<u32>,
 }
 
 impl Default for SamplerScratch {
@@ -1070,6 +1131,22 @@ impl SamplerScratch {
             fingerprint: None,
             memo_hits: 0,
             memo_misses: 0,
+            block_cache: BlockCache::new(),
+            leaders: Vec::new(),
+        }
+    }
+
+    /// An empty scratch whose captures carry samples but no per-instruction
+    /// [`crate::power::SampleSpan`]s.
+    ///
+    /// Span bookkeeping costs ~32 bytes per retired instruction per run;
+    /// profiling consumes only the flat sample stream, so its workers skip
+    /// that entirely. Samples are bit-identical either way — spans never
+    /// feed back into rendering.
+    pub fn samples_only() -> Self {
+        Self {
+            buffer: TraceBuffer::samples_only(),
+            ..Self::new()
         }
     }
 
@@ -1092,10 +1169,23 @@ impl SamplerScratch {
         self.memo_misses
     }
 
-    /// Clears the buffer; clears the memo too if the fingerprint changed.
+    /// Superinstruction-block compilation and dispatch statistics over this
+    /// scratch's lifetime.
+    ///
+    /// Diagnostics only, like [`SamplerScratch::memo_hits`]: the totals
+    /// depend on run partitioning across workers, never the rendered values.
+    pub fn block_stats(&self) -> BlockCacheStats {
+        self.block_cache.stats
+    }
+
+    /// Clears the buffer; clears the memo and the compiled-block cache too
+    /// if the fingerprint changed (the fingerprint covers the program words,
+    /// so matching it guarantees cached blocks still describe the image).
     fn ensure(&mut self, fingerprint: u64) {
         if self.fingerprint != Some(fingerprint) {
             self.memo.clear();
+            self.block_cache.reset_program(0, 0);
+            self.leaders.clear();
             self.fingerprint = Some(fingerprint);
         }
         self.buffer.clear();

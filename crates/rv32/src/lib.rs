@@ -43,6 +43,7 @@
 //! ```
 
 pub mod asm;
+pub mod block;
 pub mod cfg;
 pub mod cpu;
 pub mod disasm;
@@ -51,9 +52,14 @@ pub mod kernel;
 pub mod power;
 
 pub use asm::{assemble, AssembleError, Program};
+pub use block::{
+    block_extent, static_leaders, BlockCache, BlockCacheStats, BlockExit, CompiledBlock,
+};
 pub use cfg::{BasicBlock, Cfg, CfgError, Successors};
 pub use cpu::{Bus, Cpu, ExecRecord, Halt, Mmio, QueueMmio};
 pub use disasm::{disassemble, format_instruction, listing};
 pub use isa::{AluOp, BranchCond, Instruction, MemWidth, MulOp, Reg, Uses};
 pub use kernel::{KernelError, KernelRun, KernelVariant, LoadBound, SamplerKernel, SecretSource};
-pub use power::{render_power, PowerCapture, PowerModelConfig, PowerRenderer, SampleSpan};
+pub use power::{
+    render_power, NoiseSampler, PowerCapture, PowerModelConfig, PowerRenderer, SampleSpan,
+};

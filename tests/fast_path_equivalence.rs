@@ -14,8 +14,11 @@ use rand::SeedableRng;
 use reveal_attack::{
     collect_profiling, collect_profiling_baseline, AttackConfig, Device, TrainedAttack,
 };
+use reveal_rv32::block::{run_block, BlockCache, BlockCacheStats, BlockExit};
+use reveal_rv32::cpu::{Bus, Cpu, Halt, QueueMmio};
 use reveal_rv32::kernel::{KernelRun, KernelVariant, SamplerKernel, SamplerScratch};
-use reveal_rv32::power::PowerModelConfig;
+use reveal_rv32::power::{PowerModelConfig, PowerRenderer, TraceBuffer};
+use reveal_rv32::{assemble, static_leaders, Instruction, Program};
 
 const Q: u64 = 132_120_577;
 const Q2: u64 = 12_289;
@@ -28,7 +31,9 @@ const VARIANTS: [KernelVariant; 5] = [
     KernelVariant::Ckks,
 ];
 
-/// Runs one input set through both paths and asserts every output matches.
+/// Runs one input set through the block-compiled fast path, the per-step
+/// `run()` path, and the verbatim reference oracle, and asserts every
+/// output matches bit for bit.
 fn assert_fast_path_identical(
     kernel: &SamplerKernel,
     values: &[i64],
@@ -40,6 +45,10 @@ fn assert_fast_path_identical(
     let mut rng = StdRng::seed_from_u64(seed);
     let baseline: KernelRun = kernel.run(values, iterations, config, &mut rng).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
+    let reference: KernelRun = kernel
+        .run_reference(values, iterations, config, &mut rng)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
     let fast: KernelRun = kernel
         .run_into(values, iterations, config, &mut rng, scratch)
         .unwrap();
@@ -49,6 +58,13 @@ fn assert_fast_path_identical(
     prop_assert_eq!(&fast.shares, &baseline.shares);
     prop_assert_eq!(&fast.coefficient_windows, &baseline.coefficient_windows);
     prop_assert_eq!(fast.instruction_count, baseline.instruction_count);
+    // The superinstruction path must also match the reference oracle, which
+    // shares no code with the block compiler or the predecode cache.
+    prop_assert_eq!(&fast.capture.samples, &reference.capture.samples);
+    prop_assert_eq!(&fast.capture.spans, &reference.capture.spans);
+    prop_assert_eq!(&fast.poly, &reference.poly);
+    prop_assert_eq!(&fast.coefficient_windows, &reference.coefficient_windows);
+    prop_assert_eq!(fast.instruction_count, reference.instruction_count);
     Ok(())
 }
 
@@ -83,7 +99,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Random coefficient sequences, burst lengths, variants, and noise:
-    /// the memoized composition must never diverge from direct rendering.
+    /// the block-compiled, memoized composition must never diverge from
+    /// direct rendering or from the reference oracle.
     #[test]
     fn kernel_fast_path_is_bit_identical_on_random_sequences(
         values in proptest::collection::vec(-41i64..=41, 8),
@@ -101,6 +118,144 @@ proptest! {
         let mut scratch = SamplerScratch::new();
         assert_fast_path_identical(&kernel, &values, &iterations, &config, seed, &mut scratch)?;
     }
+}
+
+/// Drives `program` to halt through the block-dispatch loop (compile at
+/// first execution, superinstruction execution with fused power emission,
+/// store-overlap invalidation), mirroring the kernel's dispatch.
+fn run_via_blocks(program: &Program, seed: u64) -> (TraceBuffer, Cpu<QueueMmio>, BlockCacheStats) {
+    let mut bus = Bus::new(64 * 1024, QueueMmio::new());
+    bus.load_words(0, &program.words);
+    let mut cpu = Cpu::new(bus);
+    cpu.predecode(0, program.words.len());
+    let config = PowerModelConfig::default();
+    let renderer = PowerRenderer::new(&config);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sink = TraceBuffer::new();
+    let instrs: Vec<Option<Instruction>> = program
+        .words
+        .iter()
+        .map(|&w| Instruction::decode(w).ok())
+        .collect();
+    let leaders = static_leaders(&instrs, 0, &[]);
+    let mut cache = BlockCache::new();
+    cache.reset_program(0, program.words.len());
+    let image = cache.image_range();
+    let fuel = 10_000;
+    let mut record_index = 0usize;
+    let halt = loop {
+        assert!(record_index < fuel, "runaway test program");
+        let pc = cpu.pc();
+        if cache.get(pc).is_some() {
+            cache.stats.dispatch_hits += 1;
+        } else {
+            // Compile from current memory so a patched image is captured
+            // faithfully, exactly as the kernel's dispatch does.
+            let words: Vec<u32> = (0..program.words.len())
+                .map(|i| cpu.bus.read_u32(4 * i as u32))
+                .collect();
+            cache.insert(&words, pc, &leaders);
+        }
+        match cache.get(pc) {
+            Some(block) => {
+                let run = run_block(
+                    &mut cpu,
+                    block,
+                    &renderer,
+                    &mut rng,
+                    &mut sink,
+                    record_index,
+                    fuel,
+                    &image,
+                );
+                record_index += run.executed;
+                cache.stats.fused_samples += run.samples as u64;
+                match run.exit {
+                    BlockExit::Completed | BlockExit::OutOfFuel => {}
+                    BlockExit::Halted(halt) => break halt,
+                    BlockExit::SelfModified { addr } => cache.invalidate(addr),
+                }
+            }
+            None => match cpu.step() {
+                Ok(record) => {
+                    renderer.render_record(record_index, &record, &mut rng, &mut sink);
+                    record_index += 1;
+                }
+                Err(halt) => break halt,
+            },
+        }
+    };
+    assert_eq!(halt, Halt::Ebreak);
+    (sink, cpu, cache.stats)
+}
+
+/// The same program, stepped one instruction at a time with per-record
+/// rendering — the pre-block interpreter semantics.
+fn run_via_steps(program: &Program, seed: u64) -> (TraceBuffer, Cpu<QueueMmio>) {
+    let mut bus = Bus::new(64 * 1024, QueueMmio::new());
+    bus.load_words(0, &program.words);
+    let mut cpu = Cpu::new(bus);
+    cpu.predecode(0, program.words.len());
+    let config = PowerModelConfig::default();
+    let renderer = PowerRenderer::new(&config);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sink = TraceBuffer::new();
+    let mut record_index = 0usize;
+    let halt = loop {
+        match cpu.step() {
+            Ok(record) => {
+                renderer.render_record(record_index, &record, &mut rng, &mut sink);
+                record_index += 1;
+            }
+            Err(halt) => break halt,
+        }
+    };
+    assert_eq!(halt, Halt::Ebreak);
+    (sink, cpu)
+}
+
+#[test]
+fn store_into_executed_block_invalidates_and_stays_bit_identical() {
+    // A two-pass loop that patches its own body: pass 1 executes
+    // `addi t1, t1, 1`, then stores a different encoding over that very
+    // instruction *while the containing block is executing*. The block
+    // cache must abort after the store, drop the stale block, recompile
+    // from the patched image, and execute `addi t1, t1, 5` on pass 2 —
+    // with samples and architectural state bit-identical to stepping.
+    let patched = assemble("addi t1, t1, 5", 0).unwrap().words[0];
+    let src = format!(
+        "
+        li   t2, 2
+        loop:
+        patch:
+        addi t1, t1, 1
+        la   t3, patch
+        la   t5, newop
+        lw   t4, 0(t5)
+        sw   t4, 0(t3)
+        addi t2, t2, -1
+        bnez t2, loop
+        ebreak
+        newop: .word {patched:#010x}
+        "
+    );
+    let program = assemble(&src, 0).unwrap();
+
+    let (blocked, blocked_cpu, stats) = run_via_blocks(&program, 0xB10C);
+    let (stepped, stepped_cpu) = run_via_steps(&program, 0xB10C);
+
+    assert_eq!(blocked.samples(), stepped.samples());
+    assert_eq!(blocked.spans(), stepped.spans());
+    let t1 = reveal_rv32::Reg(6);
+    assert_eq!(blocked_cpu.reg(t1), stepped_cpu.reg(t1));
+    // Pass 1 added 1, pass 2 ran the patched instruction: the store really
+    // did rewrite the executed block.
+    assert_eq!(blocked_cpu.reg(t1), 6);
+    // And the cache saw it: at least one invalidation, a recompile beyond
+    // the initial discovery, and fused emission for every sample.
+    assert!(stats.invalidations >= 1, "stats: {stats:?}");
+    assert!(stats.blocks_compiled >= 2, "stats: {stats:?}");
+    assert_eq!(stats.fused_samples as usize, blocked.samples().len());
 }
 
 #[test]
